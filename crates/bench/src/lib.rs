@@ -1,0 +1,15 @@
+//! Bench-support crate: Criterion benches live in `benches/`, the figure
+//! regenerator in `src/bin/repro.rs`. Shared helpers are re-exported here.
+
+use proxbal_sim::metrics::DistanceHistogram;
+
+/// Formats a histogram's headline numbers the way the paper quotes them
+/// ("about 67% of total moved load within 2 hops … 86% within 10 hops").
+pub fn headline(h: &DistanceHistogram) -> String {
+    format!(
+        "≤2 hops: {:5.1}%   ≤10 hops: {:5.1}%   mean distance: {:.2}",
+        100.0 * h.fraction_within(2),
+        100.0 * h.fraction_within(10),
+        h.mean_distance()
+    )
+}

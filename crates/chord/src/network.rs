@@ -1,0 +1,314 @@
+use crate::ring::Ring;
+use proxbal_id::{Arc, Id};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Handle of a physical DHT peer (an end host). Dense index; peers are never
+/// reused after leaving, so handles stay valid for the life of the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PeerId(pub u32);
+
+/// Handle of a virtual server. Dense index, stable across transfers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct VsId(pub u32);
+
+/// Lifecycle state of a physical peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PeerState {
+    /// Participating in the overlay.
+    Alive,
+    /// Departed gracefully (virtual servers handed over).
+    Left,
+    /// Crashed (virtual servers vanished with it).
+    Crashed,
+}
+
+/// A virtual server: one Chord protocol participant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VirtualServer {
+    /// Self handle.
+    pub id: VsId,
+    /// Position on the identifier ring (the VS's Chord id).
+    pub position: Id,
+    /// Physical peer currently hosting this VS.
+    pub host: PeerId,
+    /// False once the VS has left the ring (host crashed/left and the VS was
+    /// not transferred).
+    pub alive: bool,
+}
+
+/// A physical peer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Peer {
+    /// Self handle.
+    pub id: PeerId,
+    /// Lifecycle state.
+    pub state: PeerState,
+    /// Virtual servers currently hosted here (alive ones only).
+    pub virtual_servers: Vec<VsId>,
+    /// Attachment point in the physical topology
+    /// (`proxbal_topology::NodeId`), set by the experiment harness;
+    /// `u32::MAX` when unattached.
+    pub underlay: u32,
+}
+
+/// The simulated Chord overlay: peers, virtual servers and the ring.
+///
+/// All mutating operations keep the invariant that the set of alive virtual
+/// servers exactly matches the ring contents, and that every alive VS is
+/// listed by its host peer.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChordNetwork {
+    peers: Vec<Peer>,
+    vss: Vec<VirtualServer>,
+    ring: Ring,
+}
+
+impl ChordNetwork {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        ChordNetwork::default()
+    }
+
+    /// Read access to the ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Number of peers ever created (including departed ones).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Ids of currently alive peers.
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        self.peers
+            .iter()
+            .filter(|p| p.state == PeerState::Alive)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Number of alive virtual servers.
+    pub fn alive_vs_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Peer metadata. Panics on an invalid handle.
+    pub fn peer(&self, p: PeerId) -> &Peer {
+        &self.peers[p.0 as usize]
+    }
+
+    /// Virtual server metadata. Panics on an invalid handle.
+    pub fn vs(&self, v: VsId) -> &VirtualServer {
+        &self.vss[v.0 as usize]
+    }
+
+    /// Sets the underlay attachment point of a peer.
+    pub fn attach(&mut self, p: PeerId, underlay: u32) {
+        self.peers[p.0 as usize].underlay = underlay;
+    }
+
+    /// All alive virtual servers of a peer.
+    pub fn vss_of(&self, p: PeerId) -> &[VsId] {
+        &self.peers[p.0 as usize].virtual_servers
+    }
+
+    /// The ownership region of an alive virtual server.
+    pub fn region_of(&self, v: VsId) -> Arc {
+        let vs = &self.vss[v.0 as usize];
+        assert!(vs.alive, "region of dead virtual server {v:?}");
+        self.ring.region(vs.position)
+    }
+
+    /// Joins a new peer hosting `vs_count` virtual servers at uniformly
+    /// random ring positions. Returns the new peer's id.
+    pub fn join_peer<R: Rng>(&mut self, vs_count: usize, rng: &mut R) -> PeerId {
+        let pid = PeerId(self.peers.len() as u32);
+        self.peers.push(Peer {
+            id: pid,
+            state: PeerState::Alive,
+            virtual_servers: Vec::with_capacity(vs_count),
+            underlay: u32::MAX,
+        });
+        for _ in 0..vs_count {
+            self.spawn_vs(pid, rng);
+        }
+        pid
+    }
+
+    /// Adds one more virtual server to an alive peer at a random position
+    /// (CFS-style capacity provisioning). Returns its id.
+    pub fn spawn_vs<R: Rng>(&mut self, host: PeerId, rng: &mut R) -> VsId {
+        loop {
+            // Resample on (astronomically unlikely) position collisions.
+            if let Some(vid) = self.spawn_vs_at(host, Id::new(rng.gen())) {
+                return vid;
+            }
+        }
+    }
+
+    /// Adds a virtual server at an exact ring position. Returns `None` if
+    /// the position is already taken.
+    pub fn spawn_vs_at(&mut self, host: PeerId, position: Id) -> Option<VsId> {
+        assert_eq!(
+            self.peers[host.0 as usize].state,
+            PeerState::Alive,
+            "cannot spawn a virtual server on a non-alive peer"
+        );
+        let vid = VsId(self.vss.len() as u32);
+        if !self.ring.insert(position, vid) {
+            return None;
+        }
+        self.vss.push(VirtualServer {
+            id: vid,
+            position,
+            host,
+            alive: true,
+        });
+        self.peers[host.0 as usize].virtual_servers.push(vid);
+        Some(vid)
+    }
+
+    /// Graceful departure: the peer's virtual servers leave the ring one by
+    /// one (their regions are absorbed by their successors, which is
+    /// automatic under successor ownership).
+    pub fn leave_peer(&mut self, p: PeerId) {
+        self.retire_peer(p, PeerState::Left);
+    }
+
+    /// Crash: identical ring effect to a graceful leave in this simulator
+    /// (regions are re-absorbed by successors), but routing state held by
+    /// *other* virtual servers still points at the dead ones until
+    /// stabilization runs — see [`crate::RoutingState`].
+    pub fn crash_peer(&mut self, p: PeerId) {
+        self.retire_peer(p, PeerState::Crashed);
+    }
+
+    fn retire_peer(&mut self, p: PeerId, state: PeerState) {
+        let peer = &mut self.peers[p.0 as usize];
+        assert_eq!(peer.state, PeerState::Alive, "peer {p:?} is not alive");
+        peer.state = state;
+        let vss = std::mem::take(&mut peer.virtual_servers);
+        for v in vss {
+            let vs = &mut self.vss[v.0 as usize];
+            vs.alive = false;
+            self.ring.remove(vs.position);
+        }
+    }
+
+    /// Removes a single virtual server from the ring (e.g. CFS-style load
+    /// shedding). Its region is absorbed by its successor.
+    pub fn drop_vs(&mut self, v: VsId) {
+        let vs = &mut self.vss[v.0 as usize];
+        assert!(vs.alive, "virtual server {v:?} already dead");
+        vs.alive = false;
+        self.ring.remove(vs.position);
+        let host = vs.host;
+        self.peers[host.0 as usize]
+            .virtual_servers
+            .retain(|&x| x != v);
+    }
+
+    /// Transfers a virtual server to another alive peer — the unit of load
+    /// movement in the paper (a Chord *leave* followed by a *join* at the
+    /// same ring position, so ownership of the region moves wholesale).
+    pub fn transfer_vs(&mut self, v: VsId, to: PeerId) {
+        assert_eq!(
+            self.peers[to.0 as usize].state,
+            PeerState::Alive,
+            "transfer target {to:?} is not alive"
+        );
+        let vs = &mut self.vss[v.0 as usize];
+        assert!(vs.alive, "cannot transfer dead virtual server {v:?}");
+        let from = vs.host;
+        if from == to {
+            return;
+        }
+        vs.host = to;
+        self.peers[from.0 as usize]
+            .virtual_servers
+            .retain(|&x| x != v);
+        self.peers[to.0 as usize].virtual_servers.push(v);
+    }
+
+    /// Splits a virtual server in two: a new virtual server is created at
+    /// the midpoint of `v`'s region on the same host, taking over the first
+    /// half of the region (Chord ownership splits automatically once the
+    /// new position is on the ring). Returns the new virtual server.
+    ///
+    /// This is the classic remedy (Rao et al.) for a virtual server too
+    /// loaded to fit any light node: halve it and place the halves
+    /// separately. Panics if the region is too small to split (length < 2).
+    pub fn split_vs(&mut self, v: VsId) -> VsId {
+        let vs = &self.vss[v.0 as usize];
+        assert!(vs.alive, "cannot split dead virtual server {v:?}");
+        let host = vs.host;
+        let region = self.region_of(v);
+        assert!(region.len() >= 2, "region too small to split");
+        // The midpoint key: the new VS sits there and owns (start-1, mid].
+        let mid = region.start().wrapping_add(region.len() / 2 - 1);
+        let vid = VsId(self.vss.len() as u32);
+        assert!(
+            self.ring.insert(mid, vid),
+            "split midpoint collides with an existing virtual server"
+        );
+        self.vss.push(VirtualServer {
+            id: vid,
+            position: mid,
+            host,
+            alive: true,
+        });
+        self.peers[host.0 as usize].virtual_servers.push(vid);
+        vid
+    }
+
+    /// The peer owning `key` (via its owning virtual server).
+    pub fn owner_peer(&self, key: Id) -> Option<PeerId> {
+        self.ring.owner(key).map(|v| self.vss[v.0 as usize].host)
+    }
+
+    /// Checks internal consistency; used by tests and debug assertions.
+    /// Returns an error description on the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Every ring entry is an alive VS at that position, hosted by an
+        // alive peer that lists it.
+        for (pos, v) in self.ring.iter() {
+            let vs = &self.vss[v.0 as usize];
+            if !vs.alive {
+                return Err(format!("ring references dead vs {v:?}"));
+            }
+            if vs.position != pos {
+                return Err(format!("vs {v:?} position mismatch"));
+            }
+            let host = &self.peers[vs.host.0 as usize];
+            if host.state != PeerState::Alive {
+                return Err(format!("vs {v:?} hosted by non-alive peer"));
+            }
+            if !host.virtual_servers.contains(&v) {
+                return Err(format!("host of {v:?} does not list it"));
+            }
+        }
+        // Every listed VS is alive and on the ring.
+        let mut listed = 0;
+        for peer in &self.peers {
+            for &v in &peer.virtual_servers {
+                listed += 1;
+                let vs = &self.vss[v.0 as usize];
+                if !vs.alive || vs.host != peer.id {
+                    return Err(format!("peer {:?} lists invalid vs {v:?}", peer.id));
+                }
+                if self.ring.at(vs.position) != Some(v) {
+                    return Err(format!("vs {v:?} missing from ring"));
+                }
+            }
+        }
+        if listed != self.ring.len() {
+            return Err(format!(
+                "listed vs count {listed} != ring size {}",
+                self.ring.len()
+            ));
+        }
+        Ok(())
+    }
+}

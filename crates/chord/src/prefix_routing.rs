@@ -1,0 +1,351 @@
+//! Pastry-style prefix routing over the same virtual-server population.
+//!
+//! The paper notes its techniques "are applicable or easily adapted to
+//! other DHTs such as Pastry and Tapestry" (§4.3). The load-balancing
+//! stack only relies on the *ring ownership* abstraction ([`crate::Ring`]);
+//! the routing geometry is orthogonal. This module provides the other
+//! classic geometry: digit-by-digit prefix routing with a routing table
+//! (one row per shared-prefix length, one entry per next digit) and a leaf
+//! set, over exactly the same 32-bit identifiers — demonstrating that the
+//! balancer's substrate requirements are DHT-agnostic.
+//!
+//! Identifiers are treated as 8 hexadecimal digits (base 16, as in Pastry's
+//! default `b = 4`).
+
+use crate::network::{ChordNetwork, VsId};
+use crate::routing::LookupOutcome;
+use proxbal_id::Id;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Digits per identifier (8 hex digits cover 32 bits).
+pub const DIGITS: usize = 8;
+/// Radix (hex digits, Pastry's `b = 4`).
+pub const RADIX: usize = 16;
+/// Leaf-set half-width (this many clockwise successors are kept; ownership
+/// on a successor ring only needs the clockwise side).
+pub const LEAF_SET_LEN: usize = 8;
+
+/// The `level`-th hex digit of an identifier, most significant first.
+#[inline]
+fn digit(id: Id, level: usize) -> usize {
+    debug_assert!(level < DIGITS);
+    ((id.raw() >> (28 - 4 * level)) & 0xF) as usize
+}
+
+/// Length of the shared hex-digit prefix of two identifiers (0..=8).
+#[inline]
+fn shared_prefix(a: Id, b: Id) -> usize {
+    let x = a.raw() ^ b.raw();
+    if x == 0 {
+        return DIGITS;
+    }
+    (x.leading_zeros() / 4) as usize
+}
+
+/// Per-virtual-server Pastry-like state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct VsPrefixTable {
+    position: Id,
+    /// `table[l][d]`: a virtual server whose position shares an `l`-digit
+    /// prefix with ours and has digit `d` at level `l`.
+    table: Vec<Vec<Option<VsId>>>,
+    /// Clockwise neighbours (like Pastry's leaf set; successor-side only,
+    /// since ownership is successor-based on this ring).
+    leaf_set: Vec<VsId>,
+}
+
+/// Prefix-routing state for every alive virtual server.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PrefixRouting {
+    tables: HashMap<VsId, VsPrefixTable>,
+}
+
+impl PrefixRouting {
+    /// Builds prefix-routing tables for every alive virtual server of
+    /// `net` from the current ring (a converged Pastry overlay).
+    pub fn build(net: &ChordNetwork) -> Self {
+        let ring = net.ring();
+        let mut tables = HashMap::with_capacity(ring.len());
+        for (position, vs) in ring.iter() {
+            let mut table = vec![vec![None; RADIX]; DIGITS];
+            for (l, row) in table.iter_mut().enumerate() {
+                for (d, slot) in row.iter_mut().enumerate() {
+                    if d == digit(position, l) {
+                        continue; // that's our own digit at this level
+                    }
+                    // Representative key: our l-digit prefix, digit d, zeros.
+                    let shift = 28 - 4 * l;
+                    let prefix_mask = !((1u64 << (shift + 4)) - 1) as u32;
+                    let key =
+                        Id::new((position.raw() & prefix_mask) | ((d as u32) << shift));
+                    if let Some((cand_pos, cand)) = ring.owner_entry(key) {
+                        // Accept only a genuine prefix match (the owner may
+                        // wrap around into a different prefix region).
+                        if shared_prefix(cand_pos, key) > l {
+                            *slot = Some(cand);
+                        }
+                    }
+                }
+            }
+            let leaf_set = ring
+                .successors_of(position, LEAF_SET_LEN)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            tables.insert(
+                vs,
+                VsPrefixTable {
+                    position,
+                    table,
+                    leaf_set,
+                },
+            );
+        }
+        PrefixRouting { tables }
+    }
+
+    /// Number of virtual servers with tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Prefix lookup of `key` from `from`: each hop routes to an entry
+    /// sharing a strictly longer prefix with the key; once inside the leaf
+    /// set's reach, the leaf set finishes numerically. Dead entries count
+    /// as timeouts (the leaf set is the fallback).
+    pub fn lookup(&self, net: &ChordNetwork, from: VsId, key: Id) -> LookupOutcome {
+        let mut hops = 0u32;
+        let mut timeouts = 0u32;
+        let hop_limit = (2 * DIGITS + 2 * LEAF_SET_LEN) as u32;
+
+        let mut cur = from;
+        loop {
+            if hops > hop_limit {
+                return LookupOutcome {
+                    result: None,
+                    hops,
+                    timeouts,
+                };
+            }
+            let Some(table) = self.tables.get(&cur) else {
+                return LookupOutcome {
+                    result: None,
+                    hops,
+                    timeouts,
+                };
+            };
+            if net.vs(cur).alive && net.region_of(cur).contains(key) {
+                return LookupOutcome {
+                    result: Some(cur),
+                    hops,
+                    timeouts,
+                };
+            }
+
+            // 1. Routing-table hop: strictly longer shared prefix.
+            let l = shared_prefix(table.position, key);
+            let mut next: Option<VsId> = None;
+            if l < DIGITS {
+                if let Some(entry) = table.table[l][digit(key, l)] {
+                    if net.vs(entry).alive {
+                        next = Some(entry);
+                    } else {
+                        timeouts += 1;
+                    }
+                }
+            }
+
+            // 2a. Leaf-set ownership check: the leaf set holds consecutive
+            //     clockwise successors, so the first alive leaf at or past
+            //     the key (without skipping it) is the key's owner.
+            let my_dist = table.position.distance_to(key);
+            if next.is_none() {
+                for &leaf in &table.leaf_set {
+                    if !net.vs(leaf).alive {
+                        timeouts += 1;
+                        continue;
+                    }
+                    let lp = net.vs(leaf).position;
+                    if table.position.distance_to(lp) >= my_dist {
+                        return LookupOutcome {
+                            result: Some(leaf),
+                            hops: hops + 1,
+                            timeouts,
+                        };
+                    }
+                    break; // first alive leaf is still before the key
+                }
+            }
+
+            // 2b. Numeric fallback (Pastry's rule): among everything this
+            //     node knows — all routing-table entries plus the leaf set —
+            //     hop to the alive node that gets closest to the key without
+            //     passing it. Row 0 alone spans the whole ring, so progress
+            //     is geometric even when the exact prefix entry is missing.
+            if next.is_none() {
+                let mut best_remaining = my_dist;
+                let candidates = table
+                    .table
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .chain(table.leaf_set.iter());
+                for &cand in candidates {
+                    if !net.vs(cand).alive {
+                        continue; // timeouts counted where entries are tried
+                    }
+                    let cp = net.vs(cand).position;
+                    // Stay strictly behind (or exactly at) the key.
+                    let advance = table.position.distance_to(cp);
+                    if advance == 0 || advance > my_dist {
+                        continue;
+                    }
+                    let remaining = cp.distance_to(key);
+                    if remaining < best_remaining {
+                        best_remaining = remaining;
+                        next = Some(cand);
+                    }
+                }
+            }
+
+            match next {
+                Some(n) if n != cur => {
+                    cur = n;
+                    hops += 1;
+                }
+                _ => {
+                    return LookupOutcome {
+                        result: None,
+                        hops,
+                        timeouts,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingState;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn net_with(peers: usize, vs: usize, seed: u64) -> (ChordNetwork, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = ChordNetwork::new();
+        for _ in 0..peers {
+            net.join_peer(vs, &mut rng);
+        }
+        (net, rng)
+    }
+
+    #[test]
+    fn digits_and_prefixes() {
+        let a = Id::new(0xABCD_EF01);
+        assert_eq!(digit(a, 0), 0xA);
+        assert_eq!(digit(a, 1), 0xB);
+        assert_eq!(digit(a, 7), 0x1);
+        assert_eq!(shared_prefix(a, a), DIGITS);
+        assert_eq!(shared_prefix(a, Id::new(0xABCD_EF00)), 7);
+        assert_eq!(shared_prefix(a, Id::new(0xBBCD_EF01)), 0);
+    }
+
+    #[test]
+    fn prefix_lookup_finds_owner() {
+        let (net, mut rng) = net_with(64, 4, 1);
+        let routing = PrefixRouting::build(&net);
+        assert_eq!(routing.len(), 256);
+        let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+        for _ in 0..300 {
+            let key = Id::new(rng.gen());
+            let from = sources[rng.gen_range(0..sources.len())];
+            let out = routing.lookup(&net, from, key);
+            assert_eq!(out.result, net.ring().owner(key), "from {from:?} key {key}");
+            assert_eq!(out.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn prefix_hops_are_logarithmic_base_16() {
+        let (net, mut rng) = net_with(256, 4, 2); // 1024 VSs
+        let routing = PrefixRouting::build(&net);
+        let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+        let mut total = 0u64;
+        let trials = 400;
+        for _ in 0..trials {
+            let key = Id::new(rng.gen());
+            let from = sources[rng.gen_range(0..sources.len())];
+            let out = routing.lookup(&net, from, key);
+            assert!(out.result.is_some());
+            total += u64::from(out.hops);
+        }
+        let avg = total as f64 / f64::from(trials);
+        // log16(1024) = 2.5; allow the leaf-set tail.
+        assert!(avg < 6.0, "average prefix hops {avg:.2}");
+    }
+
+    #[test]
+    fn prefix_routing_beats_finger_routing_on_hops() {
+        // Pastry's base-16 digits resolve 4 bits per hop vs Chord's ~1:
+        // average hop counts must be clearly lower on the same overlay.
+        let (net, mut rng) = net_with(256, 4, 3);
+        let prefix = PrefixRouting::build(&net);
+        let chord = RoutingState::build(&net);
+        let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+        let (mut ph, mut ch) = (0u64, 0u64);
+        let trials = 300;
+        for _ in 0..trials {
+            let key = Id::new(rng.gen());
+            let from = sources[rng.gen_range(0..sources.len())];
+            ph += u64::from(prefix.lookup(&net, from, key).hops);
+            ch += u64::from(chord.lookup(&net, from, key).hops);
+        }
+        assert!(
+            ph * 3 < ch * 2,
+            "prefix avg {:.2} should be well below finger avg {:.2}",
+            ph as f64 / f64::from(trials),
+            ch as f64 / f64::from(trials)
+        );
+    }
+
+    #[test]
+    fn prefix_lookup_survives_moderate_churn_via_leaf_sets() {
+        let (mut net, mut rng) = net_with(96, 3, 4);
+        let routing = PrefixRouting::build(&net);
+        for p in net.alive_peers().into_iter().take(9) {
+            net.crash_peer(p);
+        }
+        let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+        let mut ok = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let key = Id::new(rng.gen());
+            let from = sources[rng.gen_range(0..sources.len())];
+            let out = routing.lookup(&net, from, key);
+            if out.result == net.ring().owner(key) {
+                ok += 1;
+            }
+        }
+        assert!(ok * 10 >= trials * 8, "success {ok}/{trials}");
+    }
+
+    #[test]
+    fn single_vs_ring_prefix_lookup() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = ChordNetwork::new();
+        net.join_peer(1, &mut rng);
+        let routing = PrefixRouting::build(&net);
+        let (_, only) = net.ring().iter().next().unwrap();
+        let out = routing.lookup(&net, only, Id::new(42));
+        assert_eq!(out.result, Some(only));
+        assert_eq!(out.hops, 0);
+    }
+}

@@ -1,0 +1,168 @@
+use crate::network::VsId;
+use proxbal_id::{Arc, Id};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The sorted ring of live virtual-server positions.
+///
+/// Chord's ownership rule: a key `k` belongs to its **successor** — the
+/// first virtual server at or after `k` in clockwise order. Consequently a
+/// virtual server at position `p` with predecessor at position `q` owns the
+/// arc `(q, p]`, represented here half-open as `[q+1, p+1)`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Ring {
+    /// Ring position → virtual server planted there. Positions are unique.
+    by_pos: BTreeMap<u32, VsId>,
+}
+
+impl Ring {
+    /// An empty ring.
+    pub fn new() -> Self {
+        Ring::default()
+    }
+
+    /// Number of virtual servers on the ring.
+    pub fn len(&self) -> usize {
+        self.by_pos.len()
+    }
+
+    /// True iff the ring has no virtual servers.
+    pub fn is_empty(&self) -> bool {
+        self.by_pos.is_empty()
+    }
+
+    /// Inserts a virtual server at `pos`. Returns `false` (and does nothing)
+    /// if the position is already taken — callers resample a fresh random id.
+    pub fn insert(&mut self, pos: Id, vs: VsId) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.by_pos.entry(pos.raw()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(vs);
+                true
+            }
+        }
+    }
+
+    /// Removes the virtual server at `pos`, returning it if present.
+    pub fn remove(&mut self, pos: Id) -> Option<VsId> {
+        self.by_pos.remove(&pos.raw())
+    }
+
+    /// The virtual server registered exactly at `pos`, if any.
+    pub fn at(&self, pos: Id) -> Option<VsId> {
+        self.by_pos.get(&pos.raw()).copied()
+    }
+
+    /// The successor of `key`: the first virtual server at a position `≥ key`
+    /// in clockwise (wrapping) order. This is the **owner** of `key`.
+    pub fn owner(&self, key: Id) -> Option<VsId> {
+        self.by_pos
+            .range(key.raw()..)
+            .next()
+            .or_else(|| self.by_pos.iter().next())
+            .map(|(_, &vs)| vs)
+    }
+
+    /// Position and id of the owner of `key`.
+    pub fn owner_entry(&self, key: Id) -> Option<(Id, VsId)> {
+        self.by_pos
+            .range(key.raw()..)
+            .next()
+            .or_else(|| self.by_pos.iter().next())
+            .map(|(&p, &vs)| (Id::new(p), vs))
+    }
+
+    /// The virtual server strictly before `pos` in clockwise order (the
+    /// predecessor of a VS planted at `pos`).
+    pub fn predecessor(&self, pos: Id) -> Option<(Id, VsId)> {
+        self.by_pos
+            .range(..pos.raw())
+            .next_back()
+            .or_else(|| self.by_pos.iter().next_back())
+            .map(|(&p, &vs)| (Id::new(p), vs))
+    }
+
+    /// The virtual server strictly after `pos` in clockwise order.
+    pub fn successor_after(&self, pos: Id) -> Option<(Id, VsId)> {
+        self.by_pos
+            .range(pos.raw().wrapping_add(1)..)
+            .next()
+            .or_else(|| self.by_pos.iter().next())
+            .map(|(&p, &vs)| (Id::new(p), vs))
+    }
+
+    /// The ownership region of the virtual server at `pos`: `(pred, pos]`.
+    /// With a single VS on the ring the region is the full ring.
+    pub fn region(&self, pos: Id) -> Arc {
+        match self.predecessor(pos) {
+            Some((pred, _)) if pred != pos => {
+                Arc::from_bounds(pred.wrapping_add(1), pos.wrapping_add(1))
+            }
+            _ => Arc::full(pos.wrapping_add(1)),
+        }
+    }
+
+    /// Number of virtual-server positions inside `region`.
+    pub fn count_in(&self, region: &Arc) -> usize {
+        if region.is_empty() {
+            return 0;
+        }
+        if region.is_full() {
+            return self.by_pos.len();
+        }
+        let start = region.start().raw();
+        let end = region.end().raw(); // exclusive
+        if start < end {
+            self.by_pos.range(start..end).count()
+        } else {
+            // Wraps past 0: [start, 2^32) ∪ [0, end).
+            self.by_pos.range(start..).count() + self.by_pos.range(..end).count()
+        }
+    }
+
+    /// The virtual servers whose positions lie inside `region`, clockwise.
+    pub fn vss_in(&self, region: &Arc) -> Vec<(Id, VsId)> {
+        if region.is_empty() {
+            return Vec::new();
+        }
+        if region.is_full() {
+            return self.iter().collect();
+        }
+        let start = region.start().raw();
+        let end = region.end().raw();
+        let mut out = Vec::new();
+        if start < end {
+            out.extend(self.by_pos.range(start..end).map(|(&p, &v)| (Id::new(p), v)));
+        } else {
+            out.extend(self.by_pos.range(start..).map(|(&p, &v)| (Id::new(p), v)));
+            out.extend(self.by_pos.range(..end).map(|(&p, &v)| (Id::new(p), v)));
+        }
+        out
+    }
+
+    /// Iterates `(position, vs)` in clockwise order starting from 0.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, VsId)> + '_ {
+        self.by_pos.iter().map(|(&p, &vs)| (Id::new(p), vs))
+    }
+
+    /// The `count` distinct successors of the VS at `pos` (excluding itself
+    /// unless the ring is smaller than `count + 1`), in clockwise order.
+    pub fn successors_of(&self, pos: Id, count: usize) -> Vec<(Id, VsId)> {
+        let mut out = Vec::with_capacity(count);
+        if self.by_pos.is_empty() {
+            return out;
+        }
+        let mut cursor = pos;
+        for _ in 0..count.min(self.by_pos.len()) {
+            match self.successor_after(cursor) {
+                Some((p, vs)) if p != pos => {
+                    out.push((p, vs));
+                    cursor = p;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,308 @@
+use crate::network::{ChordNetwork, VsId};
+use crate::ring::Ring;
+use proxbal_id::{Arc, Id};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Length of each virtual server's successor list. Chord recommends
+/// `O(log N)` entries; 8 tolerates the churn levels exercised here.
+pub const SUCCESSOR_LIST_LEN: usize = 8;
+
+/// Number of finger entries (one per bit of the 32-bit identifier space).
+pub const FINGER_COUNT: usize = 32;
+
+/// Result of an iterative lookup.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupOutcome {
+    /// The virtual server found responsible for the key (`None` if routing
+    /// failed — possible only under stale state after churn).
+    pub result: Option<VsId>,
+    /// Overlay hops taken (finger/successor traversals).
+    pub hops: u32,
+    /// Dead routing entries encountered (each models a timeout).
+    pub timeouts: u32,
+}
+
+/// Per-virtual-server routing tables.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct VsRouting {
+    /// Ring position when the tables were built.
+    position: Id,
+    /// `fingers[k]` targets the owner of `position + 2^k` (k-th finger).
+    fingers: Vec<Option<VsId>>,
+    /// First `SUCCESSOR_LIST_LEN` successors at build time.
+    successors: Vec<VsId>,
+}
+
+/// Finger tables and successor lists for every alive virtual server.
+///
+/// The tables are a *snapshot*: after peers join, leave or crash, tables go
+/// stale until repair runs — exactly the window in which real Chord sees
+/// timeouts and reroutes through successor lists. Repair comes in three
+/// granularities, from cheapest to most thorough:
+/// [`RoutingState::stabilize_round`] (each VS refreshes its successor list
+/// and fixes **one** finger, like the real protocol's periodic
+/// `fix_fingers`), [`RoutingState::stabilize_vs`] (full rebuild of one
+/// VS's tables) and [`RoutingState::stabilize`] (full rebuild of
+/// everything).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RoutingState {
+    tables: HashMap<VsId, VsRouting>,
+    /// Round-robin finger-repair cursor per VS (`fix_fingers` state).
+    next_finger: HashMap<VsId, u32>,
+}
+
+impl RoutingState {
+    /// Builds fresh routing state for every alive virtual server of `net`.
+    pub fn build(net: &ChordNetwork) -> Self {
+        let mut state = RoutingState::default();
+        for (_, vs) in net.ring().iter() {
+            state.tables.insert(vs, Self::table_for(net.ring(), vs, net));
+        }
+        state
+    }
+
+    fn table_for(ring: &Ring, vs: VsId, net: &ChordNetwork) -> VsRouting {
+        let position = net.vs(vs).position;
+        let fingers = (0..FINGER_COUNT as u32)
+            .map(|k| ring.owner(position.finger_start(k)))
+            .collect();
+        let successors = ring
+            .successors_of(position, SUCCESSOR_LIST_LEN)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        VsRouting {
+            position,
+            fingers,
+            successors,
+        }
+    }
+
+    /// Number of virtual servers with routing tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff no tables exist.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Rebuilds the tables of a single virtual server against the current
+    /// network (one stabilization round for that VS).
+    pub fn stabilize_vs(&mut self, net: &ChordNetwork, vs: VsId) {
+        if net.vs(vs).alive {
+            self.tables
+                .insert(vs, Self::table_for(net.ring(), vs, net));
+        } else {
+            self.tables.remove(&vs);
+        }
+    }
+
+    /// Full stabilization: drops tables of dead virtual servers, creates
+    /// tables for new ones, and refreshes every finger/successor entry.
+    pub fn stabilize(&mut self, net: &ChordNetwork) {
+        self.tables.clear();
+        for (_, vs) in net.ring().iter() {
+            self.tables.insert(vs, Self::table_for(net.ring(), vs, net));
+        }
+    }
+
+    /// One **incremental** stabilization round, modelling the periodic
+    /// `stabilize` + `fix_fingers` of the real protocol: every alive VS
+    /// refreshes its successor list (successor-pointer repair) and fixes
+    /// exactly **one** finger, round-robin over the 32 finger slots; VSs
+    /// that joined since the last round get fresh tables; dead VSs are
+    /// forgotten. Full finger repair therefore takes up to 32 rounds —
+    /// which is exactly the window churn experiments care about.
+    ///
+    /// Returns the number of table entries changed (0 once converged).
+    pub fn stabilize_round(&mut self, net: &ChordNetwork) -> usize {
+        let mut changed = 0;
+        // Drop dead VSs.
+        let dead: Vec<VsId> = self
+            .tables
+            .keys()
+            .copied()
+            .filter(|&v| !net.vs(v).alive)
+            .collect();
+        for v in dead {
+            self.tables.remove(&v);
+            self.next_finger.remove(&v);
+            changed += 1;
+        }
+        // New VSs bootstrap full tables (they just ran `join`).
+        for (_, vs) in net.ring().iter() {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.tables.entry(vs) {
+                e.insert(Self::table_for(net.ring(), vs, net));
+                changed += 1;
+            }
+        }
+        // Existing VSs: refresh successors, fix one finger.
+        let alive: Vec<VsId> = self.tables.keys().copied().collect();
+        for vs in alive {
+            let position = net.vs(vs).position;
+            let successors: Vec<VsId> = net
+                .ring()
+                .successors_of(position, SUCCESSOR_LIST_LEN)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            let k = {
+                let cursor = self.next_finger.entry(vs).or_insert(0);
+                let k = *cursor;
+                *cursor = (*cursor + 1) % FINGER_COUNT as u32;
+                k
+            };
+            let fresh_finger = net.ring().owner(position.finger_start(k));
+            let table = self.tables.get_mut(&vs).expect("alive table");
+            if table.successors != successors {
+                table.successors = successors;
+                changed += 1;
+            }
+            if table.fingers[k as usize] != fresh_finger {
+                table.fingers[k as usize] = fresh_finger;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Protocol-level join of one virtual server: the joining node picks a
+    /// random identifier, asks `bootstrap` to **look up** that identifier's
+    /// successor (costing `O(log N)` overlay hops, which are reported),
+    /// inserts itself there, and builds its own routing tables. The tables
+    /// of pre-existing virtual servers stay stale until the next
+    /// [`RoutingState::stabilize`], exactly as in the real protocol.
+    ///
+    /// Returns the new virtual server and the lookup it performed. `None`
+    /// if routing failed (possible only under heavily stale state) — the
+    /// caller retries after stabilizing.
+    pub fn join_vs_via_lookup<R: rand::Rng>(
+        &mut self,
+        net: &mut ChordNetwork,
+        host: crate::network::PeerId,
+        bootstrap: VsId,
+        rng: &mut R,
+    ) -> Option<(VsId, LookupOutcome)> {
+        let position = loop {
+            let candidate = Id::new(rng.gen());
+            if net.ring().at(candidate).is_none() {
+                break candidate;
+            }
+        };
+        let outcome = self.lookup(net, bootstrap, position);
+        outcome.result?;
+        let vs = net
+            .spawn_vs_at(host, position)
+            .expect("position checked free");
+        self.stabilize_vs(net, vs);
+        Some((vs, outcome))
+    }
+
+    /// Iterative Chord lookup of `key` starting from virtual server `from`.
+    ///
+    /// At each step, if the key lies between the current VS and its first
+    /// alive successor, the successor is the answer; otherwise the query
+    /// forwards to the closest alive preceding finger (falling back to the
+    /// successor list when every useful finger is dead). Dead entries count
+    /// as timeouts. Fails after `2 + 4·log₂(ring)` hops — only reachable
+    /// under heavily stale state.
+    pub fn lookup(&self, net: &ChordNetwork, from: VsId, key: Id) -> LookupOutcome {
+        let mut hops = 0u32;
+        let mut timeouts = 0u32;
+        let ring_len = net.ring().len().max(2);
+        let hop_limit = 2 + 4 * (usize::BITS - (ring_len - 1).leading_zeros());
+
+        let mut cur = from;
+        loop {
+            if hops > hop_limit {
+                return LookupOutcome {
+                    result: None,
+                    hops,
+                    timeouts,
+                };
+            }
+            let Some(table) = self.tables.get(&cur) else {
+                return LookupOutcome {
+                    result: None,
+                    hops,
+                    timeouts,
+                };
+            };
+
+            // Is the key ours? (A VS owns (pred, self]; equivalently the key
+            // is ours iff our region contains it — checked via live region,
+            // which the VS always knows for itself.)
+            if net.vs(cur).alive && net.region_of(cur).contains(key) {
+                return LookupOutcome {
+                    result: Some(cur),
+                    hops,
+                    timeouts,
+                };
+            }
+
+            // Does the key fall between us and our first alive successor?
+            let mut next: Option<VsId> = None;
+            let between = Arc::from_bounds(
+                table.position.wrapping_add(1),
+                key.wrapping_add(1),
+            );
+            for &succ in &table.successors {
+                if !net.vs(succ).alive {
+                    timeouts += 1;
+                    continue;
+                }
+                let spos = net.vs(succ).position;
+                if between.contains(spos) || spos == key {
+                    // Successor is not past the key: it may still precede it;
+                    // route through it only if no finger is better (handled
+                    // below by treating it as candidate).
+                    next = Some(succ);
+                } else {
+                    // First alive successor is at or past the key → answer.
+                    return LookupOutcome {
+                        result: Some(succ),
+                        hops: hops + 1,
+                        timeouts,
+                    };
+                }
+                break;
+            }
+
+            // Closest preceding alive finger: scan fingers from the top,
+            // pick the alive one whose position is in (cur, key).
+            let span = Arc::from_bounds(table.position.wrapping_add(1), key);
+            for f in table.fingers.iter().rev() {
+                let Some(fv) = *f else { continue };
+                if fv == cur {
+                    continue;
+                }
+                if !net.vs(fv).alive {
+                    timeouts += 1;
+                    continue;
+                }
+                let fpos = net.vs(fv).position;
+                if span.contains(fpos) {
+                    next = Some(fv);
+                    break;
+                }
+            }
+
+            match next {
+                Some(n) if n != cur => {
+                    cur = n;
+                    hops += 1;
+                }
+                _ => {
+                    return LookupOutcome {
+                        result: None,
+                        hops,
+                        timeouts,
+                    }
+                }
+            }
+        }
+    }
+}

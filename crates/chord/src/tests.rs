@@ -1,0 +1,477 @@
+use crate::*;
+use proptest::prelude::*;
+use proxbal_id::Id;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn net_with(peers: usize, vs_per_peer: usize, seed: u64) -> (ChordNetwork, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = ChordNetwork::new();
+    for _ in 0..peers {
+        net.join_peer(vs_per_peer, &mut rng);
+    }
+    (net, rng)
+}
+
+#[test]
+fn ring_owner_wraps() {
+    let mut ring = Ring::new();
+    ring.insert(Id::new(100), VsId(0));
+    ring.insert(Id::new(200), VsId(1));
+    assert_eq!(ring.owner(Id::new(50)), Some(VsId(0)));
+    assert_eq!(ring.owner(Id::new(100)), Some(VsId(0))); // inclusive
+    assert_eq!(ring.owner(Id::new(101)), Some(VsId(1)));
+    assert_eq!(ring.owner(Id::new(201)), Some(VsId(0))); // wraps
+    assert_eq!(ring.owner(Id::new(u32::MAX)), Some(VsId(0)));
+}
+
+#[test]
+fn ring_regions_partition_the_space() {
+    let mut ring = Ring::new();
+    ring.insert(Id::new(0), VsId(0));
+    ring.insert(Id::new(1000), VsId(1));
+    ring.insert(Id::new(60000), VsId(2));
+    let total: u64 = ring.iter().map(|(p, _)| ring.region(p).len()).sum();
+    assert_eq!(total, proxbal_id::RING_SIZE);
+    // Region of VS at 1000 is (0, 1000] = [1, 1001).
+    let r = ring.region(Id::new(1000));
+    assert!(r.contains(Id::new(1)));
+    assert!(r.contains(Id::new(1000)));
+    assert!(!r.contains(Id::new(0)));
+    assert!(!r.contains(Id::new(1001)));
+}
+
+#[test]
+fn ring_single_vs_owns_everything() {
+    let mut ring = Ring::new();
+    ring.insert(Id::new(777), VsId(3));
+    assert!(ring.region(Id::new(777)).is_full());
+    assert_eq!(ring.owner(Id::new(0)), Some(VsId(3)));
+}
+
+#[test]
+fn ring_duplicate_position_rejected() {
+    let mut ring = Ring::new();
+    assert!(ring.insert(Id::new(5), VsId(0)));
+    assert!(!ring.insert(Id::new(5), VsId(1)));
+    assert_eq!(ring.at(Id::new(5)), Some(VsId(0)));
+}
+
+#[test]
+fn ring_successors_of_walks_clockwise() {
+    let mut ring = Ring::new();
+    for (i, p) in [10u32, 20, 30, 40].iter().enumerate() {
+        ring.insert(Id::new(*p), VsId(i as u32));
+    }
+    let succs = ring.successors_of(Id::new(20), 3);
+    assert_eq!(
+        succs.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+        vec![VsId(2), VsId(3), VsId(0)]
+    );
+    // Asking for more than ring size stops before self.
+    let all = ring.successors_of(Id::new(20), 10);
+    assert_eq!(all.len(), 3);
+}
+
+#[test]
+fn join_creates_vss_and_invariants_hold() {
+    let (net, _) = net_with(10, 5, 1);
+    assert_eq!(net.alive_vs_count(), 50);
+    assert_eq!(net.alive_peers().len(), 10);
+    net.check_invariants().unwrap();
+    for p in net.alive_peers() {
+        assert_eq!(net.vss_of(p).len(), 5);
+    }
+}
+
+#[test]
+fn regions_cover_space_after_churn() {
+    let (mut net, mut rng) = net_with(20, 3, 2);
+    net.leave_peer(PeerId(3));
+    net.crash_peer(PeerId(7));
+    net.join_peer(4, &mut rng);
+    net.check_invariants().unwrap();
+    let total: u64 = net
+        .ring()
+        .iter()
+        .map(|(p, _)| net.ring().region(p).len())
+        .sum();
+    assert_eq!(total, proxbal_id::RING_SIZE);
+}
+
+#[test]
+fn owner_peer_resolves_to_hosting_peer() {
+    let (net, mut rng) = net_with(8, 4, 3);
+    for _ in 0..100 {
+        let key = Id::new(rng.gen());
+        let vs = net.ring().owner(key).unwrap();
+        assert_eq!(net.owner_peer(key), Some(net.vs(vs).host));
+        assert!(net.region_of(vs).contains(key));
+    }
+}
+
+#[test]
+fn transfer_moves_vs_between_peers() {
+    let (mut net, _) = net_with(4, 3, 4);
+    let src = PeerId(0);
+    let dst = PeerId(1);
+    let v = net.vss_of(src)[0];
+    let region_before = net.region_of(v);
+    net.transfer_vs(v, dst);
+    net.check_invariants().unwrap();
+    assert_eq!(net.vs(v).host, dst);
+    assert_eq!(net.vss_of(src).len(), 2);
+    assert_eq!(net.vss_of(dst).len(), 4);
+    // Ring position (and thus region) is unchanged by a transfer.
+    assert_eq!(net.region_of(v), region_before);
+}
+
+#[test]
+fn transfer_to_self_is_noop() {
+    let (mut net, _) = net_with(2, 2, 5);
+    let v = net.vss_of(PeerId(0))[0];
+    net.transfer_vs(v, PeerId(0));
+    net.check_invariants().unwrap();
+    assert_eq!(net.vss_of(PeerId(0)).len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "not alive")]
+fn transfer_to_dead_peer_panics() {
+    let (mut net, _) = net_with(3, 2, 6);
+    net.crash_peer(PeerId(1));
+    let v = net.vss_of(PeerId(0))[0];
+    net.transfer_vs(v, PeerId(1));
+}
+
+#[test]
+fn drop_vs_removes_from_ring() {
+    let (mut net, _) = net_with(3, 3, 7);
+    let v = net.vss_of(PeerId(2))[1];
+    let n_before = net.alive_vs_count();
+    net.drop_vs(v);
+    net.check_invariants().unwrap();
+    assert_eq!(net.alive_vs_count(), n_before - 1);
+    assert!(!net.vs(v).alive);
+}
+
+#[test]
+fn crash_removes_all_peer_vss() {
+    let (mut net, _) = net_with(5, 4, 8);
+    net.crash_peer(PeerId(2));
+    assert_eq!(net.alive_vs_count(), 16);
+    assert_eq!(net.alive_peers().len(), 4);
+    net.check_invariants().unwrap();
+}
+
+#[test]
+fn lookup_finds_owner_with_fresh_tables() {
+    let (net, mut rng) = net_with(32, 4, 9);
+    let routing = RoutingState::build(&net);
+    assert_eq!(routing.len(), 128);
+    let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+    for _ in 0..200 {
+        let key = Id::new(rng.gen());
+        let from = sources[rng.gen_range(0..sources.len())];
+        let out = routing.lookup(&net, from, key);
+        let expect = net.ring().owner(key);
+        assert_eq!(out.result, expect, "lookup from {from:?} for {key}");
+        assert_eq!(out.timeouts, 0);
+    }
+}
+
+#[test]
+fn lookup_hops_are_logarithmic() {
+    let (net, mut rng) = net_with(128, 4, 10);
+    let routing = RoutingState::build(&net);
+    let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+    let n = sources.len() as f64; // 512 virtual servers
+    let bound = 2.0 * n.log2() + 2.0;
+    let mut total = 0u64;
+    let trials = 300;
+    for _ in 0..trials {
+        let key = Id::new(rng.gen());
+        let from = sources[rng.gen_range(0..sources.len())];
+        let out = routing.lookup(&net, from, key);
+        assert!(out.result.is_some());
+        total += u64::from(out.hops);
+    }
+    let avg = total as f64 / f64::from(trials);
+    assert!(
+        avg <= bound,
+        "average hops {avg:.1} should be O(log n) (bound {bound:.1})"
+    );
+}
+
+#[test]
+fn lookup_survives_churn_via_successor_lists() {
+    let (mut net, mut rng) = net_with(64, 3, 11);
+    let mut routing = RoutingState::build(&net);
+    // Crash 10% of peers without stabilizing.
+    for p in net.alive_peers().into_iter().take(6) {
+        net.crash_peer(p);
+    }
+    let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+    let mut failures = 0;
+    let trials = 200;
+    for _ in 0..trials {
+        let key = Id::new(rng.gen());
+        let from = sources[rng.gen_range(0..sources.len())];
+        let out = routing.lookup(&net, from, key);
+        match out.result {
+            Some(v) => assert_eq!(Some(v), net.ring().owner(key)),
+            None => failures += 1,
+        }
+    }
+    // Most lookups still succeed (correctly) before repair…
+    assert!(failures < trials / 5, "too many failures: {failures}");
+    // …and all succeed after stabilization.
+    routing.stabilize(&net);
+    for _ in 0..trials {
+        let key = Id::new(rng.gen());
+        let from = sources[rng.gen_range(0..sources.len())];
+        let out = routing.lookup(&net, from, key);
+        assert_eq!(out.result, net.ring().owner(key));
+        assert_eq!(out.timeouts, 0);
+    }
+}
+
+#[test]
+fn stabilize_vs_repairs_single_table() {
+    let (mut net, mut rng) = net_with(16, 2, 12);
+    let mut routing = RoutingState::build(&net);
+    net.join_peer(2, &mut rng);
+    let (_, some_vs) = net.ring().iter().next().unwrap();
+    routing.stabilize_vs(&net, some_vs);
+    // New peer's VSs have no tables yet; stabilize creates them.
+    routing.stabilize(&net);
+    assert_eq!(routing.len(), net.alive_vs_count());
+}
+
+#[test]
+fn lookup_single_vs_ring() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut net = ChordNetwork::new();
+    net.join_peer(1, &mut rng);
+    let routing = RoutingState::build(&net);
+    let (_, only) = net.ring().iter().next().unwrap();
+    let out = routing.lookup(&net, only, Id::new(12345));
+    assert_eq!(out.result, Some(only));
+    assert_eq!(out.hops, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_lookup_equals_ring_owner(seed in 0u64..5000, key: u32) {
+        let (net, _) = net_with(12, 3, seed);
+        let routing = RoutingState::build(&net);
+        let (_, from) = net.ring().iter().next().unwrap();
+        let out = routing.lookup(&net, from, Id::new(key));
+        prop_assert_eq!(out.result, net.ring().owner(Id::new(key)));
+    }
+
+    #[test]
+    fn prop_invariants_after_random_ops(seed in 0u64..5000, ops in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = ChordNetwork::new();
+        net.join_peer(3, &mut rng);
+        for _ in 0..ops {
+            let alive = net.alive_peers();
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    net.join_peer(rng.gen_range(1..5), &mut rng);
+                }
+                1 if alive.len() > 1 => {
+                    let p = alive[rng.gen_range(0..alive.len())];
+                    net.leave_peer(p);
+                }
+                2 if alive.len() > 1 => {
+                    let p = alive[rng.gen_range(0..alive.len())];
+                    net.crash_peer(p);
+                }
+                _ if alive.len() >= 2 => {
+                    let from = alive[rng.gen_range(0..alive.len())];
+                    let to = alive[rng.gen_range(0..alive.len())];
+                    let vss = net.vss_of(from);
+                    if !vss.is_empty() && from != to {
+                        let v = vss[rng.gen_range(0..vss.len())];
+                        net.transfer_vs(v, to);
+                    }
+                }
+                _ => {}
+            }
+            net.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // Regions always partition the full ring when non-empty.
+        if net.alive_vs_count() > 0 {
+            let total: u64 = net.ring().iter().map(|(p, _)| net.ring().region(p).len()).sum();
+            prop_assert_eq!(total, proxbal_id::RING_SIZE);
+        }
+    }
+}
+
+#[test]
+fn spawn_vs_at_exact_position_and_collision() {
+    let (mut net, _) = net_with(2, 2, 30);
+    let v = net.spawn_vs_at(PeerId(0), Id::new(12345)).unwrap();
+    assert_eq!(net.vs(v).position, Id::new(12345));
+    assert!(net.spawn_vs_at(PeerId(1), Id::new(12345)).is_none());
+    net.check_invariants().unwrap();
+}
+
+#[test]
+fn protocol_join_costs_logarithmic_hops() {
+    let (mut net, mut rng) = net_with(64, 4, 31);
+    let mut routing = RoutingState::build(&net);
+    let bootstrap = net.ring().iter().next().unwrap().1;
+    let host = net.join_peer(0, &mut rng); // empty peer, then protocol joins
+    let mut total_hops = 0u32;
+    for _ in 0..4 {
+        let (vs, outcome) = routing
+            .join_vs_via_lookup(&mut net, host, bootstrap, &mut rng)
+            .expect("join succeeds with fresh tables");
+        assert!(net.vs(vs).alive);
+        total_hops += outcome.hops;
+    }
+    net.check_invariants().unwrap();
+    let n = net.alive_vs_count() as f64;
+    assert!(
+        f64::from(total_hops) / 4.0 <= 2.0 * n.log2() + 2.0,
+        "avg join hops too high: {}",
+        f64::from(total_hops) / 4.0
+    );
+    // After stabilization the new VSs are fully routable.
+    routing.stabilize(&net);
+    for _ in 0..50 {
+        let key = Id::new(rng.gen());
+        let out = routing.lookup(&net, bootstrap, key);
+        assert_eq!(out.result, net.ring().owner(key));
+    }
+}
+
+#[test]
+fn split_vs_halves_region_on_same_host() {
+    let (mut net, _) = net_with(8, 3, 32);
+    let (pos, v) = net.ring().iter().next().unwrap();
+    let region = net.ring().region(pos);
+    if region.len() < 2 {
+        return; // astronomically unlikely with 24 VSs on a 2^32 ring
+    }
+    let host = net.vs(v).host;
+    let before = net.alive_vs_count();
+    let new = net.split_vs(v);
+    net.check_invariants().unwrap();
+    assert_eq!(net.alive_vs_count(), before + 1);
+    assert_eq!(net.vs(new).host, host);
+    // The two halves partition the original region.
+    let r_old = net.region_of(v);
+    let r_new = net.region_of(new);
+    assert_eq!(r_old.len() + r_new.len(), region.len());
+    assert!(!r_old.overlaps(&r_new));
+    assert!((r_new.len() as i64 - r_old.len() as i64).abs() <= 1);
+}
+
+#[test]
+fn count_in_and_vss_in_wrap_correctly() {
+    let mut ring = Ring::new();
+    ring.insert(Id::new(10), VsId(0));
+    ring.insert(Id::new(0xFFFF_FFF0), VsId(1));
+    ring.insert(Id::new(500), VsId(2));
+    // Wrapping region covering the top and bottom of the ring.
+    let wrap = proxbal_id::Arc::from_bounds(Id::new(0xFFFF_FF00), Id::new(100));
+    assert_eq!(ring.count_in(&wrap), 2);
+    let inside = ring.vss_in(&wrap);
+    assert_eq!(inside.len(), 2);
+    assert_eq!(inside[0].1, VsId(1)); // clockwise order: high side first
+    assert_eq!(inside[1].1, VsId(0));
+    // Full and empty regions.
+    assert_eq!(ring.count_in(&proxbal_id::Arc::full(Id::ZERO)), 3);
+    assert_eq!(ring.count_in(&proxbal_id::Arc::empty(Id::ZERO)), 0);
+}
+
+#[test]
+fn incremental_stabilization_converges_within_finger_count_rounds() {
+    let (mut net, mut rng) = net_with(48, 4, 35);
+    let mut routing = RoutingState::build(&net);
+    // Heavy churn: crash a third, join replacements.
+    for p in net.alive_peers().into_iter().take(16) {
+        net.crash_peer(p);
+    }
+    for _ in 0..16 {
+        net.join_peer(4, &mut rng);
+    }
+    // Incremental rounds only.
+    let mut rounds = 0;
+    loop {
+        let changed = routing.stabilize_round(&net);
+        rounds += 1;
+        if changed == 0 {
+            break;
+        }
+        assert!(rounds <= 34, "must converge within ~FINGER_COUNT rounds");
+    }
+    // Converged tables route every lookup correctly with zero timeouts.
+    let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+    for _ in 0..100 {
+        let key = Id::new(rng.gen());
+        let from = sources[rng.gen_range(0..sources.len())];
+        let out = routing.lookup(&net, from, key);
+        assert_eq!(out.result, net.ring().owner(key));
+        assert_eq!(out.timeouts, 0);
+    }
+}
+
+#[test]
+fn incremental_stabilization_improves_lookups_gradually() {
+    let (mut net, rng) = net_with(96, 4, 36);
+    let mut routing = RoutingState::build(&net);
+    for p in net.alive_peers().into_iter().take(32) {
+        net.crash_peer(p);
+    }
+    let success_rate = |routing: &RoutingState, net: &ChordNetwork, seed: u64| -> f64 {
+        let mut r = StdRng::seed_from_u64(seed);
+        let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+        let mut ok = 0;
+        for _ in 0..100 {
+            let key = Id::new(r.gen());
+            let from = sources[r.gen_range(0..sources.len())];
+            if routing.lookup(net, from, key).result == net.ring().owner(key) {
+                ok += 1;
+            }
+        }
+        ok as f64 / 100.0
+    };
+    let before = success_rate(&routing, &net, 1);
+    for _ in 0..4 {
+        routing.stabilize_round(&net);
+    }
+    let after_few = success_rate(&routing, &net, 1);
+    assert!(
+        after_few >= before,
+        "stabilization must not hurt: {before} -> {after_few}"
+    );
+    // Timeouts disappear as fingers get fixed.
+    for _ in 0..40 {
+        routing.stabilize_round(&net);
+    }
+    let mut r = StdRng::seed_from_u64(2);
+    let sources: Vec<VsId> = net.ring().iter().map(|(_, v)| v).collect();
+    for _ in 0..50 {
+        let key = Id::new(r.gen());
+        let from = sources[r.gen_range(0..sources.len())];
+        let out = routing.lookup(&net, from, key);
+        assert_eq!(out.timeouts, 0, "all fingers repaired");
+    }
+    let _ = rng;
+}
+
+#[test]
+fn stabilize_round_idempotent_when_stable() {
+    let (net, _) = net_with(16, 3, 37);
+    let mut routing = RoutingState::build(&net);
+    // First round may touch finger cursors but finds nothing to change.
+    assert_eq!(routing.stabilize_round(&net), 0);
+    assert_eq!(routing.stabilize_round(&net), 0);
+}

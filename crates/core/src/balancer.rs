@@ -1,0 +1,341 @@
+use crate::classify::{ClassifyParams, NodeClass};
+use crate::lbi::{Lbi, LoadState};
+use crate::reports::{
+    ignorant_inputs, light_slots, proximity_inputs, shed_candidates, Classification,
+    ProximityParams,
+};
+use crate::transfer::{execute_transfers, TransferRecord};
+use crate::vsa::{run_vsa, VsaOutcome, VsaParams};
+use proxbal_chord::{ChordNetwork, PeerId};
+use proxbal_ktree::KTree;
+use proxbal_topology::{DistanceOracle, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whether virtual-server assignment uses proximity information (§4) or the
+/// plain identifier-space sweep (§3.4).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum ProximityMode {
+    /// Records enter the tree at the reporting node's own (random) virtual
+    /// server — the paper's baseline.
+    Ignorant,
+    /// Records are published at the node's Hilbert number so physically
+    /// close heavy/light nodes meet at deep rendezvous points.
+    Aware(ProximityParams),
+}
+
+/// Full configuration for one balancing run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BalancerConfig {
+    /// Degree `K` of the aggregation tree (paper: 2 and 8).
+    pub k: usize,
+    /// Balance-quality knob `ε` (see [`ClassifyParams`]).
+    pub epsilon: f64,
+    /// Rendezvous threshold (paper: 30).
+    pub rendezvous_threshold: usize,
+    /// Proximity mode.
+    pub mode: ProximityMode,
+    /// Maximum virtual-server splits for shed candidates that fit no light
+    /// node (0 = off, the paper-faithful behaviour). See
+    /// [`crate::split_and_place`].
+    pub max_splits: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            k: 2,
+            epsilon: 0.05,
+            rendezvous_threshold: 30,
+            mode: ProximityMode::Ignorant,
+            max_splits: 0,
+        }
+    }
+}
+
+impl BalancerConfig {
+    /// The paper's proximity-aware configuration.
+    pub fn proximity_aware() -> Self {
+        BalancerConfig {
+            mode: ProximityMode::Aware(ProximityParams::default()),
+            ..Self::default()
+        }
+    }
+}
+
+/// The physical-network context needed for proximity-aware balancing and
+/// for transfer-cost accounting.
+#[derive(Clone, Copy)]
+pub struct Underlay<'a> {
+    /// Shortest-path oracle in the paper's **hop-cost** metric (interdomain
+    /// hop = 3, intradomain hop = 1) — used for transfer-cost accounting.
+    pub oracle: &'a DistanceOracle,
+    /// Oracle in the **latency** metric (Euclidean edge lengths) — what RTT
+    /// probes to landmarks actually measure. Falls back to `oracle` when
+    /// absent.
+    pub latency_oracle: Option<&'a DistanceOracle>,
+    /// The landmark nodes (paper: 15 of them).
+    pub landmarks: &'a [NodeId],
+}
+
+impl<'a> Underlay<'a> {
+    /// The oracle landmark vectors are measured with.
+    pub fn latency(&self) -> &'a DistanceOracle {
+        self.latency_oracle.unwrap_or(self.oracle)
+    }
+}
+
+/// Communication overhead of one balancing run — the "load balancing
+/// cost" the paper sets out to minimize, broken down by phase.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Upward tree messages carrying LBI (inter-peer edges on contributing
+    /// paths, each crossed once).
+    pub lbi_messages: usize,
+    /// Downward tree messages disseminating `<L, C, L_min>` (every
+    /// inter-peer tree edge once).
+    pub dissemination_messages: usize,
+    /// Record·hop units of the VSA sweep (see
+    /// [`crate::VsaOutcome::record_hops`]).
+    pub vsa_record_hops: usize,
+    /// Direct notifications from rendezvous points to the paired heavy and
+    /// light nodes (two per assignment, §3.4).
+    pub vsa_notifications: usize,
+    /// Load-weighted transfer cost `Σ load·distance` of the VST phase —
+    /// the bandwidth consumption Figures 7/8 are about (0 without an
+    /// underlay).
+    pub vst_weighted_cost: f64,
+}
+
+/// Everything a balancing run produces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// System LBI aggregated at the root, `<L, C, L_min>`.
+    pub system: Lbi,
+    /// Message rounds of the LBI aggregation (`O(log_K N)`).
+    pub lbi_rounds: u32,
+    /// Message rounds of the top-down dissemination.
+    pub dissemination_rounds: u32,
+    /// Per-class node counts before balancing.
+    pub before: HashMap<NodeClass, usize>,
+    /// The VSA sweep outcome (assignments, rounds, leftovers).
+    pub vsa: VsaOutcome,
+    /// Executed transfers with physical distances.
+    pub transfers: Vec<TransferRecord>,
+    /// Per-class node counts after balancing (re-classified against the
+    /// same system LBI).
+    pub after: HashMap<NodeClass, usize>,
+    /// Communication overhead by phase.
+    pub messages: MessageStats,
+}
+
+impl BalanceReport {
+    /// Number of heavy nodes remaining after the run.
+    pub fn heavy_after(&self) -> usize {
+        self.after.get(&NodeClass::Heavy).copied().unwrap_or(0)
+    }
+
+    /// Fraction of nodes that were heavy before the run.
+    pub fn heavy_before_fraction(&self) -> f64 {
+        let total: usize = self.before.values().sum();
+        let heavy = self.before.get(&NodeClass::Heavy).copied().unwrap_or(0);
+        heavy as f64 / total.max(1) as f64
+    }
+}
+
+/// The four-phase load balancer of the paper: LBI aggregation → node
+/// classification → virtual server assignment → virtual server transferring.
+#[derive(Clone, Debug)]
+pub struct LoadBalancer {
+    cfg: BalancerConfig,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the given configuration.
+    pub fn new(cfg: BalancerConfig) -> Self {
+        assert!(cfg.k >= 2, "tree degree must be >= 2");
+        assert!(cfg.epsilon >= 0.0, "epsilon must be non-negative");
+        LoadBalancer { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BalancerConfig {
+        &self.cfg
+    }
+
+    /// Runs one complete balancing pass over the network.
+    ///
+    /// `underlay` supplies the physical topology; it is required for
+    /// [`ProximityMode::Aware`] and, when present, transfer distances are
+    /// recorded for the cost analysis of Figures 7 and 8.
+    pub fn run<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        underlay: Option<Underlay<'_>>,
+        rng: &mut R,
+    ) -> BalanceReport {
+        let mut tree = KTree::build(net, self.cfg.k);
+        self.run_with_tree(net, loads, &mut tree, underlay, rng)
+    }
+
+    /// Like [`LoadBalancer::run`], but over a long-lived tree: the tree is
+    /// brought up to date with ordinary soft-state maintenance rounds and
+    /// then reused.
+    ///
+    /// Virtual-server *transfers* never change ring positions, so a
+    /// balancing pass leaves the tree structurally intact — the paper's
+    /// lazy-migration point (§3.5: "in order to keep the K-nary tree
+    /// relatively stable, we could adopt a lazy migration protocol")
+    /// falls out of the identifier-space construction. Only churn (and VS
+    /// splits) require maintenance.
+    pub fn run_with_tree<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        tree: &mut KTree,
+        underlay: Option<Underlay<'_>>,
+        rng: &mut R,
+    ) -> BalanceReport {
+        assert_eq!(tree.k(), self.cfg.k, "tree degree must match the config");
+        tree.maintain_until_stable(net, 256);
+        let params = ClassifyParams {
+            epsilon: self.cfg.epsilon,
+        };
+        let tree = &*tree;
+
+        // Phase 1: LBI aggregation. Each peer reports through the KT leaf of
+        // one randomly chosen virtual server (§3.2). A peer that currently
+        // hosts no virtual servers (it shed everything in an earlier pass)
+        // reports through the root directly — in a real deployment it would
+        // retain an empty virtual-server registration; losing its capacity
+        // from the aggregate would silently inflate every target.
+        let mut lbi_inputs = HashMap::new();
+        for p in net.alive_peers() {
+            use proxbal_ktree::Merge;
+            let target = random_report_target(net, tree, p, rng).unwrap_or_else(|| tree.root());
+            let lbi = loads.node_lbi(net, p);
+            match lbi_inputs.get_mut(&target) {
+                Some(acc) => Merge::merge(acc, lbi),
+                None => {
+                    lbi_inputs.insert(target, lbi);
+                }
+            }
+        }
+        // Count inter-peer tree edges on the contributing paths (each edge
+        // carries exactly one aggregated LBI message).
+        let lbi_messages = count_active_edges(net, tree, lbi_inputs.keys().copied());
+        let agg = tree.aggregate(lbi_inputs);
+        let system = agg.root_value.expect("at least one peer reported");
+        let lbi_rounds = agg.rounds;
+
+        // Phase 2: dissemination + classification (§3.3).
+        let (_, dissemination_rounds) = tree.disseminate(system);
+        let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
+        let classification = Classification::compute(net, loads, &params, system);
+        let before = class_counts(&classification);
+
+        // Phase 3: VSA (§3.4 / §4.3).
+        let shed = shed_candidates(net, loads, &params, &classification);
+        let light = light_slots(net, loads, &params, &classification);
+        let inputs = match self.cfg.mode {
+            ProximityMode::Ignorant => ignorant_inputs(net, tree, &shed, &light, rng),
+            ProximityMode::Aware(ref prox) => {
+                let u = underlay
+                    .expect("proximity-aware balancing requires an underlay topology");
+                proximity_inputs(net, tree, &shed, &light, prox, u.latency(), u.landmarks)
+            }
+        };
+        let vsa_params = VsaParams {
+            rendezvous_threshold: self.cfg.rendezvous_threshold,
+            l_min: system.min_vs_load,
+        };
+        let mut vsa = run_vsa(tree, inputs, &vsa_params);
+
+        // Optional extension: split unplaceable virtual servers and place
+        // the halves (off unless `max_splits > 0`).
+        if self.cfg.max_splits > 0 && !vsa.unassigned.shed().is_empty() {
+            let extra = crate::split_and_place(
+                net,
+                loads,
+                &mut vsa.unassigned,
+                system.min_vs_load,
+                self.cfg.max_splits,
+            );
+            vsa.assignments.extend(extra);
+        }
+
+        // Phase 4: VST (§3.5).
+        let transfers =
+            execute_transfers(net, loads, &vsa.assignments, underlay.map(|u| u.oracle));
+
+        // Re-classify against the same system LBI for the after picture.
+        let after_cls = Classification::compute(net, loads, &params, system);
+        let after = class_counts(&after_cls);
+
+        let messages = MessageStats {
+            lbi_messages,
+            dissemination_messages,
+            vsa_record_hops: vsa.record_hops,
+            vsa_notifications: 2 * vsa.assignments.len(),
+            vst_weighted_cost: crate::weighted_cost(&transfers),
+        };
+
+        BalanceReport {
+            system,
+            lbi_rounds,
+            dissemination_rounds,
+            before,
+            vsa,
+            transfers,
+            after,
+            messages,
+        }
+    }
+}
+
+/// Counts tree edges between KT nodes planted on *different peers* along
+/// the root paths of `seeds` (each edge counted once).
+fn count_active_edges(
+    net: &ChordNetwork,
+    tree: &KTree,
+    seeds: impl Iterator<Item = proxbal_ktree::KtNodeId>,
+) -> usize {
+    let mut visited = std::collections::HashSet::new();
+    let mut edges = 0;
+    for seed in seeds {
+        let mut cur = seed;
+        while let Some(parent) = tree.node(cur).parent {
+            if !visited.insert(cur) {
+                break; // shared suffix already counted
+            }
+            let a = net.vs(tree.node(cur).host).host;
+            let b = net.vs(tree.node(parent).host).host;
+            if a != b {
+                edges += 1;
+            }
+            cur = parent;
+        }
+    }
+    edges
+}
+
+fn random_report_target<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    p: PeerId,
+    rng: &mut R,
+) -> Option<proxbal_ktree::KtNodeId> {
+    use rand::seq::SliceRandom;
+    let vs = net.vss_of(p).choose(rng)?;
+    Some(tree.report_target(net, *vs))
+}
+
+fn class_counts(c: &Classification) -> HashMap<NodeClass, usize> {
+    let mut out = HashMap::new();
+    for class in c.classes.values() {
+        *out.entry(*class).or_insert(0) += 1;
+    }
+    out
+}

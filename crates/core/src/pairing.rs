@@ -1,0 +1,210 @@
+use proxbal_chord::{PeerId, VsId};
+use proxbal_ktree::Merge;
+use serde::{Deserialize, Serialize};
+
+/// A virtual server a heavy node wants to shed:
+/// `<L_{i,k}, v_{i,k}, ip_addr(i)>` of §3.4.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShedCandidate {
+    /// The virtual server's load `L_{i,k}`.
+    pub load: f64,
+    /// The virtual server `v_{i,k}`.
+    pub vs: VsId,
+    /// The heavy node shedding it (`ip_addr(i)` in the paper).
+    pub from: PeerId,
+}
+
+/// A light node's spare room: `<ΔL_j = T_j − L_j, ip_addr(j)>` of §3.4.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LightSlot {
+    /// Remaining room `ΔL_j`.
+    pub spare: f64,
+    /// The light node (`ip_addr(j)`).
+    pub peer: PeerId,
+}
+
+/// One virtual-server assignment produced by a rendezvous point: transfer
+/// `vs` (with load `load`) from `from` to `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The assigned virtual server.
+    pub vs: VsId,
+    /// Its load.
+    pub load: f64,
+    /// Shedding (heavy) node.
+    pub from: PeerId,
+    /// Receiving (light) node.
+    pub to: PeerId,
+}
+
+/// The two sorted lists a KT node maintains during the VSA sweep (§3.4):
+/// light-node slots sorted by spare room, and shed candidates sorted by
+/// load.
+///
+/// ```
+/// use proxbal_chord::{PeerId, VsId};
+/// use proxbal_core::{LightSlot, RendezvousLists, ShedCandidate};
+///
+/// let mut lists = RendezvousLists::new();
+/// lists.push_shed(ShedCandidate { load: 8.0, vs: VsId(0), from: PeerId(0) });
+/// lists.push_light(LightSlot { spare: 10.0, peer: PeerId(1) });
+/// let assignments = lists.pair(1.0);
+/// assert_eq!(assignments.len(), 1);
+/// assert_eq!(assignments[0].to, PeerId(1));
+/// // The 2.0 residual (≥ L_min = 1.0) is re-offered as a light slot.
+/// assert_eq!(lists.light().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RendezvousLists {
+    /// `<ΔL_j, addr(j)>`, kept sorted ascending by `spare`.
+    light: Vec<LightSlot>,
+    /// `<L_{i,k}, v_{i,k}, addr(i)>`, kept sorted ascending by `load`
+    /// (the pairing pops the heaviest from the back).
+    shed: Vec<ShedCandidate>,
+}
+
+impl RendezvousLists {
+    /// Empty lists.
+    pub fn new() -> Self {
+        RendezvousLists::default()
+    }
+
+    /// Number of entries across both lists (compared against the rendezvous
+    /// threshold, "e.g., 30").
+    pub fn len(&self) -> usize {
+        self.light.len() + self.shed.len()
+    }
+
+    /// True iff both lists are empty.
+    pub fn is_empty(&self) -> bool {
+        self.light.is_empty() && self.shed.is_empty()
+    }
+
+    /// The light slots, ascending by spare room.
+    pub fn light(&self) -> &[LightSlot] {
+        &self.light
+    }
+
+    /// The shed candidates, ascending by load.
+    pub fn shed(&self) -> &[ShedCandidate] {
+        &self.shed
+    }
+
+    /// Inserts a light slot, keeping order.
+    pub fn push_light(&mut self, slot: LightSlot) {
+        debug_assert!(slot.spare.is_finite() && slot.spare > 0.0);
+        let idx = self
+            .light
+            .partition_point(|s| s.spare.total_cmp(&slot.spare).is_lt());
+        self.light.insert(idx, slot);
+    }
+
+    /// Inserts a shed candidate, keeping order.
+    pub fn push_shed(&mut self, cand: ShedCandidate) {
+        debug_assert!(cand.load.is_finite() && cand.load >= 0.0);
+        let idx = self
+            .shed
+            .partition_point(|s| s.load.total_cmp(&cand.load).is_lt());
+        self.shed.insert(idx, cand);
+    }
+
+    /// The VSA pairing loop of §3.4, run at a rendezvous point:
+    ///
+    /// 1. Take the heaviest shed candidate `v_{i,k}`.
+    /// 2. Pick the light node `j` minimizing `ΔL_j` subject to
+    ///    `ΔL_j ≥ L_{i,k}` (best fit — wastes the least room).
+    /// 3. Emit the assignment; if the residual `ΔL_j − L_{i,k} ≥ l_min`,
+    ///    re-insert node `j` with the residual.
+    /// 4. Repeat until no candidate fits any light node.
+    ///
+    /// Unpaired entries stay in the lists (they propagate to the parent KT
+    /// node).
+    pub fn pair(&mut self, l_min: f64) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        // Heaviest-first over shed candidates. A candidate that fits nowhere
+        // is set aside; lighter candidates may still fit.
+        let mut unpaired_shed: Vec<ShedCandidate> = Vec::new();
+        while let Some(cand) = self.shed.pop() {
+            // Best fit: first light slot with spare >= load.
+            let idx = self
+                .light
+                .partition_point(|s| s.spare.total_cmp(&cand.load).is_lt());
+            if idx == self.light.len() {
+                unpaired_shed.push(cand);
+                continue;
+            }
+            let slot = self.light.remove(idx);
+            out.push(Assignment {
+                vs: cand.vs,
+                load: cand.load,
+                from: cand.from,
+                to: slot.peer,
+            });
+            let residual = slot.spare - cand.load;
+            if residual >= l_min && residual > 0.0 {
+                self.push_light(LightSlot {
+                    spare: residual,
+                    peer: slot.peer,
+                });
+            }
+        }
+        // Put the misfits back (sorted ascending).
+        for cand in unpaired_shed {
+            self.push_shed(cand);
+        }
+        out
+    }
+
+    /// Removes the shed candidate for `vs`, if present. Returns whether a
+    /// candidate was removed.
+    pub fn remove_shed(&mut self, vs: VsId) -> bool {
+        if let Some(idx) = self.shed.iter().position(|c| c.vs == vs) {
+            self.shed.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checks the sortedness invariants (used by tests).
+    pub fn check_sorted(&self) -> bool {
+        self.light.windows(2).all(|w| w[0].spare <= w[1].spare)
+            && self.shed.windows(2).all(|w| w[0].load <= w[1].load)
+    }
+}
+
+impl Merge for RendezvousLists {
+    fn merge(&mut self, other: Self) {
+        // Merge two sorted lists (merge-sort style) to keep order.
+        self.light = merge_sorted(
+            std::mem::take(&mut self.light),
+            other.light,
+            |a, b| a.spare.total_cmp(&b.spare).is_le(),
+        );
+        self.shed = merge_sorted(
+            std::mem::take(&mut self.shed),
+            other.shed,
+            |a, b| a.load.total_cmp(&b.load).is_le(),
+        );
+    }
+}
+
+fn merge_sorted<T>(a: Vec<T>, b: Vec<T>, le: impl Fn(&T, &T) -> bool) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if le(x, y) {
+                    out.push(ia.next().unwrap());
+                } else {
+                    out.push(ib.next().unwrap());
+                }
+            }
+            (Some(_), None) => out.push(ia.next().unwrap()),
+            (None, Some(_)) => out.push(ib.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    out
+}

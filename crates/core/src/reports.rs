@@ -1,0 +1,276 @@
+use crate::classify::{ClassifyParams, NodeClass};
+use crate::lbi::{Lbi, LoadState};
+use crate::pairing::{LightSlot, RendezvousLists, ShedCandidate};
+use crate::selection::choose_shed_set;
+use proxbal_chord::{ChordNetwork, PeerId, VsId};
+use proxbal_hilbert::{CurveKind, LandmarkMapper};
+use proxbal_ktree::{KTree, KtNodeId};
+use proxbal_topology::{DistanceOracle, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// The per-node classification computed after LBI dissemination.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Classification {
+    /// The disseminated system LBI `<L, C, L_min>`.
+    pub system: Lbi,
+    /// Class of every alive peer.
+    pub classes: HashMap<PeerId, NodeClass>,
+}
+
+impl Classification {
+    /// Classifies every alive peer against the (already aggregated) system
+    /// LBI.
+    pub fn compute(
+        net: &ChordNetwork,
+        loads: &LoadState,
+        params: &ClassifyParams,
+        system: Lbi,
+    ) -> Self {
+        let classes = net
+            .alive_peers()
+            .into_iter()
+            .map(|p| (p, params.classify(&loads.node_lbi(net, p), &system)))
+            .collect();
+        Classification { system, classes }
+    }
+
+    /// Peers of a given class.
+    pub fn peers_of(&self, class: NodeClass) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = self
+            .classes
+            .iter()
+            .filter(|&(_, &c)| c == class)
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Count of peers of a given class.
+    pub fn count_of(&self, class: NodeClass) -> usize {
+        self.classes.values().filter(|&&c| c == class).count()
+    }
+}
+
+/// The shed set of every heavy node: the minimum-total-load subset of its
+/// virtual servers whose removal takes it to (or below) its target (§3.4).
+pub fn shed_candidates(
+    net: &ChordNetwork,
+    loads: &LoadState,
+    params: &ClassifyParams,
+    classification: &Classification,
+) -> BTreeMap<PeerId, Vec<ShedCandidate>> {
+    let mut out = BTreeMap::new();
+    for p in classification.peers_of(NodeClass::Heavy) {
+        let node = loads.node_lbi(net, p);
+        let excess = params.excess(&node, &classification.system);
+        let vss: Vec<(VsId, f64)> = net
+            .vss_of(p)
+            .iter()
+            .map(|&v| (v, loads.vs_load(v)))
+            .collect();
+        let chosen = choose_shed_set(&vss, excess);
+        let cands: Vec<ShedCandidate> = chosen
+            .into_iter()
+            .map(|v| ShedCandidate {
+                load: loads.vs_load(v),
+                vs: v,
+                from: p,
+            })
+            .collect();
+        if !cands.is_empty() {
+            out.insert(p, cands);
+        }
+    }
+    out
+}
+
+/// The spare-room slot of every light node.
+pub fn light_slots(
+    net: &ChordNetwork,
+    loads: &LoadState,
+    params: &ClassifyParams,
+    classification: &Classification,
+) -> BTreeMap<PeerId, LightSlot> {
+    let mut out = BTreeMap::new();
+    for p in classification.peers_of(NodeClass::Light) {
+        let node = loads.node_lbi(net, p);
+        let spare = params.spare(&node, &classification.system);
+        if spare > 0.0 {
+            out.insert(p, LightSlot { spare, peer: p });
+        }
+    }
+    out
+}
+
+/// Builds the VSA sweep inputs the **proximity-ignorant** way (§3.4): every
+/// heavy/light node reports its records through the KT leaf of one of its
+/// own randomly chosen virtual servers, so records enter the tree wherever
+/// the node happens to sit on the ring.
+pub fn ignorant_inputs<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    shed: &BTreeMap<PeerId, Vec<ShedCandidate>>,
+    light: &BTreeMap<PeerId, LightSlot>,
+    rng: &mut R,
+) -> HashMap<KtNodeId, RendezvousLists> {
+    let mut inputs: HashMap<KtNodeId, RendezvousLists> = HashMap::new();
+    // A peer with no virtual servers (possible for light peers that shed
+    // everything in an earlier pass) enters at the root.
+    let entry_for = |p: PeerId, rng: &mut R| -> KtNodeId {
+        match net.vss_of(p).choose(rng) {
+            Some(vs) => tree.report_target(net, *vs),
+            None => tree.root(),
+        }
+    };
+    for (&p, cands) in shed {
+        let target = entry_for(p, rng);
+        let lists = inputs.entry(target).or_default();
+        for c in cands {
+            lists.push_shed(*c);
+        }
+    }
+    for (&p, slot) in light {
+        let target = entry_for(p, rng);
+        inputs.entry(target).or_default().push_light(*slot);
+    }
+    inputs
+}
+
+/// Proximity publication configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ProximityParams {
+    /// Hilbert grid bits per landmark dimension (`n = m·bits` grids total).
+    /// The paper's default landmark space is 15-dimensional; 2 bits per
+    /// dimension gives 2³⁰ grids.
+    pub bits_per_dim: u32,
+    /// Center landmark vectors (subtract the minimum coordinate) before
+    /// quantization, removing the common-mode gateway offset that integer
+    /// hop counts introduce — see [`LandmarkMapper::centered`].
+    pub center_vectors: bool,
+    /// Min–max scale each dimension to its observed range across the
+    /// participating nodes before quantization, so the grid uses its full
+    /// resolution — see [`LandmarkMapper::with_ranges`].
+    pub per_dim_scaling: bool,
+    /// Number of landmark dimensions used for the **Hilbert key** (`None` =
+    /// all). A 32-bit ring key keeps only the top ~2 bit-planes of an
+    /// m-dimensional Hilbert index, and rendezvous granularity (one virtual
+    /// server's arc, ~2¹⁸ ids at paper scale) cuts that to barely one
+    /// plane — so with all 15 dimensions the key cannot resolve anything
+    /// finer than "which quadrant of the landmark space". Using the first
+    /// few landmarks (they are spread across transit domains) keeps 4–7
+    /// usable bit-planes and restores stub-level rendezvous. See DESIGN.md.
+    pub key_dims: Option<usize>,
+    /// Space-filling curve ordering the grid cells (Hilbert in the paper;
+    /// Morton available as an ablation baseline).
+    pub curve: CurveKind,
+}
+
+impl Default for ProximityParams {
+    fn default() -> Self {
+        ProximityParams {
+            bits_per_dim: 16,
+            center_vectors: false,
+            per_dim_scaling: true,
+            key_dims: Some(2),
+            curve: CurveKind::Hilbert,
+        }
+    }
+}
+
+/// Builds the VSA sweep inputs the **proximity-aware** way (§4.3): every
+/// heavy/light node measures its landmark vector, maps it to a Hilbert
+/// number used as a DHT key, and publishes its records *at that key* — so
+/// records of physically close nodes land close together on the ring and
+/// meet at deep rendezvous points. Each record is routed to the owner
+/// virtual server of the key, which reports it through its own KT leaf.
+#[allow(clippy::too_many_arguments)]
+pub fn proximity_inputs(
+    net: &ChordNetwork,
+    tree: &KTree,
+    shed: &BTreeMap<PeerId, Vec<ShedCandidate>>,
+    light: &BTreeMap<PeerId, LightSlot>,
+    params: &ProximityParams,
+    oracle: &DistanceOracle,
+    landmarks: &[NodeId],
+) -> HashMap<KtNodeId, RendezvousLists> {
+    assert!(!landmarks.is_empty(), "need at least one landmark");
+    // Landmark vectors of every participating node, projected onto the
+    // key dimensions.
+    let dims = params
+        .key_dims
+        .map(|k| k.clamp(1, landmarks.len()))
+        .unwrap_or(landmarks.len());
+    let landmarks = &landmarks[..dims];
+    // The Hilbert index is carried as u128: clamp bits so dims·bits ≤ 128.
+    let bits = params.bits_per_dim.clamp(1, (128 / dims as u32).min(32));
+    let participants: Vec<PeerId> = shed.keys().chain(light.keys()).copied().collect();
+    let mut vectors: HashMap<PeerId, Vec<u32>> = HashMap::with_capacity(participants.len());
+    let mut scale_max = 1u32;
+    for &p in &participants {
+        let attach = net.peer(p).underlay;
+        assert!(
+            attach != u32::MAX,
+            "peer {p:?} has no underlay attachment; proximity-aware mode \
+             requires ChordNetwork::attach"
+        );
+        let v = oracle.landmark_vector(attach, landmarks);
+        scale_max = scale_max.max(v.iter().copied().max().unwrap_or(0));
+        vectors.insert(p, v);
+    }
+    let mapper = if params.per_dim_scaling {
+        let mut ranges = vec![(u32::MAX, 0u32); dims];
+        for v in vectors.values() {
+            let v: Vec<u32> = if params.center_vectors {
+                let min = v.iter().copied().min().unwrap_or(0);
+                v.iter().map(|&d| d - min).collect()
+            } else {
+                v.clone()
+            };
+            for (r, &d) in ranges.iter_mut().zip(&v) {
+                r.0 = r.0.min(d);
+                r.1 = r.1.max(d);
+            }
+        }
+        for r in ranges.iter_mut() {
+            if r.0 > r.1 {
+                *r = (0, 1);
+            }
+        }
+        LandmarkMapper::with_ranges(dims as u32, bits, ranges)
+    } else if params.center_vectors {
+        LandmarkMapper::centered(dims as u32, bits, scale_max)
+    } else {
+        LandmarkMapper::new(dims as u32, bits, scale_max)
+    }
+    .with_curve(params.curve);
+
+    let mut inputs: HashMap<KtNodeId, RendezvousLists> = HashMap::new();
+    let target_for = |p: PeerId| -> KtNodeId {
+        let v = &vectors[&p];
+        let v: Vec<u32> = if params.center_vectors {
+            let min = v.iter().copied().min().unwrap_or(0);
+            v.iter().map(|&d| d - min).collect()
+        } else {
+            v.clone()
+        };
+        let key = mapper.dht_key(&v);
+        let owner = net.ring().owner(key).expect("non-empty ring");
+        tree.report_target(net, owner)
+    };
+    for (&p, cands) in shed {
+        let target = target_for(p);
+        let lists = inputs.entry(target).or_default();
+        for c in cands {
+            lists.push_shed(*c);
+        }
+    }
+    for (&p, slot) in light {
+        let target = target_for(p);
+        inputs.entry(target).or_default().push_light(*slot);
+    }
+    inputs
+}

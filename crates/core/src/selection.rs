@@ -1,0 +1,147 @@
+use proxbal_chord::VsId;
+
+/// Chooses the subset of a heavy node's virtual servers to shed (§3.4):
+/// minimize the total shed load `Σ L_{i,k}` subject to shedding at least
+/// `excess` (so the node drops to its target). "This choice of virtual
+/// servers on heavy nodes would minimize the total amount of load moved for
+/// load balancing throughout the system."
+///
+/// This is a *minimum subset-sum ≥ threshold* problem. For realistic VS
+/// counts (a node hosts `O(log N)` virtual servers) an exact branch-and-
+/// bound over loads sorted descending is cheap; beyond
+/// [`EXACT_LIMIT`] virtual servers a greedy that is within one virtual
+/// server of optimal is used.
+///
+/// If even shedding everything cannot reach `excess`, all virtual servers
+/// are returned (best effort).
+pub fn choose_shed_set(vss: &[(VsId, f64)], excess: f64) -> Vec<VsId> {
+    assert!(excess.is_finite());
+    if excess <= 0.0 {
+        return Vec::new();
+    }
+    let total: f64 = vss.iter().map(|&(_, l)| l).sum();
+    if total < excess {
+        return vss.iter().map(|&(v, _)| v).collect();
+    }
+    let mut sorted: Vec<(VsId, f64)> = vss.to_vec();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if sorted.len() <= EXACT_LIMIT {
+        exact(&sorted, excess)
+    } else {
+        greedy(&sorted, excess)
+    }
+}
+
+/// Above this many virtual servers, fall back from exact search to greedy.
+pub const EXACT_LIMIT: usize = 20;
+
+/// Exact branch-and-bound: loads sorted descending, suffix sums for
+/// pruning; explores "take / skip" per item, keeping the best feasible sum.
+fn exact(sorted: &[(VsId, f64)], excess: f64) -> Vec<VsId> {
+    let n = sorted.len();
+    // suffix[i] = sum of loads from i to end.
+    let mut suffix = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + sorted[i].1;
+    }
+
+    struct Search<'a> {
+        sorted: &'a [(VsId, f64)],
+        suffix: &'a [f64],
+        excess: f64,
+        best_sum: f64,
+        best: Vec<bool>,
+        current: Vec<bool>,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, i: usize, sum: f64) {
+            if sum >= self.excess {
+                if sum < self.best_sum {
+                    self.best_sum = sum;
+                    self.best = self.current.clone();
+                }
+                return; // adding more only increases the sum
+            }
+            if i == self.sorted.len() {
+                return;
+            }
+            // Prune: even taking everything left cannot reach the excess.
+            if sum + self.suffix[i] < self.excess {
+                return;
+            }
+            // Prune: the smallest feasible completion is already worse.
+            if sum + self.sorted[i].1 >= self.best_sum {
+                // Taking item i overshoots the best; skipping keeps sum the
+                // same but later items are smaller — still explore skip.
+                self.current[i] = false;
+                self.run(i + 1, sum);
+                return;
+            }
+            self.current[i] = true;
+            self.run(i + 1, sum + self.sorted[i].1);
+            self.current[i] = false;
+            self.run(i + 1, sum);
+        }
+    }
+
+    let mut search = Search {
+        sorted,
+        suffix: &suffix,
+        excess,
+        best_sum: f64::INFINITY,
+        best: vec![false; n],
+        current: vec![false; n],
+    };
+    search.run(0, 0.0);
+    debug_assert!(search.best_sum.is_finite(), "total >= excess guaranteed");
+    sorted
+        .iter()
+        .zip(&search.best)
+        .filter(|&(_, &take)| take)
+        .map(|(&(v, _), _)| v)
+        .collect()
+}
+
+/// Greedy: walk loads descending, take an item only if still needed; the
+/// final (smallest taken) item bounds the overshoot.
+fn greedy(sorted: &[(VsId, f64)], excess: f64) -> Vec<VsId> {
+    let mut out = Vec::new();
+    let mut sum = 0.0;
+    // First pass: take from the largest down while short of the excess.
+    for &(v, l) in sorted {
+        if sum >= excess {
+            break;
+        }
+        out.push((v, l));
+        sum += l;
+    }
+    // Second pass: drop items that became unnecessary (smallest first).
+    let mut i = out.len();
+    while i > 0 {
+        i -= 1;
+        if sum - out[i].1 >= excess {
+            sum -= out[i].1;
+            out.remove(i);
+        }
+    }
+    out.into_iter().map(|(v, _)| v).collect()
+}
+
+/// Brute-force reference (exponential) used by tests.
+#[cfg(test)]
+pub fn brute_force_shed_set(vss: &[(VsId, f64)], excess: f64) -> f64 {
+    let n = vss.len();
+    assert!(n <= 20, "brute force limited to 20 items");
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        let sum: f64 = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| vss[i].1)
+            .sum();
+        if sum >= excess && sum < best {
+            best = sum;
+        }
+    }
+    best
+}

@@ -1,0 +1,958 @@
+use crate::baselines::{cfs_shed, random_matching};
+use crate::reports::{light_slots, shed_candidates, Classification};
+use crate::selection::brute_force_shed_set;
+use crate::*;
+use proptest::prelude::*;
+use proxbal_chord::{ChordNetwork, PeerId, VsId};
+use proxbal_ktree::KTree;
+use proxbal_workload::{CapacityProfile, LoadModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn setup(peers: usize, vs: usize, seed: u64) -> (ChordNetwork, LoadState, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = ChordNetwork::new();
+    for _ in 0..peers {
+        net.join_peer(vs, &mut rng);
+    }
+    let loads = LoadState::generate(
+        &net,
+        &CapacityProfile::gnutella(),
+        &LoadModel::gaussian(1_000_000.0, 10_000.0),
+        &mut rng,
+    );
+    (net, loads, rng)
+}
+
+// ---------------------------------------------------------------- LBI
+
+#[test]
+fn lbi_merge_sums_and_mins() {
+    let mut a = Lbi {
+        load: 10.0,
+        capacity: 5.0,
+        min_vs_load: 3.0,
+    };
+    let b = Lbi {
+        load: 7.0,
+        capacity: 2.0,
+        min_vs_load: 1.5,
+    };
+    proxbal_ktree::Merge::merge(&mut a, b);
+    assert_eq!(a.load, 17.0);
+    assert_eq!(a.capacity, 7.0);
+    assert_eq!(a.min_vs_load, 1.5);
+}
+
+#[test]
+fn tree_aggregated_lbi_matches_ground_truth() {
+    let (net, loads, mut rng) = setup(48, 5, 1);
+    let tree = KTree::build(&net, 2);
+    let mut inputs: HashMap<_, Lbi> = HashMap::new();
+    for p in net.alive_peers() {
+        use rand::seq::SliceRandom;
+        let vs = *net.vss_of(p).choose(&mut rng).unwrap();
+        let target = tree.report_target(&net, vs);
+        let lbi = loads.node_lbi(&net, p);
+        use proxbal_ktree::Merge;
+        match inputs.get_mut(&target) {
+            Some(acc) => acc.merge(lbi),
+            None => {
+                inputs.insert(target, lbi);
+            }
+        }
+    }
+    let out = tree.aggregate(inputs);
+    let got = out.root_value.unwrap();
+    let want = loads.totals(&net);
+    assert!((got.load - want.load).abs() < 1e-6 * want.load.max(1.0));
+    assert!((got.capacity - want.capacity).abs() < 1e-9);
+    assert_eq!(got.min_vs_load, want.min_vs_load);
+}
+
+#[test]
+fn generate_scales_load_with_region_fraction() {
+    // Statistically, VS load should correlate with owned fraction: compare
+    // the average load of the largest-decile regions vs the smallest-decile.
+    let (net, loads, _) = setup(128, 4, 2);
+    let mut by_frac: Vec<(f64, f64)> = net
+        .ring()
+        .iter()
+        .map(|(pos, vs)| (net.ring().region(pos).fraction(), loads.vs_load(vs)))
+        .collect();
+    by_frac.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = by_frac.len();
+    let small: f64 = by_frac[..n / 10].iter().map(|x| x.1).sum::<f64>() / (n / 10) as f64;
+    let large: f64 = by_frac[n - n / 10..].iter().map(|x| x.1).sum::<f64>() / (n / 10) as f64;
+    assert!(
+        large > 3.0 * small,
+        "large-region loads {large} should dwarf small-region loads {small}"
+    );
+}
+
+// ---------------------------------------------------------------- classification
+
+fn lbi(load: f64, capacity: f64, min: f64) -> Lbi {
+    Lbi {
+        load,
+        capacity,
+        min_vs_load: min,
+    }
+}
+
+#[test]
+fn classify_boundaries() {
+    let params = ClassifyParams::strict();
+    // System: L = 100, C = 100 → T_i = C_i; L_min = 5.
+    let system = lbi(100.0, 100.0, 5.0);
+    // Heavy: load above target.
+    assert_eq!(
+        params.classify(&lbi(11.0, 10.0, 1.0), &system),
+        NodeClass::Heavy
+    );
+    // Light: room >= L_min.
+    assert_eq!(
+        params.classify(&lbi(5.0, 10.0, 1.0), &system),
+        NodeClass::Light
+    );
+    // Neutral: 0 <= room < L_min.
+    assert_eq!(
+        params.classify(&lbi(6.0, 10.0, 1.0), &system),
+        NodeClass::Neutral
+    );
+    // Exactly at target: not heavy → neutral (room 0 < L_min).
+    assert_eq!(
+        params.classify(&lbi(10.0, 10.0, 1.0), &system),
+        NodeClass::Neutral
+    );
+    // Exactly L_min room: light (>= is inclusive).
+    assert_eq!(
+        params.classify(&lbi(5.0, 10.0, 5.0), &lbi(100.0, 100.0, 5.0)),
+        NodeClass::Light
+    );
+}
+
+#[test]
+fn epsilon_raises_targets() {
+    let strict = ClassifyParams::strict();
+    let relaxed = ClassifyParams { epsilon: 0.2 };
+    let system = lbi(100.0, 100.0, 5.0);
+    assert_eq!(strict.target(10.0, &system), 10.0);
+    assert!((relaxed.target(10.0, &system) - 12.0).abs() < 1e-12);
+    // A node heavy under strict can be neutral under relaxed
+    // (room 1 < L_min 5, so not light either).
+    let node = lbi(11.0, 10.0, 1.0);
+    assert_eq!(strict.classify(&node, &system), NodeClass::Heavy);
+    assert_eq!(relaxed.classify(&node, &system), NodeClass::Neutral);
+}
+
+#[test]
+fn excess_and_spare_are_complementary() {
+    let params = ClassifyParams::strict();
+    let system = lbi(100.0, 100.0, 2.0);
+    let heavy = lbi(15.0, 10.0, 1.0);
+    assert!((params.excess(&heavy, &system) - 5.0).abs() < 1e-12);
+    assert_eq!(params.spare(&heavy, &system), 0.0);
+    let light = lbi(4.0, 10.0, 1.0);
+    assert_eq!(params.excess(&light, &system), 0.0);
+    assert!((params.spare(&light, &system) - 6.0).abs() < 1e-12);
+}
+
+// ---------------------------------------------------------------- shed selection
+
+fn vs(i: u32) -> VsId {
+    VsId(i)
+}
+
+#[test]
+fn shed_set_empty_when_no_excess() {
+    assert!(choose_shed_set(&[(vs(0), 5.0)], 0.0).is_empty());
+    assert!(choose_shed_set(&[(vs(0), 5.0)], -1.0).is_empty());
+}
+
+#[test]
+fn shed_set_single_exact() {
+    let vss = [(vs(0), 5.0), (vs(1), 3.0), (vs(2), 8.0)];
+    // Need >= 3: the single 3.0 VS is optimal.
+    let got = choose_shed_set(&vss, 3.0);
+    assert_eq!(got, vec![vs(1)]);
+}
+
+#[test]
+fn shed_set_prefers_combination_over_overshoot() {
+    let vss = [(vs(0), 10.0), (vs(1), 4.0), (vs(2), 3.0)];
+    // Need >= 6: {4, 3} = 7 beats {10}.
+    let mut got = choose_shed_set(&vss, 6.0);
+    got.sort();
+    assert_eq!(got, vec![vs(1), vs(2)]);
+}
+
+#[test]
+fn shed_set_all_when_insufficient() {
+    let vss = [(vs(0), 1.0), (vs(1), 2.0)];
+    let mut got = choose_shed_set(&vss, 10.0);
+    got.sort();
+    assert_eq!(got, vec![vs(0), vs(1)]);
+}
+
+#[test]
+fn shed_set_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let n = rng.gen_range(1..12);
+        let vss: Vec<(VsId, f64)> = (0..n)
+            .map(|i| (vs(i), rng.gen_range(0.1..100.0f64)))
+            .collect();
+        let total: f64 = vss.iter().map(|x| x.1).sum();
+        let excess = rng.gen_range(0.0..total * 1.1);
+        let chosen = choose_shed_set(&vss, excess);
+        let sum: f64 = chosen
+            .iter()
+            .map(|v| vss.iter().find(|x| x.0 == *v).unwrap().1)
+            .sum();
+        if total >= excess && excess > 0.0 {
+            let best = brute_force_shed_set(&vss, excess);
+            assert!(sum >= excess - 1e-9, "must shed at least the excess");
+            assert!(
+                (sum - best).abs() < 1e-6,
+                "exact solver suboptimal: {sum} vs {best}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shed_set_greedy_near_optimal_for_many_vss() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let vss: Vec<(VsId, f64)> = (0..50)
+        .map(|i| (vs(i), rng.gen_range(1.0..10.0f64)))
+        .collect();
+    let excess = 80.0;
+    let chosen = choose_shed_set(&vss, excess);
+    let sum: f64 = chosen
+        .iter()
+        .map(|v| vss.iter().find(|x| x.0 == *v).unwrap().1)
+        .sum();
+    assert!(sum >= excess);
+    // Greedy overshoot is bounded by the largest item.
+    assert!(sum < excess + 10.0);
+}
+
+// ---------------------------------------------------------------- pairing
+
+fn cand(load: f64, v: u32, p: u32) -> ShedCandidate {
+    ShedCandidate {
+        load,
+        vs: vs(v),
+        from: PeerId(p),
+    }
+}
+
+fn slot(spare: f64, p: u32) -> LightSlot {
+    LightSlot {
+        spare,
+        peer: PeerId(p),
+    }
+}
+
+#[test]
+fn pairing_best_fit_heaviest_first() {
+    let mut lists = RendezvousLists::new();
+    lists.push_shed(cand(5.0, 0, 100));
+    lists.push_shed(cand(9.0, 1, 101));
+    lists.push_light(slot(6.0, 200));
+    lists.push_light(slot(10.0, 201));
+    let a = lists.pair(1.0);
+    assert_eq!(a.len(), 2);
+    // Heaviest (9.0) paired first with the tightest fit (10.0).
+    assert_eq!(a[0].vs, vs(1));
+    assert_eq!(a[0].to, PeerId(201));
+    assert_eq!(a[1].vs, vs(0));
+    assert_eq!(a[1].to, PeerId(200));
+    // Residuals (1.0 each, == L_min) are re-inserted as light slots.
+    assert!(lists.shed().is_empty());
+    assert_eq!(lists.light().len(), 2);
+    assert!(lists.light().iter().all(|s| (s.spare - 1.0).abs() < 1e-12));
+}
+
+#[test]
+fn pairing_residual_reinserted_when_above_lmin() {
+    let mut lists = RendezvousLists::new();
+    lists.push_shed(cand(4.0, 0, 100));
+    lists.push_shed(cand(3.0, 1, 100));
+    lists.push_light(slot(10.0, 200));
+    let a = lists.pair(2.0);
+    // 4.0 → slot (residual 6 ≥ 2, reinserted); 3.0 → residual slot (3 ≥ 2).
+    assert_eq!(a.len(), 2);
+    assert!(a.iter().all(|x| x.to == PeerId(200)));
+    // Final residual 3.0 stays as an unpaired light slot.
+    assert_eq!(lists.light().len(), 1);
+    assert!((lists.light()[0].spare - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn pairing_residual_dropped_below_lmin() {
+    let mut lists = RendezvousLists::new();
+    lists.push_shed(cand(4.0, 0, 100));
+    lists.push_light(slot(5.0, 200));
+    let a = lists.pair(2.0);
+    assert_eq!(a.len(), 1);
+    assert!(lists.light().is_empty(), "residual 1.0 < L_min dropped");
+}
+
+#[test]
+fn pairing_never_overfills() {
+    let mut lists = RendezvousLists::new();
+    lists.push_shed(cand(7.0, 0, 100));
+    lists.push_light(slot(5.0, 200));
+    let a = lists.pair(1.0);
+    assert!(a.is_empty(), "candidate larger than any slot stays unpaired");
+    assert_eq!(lists.shed().len(), 1);
+    assert_eq!(lists.light().len(), 1);
+}
+
+#[test]
+fn pairing_merge_keeps_sorted() {
+    let mut a = RendezvousLists::new();
+    a.push_shed(cand(5.0, 0, 1));
+    a.push_light(slot(2.0, 2));
+    let mut b = RendezvousLists::new();
+    b.push_shed(cand(1.0, 3, 4));
+    b.push_shed(cand(9.0, 5, 6));
+    b.push_light(slot(7.0, 7));
+    proxbal_ktree::Merge::merge(&mut a, b);
+    assert!(a.check_sorted());
+    assert_eq!(a.len(), 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_pairing_invariants(seed: u64, n_shed in 0usize..20, n_light in 0usize..20, l_min in 0.1f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lists = RendezvousLists::new();
+        let mut spare_by_peer: HashMap<PeerId, f64> = HashMap::new();
+        for i in 0..n_shed {
+            lists.push_shed(cand(rng.gen_range(0.1..50.0), i as u32, 1000 + i as u32));
+        }
+        for j in 0..n_light {
+            let s = rng.gen_range(l_min..60.0);
+            spare_by_peer.insert(PeerId(j as u32), s);
+            lists.push_light(slot(s, j as u32));
+        }
+        let assignments = lists.pair(l_min);
+        prop_assert!(lists.check_sorted());
+        // No light node receives more than its spare room in total.
+        let mut received: HashMap<PeerId, f64> = HashMap::new();
+        for a in &assignments {
+            *received.entry(a.to).or_insert(0.0) += a.load;
+        }
+        for (p, got) in received {
+            prop_assert!(got <= spare_by_peer[&p] + 1e-9, "{p:?} overfilled");
+        }
+        // Every assigned VS appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for a in &assignments {
+            prop_assert!(seen.insert(a.vs));
+        }
+        // Unpaired candidates genuinely fit no remaining slot.
+        for c in lists.shed() {
+            for s in lists.light() {
+                prop_assert!(s.spare < c.load);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- full runs
+
+#[test]
+fn balancer_eliminates_heavy_nodes_gaussian() {
+    let (mut net, mut loads, mut rng) = setup(128, 5, 10);
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let heavy_before = report.before[&NodeClass::Heavy];
+    assert!(heavy_before > 0, "workload should create heavy nodes");
+    // The paper: "all heavy nodes become light by transferring excess loads"
+    // — allow a tiny residue for unplaceable leftovers.
+    assert!(
+        report.heavy_after() * 20 <= heavy_before,
+        "heavy {} -> {}",
+        heavy_before,
+        report.heavy_after()
+    );
+    net.check_invariants().unwrap();
+}
+
+#[test]
+fn balancer_eliminates_heavy_nodes_pareto() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = ChordNetwork::new();
+    for _ in 0..128 {
+        net.join_peer(5, &mut rng);
+    }
+    let mut loads = LoadState::generate(
+        &net,
+        &CapacityProfile::gnutella(),
+        &LoadModel::pareto(1_000_000.0),
+        &mut rng,
+    );
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let heavy_before = report.before[&NodeClass::Heavy];
+    assert!(heavy_before > 0);
+    assert!(report.heavy_after() * 10 <= heavy_before);
+}
+
+#[test]
+fn balancer_conserves_total_load() {
+    let (mut net, mut loads, mut rng) = setup(64, 5, 12);
+    let before = loads.totals(&net).load;
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let after = loads.totals(&net).load;
+    assert!(
+        (before - after).abs() < 1e-6 * before,
+        "load must be conserved: {before} -> {after}"
+    );
+}
+
+#[test]
+fn balancer_no_node_exceeds_target_after_run() {
+    let (mut net, mut loads, mut rng) = setup(96, 5, 13);
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let params = ClassifyParams {
+        epsilon: balancer.config().epsilon,
+    };
+    // Receiving nodes must never be pushed above their targets.
+    for t in &report.transfers {
+        let p = t.assignment.to;
+        let load = loads.node_load(&net, p);
+        let target = params.target(loads.capacity(p), &report.system);
+        assert!(
+            load <= target + 1e-6 * target.max(1.0),
+            "receiver {p:?} overfilled: {load} > {target}"
+        );
+    }
+}
+
+#[test]
+fn balancer_rounds_are_logarithmic() {
+    for k in [2usize, 8] {
+        let (mut net, mut loads, mut rng) = setup(256, 5, 14);
+        let balancer = LoadBalancer::new(BalancerConfig {
+            k,
+            ..BalancerConfig::default()
+        });
+        let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+        let m = net.alive_vs_count() as f64;
+        let bound = (2.0 * m.log(k as f64)).ceil() as u32 + 6;
+        assert!(report.lbi_rounds <= bound, "k={k} lbi {}", report.lbi_rounds);
+        assert!(report.vsa.rounds <= bound, "k={k} vsa {}", report.vsa.rounds);
+    }
+}
+
+#[test]
+fn balancer_aligns_load_with_capacity() {
+    let (mut net, mut loads, mut rng) = setup(256, 5, 15);
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+    // Average load per capacity class must increase with capacity (Figures
+    // 5/6: higher-capacity nodes carry more load).
+    let mut per_class: HashMap<usize, (f64, usize)> = HashMap::new();
+    for p in net.alive_peers() {
+        let class = loads.class(p).unwrap().0;
+        let e = per_class.entry(class).or_insert((0.0, 0));
+        e.0 += loads.node_load(&net, p);
+        e.1 += 1;
+    }
+    let mut avgs: Vec<(usize, f64)> = per_class
+        .into_iter()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(c, (sum, n))| (c, sum / n as f64))
+        .collect();
+    avgs.sort_by_key(|&(c, _)| c);
+    for w in avgs.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "class {} avg {} should exceed class {} avg {}",
+            w[1].0,
+            w[1].1,
+            w[0].0,
+            w[0].1
+        );
+    }
+}
+
+#[test]
+fn shed_candidates_only_from_heavy_nodes() {
+    let (net, loads, _) = setup(64, 5, 16);
+    let params = ClassifyParams::default();
+    let system = loads.totals(&net);
+    let classification = Classification::compute(&net, &loads, &params, system);
+    let shed = shed_candidates(&net, &loads, &params, &classification);
+    for p in shed.keys() {
+        assert_eq!(classification.classes[p], NodeClass::Heavy);
+    }
+    let light = light_slots(&net, &loads, &params, &classification);
+    for p in light.keys() {
+        assert_eq!(classification.classes[p], NodeClass::Light);
+    }
+}
+
+#[test]
+fn shed_candidates_reduce_node_to_target() {
+    let (net, loads, _) = setup(64, 5, 17);
+    let params = ClassifyParams::default();
+    let system = loads.totals(&net);
+    let classification = Classification::compute(&net, &loads, &params, system);
+    let shed = shed_candidates(&net, &loads, &params, &classification);
+    for (&p, cands) in &shed {
+        let node = loads.node_lbi(&net, p);
+        let shed_total: f64 = cands.iter().map(|c| c.load).sum();
+        let target = params.target(node.capacity, &system);
+        let total_vs: f64 = net.vss_of(p).iter().map(|&v| loads.vs_load(v)).sum();
+        // Either the node reaches target, or it sheds everything it has.
+        assert!(
+            node.load - shed_total <= target + 1e-9 || shed_total >= total_vs - 1e-9,
+            "{p:?} sheds too little"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- baselines
+
+#[test]
+fn cfs_baseline_thrashes_or_converges() {
+    let (mut net, mut loads, _) = setup(96, 5, 18);
+    let params = ClassifyParams::default();
+    let outcome = cfs_shed(&mut net, &mut loads, &params, 20);
+    net.check_invariants().unwrap();
+    // The run must have done *something*.
+    let total_dropped: usize = outcome.dropped_per_round.iter().sum();
+    assert!(total_dropped > 0);
+    // Either it converged, or thrashing was observed (usually both effects
+    // appear; this documents the failure mode the paper criticizes).
+    assert!(outcome.converged || outcome.thrash_events > 0);
+}
+
+#[test]
+fn cfs_never_strands_a_peer_without_vss() {
+    let (mut net, mut loads, _) = setup(48, 2, 19);
+    let params = ClassifyParams::strict();
+    let _ = cfs_shed(&mut net, &mut loads, &params, 30);
+    for p in net.alive_peers() {
+        assert!(
+            !net.vss_of(p).is_empty(),
+            "{p:?} lost all its virtual servers"
+        );
+    }
+}
+
+#[test]
+fn random_matching_produces_valid_assignments() {
+    let (net, loads, mut rng) = setup(96, 5, 20);
+    let params = ClassifyParams::default();
+    let assignments = random_matching(&net, &loads, &params, &mut rng);
+    assert!(!assignments.is_empty());
+    let system = loads.totals(&net);
+    // Receivers not overfilled.
+    let mut received: HashMap<PeerId, f64> = HashMap::new();
+    for a in &assignments {
+        *received.entry(a.to).or_insert(0.0) += a.load;
+    }
+    for (p, got) in received {
+        let node = loads.node_lbi(&net, p);
+        let spare = params.spare(&node, &system);
+        assert!(got <= spare + 1e-9, "{p:?} overfilled");
+    }
+    // Each VS assigned at most once.
+    let mut seen = std::collections::HashSet::new();
+    for a in &assignments {
+        assert!(seen.insert(a.vs));
+    }
+}
+
+#[test]
+fn execute_transfers_skips_stale_assignments() {
+    let (mut net, mut loads, mut rng) = setup(16, 3, 21);
+    let params = ClassifyParams::default();
+    let assignments = random_matching(&net, &loads, &params, &mut rng);
+    assert!(!assignments.is_empty());
+    // Crash the source of the first assignment: it must be skipped.
+    let victim = assignments[0].from;
+    net.crash_peer(victim);
+    let before = net.alive_vs_count();
+    let records = execute_transfers(&mut net, &mut loads, &assignments, None);
+    assert!(records.iter().all(|r| r.assignment.from != victim));
+    assert_eq!(net.alive_vs_count(), before);
+    net.check_invariants().unwrap();
+}
+
+// ---------------------------------------------------------------- splitting & params
+
+#[test]
+fn splitting_reduces_epsilon_zero_stragglers() {
+    let run = |max_splits: usize| -> usize {
+        let (mut net, mut loads, mut rng) = setup(192, 5, 40);
+        let balancer = LoadBalancer::new(BalancerConfig {
+            epsilon: 0.0,
+            max_splits,
+            ..BalancerConfig::default()
+        });
+        let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+        net.check_invariants().unwrap();
+        report.heavy_after()
+    };
+    let without = run(0);
+    let with = run(64);
+    assert!(
+        with <= without,
+        "splitting should not increase stragglers: {without} -> {with}"
+    );
+}
+
+#[test]
+fn splitting_conserves_load_end_to_end() {
+    let (mut net, mut loads, mut rng) = setup(96, 5, 41);
+    let before = loads.totals(&net).load;
+    let balancer = LoadBalancer::new(BalancerConfig {
+        epsilon: 0.0,
+        max_splits: 32,
+        ..BalancerConfig::default()
+    });
+    let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let after = loads.totals(&net).load;
+    assert!((before - after).abs() < 1e-6 * before);
+    net.check_invariants().unwrap();
+}
+
+#[test]
+fn empty_peers_keep_reporting_capacity() {
+    // A peer that shed all its virtual servers must still contribute its
+    // capacity to the aggregate (via the root) — otherwise later targets
+    // inflate and receivers overfill (see DESIGN.md).
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut net = ChordNetwork::new();
+    for _ in 0..32 {
+        net.join_peer(3, &mut rng);
+    }
+    let mut loads = LoadState::generate(
+        &net,
+        &CapacityProfile::gnutella(),
+        &LoadModel::gaussian(1e6, 1e4),
+        &mut rng,
+    );
+    // Empty one peer by hand.
+    let victim = net.alive_peers()[0];
+    let vss: Vec<VsId> = net.vss_of(victim).to_vec();
+    let target_peer = net.alive_peers()[1];
+    for v in vss {
+        net.transfer_vs(v, target_peer);
+    }
+    assert!(net.vss_of(victim).is_empty());
+
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    // Aggregated capacity equals ground truth (the empty peer included).
+    let want = loads.totals(&net);
+    assert!(
+        (report.system.capacity - want.capacity).abs() < 1e-9,
+        "aggregated C {} != true C {}",
+        report.system.capacity,
+        want.capacity
+    );
+}
+
+#[test]
+fn remove_shed_by_vs_id() {
+    let mut lists = RendezvousLists::new();
+    lists.push_shed(cand(5.0, 1, 10));
+    lists.push_shed(cand(3.0, 2, 11));
+    assert!(lists.remove_shed(vs(1)));
+    assert!(!lists.remove_shed(vs(1)));
+    assert_eq!(lists.shed().len(), 1);
+    assert_eq!(lists.shed()[0].vs, vs(2));
+    assert!(lists.check_sorted());
+}
+
+// ---------------------------------------------------------------- objects
+
+#[test]
+fn object_loads_charge_owner_vss() {
+    use proxbal_workload::StoredObject;
+    let mut rng = StdRng::seed_from_u64(50);
+    let mut net = ChordNetwork::new();
+    for _ in 0..16 {
+        net.join_peer(3, &mut rng);
+    }
+    let objects = vec![
+        StoredObject { key: 0x1000_0000, load: 5.0 },
+        StoredObject { key: 0x9000_0000, load: 7.0 },
+        StoredObject { key: 0x9000_0001, load: 2.0 },
+    ];
+    let loads = LoadState::from_objects(
+        &net,
+        &CapacityProfile::uniform(10.0),
+        &objects,
+        &mut rng,
+    );
+    // Total conserved.
+    let total: f64 = net.ring().iter().map(|(_, v)| loads.vs_load(v)).sum();
+    assert!((total - 14.0).abs() < 1e-12);
+    // Each object sits on the owner of its key.
+    for obj in &objects {
+        let owner = net.ring().owner(proxbal_id::Id::new(obj.key)).unwrap();
+        assert!(loads.vs_load(owner) >= obj.load - 1e-12);
+    }
+}
+
+#[test]
+fn object_microfoundation_yields_balanceable_system() {
+    // End-to-end: many small uniform objects → Gaussian-like per-VS loads →
+    // the balancer behaves exactly as with the closed-form model.
+    use proxbal_workload::ObjectWorkload;
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut net = ChordNetwork::new();
+    for _ in 0..128 {
+        net.join_peer(5, &mut rng);
+    }
+    let objects = ObjectWorkload::uniform(200_000, 1e6).generate(&mut rng);
+    let mut loads =
+        LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    assert!(report.before[&NodeClass::Heavy] > 0);
+    assert_eq!(report.heavy_after(), 0);
+}
+
+#[test]
+fn zipf_objects_create_hotspot_vss() {
+    use proxbal_workload::ObjectWorkload;
+    let mut rng = StdRng::seed_from_u64(52);
+    let mut net = ChordNetwork::new();
+    for _ in 0..64 {
+        net.join_peer(5, &mut rng);
+    }
+    let objects = ObjectWorkload::zipf(50_000, 1e6, 1.2).generate(&mut rng);
+    let loads =
+        LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
+    let mut vs_loads: Vec<f64> = net.ring().iter().map(|(_, v)| loads.vs_load(v)).collect();
+    vs_loads.sort_by(f64::total_cmp);
+    let max = *vs_loads.last().unwrap();
+    let median = vs_loads[vs_loads.len() / 2];
+    assert!(
+        max > 20.0 * median.max(1.0),
+        "hot VS should dominate: max {max:.0} vs median {median:.0}"
+    );
+}
+
+#[test]
+fn weighted_cost_sums_load_times_distance() {
+    let records = vec![
+        TransferRecord {
+            assignment: Assignment {
+                vs: vs(0),
+                load: 10.0,
+                from: PeerId(0),
+                to: PeerId(1),
+            },
+            distance: Some(3),
+        },
+        TransferRecord {
+            assignment: Assignment {
+                vs: vs(1),
+                load: 2.0,
+                from: PeerId(0),
+                to: PeerId(1),
+            },
+            distance: None, // unknown distances don't contribute
+        },
+    ];
+    assert!((weighted_cost(&records) - 30.0).abs() < 1e-12);
+    assert!((total_moved_load(&records) - 12.0).abs() < 1e-12);
+}
+
+#[test]
+fn message_stats_are_consistent() {
+    let (mut net, mut loads, mut rng) = setup(128, 5, 60);
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let m = &report.messages;
+    // Every peer reports once; messages are aggregated along shared paths,
+    // so LBI messages are at most (peers − 1) edges and at least the tree's
+    // message depth.
+    assert!(m.lbi_messages > 0);
+    assert!(m.lbi_messages < net.alive_vs_count() * 2);
+    // Dissemination touches at least as many inter-peer edges as the LBI
+    // paths (it covers the whole tree).
+    assert!(m.dissemination_messages >= m.lbi_messages);
+    // Two notifications per assignment.
+    assert_eq!(m.vsa_notifications, 2 * report.vsa.assignments.len());
+    // Records climbed at least one inter-peer edge overall.
+    assert!(m.vsa_record_hops > 0);
+    // No underlay ⇒ no weighted transfer cost recorded.
+    assert_eq!(m.vst_weighted_cost, 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_vsa_sweep_invariants(seed in 0u64..2000) {
+        // Whole-sweep invariants over random networks and loads: no VS
+        // assigned twice, no receiver overfilled beyond its published
+        // spare, unassigned candidates genuinely fit nothing.
+        let (net, loads, mut rng) = setup(48, 4, seed);
+        let params = ClassifyParams::default();
+        let system = loads.totals(&net);
+        let classification = Classification::compute(&net, &loads, &params, system);
+        let shed = shed_candidates(&net, &loads, &params, &classification);
+        let light = light_slots(&net, &loads, &params, &classification);
+        let spare_by_peer: HashMap<PeerId, f64> =
+            light.iter().map(|(&p, s)| (p, s.spare)).collect();
+        let tree = KTree::build(&net, 2);
+        let inputs = reports::ignorant_inputs(&net, &tree, &shed, &light, &mut rng);
+        let vsa = run_vsa(&tree, inputs, &VsaParams::paper(system.min_vs_load));
+
+        let mut seen = std::collections::HashSet::new();
+        let mut received: HashMap<PeerId, f64> = HashMap::new();
+        for a in &vsa.assignments {
+            prop_assert!(seen.insert(a.vs), "vs assigned twice");
+            *received.entry(a.to).or_insert(0.0) += a.load;
+        }
+        for (p, got) in received {
+            prop_assert!(
+                got <= spare_by_peer[&p] + 1e-9,
+                "receiver {p:?} overfilled: {got} > {}",
+                spare_by_peer[&p]
+            );
+        }
+        // Root leftovers fit no remaining light slot.
+        for c in vsa.unassigned.shed() {
+            for s in vsa.unassigned.light() {
+                prop_assert!(s.spare < c.load);
+            }
+        }
+    }
+}
+
+#[test]
+fn graceful_leave_hands_load_to_absorbers() {
+    let (mut net, mut loads, _) = setup(24, 3, 70);
+    let total_before = loads.totals(&net).load;
+    let victim = net.alive_peers()[0];
+    let victim_load = loads.node_load(&net, victim);
+    assert!(victim_load > 0.0);
+
+    let handed = graceful_leave(&mut net, &mut loads, victim);
+    assert!((handed - victim_load).abs() < 1e-9 * victim_load.max(1.0));
+    net.check_invariants().unwrap();
+    // Total load conserved across the leave (unlike a crash).
+    let total_after = loads.totals(&net).load;
+    assert!(
+        (total_before - total_after).abs() < 1e-6 * total_before,
+        "{total_before} -> {total_after}"
+    );
+}
+
+#[test]
+fn crash_loses_load_but_leave_does_not() {
+    let (net0, loads0, _) = setup(24, 3, 71);
+    let victim = net0.alive_peers()[0];
+
+    let mut net_crash = net0.clone();
+    let loads_crash = loads0.clone();
+    net_crash.crash_peer(victim);
+    let after_crash = loads_crash.totals(&net_crash).load;
+
+    let mut net_leave = net0.clone();
+    let mut loads_leave = loads0.clone();
+    graceful_leave(&mut net_leave, &mut loads_leave, victim);
+    let after_leave = loads_leave.totals(&net_leave).load;
+
+    let before = loads0.totals(&net0).load;
+    assert!(after_crash < before, "crash loses the victim's load");
+    assert!((after_leave - before).abs() < 1e-6 * before);
+    // The unused variable warnings guard.
+    let _ = (loads_crash, net_leave);
+}
+
+#[test]
+fn run_with_tree_reuses_and_tree_survives_transfers() {
+    let (mut net, mut loads, mut rng) = setup(96, 5, 80);
+    let mut tree = KTree::build(&net, 2);
+    let balancer = LoadBalancer::new(BalancerConfig::default());
+    let report =
+        balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+    assert!(!report.transfers.is_empty());
+    // Transfers keep ring positions, so the tree needs no maintenance.
+    assert_eq!(
+        tree.maintain_round(&net),
+        0,
+        "a balancing pass must leave the tree structurally intact"
+    );
+    // Churn, then a second pass over the same (now maintained) tree.
+    net.crash_peer(report.transfers[0].assignment.to);
+    for _ in 0..4 {
+        net.join_peer(5, &mut rng);
+    }
+    for p in net.alive_peers() {
+        if loads.class(p).is_none() {
+            loads.set_capacity(p, 10.0);
+            loads.set_class(p, proxbal_workload::CapacityClass(1));
+        }
+    }
+    let report2 = balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+    tree.check_invariants(&net).unwrap();
+    net.check_invariants().unwrap();
+    assert!(report2.heavy_after() <= report2.before[&NodeClass::Heavy]);
+}
+
+#[test]
+#[should_panic(expected = "tree degree must match")]
+fn run_with_tree_rejects_mismatched_degree() {
+    let (mut net, mut loads, mut rng) = setup(8, 2, 81);
+    let mut tree = KTree::build(&net, 8);
+    let balancer = LoadBalancer::new(BalancerConfig::default()); // k = 2
+    let _ = balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+}
+
+#[test]
+fn absorb_join_moves_proportional_load() {
+    let mut rng = StdRng::seed_from_u64(90);
+    let mut net = ChordNetwork::new();
+    let p0 = net.join_peer(1, &mut rng);
+    let v0 = net.vss_of(p0)[0];
+    let mut loads = LoadState::new();
+    loads.set_capacity(p0, 10.0);
+    loads.set_vs_load(v0, 100.0);
+
+    // A new VS exactly halfway around the ring from v0 takes half the load.
+    let p1 = net.join_peer(0, &mut rng);
+    loads.set_capacity(p1, 10.0);
+    let pos0 = net.vs(v0).position;
+    let v1 = net.spawn_vs_at(p1, pos0.wrapping_add(1 << 31)).unwrap();
+    let moved = absorb_join(&net, &mut loads, v1);
+    assert!((moved - 50.0).abs() < 1e-6, "moved {moved}");
+    assert!((loads.vs_load(v0) - 50.0).abs() < 1e-6);
+    assert!((loads.vs_load(v1) - 50.0).abs() < 1e-6);
+    // Total conserved.
+    assert!((loads.totals(&net).load - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn absorb_join_sole_vs_is_noop() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let mut net = ChordNetwork::new();
+    let p = net.join_peer(1, &mut rng);
+    let v = net.vss_of(p)[0];
+    let mut loads = LoadState::new();
+    loads.set_capacity(p, 1.0);
+    loads.set_vs_load(v, 5.0);
+    assert_eq!(absorb_join(&net, &mut loads, v), 0.0);
+    assert_eq!(loads.vs_load(v), 5.0);
+}

@@ -1,0 +1,121 @@
+use crate::lbi::LoadState;
+use crate::pairing::Assignment;
+use proxbal_chord::{ChordNetwork, PeerId, VsId};
+use proxbal_topology::DistanceOracle;
+use serde::{Deserialize, Serialize};
+
+/// One executed virtual-server transfer (VST, §3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// The assignment that was executed.
+    pub assignment: Assignment,
+    /// Physical distance between the shedding and receiving peers, in
+    /// latency units (interdomain hop = 3, intradomain hop = 1). `None`
+    /// when the run has no underlay topology.
+    pub distance: Option<u32>,
+}
+
+/// Executes assignments against the network: each virtual server moves to
+/// its assigned peer (a Chord *leave* + *join* at the same ring position),
+/// its load riding along. Records the physical transfer distance when an
+/// underlay oracle is available — the cost metric of Figures 7 and 8.
+///
+/// Assignments whose source peer no longer hosts the virtual server (e.g.
+/// it crashed between VSA and VST) are skipped, mirroring the soft-state
+/// tolerance of the protocol.
+pub fn execute_transfers(
+    net: &mut ChordNetwork,
+    loads: &mut LoadState,
+    assignments: &[Assignment],
+    oracle: Option<&DistanceOracle>,
+) -> Vec<TransferRecord> {
+    let mut out = Vec::with_capacity(assignments.len());
+    for &a in assignments {
+        let vs = net.vs(a.vs);
+        if !vs.alive || vs.host != a.from {
+            continue; // stale assignment
+        }
+        if net.peer(a.to).state != proxbal_chord::PeerState::Alive {
+            continue;
+        }
+        net.transfer_vs(a.vs, a.to);
+        let distance = oracle.map(|o| {
+            let from = net.peer(a.from).underlay;
+            let to = net.peer(a.to).underlay;
+            assert!(
+                from != u32::MAX && to != u32::MAX,
+                "transfer distance requires underlay attachments"
+            );
+            o.distance(from, to)
+        });
+        // Load rides with the virtual server; LoadState is keyed by VsId so
+        // nothing to move — but assert the invariant in debug builds.
+        debug_assert!((loads.vs_load(a.vs) - a.load).abs() < 1e-9 || a.load >= 0.0);
+        out.push(TransferRecord {
+            assignment: a,
+            distance,
+        });
+    }
+    out
+}
+
+/// Total load moved across a set of transfers.
+pub fn total_moved_load(transfers: &[TransferRecord]) -> f64 {
+    transfers.iter().map(|t| t.assignment.load).sum()
+}
+
+/// Load-weighted transfer cost: `Σ load·distance` (only counting transfers
+/// with a known distance).
+pub fn weighted_cost(transfers: &[TransferRecord]) -> f64 {
+    transfers
+        .iter()
+        .filter_map(|t| t.distance.map(|d| t.assignment.load * f64::from(d)))
+        .sum()
+}
+
+/// Gracefully removes a peer from the overlay: each of its virtual servers
+/// leaves the ring and the objects it held (modelled as its load) are
+/// handed to the virtual server absorbing its region — a Chord *leave*
+/// with data handover, in contrast to [`ChordNetwork::crash_peer`] where
+/// the load vanishes with the node (no replication is modelled).
+///
+/// Returns the total load handed over.
+pub fn graceful_leave(net: &mut ChordNetwork, loads: &mut LoadState, peer: PeerId) -> f64 {
+    let vss: Vec<VsId> = net.vss_of(peer).to_vec();
+    let mut handed = 0.0;
+    // Drop one VS at a time so each region's absorber is the live owner at
+    // that instant (matters when the peer owns adjacent regions).
+    for v in vss {
+        let load = loads.vs_load(v);
+        let pos = net.vs(v).position;
+        net.drop_vs(v);
+        loads.set_vs_load(v, 0.0);
+        if let Some(absorber) = net.ring().owner(pos) {
+            loads.add_vs_load(absorber, load);
+            handed += load;
+        }
+    }
+    net.leave_peer(peer);
+    handed
+}
+
+/// Settles the load books after a virtual server joins the ring: the new
+/// virtual server's region was carved out of its successor's region, so
+/// the successor's load (its objects) moves in proportion to the region
+/// fraction taken. Returns the load moved to the new virtual server.
+pub fn absorb_join(net: &ChordNetwork, loads: &mut LoadState, new_vs: VsId) -> f64 {
+    let position = net.vs(new_vs).position;
+    let Some((_, successor)) = net.ring().successor_after(position) else {
+        return 0.0; // sole virtual server on the ring
+    };
+    if successor == new_vs {
+        return 0.0;
+    }
+    let new_len = net.region_of(new_vs).len() as f64;
+    let succ_len = net.region_of(successor).len() as f64;
+    let succ_load = loads.vs_load(successor);
+    let moved = succ_load * new_len / (new_len + succ_len);
+    loads.set_vs_load(successor, succ_load - moved);
+    loads.add_vs_load(new_vs, moved);
+    moved
+}

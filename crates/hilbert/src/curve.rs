@@ -1,0 +1,180 @@
+use serde::{Deserialize, Serialize};
+
+/// An m-dimensional Hilbert curve of order `b`: a bijection between the grid
+/// `{0, …, 2^b − 1}^m` and the index range `{0, …, 2^{m·b} − 1}` in which
+/// consecutive indices are always grid neighbours (L1 distance 1).
+///
+/// Implementation: John Skilling, "Programming the Hilbert curve", *AIP
+/// Conference Proceedings* 707 (2004) — the classic in-place transpose
+/// formulation, generalized to any dimension. The index is carried as `u128`,
+/// so `m·b ≤ 128` (ample for the paper's 15-dimensional landmark space at 2–8
+/// bits per dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HilbertCurve {
+    dims: u32,
+    order: u32,
+}
+
+impl HilbertCurve {
+    /// Creates a curve over `dims` dimensions with `order` bits per
+    /// dimension. Panics unless `1 ≤ dims`, `1 ≤ order ≤ 32` and
+    /// `dims · order ≤ 128`.
+    pub fn new(dims: u32, order: u32) -> Self {
+        assert!(dims >= 1, "need at least one dimension");
+        assert!((1..=32).contains(&order), "order must be in 1..=32");
+        assert!(
+            dims.checked_mul(order).is_some_and(|bits| bits <= 128),
+            "total index bits dims*order must be <= 128"
+        );
+        HilbertCurve { dims, order }
+    }
+
+    /// Number of dimensions `m`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Bits per dimension `b`.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Total bits in a curve index (`m·b`).
+    pub fn index_bits(&self) -> u32 {
+        self.dims * self.order
+    }
+
+    /// Largest valid coordinate value (`2^b − 1`).
+    pub fn max_coord(&self) -> u32 {
+        if self.order == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.order) - 1
+        }
+    }
+
+    /// Maps grid coordinates to the Hilbert index.
+    ///
+    /// Panics if `point.len() != dims` or any coordinate exceeds
+    /// [`Self::max_coord`].
+    pub fn encode(&self, point: &[u32]) -> u128 {
+        assert_eq!(point.len(), self.dims as usize, "dimension mismatch");
+        let max = self.max_coord();
+        assert!(
+            point.iter().all(|&c| c <= max),
+            "coordinate exceeds 2^order - 1"
+        );
+        let mut x = point.to_vec();
+        self.axes_to_transpose(&mut x);
+        self.interleave(&x)
+    }
+
+    /// Maps a Hilbert index back to grid coordinates (inverse of
+    /// [`Self::encode`]).
+    ///
+    /// Panics if `index` has bits above `m·b`.
+    pub fn decode(&self, index: u128) -> Vec<u32> {
+        let bits = self.index_bits();
+        if bits < 128 {
+            assert!(index < (1u128 << bits), "index out of range");
+        }
+        let mut x = self.deinterleave(index);
+        self.transpose_to_axes(&mut x);
+        x
+    }
+
+    /// Skilling's AxesToTranspose: converts coordinates in place into the
+    /// "transpose" representation of the Hilbert index.
+    fn axes_to_transpose(&self, x: &mut [u32]) {
+        let n = x.len();
+        let m = 1u32 << (self.order - 1);
+
+        // Inverse undo.
+        let mut q = m;
+        while q > 1 {
+            let p = q - 1;
+            for i in 0..n {
+                if x[i] & q != 0 {
+                    x[0] ^= p; // invert
+                } else {
+                    let t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t; // exchange
+                }
+            }
+            q >>= 1;
+        }
+
+        // Gray encode.
+        for i in 1..n {
+            x[i] ^= x[i - 1];
+        }
+        let mut t = 0u32;
+        let mut q = m;
+        while q > 1 {
+            if x[n - 1] & q != 0 {
+                t ^= q - 1;
+            }
+            q >>= 1;
+        }
+        for v in x.iter_mut() {
+            *v ^= t;
+        }
+    }
+
+    /// Skilling's TransposeToAxes (inverse of [`Self::axes_to_transpose`]).
+    fn transpose_to_axes(&self, x: &mut [u32]) {
+        let n = x.len();
+        let m = 2u64 << (self.order - 1); // 2^order as u64 to allow order=32
+
+        // Gray decode by H ^ (H/2).
+        let mut t = x[n - 1] >> 1;
+        for i in (1..n).rev() {
+            x[i] ^= x[i - 1];
+        }
+        x[0] ^= t;
+
+        // Undo excess work.
+        let mut q = 2u64;
+        while q != m {
+            let p = (q - 1) as u32;
+            let qq = q as u32;
+            for i in (0..n).rev() {
+                if x[i] & qq != 0 {
+                    x[0] ^= p; // invert
+                } else {
+                    t = (x[0] ^ x[i]) & p;
+                    x[0] ^= t;
+                    x[i] ^= t; // exchange
+                }
+            }
+            q <<= 1;
+        }
+    }
+
+    /// Packs the transpose form into a single index: bit plane `j` (from most
+    /// significant) contributes bits of `x[0], x[1], …` in order.
+    fn interleave(&self, x: &[u32]) -> u128 {
+        let mut out = 0u128;
+        for j in (0..self.order).rev() {
+            for &xi in x {
+                out = (out << 1) | u128::from((xi >> j) & 1);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::interleave`].
+    fn deinterleave(&self, index: u128) -> Vec<u32> {
+        let n = self.dims as usize;
+        let mut x = vec![0u32; n];
+        let mut bit = self.index_bits();
+        for j in (0..self.order).rev() {
+            for xi in x.iter_mut().take(n) {
+                bit -= 1;
+                *xi |= (((index >> bit) & 1) as u32) << j;
+            }
+        }
+        x
+    }
+}

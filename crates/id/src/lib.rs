@@ -1,0 +1,38 @@
+//! Identifier-space arithmetic for a 32-bit Chord-style ring.
+//!
+//! The paper (Zhu & Hu, IPDPS 2004, §5.1) evaluates on a Chord simulator with
+//! a **32-bit identifier space**. Every other crate in the workspace builds on
+//! the two types defined here:
+//!
+//! * [`Id`] — a point on the ring (a 32-bit identifier). All arithmetic wraps
+//!   modulo 2³².
+//! * [`Arc`] — a half-open contiguous region `[start, start+len)` of the ring,
+//!   the "responsible region" of a virtual server or a K-nary tree node.
+//!
+//! An [`Arc`] stores its length as a `u64` in `[0, 2^32]` so that the *full
+//! ring* and the *empty region* are distinct, unambiguous values — a classic
+//! pitfall when regions are stored as `(start, end)` pairs.
+//!
+//! # Example
+//!
+//! ```
+//! use proxbal_id::{Id, Arc};
+//!
+//! let region = Arc::new(Id::new(0xF000_0000), 0x2000_0000); // wraps past 0
+//! assert!(region.contains(Id::new(0xFFFF_FFFF)));
+//! assert!(region.contains(Id::new(0x0000_0001)));
+//! assert!(!region.contains(Id::new(0x1000_0000)));
+//!
+//! let halves = region.split(2);
+//! assert_eq!(halves[0].start(), Id::new(0xF000_0000));
+//! assert_eq!(halves[1].start(), Id::new(0x0000_0000));
+//! ```
+
+mod arc;
+mod ident;
+
+pub use arc::Arc;
+pub use ident::{Id, RING_SIZE};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,77 @@
+use crate::tree::{KTree, KtNodeId};
+use std::collections::HashMap;
+
+/// A commutative, associative combine operation — the shape of every
+/// bottom-up aggregation the tree performs (LBI sums/minima, VSA list
+/// unions, …).
+pub trait Merge {
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+/// Result of a bottom-up aggregation.
+#[derive(Clone, Debug)]
+pub struct AggregateOutcome<A> {
+    /// The value accumulated at the root (`None` if no inputs were offered).
+    pub root_value: Option<A>,
+    /// Number of upward **message** rounds: the largest
+    /// [`message depth`](KTree::message_depths) among contributing KT nodes
+    /// (tree edges between nodes planted in the same virtual server cost no
+    /// messages). This is the `O(log_K N)` bound the paper states for LBI
+    /// aggregation (§3.2).
+    pub rounds: u32,
+    /// Per-node aggregated values (each KT node's view), including inner
+    /// nodes — useful when intermediate values matter (VSA rendezvous).
+    pub per_node: HashMap<KtNodeId, A>,
+}
+
+impl KTree {
+    /// Bottom-up aggregation: `inputs` maps KT nodes (typically report
+    /// targets of virtual servers) to locally contributed values; parents
+    /// merge children level by level until the root.
+    pub fn aggregate<A: Merge + Clone>(
+        &self,
+        mut inputs: HashMap<KtNodeId, A>,
+    ) -> AggregateOutcome<A> {
+        let levels = self.levels();
+        // Message rounds: deepest contributing node by inter-VS hop count.
+        let depths = self.message_depths();
+        let rounds = inputs
+            .keys()
+            .map(|id| depths.get(id).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        for level in levels.iter().skip(1).rev() {
+            for &id in level {
+                if let Some(value) = inputs.remove(&id) {
+                    let parent = self.node(id).parent.expect("non-root has parent");
+                    match inputs.get_mut(&parent) {
+                        Some(acc) => acc.merge(value.clone()),
+                        None => {
+                            inputs.insert(parent, value.clone());
+                        }
+                    }
+                    // Keep this node's own aggregated view.
+                    inputs.insert(id, value);
+                }
+            }
+        }
+        let root_value = inputs.get(&self.root()).cloned();
+        AggregateOutcome {
+            root_value,
+            rounds,
+            per_node: inputs,
+        }
+    }
+
+    /// Top-down dissemination of a value from the root to every node;
+    /// returns the per-node copies and the number of downward message
+    /// rounds (the tree's maximum message depth).
+    pub fn disseminate<A: Clone>(&self, value: A) -> (HashMap<KtNodeId, A>, u32) {
+        let mut out = HashMap::with_capacity(self.len());
+        for id in self.iter_ids() {
+            out.insert(id, value.clone());
+        }
+        (out, self.max_message_depth())
+    }
+}

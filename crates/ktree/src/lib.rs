@@ -1,0 +1,28 @@
+//! The self-organized, fully distributed K-nary tree of paper §3.1.
+//!
+//! Each tree node (*KT node*) is responsible for a contiguous arc of the
+//! DHT's identifier space; the root is responsible for the whole ring. A KT
+//! node is *planted* in the virtual server that owns the **center point** of
+//! its responsible region. A KT node whose region is completely covered by
+//! its hosting virtual server's region is a leaf; otherwise its region is
+//! split into `K` equal parts and a child is grown for every part **not**
+//! covered by the hosting virtual server.
+//!
+//! The tree is soft state: [`KTree::maintain_round`] re-runs each KT node's
+//! periodic check against the current DHT (re-plant, prune, grow — one level
+//! of growth per round), which is how the tree self-repairs in
+//! `O(log_K N)` rounds after churn, matching the paper's claim.
+//!
+//! Aggregation ([`KTree::aggregate`]) and dissemination
+//! ([`KTree::disseminate`]) are generic over the value type; `proxbal-core`
+//! uses them both for load-balancing information (LBI) and for the bottom-up
+//! virtual-server-assignment sweep.
+
+mod aggregate;
+mod tree;
+
+pub use aggregate::{AggregateOutcome, Merge};
+pub use tree::{KTree, KtNode, KtNodeId};
+
+#[cfg(test)]
+mod tests;

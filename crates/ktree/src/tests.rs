@@ -1,0 +1,388 @@
+use crate::*;
+use proptest::prelude::*;
+use proxbal_chord::ChordNetwork;
+use proxbal_id::{Arc, Id, RING_SIZE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn net_with(peers: usize, vs_per_peer: usize, seed: u64) -> (ChordNetwork, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = ChordNetwork::new();
+    for _ in 0..peers {
+        net.join_peer(vs_per_peer, &mut rng);
+    }
+    (net, rng)
+}
+
+#[test]
+fn build_satisfies_invariants() {
+    for k in [2usize, 3, 8] {
+        let (net, _) = net_with(16, 3, 1);
+        let tree = KTree::build(&net, k);
+        tree.check_invariants(&net).unwrap();
+        assert_eq!(tree.node(tree.root()).region, Arc::full(Id::ZERO));
+    }
+}
+
+#[test]
+fn root_is_planted_at_ring_center_owner() {
+    let (net, _) = net_with(8, 2, 2);
+    let tree = KTree::build(&net, 2);
+    let expect = net.ring().owner(Id::new(1 << 31)).unwrap();
+    assert_eq!(tree.node(tree.root()).host, expect);
+}
+
+#[test]
+fn single_vs_tree_is_just_the_root() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = ChordNetwork::new();
+    net.join_peer(1, &mut rng);
+    let tree = KTree::build(&net, 2);
+    assert_eq!(tree.len(), 1);
+    assert!(tree.node(tree.root()).is_leaf());
+    assert_eq!(tree.height(), 1);
+}
+
+#[test]
+fn message_depth_is_logarithmic() {
+    // Structural depth degenerates toward 32 around VS boundaries (regions
+    // straddling an ownership boundary keep splitting), but all those deep
+    // KT nodes share hosts, so the *message* depth — what the paper's
+    // O(log_K N) bounds are about — stays logarithmic in the VS count.
+    for k in [2usize, 8] {
+        let (net, _) = net_with(256, 4, 4); // 1024 VSs
+        let tree = KTree::build(&net, k);
+        let m = 1024f64;
+        // Depth is driven by the closest pair of VS positions: for M uniform
+        // positions the minimum gap is ~2³²/M², i.e. ~2·log_K(M) levels.
+        let bound = (2.0 * m.log(k as f64)).ceil() as u32 + 6;
+        let md = tree.max_message_depth();
+        assert!(md <= bound, "k={k}: message depth {md} bound {bound}");
+        assert!(tree.height() <= bound + 1, "k={k}: height {}", tree.height());
+        // Sanity floor: the tree is genuinely multi-level.
+        assert!(md >= m.log(k as f64).floor() as u32 / 2);
+    }
+}
+
+#[test]
+fn every_vs_has_a_report_target_hosted_by_itself() {
+    let (net, _) = net_with(64, 5, 5);
+    let tree = KTree::build(&net, 2);
+    for (_, vs) in net.ring().iter() {
+        let target = tree.report_target(&net, vs);
+        assert_eq!(
+            tree.node(target).host,
+            vs,
+            "report target of {vs:?} must be planted in it"
+        );
+    }
+}
+
+#[test]
+fn report_targets_distinct_per_vs() {
+    // Distinct virtual servers must not share a report target (otherwise
+    // LBI would be merged prematurely).
+    let (net, _) = net_with(32, 3, 6);
+    let tree = KTree::build(&net, 2);
+    let mut seen = std::collections::HashSet::new();
+    for (_, vs) in net.ring().iter() {
+        let t = tree.report_target(&net, vs);
+        assert!(seen.insert(t), "{t:?} serves two virtual servers");
+    }
+}
+
+#[test]
+fn leaves_hold_at_most_one_vs_position() {
+    let (net, _) = net_with(32, 4, 7);
+    let tree = KTree::build(&net, 4);
+    let mut singleton_leaves = 0;
+    for leaf in tree.leaves() {
+        let node = tree.node(leaf);
+        let inside = net.ring().vss_in(&node.region);
+        assert!(inside.len() <= 1, "leaf holds {} positions", inside.len());
+        if let [(_, vs)] = inside.as_slice() {
+            singleton_leaves += 1;
+            assert_eq!(node.host, *vs, "singleton leaf planted in its VS");
+        }
+    }
+    // Exactly one singleton leaf per virtual server.
+    assert_eq!(singleton_leaves, net.alive_vs_count());
+}
+
+#[test]
+fn stable_tree_needs_no_maintenance() {
+    let (net, _) = net_with(24, 3, 8);
+    let mut tree = KTree::build(&net, 2);
+    assert_eq!(tree.maintain_round(&net), 0);
+}
+
+#[test]
+fn maintenance_rebuilds_after_crash_in_logarithmic_rounds() {
+    let (mut net, _) = net_with(64, 4, 9);
+    let mut tree = KTree::build(&net, 2);
+    // Crash a quarter of the peers.
+    for p in net.alive_peers().into_iter().take(16) {
+        net.crash_peer(p);
+    }
+    let rounds = tree.maintain_until_stable(&net, 64);
+    assert!(rounds >= 1);
+    tree.check_invariants(&net).unwrap();
+    // O(log_K N): bounded by the (new) tree height plus a small constant.
+    let bound = tree.height() + 2;
+    assert!(
+        rounds as u32 <= bound,
+        "repair took {rounds} rounds, height bound {bound}"
+    );
+}
+
+#[test]
+fn maintenance_tracks_joins() {
+    let (mut net, mut rng) = net_with(16, 2, 10);
+    let mut tree = KTree::build(&net, 2);
+    for _ in 0..16 {
+        net.join_peer(2, &mut rng);
+    }
+    tree.maintain_until_stable(&net, 64);
+    tree.check_invariants(&net).unwrap();
+    // Every (new) VS must have a self-hosted report target again.
+    for (_, vs) in net.ring().iter() {
+        assert_eq!(tree.node(tree.report_target(&net, vs)).host, vs);
+    }
+}
+
+#[test]
+fn maintenance_converges_to_fresh_build() {
+    let (mut net, _) = net_with(32, 3, 11);
+    let mut tree = KTree::build(&net, 2);
+    for p in net.alive_peers().into_iter().take(8) {
+        net.crash_peer(p);
+    }
+    tree.maintain_until_stable(&net, 64);
+    let fresh = KTree::build(&net, 2);
+    assert_eq!(tree.len(), fresh.len());
+    // Same set of (region, host) pairs.
+    let key = |t: &KTree| {
+        let mut v: Vec<(u32, u64, proxbal_chord::VsId)> = t
+            .iter_ids()
+            .map(|id| {
+                let n = t.node(id);
+                (n.region.start().raw(), n.region.len(), n.host)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(key(&tree), key(&fresh));
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Sum(u64);
+impl Merge for Sum {
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+#[test]
+fn aggregate_sums_all_inputs_to_root() {
+    let (net, _) = net_with(32, 4, 12);
+    let tree = KTree::build(&net, 2);
+    let mut inputs = HashMap::new();
+    let mut expect = 0u64;
+    for (i, (_, vs)) in net.ring().iter().enumerate() {
+        let v = (i as u64 + 1) * 7;
+        expect += v;
+        inputs.insert(tree.report_target(&net, vs), Sum(v));
+    }
+    let out = tree.aggregate(inputs);
+    assert_eq!(out.root_value, Some(Sum(expect)));
+    assert!(out.rounds >= 1);
+    assert!(out.rounds <= tree.max_message_depth());
+    // The root's per-node view equals the total.
+    assert_eq!(out.per_node[&tree.root()], Sum(expect));
+}
+
+#[test]
+fn aggregate_rounds_bounded_by_height() {
+    for k in [2usize, 8] {
+        let (net, _) = net_with(128, 4, 13);
+        let tree = KTree::build(&net, k);
+        let inputs: HashMap<KtNodeId, Sum> = net
+            .ring()
+            .iter()
+            .map(|(_, vs)| (tree.report_target(&net, vs), Sum(1)))
+            .collect();
+        let out = tree.aggregate(inputs);
+        assert_eq!(out.root_value, Some(Sum(net.alive_vs_count() as u64)));
+        // Message rounds are logarithmic in the VS count, far below the
+        // structural height near boundaries.
+        let m = net.alive_vs_count() as f64;
+        let bound = m.log(k as f64).ceil() as u32 + 8;
+        assert!(out.rounds <= bound, "k={k}: rounds {} bound {bound}", out.rounds);
+    }
+}
+
+#[test]
+fn aggregate_empty_inputs() {
+    let (net, _) = net_with(4, 2, 14);
+    let tree = KTree::build(&net, 2);
+    let out = tree.aggregate::<Sum>(HashMap::new());
+    assert_eq!(out.root_value, None);
+    assert_eq!(out.rounds, 0);
+}
+
+#[test]
+fn aggregate_partial_inputs_interior_contribution() {
+    // Values attached directly to interior nodes (as in the VSA sweep, where
+    // unpaired lists propagate from rendezvous nodes) still reach the root.
+    let (net, _) = net_with(16, 3, 15);
+    let tree = KTree::build(&net, 2);
+    let interior = tree
+        .iter_ids()
+        .find(|&id| !tree.node(id).is_leaf() && id != tree.root())
+        .expect("has interior node");
+    let mut inputs = HashMap::new();
+    inputs.insert(interior, Sum(41));
+    inputs.insert(tree.root(), Sum(1));
+    let out = tree.aggregate(inputs);
+    assert_eq!(out.root_value, Some(Sum(42)));
+}
+
+#[test]
+fn disseminate_reaches_every_node() {
+    let (net, _) = net_with(32, 3, 16);
+    let tree = KTree::build(&net, 2);
+    let (copies, rounds) = tree.disseminate(7u32);
+    assert_eq!(copies.len(), tree.len());
+    assert_eq!(rounds, tree.max_message_depth());
+    assert!(copies.values().all(|&v| v == 7));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_tree_invariants_random_networks(seed in 0u64..10_000, k in 2usize..6) {
+        let (net, _) = net_with(12, 3, seed);
+        let tree = KTree::build(&net, k);
+        tree.check_invariants(&net).map_err(TestCaseError::fail)?;
+        // Report targets are self-hosted for every VS.
+        for (_, vs) in net.ring().iter() {
+            prop_assert_eq!(tree.node(tree.report_target(&net, vs)).host, vs);
+        }
+    }
+
+    #[test]
+    fn prop_leaf_regions_disjoint_and_within_ring(seed in 0u64..10_000) {
+        let (net, _) = net_with(10, 2, seed);
+        let tree = KTree::build(&net, 2);
+        let leaves = tree.leaves();
+        // Pairwise disjoint.
+        for (i, &a) in leaves.iter().enumerate() {
+            for &b in &leaves[i + 1..] {
+                let (ra, rb) = (tree.node(a).region, tree.node(b).region);
+                prop_assert!(!ra.overlaps(&rb), "{:?} overlaps {:?}", ra, rb);
+            }
+        }
+        // A leaf set plus "implicit" coverage by interior hosts spans the
+        // ring: every id is inside *some* node whose host covers it. Sample
+        // a few points.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..32 {
+            let p = Id::new(rand::Rng::gen(&mut rng));
+            let owner = net.ring().owner(p).unwrap();
+            // The deepest node on p's descent path must be hosted by a VS
+            // whose region contains p (ownership consistency).
+            let t = tree.report_target(&net, owner);
+            let host = tree.node(t).host;
+            prop_assert_eq!(host, owner);
+        }
+    }
+
+    #[test]
+    fn prop_aggregate_total_conserved(seed in 0u64..10_000, k in 2usize..5) {
+        let (net, _) = net_with(8, 3, seed);
+        let tree = KTree::build(&net, k);
+        let mut total = 0u64;
+        let mut inputs = HashMap::new();
+        let mut x = seed;
+        for (_, vs) in net.ring().iter() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = x >> 40;
+            total += v;
+            inputs.insert(tree.report_target(&net, vs), Sum(v));
+        }
+        let out = tree.aggregate(inputs);
+        prop_assert_eq!(out.root_value, Some(Sum(total)));
+    }
+}
+
+#[test]
+fn split_regions_sum_check() {
+    // Guard against a regression where child(i, k) and split(k) disagree for
+    // the full ring (the root always splits the full ring).
+    let full = Arc::full(Id::ZERO);
+    for k in 2..10 {
+        let parts = full.split(k);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<u64>(), RING_SIZE);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_maintenance_converges_to_fresh_build_after_mixed_churn(
+        seed in 0u64..3000,
+        ops in 1usize..25,
+        k in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = ChordNetwork::new();
+        net.join_peer(3, &mut rng);
+        net.join_peer(3, &mut rng);
+        let mut tree = KTree::build(&net, k);
+        for _ in 0..ops {
+            let alive = net.alive_peers();
+            match rand::Rng::gen_range(&mut rng, 0..3u8) {
+                0 => {
+                    net.join_peer(rand::Rng::gen_range(&mut rng, 1..4), &mut rng);
+                }
+                1 if alive.len() > 2 => {
+                    let p = alive[rand::Rng::gen_range(&mut rng, 0..alive.len())];
+                    net.crash_peer(p);
+                }
+                _ if alive.len() >= 2 => {
+                    let from = alive[rand::Rng::gen_range(&mut rng, 0..alive.len())];
+                    let to = alive[rand::Rng::gen_range(&mut rng, 0..alive.len())];
+                    let vss = net.vss_of(from);
+                    if !vss.is_empty() && from != to {
+                        let v = vss[rand::Rng::gen_range(&mut rng, 0..vss.len())];
+                        net.transfer_vs(v, to);
+                    }
+                }
+                _ => {}
+            }
+            // Interleave partial maintenance (may be incomplete).
+            tree.maintain_round(&net);
+        }
+        // After the dust settles, maintenance must converge to exactly the
+        // fresh build (same (region, host) set).
+        tree.maintain_until_stable(&net, 256);
+        tree.check_invariants(&net).map_err(TestCaseError::fail)?;
+        let fresh = KTree::build(&net, k);
+        let key = |t: &KTree| {
+            let mut v: Vec<(u32, u64, proxbal_chord::VsId)> = t
+                .iter_ids()
+                .map(|id| {
+                    let n = t.node(id);
+                    (n.region.start().raw(), n.region.len(), n.host)
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(key(&tree), key(&fresh));
+    }
+}

@@ -1,0 +1,403 @@
+use proxbal_chord::{ChordNetwork, VsId};
+use proxbal_id::{Arc, Id};
+use serde::{Deserialize, Serialize};
+
+/// Handle of a KT node within a [`KTree`] arena. Slots are recycled after
+/// pruning, so handles are only meaningful while the node is live.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct KtNodeId(pub u32);
+
+/// One node of the K-nary tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KtNode {
+    /// The contiguous arc of the identifier space this KT node covers.
+    pub region: Arc,
+    /// The virtual server this KT node is planted in.
+    pub host: VsId,
+    /// Children, indexed by which of the K equal parts of `region` they
+    /// cover. `None` where the part needs no subtree (it holds at most one
+    /// virtual-server position that the node itself already represents, or
+    /// none at all).
+    pub children: Vec<Option<KtNodeId>>,
+    /// Parent (`None` for the root).
+    pub parent: Option<KtNodeId>,
+    /// Distance from the root.
+    pub depth: u32,
+}
+
+impl KtNode {
+    /// True iff the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(Option::is_none)
+    }
+}
+
+/// The distributed K-nary tree, materialized as an arena.
+///
+/// `K` is the tree degree (the paper evaluates K = 2 and K = 8). The root
+/// covers the full ring anchored at identifier 0 and can be "located
+/// deterministically" (§3.1.1).
+///
+/// # Termination rule (refinement over the paper's wording)
+///
+/// The paper splits a KT node until its region is "completely covered by
+/// that of a virtual server". Taken literally over a 2³²-point ring, a
+/// region straddling the ownership boundary between two adjacent virtual
+/// servers keeps splitting until a split boundary aligns with the ownership
+/// boundary — an expected ~30 extra levels hosted alternately by the same
+/// two virtual servers, which breaks the paper's own `O(log_K N)` time
+/// bounds. We therefore stop one step earlier: **a KT node is a leaf once
+/// its region contains at most one virtual-server position**, and a leaf
+/// whose region holds exactly one position is planted in that virtual
+/// server. This preserves the paper's stated guarantee — "a KT leaf node
+/// will be planted in each virtual server" — with exactly one leaf per
+/// virtual server, while keeping both the structural depth and the message
+/// depth `O(log_K N)`. Interior nodes are planted at the owner of their
+/// region's center point, exactly as in the paper.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KTree {
+    k: usize,
+    nodes: Vec<Option<KtNode>>,
+    free: Vec<u32>,
+    root: KtNodeId,
+}
+
+impl KTree {
+    /// Builds the complete tree for the current state of `net`.
+    /// Panics if the network has no virtual servers or `k < 2`.
+    ///
+    /// ```
+    /// use proxbal_chord::ChordNetwork;
+    /// use proxbal_ktree::KTree;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let mut net = ChordNetwork::new();
+    /// for _ in 0..16 {
+    ///     net.join_peer(3, &mut rng);
+    /// }
+    /// let tree = KTree::build(&net, 2);
+    /// tree.check_invariants(&net).unwrap();
+    /// // Every virtual server has its own KT leaf, planted in itself.
+    /// for (_, vs) in net.ring().iter() {
+    ///     assert_eq!(tree.node(tree.report_target(&net, vs)).host, vs);
+    /// }
+    /// ```
+    pub fn build(net: &ChordNetwork, k: usize) -> Self {
+        assert!(k >= 2, "tree degree must be at least 2");
+        assert!(
+            net.alive_vs_count() > 0,
+            "cannot build a tree over an empty DHT"
+        );
+        let mut tree = KTree {
+            k,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: KtNodeId(0),
+        };
+        let root_region = Arc::full(Id::ZERO);
+        let root = tree.alloc(KtNode {
+            region: root_region,
+            host: Self::host_for(net, &root_region),
+            children: vec![None; k],
+            parent: None,
+            depth: 0,
+        });
+        tree.root = root;
+        tree.grow_fully(net, root);
+        tree
+    }
+
+    /// The virtual server a KT node with `region` is planted in: the sole
+    /// virtual server positioned inside the region if there is exactly one,
+    /// otherwise the owner of the region's center point.
+    fn host_for(net: &ChordNetwork, region: &Arc) -> VsId {
+        let inside = net.ring().vss_in(region);
+        match inside.as_slice() {
+            [(_, vs)] => *vs,
+            _ => net
+                .ring()
+                .owner(region.center())
+                .expect("non-empty ring"),
+        }
+    }
+
+    /// Whether a node over `region` should be a leaf.
+    fn is_leaf_region(net: &ChordNetwork, region: &Arc) -> bool {
+        net.ring().count_in(region) <= 1
+    }
+
+    /// Tree degree `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The root handle.
+    pub fn root(&self) -> KtNodeId {
+        self.root
+    }
+
+    /// Number of live KT nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// True iff the tree is empty (never the case after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access a node. Panics on a stale handle.
+    pub fn node(&self, id: KtNodeId) -> &KtNode {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("stale KT node handle")
+    }
+
+    /// Height of the tree: number of levels (a lone root has height 1).
+    pub fn height(&self) -> u32 {
+        self.iter_ids()
+            .map(|id| self.node(id).depth + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates live node handles in arbitrary order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = KtNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| KtNodeId(i as u32)))
+    }
+
+    /// Live node handles grouped by depth, deepest level last.
+    pub fn levels(&self) -> Vec<Vec<KtNodeId>> {
+        let mut levels: Vec<Vec<KtNodeId>> = Vec::new();
+        for id in self.iter_ids() {
+            let d = self.node(id).depth as usize;
+            if levels.len() <= d {
+                levels.resize_with(d + 1, Vec::new);
+            }
+            levels[d].push(id);
+        }
+        levels
+    }
+
+    /// All leaves.
+    pub fn leaves(&self) -> Vec<KtNodeId> {
+        self.iter_ids()
+            .filter(|&id| self.node(id).is_leaf())
+            .collect()
+    }
+
+    /// The *report target* of a virtual server: the deepest KT node on the
+    /// descent path of the VS's ring position. On a stable tree this is the
+    /// unique leaf whose region contains (only) the VS's position, and it
+    /// is planted in the VS itself — so "each virtual server reports its LBI
+    /// through a KT node planted in it" (§3.2) always holds.
+    pub fn report_target(&self, net: &ChordNetwork, vs: VsId) -> KtNodeId {
+        let pos = net.vs(vs).position;
+        let mut cur = self.root;
+        loop {
+            let node = self.node(cur);
+            let mut advanced = false;
+            for i in 0..self.k {
+                if node.region.child(i, self.k).contains(pos) {
+                    if let Some(child) = node.children[i] {
+                        cur = child;
+                        advanced = true;
+                    }
+                    break;
+                }
+            }
+            if !advanced {
+                return cur;
+            }
+        }
+    }
+
+    /// Re-runs every KT node's periodic self-check once, against the current
+    /// network state: re-plant on a changed owner, prune children whose part
+    /// no longer needs a subtree, grow missing children **one level per
+    /// round** — new children are checked next round, which is what makes
+    /// post-churn repair take `O(log_K N)` rounds, as the paper claims.
+    ///
+    /// Returns the number of mutations (replants + prunes + grows); `0`
+    /// means the tree is stable for the current network.
+    pub fn maintain_round(&mut self, net: &ChordNetwork) -> usize {
+        let mut mutations = 0;
+        let snapshot: Vec<KtNodeId> = self.iter_ids().collect();
+        for id in snapshot {
+            // The node may have been pruned earlier in this very round.
+            if self.nodes[id.0 as usize].is_none() {
+                continue;
+            }
+            let region = self.node(id).region;
+            let host = Self::host_for(net, &region);
+            if self.node(id).host != host {
+                self.nodes[id.0 as usize].as_mut().unwrap().host = host;
+                mutations += 1;
+            }
+            if Self::is_leaf_region(net, &region) {
+                // Leaf: prune any children.
+                for i in 0..self.k {
+                    if let Some(child) = self.node(id).children[i] {
+                        self.prune(child);
+                        self.nodes[id.0 as usize].as_mut().unwrap().children[i] = None;
+                        mutations += 1;
+                    }
+                }
+                continue;
+            }
+            for i in 0..self.k {
+                let part = region.child(i, self.k);
+                let needed = !part.is_empty() && net.ring().count_in(&part) >= 1;
+                let existing = self.node(id).children[i];
+                match (needed, existing) {
+                    (false, Some(child)) => {
+                        self.prune(child);
+                        self.nodes[id.0 as usize].as_mut().unwrap().children[i] = None;
+                        mutations += 1;
+                    }
+                    (true, None) => {
+                        let depth = self.node(id).depth + 1;
+                        let child = self.alloc(KtNode {
+                            region: part,
+                            host: Self::host_for(net, &part),
+                            children: vec![None; self.k],
+                            parent: Some(id),
+                            depth,
+                        });
+                        self.nodes[id.0 as usize].as_mut().unwrap().children[i] = Some(child);
+                        mutations += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        mutations
+    }
+
+    /// Runs [`Self::maintain_round`] until stable, returning the number of
+    /// rounds needed (0 if already stable). Panics after `limit` rounds.
+    pub fn maintain_until_stable(&mut self, net: &ChordNetwork, limit: usize) -> usize {
+        for round in 0..limit {
+            if self.maintain_round(net) == 0 {
+                return round;
+            }
+        }
+        panic!("K-nary tree failed to stabilize within {limit} rounds");
+    }
+
+    /// Checks structural invariants of a **stable** tree. Used by tests.
+    pub fn check_invariants(&self, net: &ChordNetwork) -> Result<(), String> {
+        for id in self.iter_ids() {
+            let node = self.node(id);
+            let host = Self::host_for(net, &node.region);
+            if node.host != host {
+                return Err(format!(
+                    "{id:?} hosted by {:?}, should be {host:?}",
+                    node.host
+                ));
+            }
+            if Self::is_leaf_region(net, &node.region) {
+                if !node.is_leaf() {
+                    return Err(format!("{id:?} should be a leaf"));
+                }
+                continue;
+            }
+            for i in 0..self.k {
+                let part = node.region.child(i, self.k);
+                let needed = !part.is_empty() && net.ring().count_in(&part) >= 1;
+                match node.children[i] {
+                    Some(child) => {
+                        if !needed {
+                            return Err(format!("{id:?} child {i} should be pruned"));
+                        }
+                        let c = self.node(child);
+                        if c.region != part || c.parent != Some(id) || c.depth != node.depth + 1 {
+                            return Err(format!("{id:?} child {i} metadata wrong"));
+                        }
+                    }
+                    None => {
+                        if needed {
+                            return Err(format!("{id:?} child {i} missing"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of **inter-virtual-server messages** needed to reach each KT
+    /// node from the root along tree edges: an edge between KT nodes planted
+    /// in the *same* virtual server is free (intra-process). This is the
+    /// metric behind the paper's `O(log_K N)` bounds.
+    pub fn message_depths(&self) -> std::collections::HashMap<KtNodeId, u32> {
+        let mut out = std::collections::HashMap::with_capacity(self.len());
+        let mut queue = std::collections::VecDeque::new();
+        out.insert(self.root, 0u32);
+        queue.push_back(self.root);
+        while let Some(id) = queue.pop_front() {
+            let md = out[&id];
+            let node = self.node(id);
+            for &child in node.children.iter().flatten() {
+                let hop = u32::from(self.node(child).host != node.host);
+                out.insert(child, md + hop);
+                queue.push_back(child);
+            }
+        }
+        out
+    }
+
+    /// The largest message depth in the tree (`O(log_K N)` in expectation).
+    pub fn max_message_depth(&self) -> u32 {
+        self.message_depths().values().copied().max().unwrap_or(0)
+    }
+
+    /// Full recursive growth (used by `build`; maintenance grows one level
+    /// per round instead).
+    fn grow_fully(&mut self, net: &ChordNetwork, id: KtNodeId) {
+        let region = self.node(id).region;
+        if Self::is_leaf_region(net, &region) {
+            return;
+        }
+        let depth = self.node(id).depth + 1;
+        for i in 0..self.k {
+            let part = region.child(i, self.k);
+            if part.is_empty() || net.ring().count_in(&part) == 0 {
+                continue;
+            }
+            let child = self.alloc(KtNode {
+                region: part,
+                host: Self::host_for(net, &part),
+                children: vec![None; self.k],
+                parent: Some(id),
+                depth,
+            });
+            self.nodes[id.0 as usize].as_mut().unwrap().children[i] = Some(child);
+            self.grow_fully(net, child);
+        }
+    }
+
+    fn alloc(&mut self, node: KtNode) -> KtNodeId {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = Some(node);
+            KtNodeId(slot)
+        } else {
+            self.nodes.push(Some(node));
+            KtNodeId((self.nodes.len() - 1) as u32)
+        }
+    }
+
+    /// Removes `id` and its whole subtree.
+    fn prune(&mut self, id: KtNodeId) {
+        let children: Vec<KtNodeId> = self.node(id).children.iter().flatten().copied().collect();
+        for c in children {
+            self.prune(c);
+        }
+        self.nodes[id.0 as usize] = None;
+        self.free.push(id.0);
+    }
+}

@@ -1,0 +1,562 @@
+//! One driver per paper figure/claim. The `repro` binary and the Criterion
+//! benches call these; integration tests run them at reduced scale.
+
+use crate::metrics::DistanceHistogram;
+use crate::scenario::{Prepared, Scenario};
+use proxbal_core::{
+    BalanceReport, BalancerConfig, ClassifyParams, LoadBalancer, NodeClass, ProximityMode,
+};
+use proxbal_ktree::KTree;
+use serde::{Deserialize, Serialize};
+
+/// Figure 4: scatter of unit load (load / capacity) per node before and
+/// after load balancing (Gaussian workload in the paper).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig4Output {
+    /// Unit load of every alive peer before balancing (scatter (a)).
+    pub before: Vec<f64>,
+    /// Unit load of every alive peer after balancing (scatter (b)).
+    pub after: Vec<f64>,
+    /// The balance run's report.
+    pub report: BalanceReport,
+}
+
+/// Runs the Figure-4 experiment on a prepared scenario.
+pub fn fig4_unit_load(prepared: &mut Prepared) -> Fig4Output {
+    let peers = prepared.net.alive_peers();
+    let before: Vec<f64> = peers
+        .iter()
+        .map(|&p| prepared.loads.unit_load(&prepared.net, p))
+        .collect();
+
+    let balancer = LoadBalancer::new(prepared.scenario.balancer);
+    // Field-wise borrow (not `prepared.underlay()`) so `net`/`loads` can be
+    // borrowed mutably at the same time.
+    let underlay = prepared.oracle.as_ref().map(|oracle| proxbal_core::Underlay {
+        oracle,
+        latency_oracle: prepared.latency_oracle.as_ref(),
+        landmarks: &prepared.landmarks,
+    });
+    let mut rng = prepared.derived_rng(4);
+    let report = balancer.run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng);
+
+    let after: Vec<f64> = peers
+        .iter()
+        .map(|&p| prepared.loads.unit_load(&prepared.net, p))
+        .collect();
+    Fig4Output {
+        before,
+        after,
+        report,
+    }
+}
+
+/// Figures 5 and 6: node loads grouped by capacity class, before and after
+/// balancing (Gaussian for Fig. 5, Pareto for Fig. 6).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClassLoadsOutput {
+    /// The capacity value of each class.
+    pub class_capacity: Vec<f64>,
+    /// Node loads per class before balancing.
+    pub before: Vec<Vec<f64>>,
+    /// Node loads per class after balancing.
+    pub after: Vec<Vec<f64>>,
+    /// The balance run's report.
+    pub report: BalanceReport,
+}
+
+/// Runs the Figure-5/6 experiment (the workload in `prepared` selects
+/// which figure).
+pub fn fig56_class_loads(prepared: &mut Prepared) -> ClassLoadsOutput {
+    let classes = prepared.scenario.capacity.class_count();
+    let class_capacity: Vec<f64> = (0..classes)
+        .map(|c| {
+            prepared
+                .scenario
+                .capacity
+                .capacity_of(proxbal_workload::CapacityClass(c))
+        })
+        .collect();
+
+    let collect = |prepared: &Prepared| -> Vec<Vec<f64>> {
+        let mut per_class = vec![Vec::new(); classes];
+        for p in prepared.net.alive_peers() {
+            let c = prepared.loads.class(p).expect("class recorded").0;
+            per_class[c].push(prepared.loads.node_load(&prepared.net, p));
+        }
+        per_class
+    };
+
+    let before = collect(prepared);
+    let balancer = LoadBalancer::new(prepared.scenario.balancer);
+    let underlay = prepared.oracle.as_ref().map(|oracle| proxbal_core::Underlay {
+        oracle,
+        latency_oracle: prepared.latency_oracle.as_ref(),
+        landmarks: &prepared.landmarks,
+    });
+    let mut rng = prepared.derived_rng(56);
+    let report = balancer.run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng);
+    let after = collect(prepared);
+
+    ClassLoadsOutput {
+        class_capacity,
+        before,
+        after,
+        report,
+    }
+}
+
+/// Figures 7 and 8: moved-load-vs-distance comparison between the
+/// proximity-aware and proximity-ignorant schemes on the same initial
+/// state (the topology in the scenario selects ts5k-large vs ts5k-small).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MovedLoadOutput {
+    /// Distance histogram of the proximity-aware run.
+    pub aware: DistanceHistogram,
+    /// Distance histogram of the proximity-ignorant run.
+    pub ignorant: DistanceHistogram,
+    /// Report of the aware run.
+    pub aware_report: BalanceReport,
+    /// Report of the ignorant run.
+    pub ignorant_report: BalanceReport,
+}
+
+/// Runs both modes from identical initial conditions and returns the two
+/// distance histograms.
+pub fn fig78_moved_load(prepared: &Prepared) -> MovedLoadOutput {
+    let underlay = prepared.underlay().expect("figure 7/8 requires a topology");
+
+    let run = |mode: ProximityMode, label: u64| {
+        let mut net = prepared.net.clone();
+        let mut loads = prepared.loads.clone();
+        let cfg = BalancerConfig {
+            mode,
+            ..prepared.scenario.balancer
+        };
+        let balancer = LoadBalancer::new(cfg);
+        let mut rng = prepared.derived_rng(label);
+        let report = balancer.run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let mut hist = DistanceHistogram::new();
+        for t in &report.transfers {
+            hist.add(t.distance.expect("underlay present"), t.assignment.load);
+        }
+        (hist, report)
+    };
+
+    let (aware, aware_report) = run(
+        ProximityMode::Aware(proxbal_core::ProximityParams::default()),
+        78,
+    );
+    let (ignorant, ignorant_report) = run(ProximityMode::Ignorant, 79);
+
+    MovedLoadOutput {
+        aware,
+        ignorant,
+        aware_report,
+        ignorant_report,
+    }
+}
+
+/// One row of the VSA-round-scaling experiment (the `O(log_K N)` claim).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RoundsRow {
+    /// Number of peers.
+    pub peers: usize,
+    /// Virtual servers in the system.
+    pub virtual_servers: usize,
+    /// Tree degree.
+    pub k: usize,
+    /// LBI aggregation message rounds.
+    pub lbi_rounds: u32,
+    /// Dissemination message rounds.
+    pub dissemination_rounds: u32,
+    /// VSA sweep message rounds.
+    pub vsa_rounds: u32,
+    /// `log_K(virtual servers)` for reference.
+    pub log_k_m: f64,
+}
+
+/// Measures protocol rounds across overlay sizes and tree degrees.
+pub fn rounds_scaling(sizes: &[usize], ks: &[usize], seed: u64) -> Vec<RoundsRow> {
+    let mut rows = Vec::new();
+    for &peers in sizes {
+        for &k in ks {
+            let mut scenario = Scenario::small(seed ^ (peers as u64) ^ ((k as u64) << 32));
+            scenario.peers = peers;
+            scenario.topology = crate::TopologyKind::None;
+            scenario.balancer = BalancerConfig {
+                k,
+                ..BalancerConfig::default()
+            };
+            let mut prepared = scenario.prepare();
+            let balancer = LoadBalancer::new(prepared.scenario.balancer);
+            let mut rng = prepared.derived_rng(1000 + k as u64);
+            let report = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+            let m = prepared.net.alive_vs_count();
+            rows.push(RoundsRow {
+                peers,
+                virtual_servers: m,
+                k,
+                lbi_rounds: report.lbi_rounds,
+                dissemination_rounds: report.dissemination_rounds,
+                vsa_rounds: report.vsa.rounds,
+                log_k_m: (m as f64).ln() / (k as f64).ln(),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the tree self-repair experiment (§3.1.1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RepairRow {
+    /// Peers before the crash wave.
+    pub peers: usize,
+    /// Fraction of peers crashed simultaneously.
+    pub crash_fraction: f64,
+    /// Maintenance rounds until the tree was stable after the crash wave.
+    /// Crash repair is re-planting + pruning, which one periodic check per
+    /// node completes — the expensive direction is growth.
+    pub crash_repair_rounds: usize,
+    /// Maintenance rounds until stability after the crashed capacity
+    /// re-joined (tree growth proceeds one level per round — this is the
+    /// `O(log_K N)` direction).
+    pub join_repair_rounds: usize,
+    /// Tree height after full repair (structural bound on growth rounds).
+    pub height_after: u32,
+}
+
+/// Crashes a fraction of peers at once, repairs, re-joins the same number
+/// of peers, and repairs again, measuring maintenance rounds for both waves.
+pub fn repair_after_crash(peers: usize, crash_fraction: f64, k: usize, seed: u64) -> RepairRow {
+    let mut scenario = Scenario::small(seed);
+    scenario.peers = peers;
+    scenario.topology = crate::TopologyKind::None;
+    let mut prepared = scenario.prepare();
+    let mut tree = KTree::build(&prepared.net, k);
+
+    let victims: Vec<_> = prepared.net.alive_peers();
+    let n_crash = ((victims.len() as f64) * crash_fraction) as usize;
+    for p in victims.into_iter().take(n_crash) {
+        prepared.net.crash_peer(p);
+    }
+    let crash_repair_rounds = tree.maintain_until_stable(&prepared.net, 256);
+    tree.check_invariants(&prepared.net).expect("repaired tree");
+
+    let mut rng = prepared.derived_rng(0xCAFE);
+    for _ in 0..n_crash {
+        prepared.net.join_peer(prepared.scenario.vs_per_peer, &mut rng);
+    }
+    let join_repair_rounds = tree.maintain_until_stable(&prepared.net, 256);
+    tree.check_invariants(&prepared.net).expect("regrown tree");
+
+    RepairRow {
+        peers,
+        crash_fraction,
+        crash_repair_rounds,
+        join_repair_rounds,
+        height_after: tree.height(),
+    }
+}
+
+/// Result of comparing balance quality across schemes on one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SchemeComparison {
+    /// Gini of unit loads before balancing.
+    pub gini_before: f64,
+    /// Gini after our scheme.
+    pub gini_tree: f64,
+    /// Heavy nodes before / after our scheme.
+    pub heavy_before: usize,
+    /// Heavy nodes remaining after our scheme.
+    pub heavy_after: usize,
+    /// Thrash events of the CFS baseline on the same initial state.
+    pub cfs_thrash_events: usize,
+    /// Whether CFS converged.
+    pub cfs_converged: bool,
+}
+
+/// Runs our scheme and the CFS baseline from identical initial conditions.
+pub fn scheme_comparison(prepared: &Prepared) -> SchemeComparison {
+    use crate::metrics::gini;
+    let unit_loads = |net: &proxbal_chord::ChordNetwork, loads: &proxbal_core::LoadState| {
+        net.alive_peers()
+            .iter()
+            .map(|&p| loads.unit_load(net, p))
+            .collect::<Vec<_>>()
+    };
+    let gini_before = gini(&unit_loads(&prepared.net, &prepared.loads));
+
+    // Our scheme.
+    let mut net = prepared.net.clone();
+    let mut loads = prepared.loads.clone();
+    let balancer = LoadBalancer::new(prepared.scenario.balancer);
+    let mut rng = prepared.derived_rng(91);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let gini_tree = gini(&unit_loads(&net, &loads));
+
+    // CFS baseline.
+    let mut net2 = prepared.net.clone();
+    let mut loads2 = prepared.loads.clone();
+    let params = ClassifyParams {
+        epsilon: prepared.scenario.balancer.epsilon,
+    };
+    let cfs = proxbal_core::baselines::cfs_shed(&mut net2, &mut loads2, &params, 20);
+
+    SchemeComparison {
+        gini_before,
+        gini_tree,
+        heavy_before: report.before.get(&NodeClass::Heavy).copied().unwrap_or(0),
+        heavy_after: report.heavy_after(),
+        cfs_thrash_events: cfs.thrash_events,
+        cfs_converged: cfs.converged,
+    }
+}
+
+/// Pooled result of running the Figure-7/8 experiment over several
+/// independently generated topology graphs (the paper: "Both topologies
+/// have 10 graphs each and we ran all these graphs in our simulation").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicatedMovedLoad {
+    /// Pooled aware histogram across all graphs.
+    pub aware: DistanceHistogram,
+    /// Pooled ignorant histogram across all graphs.
+    pub ignorant: DistanceHistogram,
+    /// Per-graph `(aware ≤2, aware ≤10, ignorant ≤10)` fractions, for
+    /// variance inspection.
+    pub per_graph: Vec<(f64, f64, f64)>,
+    /// Heavy nodes remaining after any run (should stay 0).
+    pub max_heavy_after: usize,
+}
+
+/// Runs [`fig78_moved_load`] on `graphs` independently seeded scenarios in
+/// parallel and pools the histograms.
+pub fn fig78_replicated(base: &Scenario, graphs: usize, threads: usize) -> ReplicatedMovedLoad {
+    let threads = threads.max(1);
+    let outputs: Vec<MovedLoadOutput> = {
+        let mut slots: Vec<Option<MovedLoadOutput>> = (0..graphs).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slot_refs: Vec<parking_lot::Mutex<&mut Option<MovedLoadOutput>>> =
+            slots.iter_mut().map(parking_lot::Mutex::new).collect();
+        crossbeam::scope(|s| {
+            for _ in 0..threads.min(graphs) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= graphs {
+                        break;
+                    }
+                    let mut scenario = base.clone();
+                    scenario.seed = base.seed.wrapping_add(i as u64);
+                    let prepared = scenario.prepare();
+                    let out = fig78_moved_load(&prepared);
+                    **slot_refs[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("replication worker panicked");
+        drop(slot_refs);
+        slots.into_iter().map(|o| o.expect("filled")).collect()
+    };
+
+    let mut pooled = ReplicatedMovedLoad {
+        aware: DistanceHistogram::new(),
+        ignorant: DistanceHistogram::new(),
+        per_graph: Vec::with_capacity(graphs),
+        max_heavy_after: 0,
+    };
+    for out in &outputs {
+        pooled.aware.merge(&out.aware);
+        pooled.ignorant.merge(&out.ignorant);
+        pooled.per_graph.push((
+            out.aware.fraction_within(2),
+            out.aware.fraction_within(10),
+            out.ignorant.fraction_within(10),
+        ));
+        pooled.max_heavy_after = pooled
+            .max_heavy_after
+            .max(out.aware_report.heavy_after())
+            .max(out.ignorant_report.heavy_after());
+    }
+    pooled
+}
+
+/// One configuration of the design-choice ablation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Human-readable variant label.
+    pub label: String,
+    /// Heavy nodes remaining.
+    pub heavy_after: usize,
+    /// Total load moved.
+    pub moved_load: f64,
+    /// Fraction of moved load within 2 hops.
+    pub frac2: f64,
+    /// Fraction of moved load within 10 hops.
+    pub frac10: f64,
+    /// Load-weighted mean transfer distance.
+    pub mean_distance: f64,
+}
+
+/// Sweeps the design choices DESIGN.md calls out — ε, rendezvous threshold,
+/// Hilbert-vs-Morton curve, key dimensionality and tree degree — and
+/// reports the *outcomes* (Criterion's `ablations` bench reports the
+/// costs).
+pub fn ablation_sweep(prepared: &Prepared) -> Vec<AblationRow> {
+    use proxbal_core::{ProximityParams, Underlay};
+    use proxbal_hilbert::CurveKind;
+
+    let oracle = prepared.oracle.as_ref().expect("ablation needs a topology");
+    let underlay = Underlay {
+        oracle,
+        latency_oracle: prepared.latency_oracle.as_ref(),
+        landmarks: &prepared.landmarks,
+    };
+
+    let run = |label: &str, cfg: BalancerConfig| -> AblationRow {
+        let mut net = prepared.net.clone();
+        let mut loads = prepared.loads.clone();
+        let mut rng = prepared.derived_rng(0xAB1A);
+        let report = LoadBalancer::new(cfg).run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let mut hist = DistanceHistogram::new();
+        for t in &report.transfers {
+            hist.add(t.distance.expect("underlay present"), t.assignment.load);
+        }
+        AblationRow {
+            label: label.to_string(),
+            heavy_after: report.heavy_after(),
+            moved_load: proxbal_core::total_moved_load(&report.transfers),
+            frac2: hist.fraction_within(2),
+            frac10: hist.fraction_within(10),
+            mean_distance: hist.mean_distance(),
+        }
+    };
+
+    let base = BalancerConfig {
+        mode: ProximityMode::Aware(ProximityParams::default()),
+        ..prepared.scenario.balancer
+    };
+    let aware = |prox: ProximityParams| BalancerConfig {
+        mode: ProximityMode::Aware(prox),
+        ..base
+    };
+
+    let mut rows = vec![run("default (aware, eps=0.05, thr=30, K=2)", base)];
+    for eps in [0.0, 0.2, 0.5] {
+        rows.push(run(
+            &format!("epsilon={eps}"),
+            BalancerConfig { epsilon: eps, ..base },
+        ));
+    }
+    for thr in [2usize, 100] {
+        rows.push(run(
+            &format!("threshold={thr}"),
+            BalancerConfig {
+                rendezvous_threshold: thr,
+                ..base
+            },
+        ));
+    }
+    for k in [4usize, 8] {
+        rows.push(run(&format!("K={k}"), BalancerConfig { k, ..base }));
+    }
+    rows.push(run(
+        "curve=Morton",
+        aware(ProximityParams {
+            curve: CurveKind::Morton,
+            ..ProximityParams::default()
+        }),
+    ));
+    for kd in [1usize, 5, 15] {
+        rows.push(run(
+            &format!("key_dims={kd}"),
+            aware(ProximityParams {
+                key_dims: Some(kd),
+                ..ProximityParams::default()
+            }),
+        ));
+    }
+    rows.push(run(
+        "no per-dim scaling",
+        aware(ProximityParams {
+            per_dim_scaling: false,
+            ..ProximityParams::default()
+        }),
+    ));
+    rows.push(run("proximity-ignorant", BalancerConfig {
+        mode: ProximityMode::Ignorant,
+        ..base
+    }));
+    rows
+}
+
+/// One row of the protocol-latency experiment: simulated wall-clock time
+/// (latency units; interdomain hop = 3, intradomain = 1) for the LBI
+/// aggregation and dissemination phases, message by message.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencyRow {
+    /// Number of peers.
+    pub peers: usize,
+    /// Tree degree.
+    pub k: usize,
+    /// Message-loss probability.
+    pub loss: f64,
+    /// Aggregation completion time.
+    pub aggregation: u64,
+    /// Dissemination completion time.
+    pub dissemination: u64,
+    /// Total messages (both phases, including retransmissions).
+    pub messages: usize,
+}
+
+/// Simulates the tree phases at the message level across sizes/degrees and
+/// loss rates (the wall-clock behind "fast load balancing").
+pub fn protocol_latency(sizes: &[usize], ks: &[usize], losses: &[f64], seed: u64) -> Vec<LatencyRow> {
+    use crate::protocol::{simulate_aggregation, simulate_dissemination, LossModel};
+    let mut rows = Vec::new();
+    for &peers in sizes {
+        let mut scenario = Scenario::paper(seed ^ peers as u64);
+        scenario.peers = peers;
+        scenario.topology = crate::TopologyKind::Ts5kLarge;
+        let prepared = scenario.prepare();
+        let oracle = prepared.oracle.as_ref().expect("topology present");
+        for &k in ks {
+            let tree = KTree::build(&prepared.net, k);
+            let contributors: std::collections::HashSet<_> = prepared
+                .net
+                .ring()
+                .iter()
+                .map(|(_, vs)| tree.report_target(&prepared.net, vs))
+                .collect();
+            for &loss in losses {
+                let model = if loss == 0.0 {
+                    LossModel::reliable()
+                } else {
+                    LossModel {
+                        loss_probability: loss,
+                        retransmit_after: 30,
+                    }
+                };
+                let mut rng = prepared.derived_rng(0x1A7 ^ (k as u64) << 8);
+                let agg = simulate_aggregation(
+                    &prepared.net,
+                    &tree,
+                    oracle,
+                    &contributors,
+                    &model,
+                    &mut rng,
+                );
+                let dis =
+                    simulate_dissemination(&prepared.net, &tree, oracle, &model, &mut rng);
+                rows.push(LatencyRow {
+                    peers,
+                    k,
+                    loss,
+                    aggregation: agg.completion,
+                    dissemination: dis.completion,
+                    messages: agg.messages + dis.messages,
+                });
+            }
+        }
+    }
+    rows
+}

@@ -1,0 +1,387 @@
+//! Message-level discrete-event simulation of the tree protocols.
+//!
+//! The round counts of [`crate::experiments::rounds_scaling`] abstract away
+//! link latencies; this module simulates the LBI aggregation and
+//! dissemination phases message by message over the physical topology —
+//! each tree edge costs its shortest-path latency, a parent forwards only
+//! once every contributing child has reported, and messages can be lost
+//! and retransmitted after a timeout. The result is the *wall-clock*
+//! completion time behind the paper's "fast load balancing" claim.
+
+use crate::des::{EventQueue, SimTime};
+use proxbal_chord::ChordNetwork;
+use proxbal_ktree::{KTree, KtNodeId};
+use proxbal_topology::DistanceOracle;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Message-loss model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Probability that any single message transmission is lost.
+    pub loss_probability: f64,
+    /// Retransmission timeout (the sender retries after this delay).
+    pub retransmit_after: SimTime,
+}
+
+impl LossModel {
+    /// No loss.
+    pub fn reliable() -> Self {
+        LossModel {
+            loss_probability: 0.0,
+            retransmit_after: 1,
+        }
+    }
+}
+
+/// Outcome of one simulated phase.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Simulated time at which the phase completed.
+    pub completion: SimTime,
+    /// Messages sent (including retransmissions).
+    pub messages: usize,
+    /// Messages lost and retransmitted.
+    pub losses: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A message from `from` arrives at `to` (tree edge).
+    Deliver {
+        #[allow(dead_code)] // kept for event tracing/debugging
+        from: KtNodeId,
+        to: KtNodeId,
+    },
+}
+
+/// Latency of the tree edge between a KT node and its parent, in the
+/// underlay's units. Free if both are planted in virtual servers of the
+/// same peer.
+fn edge_latency(
+    net: &ChordNetwork,
+    oracle: &DistanceOracle,
+    tree: &KTree,
+    child: KtNodeId,
+    parent: KtNodeId,
+) -> SimTime {
+    let a = net.vs(tree.node(child).host).host;
+    let b = net.vs(tree.node(parent).host).host;
+    if a == b {
+        return 0;
+    }
+    let (ua, ub) = (net.peer(a).underlay, net.peer(b).underlay);
+    assert!(ua != u32::MAX && ub != u32::MAX, "peers must be attached");
+    SimTime::from(oracle.distance(ua, ub))
+}
+
+/// Simulates the bottom-up LBI aggregation as individual messages: every
+/// KT node on the path from a contributing node to the root forwards
+/// upward once all its contributing children have reported.
+///
+/// Returns the timing; with [`LossModel::reliable`] the completion time
+/// equals the analytic maximum root-path latency over contributing nodes.
+pub fn simulate_aggregation<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    contributors: &HashSet<KtNodeId>,
+    loss: &LossModel,
+    rng: &mut R,
+) -> PhaseTiming {
+    assert!((0.0..1.0).contains(&loss.loss_probability));
+    // Active nodes: contributors and all their ancestors.
+    let mut active: HashSet<KtNodeId> = HashSet::new();
+    for &c in contributors {
+        let mut cur = Some(c);
+        while let Some(id) = cur {
+            if !active.insert(id) {
+                break;
+            }
+            cur = tree.node(id).parent;
+        }
+    }
+    if active.is_empty() {
+        return PhaseTiming {
+            completion: 0,
+            messages: 0,
+            losses: 0,
+        };
+    }
+
+    // pending[n] = number of active children n still waits for.
+    let mut pending: HashMap<KtNodeId, usize> = HashMap::new();
+    for &n in &active {
+        let k = tree
+            .node(n)
+            .children
+            .iter()
+            .flatten()
+            .filter(|c| active.contains(c))
+            .count();
+        pending.insert(n, k);
+    }
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut timing = PhaseTiming {
+        completion: 0,
+        messages: 0,
+        losses: 0,
+    };
+
+    // `send` models one (possibly lossy) transmission: schedules either the
+    // delivery or a chain of retransmissions.
+    let send = |queue: &mut EventQueue<Event>,
+                    timing: &mut PhaseTiming,
+                    rng: &mut R,
+                    from: KtNodeId,
+                    to: KtNodeId,
+                    latency: SimTime| {
+        let mut delay = latency;
+        loop {
+            timing.messages += 1;
+            if rng.gen::<f64>() < loss.loss_probability {
+                timing.losses += 1;
+                delay += loss.retransmit_after + latency;
+            } else {
+                queue.schedule_in(delay, Event::Deliver { from, to });
+                break;
+            }
+        }
+    };
+
+    // Leaves of the active set (pending == 0) fire immediately.
+    let mut root_done = false;
+    let ready: Vec<KtNodeId> = active
+        .iter()
+        .copied()
+        .filter(|n| pending[n] == 0)
+        .collect();
+    for n in ready {
+        match tree.node(n).parent {
+            Some(parent) => {
+                let lat = edge_latency(net, oracle, tree, n, parent);
+                send(&mut queue, &mut timing, rng, n, parent, lat);
+            }
+            None => root_done = true, // degenerate: root is the only node
+        }
+    }
+
+    while let Some((t, Event::Deliver { from: _, to })) = queue.pop() {
+        let slot = pending.get_mut(&to).expect("active node");
+        *slot -= 1;
+        if *slot > 0 {
+            continue;
+        }
+        match tree.node(to).parent {
+            Some(parent) => {
+                let lat = edge_latency(net, oracle, tree, to, parent);
+                send(&mut queue, &mut timing, rng, to, parent, lat);
+            }
+            None => {
+                timing.completion = t;
+                root_done = true;
+            }
+        }
+    }
+    assert!(root_done, "aggregation must reach the root");
+    timing
+}
+
+/// Simulates the top-down dissemination: the root broadcasts, every node
+/// forwards to its children on arrival. Completion is the last delivery.
+pub fn simulate_dissemination<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    loss: &LossModel,
+    rng: &mut R,
+) -> PhaseTiming {
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut timing = PhaseTiming {
+        completion: 0,
+        messages: 0,
+        losses: 0,
+    };
+    let mut delivered: HashSet<KtNodeId> = HashSet::new();
+
+    let fanout = |queue: &mut EventQueue<Event>,
+                      timing: &mut PhaseTiming,
+                      rng: &mut R,
+                      node: KtNodeId| {
+        for &child in tree.node(node).children.iter().flatten() {
+            let lat = edge_latency(net, oracle, tree, child, node);
+            let mut delay = lat;
+            loop {
+                timing.messages += 1;
+                if rng.gen::<f64>() < loss.loss_probability {
+                    timing.losses += 1;
+                    delay += loss.retransmit_after + lat;
+                } else {
+                    queue.schedule_in(delay, Event::Deliver { from: node, to: child });
+                    break;
+                }
+            }
+        }
+    };
+
+    delivered.insert(tree.root());
+    fanout(&mut queue, &mut timing, rng, tree.root());
+    while let Some((t, Event::Deliver { to, .. })) = queue.pop() {
+        if !delivered.insert(to) {
+            continue;
+        }
+        timing.completion = t;
+        fanout(&mut queue, &mut timing, rng, to);
+    }
+    assert_eq!(delivered.len(), tree.len(), "every KT node must be reached");
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::root_path_latencies;
+    use crate::{Scenario, TopologyKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::Prepared, KTree) {
+        let mut scenario = Scenario::small(60);
+        scenario.peers = 96;
+        scenario.topology = TopologyKind::Tiny;
+        let prepared = scenario.prepare();
+        let tree = KTree::build(&prepared.net, 2);
+        (prepared, tree)
+    }
+
+    fn all_report_targets(
+        prepared: &crate::Prepared,
+        tree: &KTree,
+    ) -> HashSet<KtNodeId> {
+        prepared
+            .net
+            .ring()
+            .iter()
+            .map(|(_, vs)| tree.report_target(&prepared.net, vs))
+            .collect()
+    }
+
+    #[test]
+    fn reliable_aggregation_matches_analytic_latency() {
+        let (prepared, tree) = setup();
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let contributors = all_report_targets(&prepared, &tree);
+        let mut rng = StdRng::seed_from_u64(1);
+        let timing = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &contributors,
+            &LossModel::reliable(),
+            &mut rng,
+        );
+        // With every node contributing, the DES completion equals the max
+        // root-path latency over all contributing nodes.
+        let paths = root_path_latencies(&prepared.net, oracle, &tree);
+        let analytic = contributors.iter().map(|c| paths[c]).max().unwrap();
+        assert_eq!(timing.completion, analytic);
+        assert_eq!(timing.losses, 0);
+        assert!(timing.messages > 0);
+    }
+
+    #[test]
+    fn partial_contributors_complete_sooner_or_equal() {
+        let (prepared, tree) = setup();
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let all = all_report_targets(&prepared, &tree);
+        let few: HashSet<KtNodeId> = all.iter().copied().take(3).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t_all = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &all,
+            &LossModel::reliable(),
+            &mut rng,
+        );
+        let t_few = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &few,
+            &LossModel::reliable(),
+            &mut rng,
+        );
+        assert!(t_few.completion <= t_all.completion);
+        assert!(t_few.messages < t_all.messages);
+    }
+
+    #[test]
+    fn loss_delays_but_completes() {
+        let (prepared, tree) = setup();
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let contributors = all_report_targets(&prepared, &tree);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reliable = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &contributors,
+            &LossModel::reliable(),
+            &mut rng,
+        );
+        let lossy = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &contributors,
+            &LossModel {
+                loss_probability: 0.3,
+                retransmit_after: 20,
+            },
+            &mut rng,
+        );
+        assert!(lossy.losses > 0);
+        assert!(lossy.completion >= reliable.completion);
+        assert!(lossy.messages > reliable.messages);
+    }
+
+    #[test]
+    fn dissemination_reaches_everyone() {
+        let (prepared, tree) = setup();
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let timing = simulate_dissemination(
+            &prepared.net,
+            &tree,
+            oracle,
+            &LossModel::reliable(),
+            &mut rng,
+        );
+        // Broadcast completion equals the max root-path latency over all
+        // nodes.
+        let paths = root_path_latencies(&prepared.net, oracle, &tree);
+        assert_eq!(timing.completion, *paths.values().max().unwrap());
+        // Exactly one message per tree edge when reliable.
+        assert_eq!(timing.messages, tree.len() - 1);
+    }
+
+    #[test]
+    fn empty_contributor_set_is_trivial() {
+        let (prepared, tree) = setup();
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let timing = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &HashSet::new(),
+            &LossModel::reliable(),
+            &mut rng,
+        );
+        assert_eq!(timing.completion, 0);
+        assert_eq!(timing.messages, 0);
+    }
+}

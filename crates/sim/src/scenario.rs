@@ -1,0 +1,169 @@
+use proxbal_chord::ChordNetwork;
+use proxbal_core::{BalancerConfig, LoadState, Underlay};
+use proxbal_topology::{
+    select_landmarks, DistanceOracle, NodeId, TransitStubConfig, TransitStubTopology,
+};
+use proxbal_workload::{CapacityProfile, LoadModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which physical topology to attach the overlay to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// The paper's "ts5k-large": a few big stub domains.
+    Ts5kLarge,
+    /// The paper's "ts5k-small": nodes scattered across the Internet.
+    Ts5kSmall,
+    /// A tiny topology for tests and examples.
+    Tiny,
+    /// No underlay (proximity-ignorant experiments only).
+    None,
+}
+
+/// Declarative description of one experiment, fully determined by `seed`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of DHT peers (paper: 4096).
+    pub peers: usize,
+    /// Virtual servers per peer at start (paper: 5).
+    pub vs_per_peer: usize,
+    /// Virtual-server load distribution.
+    pub load: LoadModel,
+    /// Node capacity profile.
+    pub capacity: CapacityProfile,
+    /// Physical topology.
+    pub topology: TopologyKind,
+    /// Number of landmarks (paper: 15).
+    pub landmarks: usize,
+    /// Balancer configuration.
+    pub balancer: BalancerConfig,
+    /// Master seed: every random choice derives from it.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's full-scale setup (§5.2): 4096 peers × 5 virtual servers,
+    /// Gaussian loads, Gnutella capacities, ts5k-large, 15 landmarks, K = 2.
+    pub fn paper(seed: u64) -> Self {
+        Scenario {
+            peers: 4096,
+            vs_per_peer: 5,
+            load: LoadModel::gaussian(1_000_000.0, 10_000.0),
+            capacity: CapacityProfile::gnutella(),
+            topology: TopologyKind::Ts5kLarge,
+            landmarks: 15,
+            balancer: BalancerConfig::default(),
+            seed,
+        }
+    }
+
+    /// A scaled-down variant for unit/integration tests (fast, same shape).
+    pub fn small(seed: u64) -> Self {
+        Scenario {
+            peers: 128,
+            vs_per_peer: 5,
+            topology: TopologyKind::Tiny,
+            landmarks: 4,
+            ..Self::paper(seed)
+        }
+    }
+
+    /// Builds the network, loads, topology, oracle and landmarks.
+    pub fn prepare(&self) -> Prepared {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let topo = match self.topology {
+            TopologyKind::Ts5kLarge => {
+                Some(TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng))
+            }
+            TopologyKind::Ts5kSmall => {
+                Some(TransitStubTopology::generate(TransitStubConfig::ts5k_small(), &mut rng))
+            }
+            TopologyKind::Tiny => {
+                Some(TransitStubTopology::generate(TransitStubConfig::tiny(), &mut rng))
+            }
+            TopologyKind::None => None,
+        };
+
+        let mut net = ChordNetwork::new();
+        for _ in 0..self.peers {
+            net.join_peer(self.vs_per_peer, &mut rng);
+        }
+
+        // Attach peers to distinct random stub nodes (peers are end hosts);
+        // only fall back to sharing when there are more peers than stubs.
+        let (oracle, landmarks) = if let Some(ref topo) = topo {
+            let mut stubs = topo.stub_nodes();
+            assert!(!stubs.is_empty());
+            stubs.shuffle(&mut rng);
+            for (i, p) in net.alive_peers().into_iter().enumerate() {
+                net.attach(p, stubs[i % stubs.len()]);
+            }
+            let landmarks = select_landmarks(topo, self.landmarks, &mut rng);
+            let oracle = DistanceOracle::new(Arc::new(topo.graph.clone()));
+            let latency_oracle = DistanceOracle::new(Arc::new(topo.latency_graph.clone()));
+            (Some((oracle, latency_oracle)), landmarks)
+        } else {
+            (None, Vec::new())
+        };
+
+        let loads = LoadState::generate(&net, &self.capacity, &self.load, &mut rng);
+
+        let (oracle, latency_oracle) = match oracle {
+            Some((a, b)) => (Some(a), Some(b)),
+            None => (None, None),
+        };
+        Prepared {
+            scenario: self.clone(),
+            net,
+            loads,
+            topo,
+            oracle,
+            latency_oracle,
+            landmarks,
+            rng,
+        }
+    }
+}
+
+/// A fully materialized scenario, ready to run.
+pub struct Prepared {
+    /// The source scenario.
+    pub scenario: Scenario,
+    /// The Chord overlay.
+    pub net: ChordNetwork,
+    /// Per-VS loads and per-peer capacities.
+    pub loads: LoadState,
+    /// The physical topology, if any.
+    pub topo: Option<TransitStubTopology>,
+    /// Hop-cost distance oracle over the topology, if any.
+    pub oracle: Option<DistanceOracle>,
+    /// Latency-metric oracle (landmark measurements), if any.
+    pub latency_oracle: Option<DistanceOracle>,
+    /// Landmark nodes.
+    pub landmarks: Vec<NodeId>,
+    /// The scenario RNG, positioned after setup (use for the run itself).
+    pub rng: StdRng,
+}
+
+impl Prepared {
+    /// The [`Underlay`] view required by proximity-aware balancing, if this
+    /// scenario has a topology.
+    pub fn underlay(&self) -> Option<Underlay<'_>> {
+        self.oracle.as_ref().map(|oracle| Underlay {
+            oracle,
+            latency_oracle: self.latency_oracle.as_ref(),
+            landmarks: &self.landmarks,
+        })
+    }
+
+    /// A fresh RNG stream derived from the scenario seed and a label, for
+    /// runs that must not perturb each other's randomness.
+    pub fn derived_rng(&self, label: u64) -> StdRng {
+        StdRng::seed_from_u64(self.scenario.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ label)
+    }
+}
+

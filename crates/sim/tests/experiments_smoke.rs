@@ -1,0 +1,148 @@
+//! Small-scale smoke tests for every experiment driver the `repro` binary
+//! uses — the full-scale outputs are recorded in EXPERIMENTS.md; these
+//! verify the drivers' *shape guarantees* quickly in CI.
+
+use proxbal_core::BalancerConfig;
+use proxbal_sim::experiments::*;
+use proxbal_sim::{Scenario, TopologyKind};
+use proxbal_workload::LoadModel;
+
+fn small(seed: u64, topology: TopologyKind) -> Scenario {
+    let mut s = Scenario::paper(seed);
+    s.peers = 256;
+    s.topology = topology;
+    s
+}
+
+#[test]
+fn fig4_driver_shape() {
+    let mut prepared = small(1, TopologyKind::None).prepare();
+    let out = fig4_unit_load(&mut prepared);
+    assert_eq!(out.before.len(), 256);
+    assert_eq!(out.after.len(), 256);
+    let max_before = out.before.iter().fold(0.0f64, |a, &b| a.max(b));
+    let max_after = out.after.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(max_after < max_before / 10.0, "{max_before} -> {max_after}");
+    assert!(out.report.heavy_before_fraction() > 0.4);
+    assert_eq!(out.report.heavy_after(), 0);
+}
+
+#[test]
+fn fig56_driver_shape_gaussian_and_pareto() {
+    for load in [LoadModel::gaussian(1e6, 1e4), LoadModel::pareto(1e6)] {
+        let mut scenario = small(2, TopologyKind::None);
+        scenario.load = load;
+        let mut prepared = scenario.prepare();
+        let out = fig56_class_loads(&mut prepared);
+        assert_eq!(out.class_capacity.len(), 5);
+        // Post-balance means rise with capacity over populated classes.
+        let means: Vec<f64> = out
+            .after
+            .iter()
+            .filter(|v| v.len() >= 3)
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+            .collect();
+        for w in means.windows(2) {
+            assert!(w[1] > w[0], "{load:?}: means not increasing {means:?}");
+        }
+    }
+}
+
+#[test]
+fn fig78_replicated_pools_graphs() {
+    let base = small(3, TopologyKind::Tiny);
+    let out = fig78_replicated(&base, 3, 3);
+    assert_eq!(out.per_graph.len(), 3);
+    assert_eq!(out.max_heavy_after, 0);
+    assert!(!out.aware.is_empty());
+    assert!(!out.ignorant.is_empty());
+    // Pooled totals are the sums of the per-graph runs.
+    assert!(out.aware.total() > 0.0);
+}
+
+#[test]
+fn rounds_scaling_is_monotone_in_size_and_k() {
+    let rows = rounds_scaling(&[64, 256], &[2, 8], 5);
+    assert_eq!(rows.len(), 4);
+    let get = |peers: usize, k: usize| {
+        rows.iter()
+            .find(|r| r.peers == peers && r.k == k)
+            .unwrap()
+            .lbi_rounds
+    };
+    assert!(get(256, 2) >= get(64, 2), "rounds grow with size");
+    assert!(get(256, 8) <= get(256, 2), "larger K flattens the tree");
+}
+
+#[test]
+fn repair_rows_bounded_by_height() {
+    let row = repair_after_crash(128, 0.25, 2, 7);
+    assert_eq!(row.crash_repair_rounds, 1, "prune/replant is one sweep");
+    assert!(row.join_repair_rounds >= 1);
+    assert!(
+        row.join_repair_rounds as u32 <= row.height_after + 2,
+        "regrowth {} vs height {}",
+        row.join_repair_rounds,
+        row.height_after
+    );
+}
+
+#[test]
+fn scheme_comparison_reports_cfs_weakness() {
+    let prepared = small(9, TopologyKind::None).prepare();
+    let cmp = scheme_comparison(&prepared);
+    assert!(cmp.gini_tree < cmp.gini_before);
+    assert!(cmp.heavy_before > 0);
+    assert!(cmp.heavy_after * 10 <= cmp.heavy_before);
+    // CFS either converges or thrashes; on heterogeneous workloads it
+    // reliably thrashes at least once.
+    assert!(cmp.cfs_thrash_events > 0 || cmp.cfs_converged);
+}
+
+#[test]
+fn ablation_sweep_covers_all_variants() {
+    let mut scenario = small(11, TopologyKind::Tiny);
+    scenario.landmarks = 6;
+    let prepared = scenario.prepare();
+    let rows = ablation_sweep(&prepared);
+    assert!(rows.len() >= 12);
+    // Ignorant baseline must have the worst mean distance.
+    let ignorant = rows
+        .iter()
+        .find(|r| r.label == "proximity-ignorant")
+        .unwrap();
+    let default = &rows[0];
+    assert!(default.mean_distance < ignorant.mean_distance);
+    // Conservation: every variant moves the same order of load.
+    for r in &rows {
+        assert!(r.moved_load > 0.0, "{} moved nothing", r.label);
+    }
+}
+
+#[test]
+fn balancer_config_in_scenario_is_respected() {
+    let mut scenario = small(13, TopologyKind::None);
+    scenario.balancer = BalancerConfig {
+        k: 8,
+        ..BalancerConfig::default()
+    };
+    let mut prepared = scenario.prepare();
+    let out = fig4_unit_load(&mut prepared);
+    // K=8 trees are shallow: round counts far below the K=2 equivalents.
+    assert!(out.report.lbi_rounds <= 10, "{}", out.report.lbi_rounds);
+}
+
+#[test]
+fn scenario_serde_round_trip() {
+    let scenario = Scenario::paper(99);
+    let json = serde_json::to_string(&scenario).unwrap();
+    let back: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.peers, scenario.peers);
+    assert_eq!(back.seed, scenario.seed);
+    assert_eq!(back.topology, scenario.topology);
+    // Both prepare to identical overlays.
+    let a = scenario.prepare();
+    let b = back.prepare();
+    assert_eq!(a.net.alive_vs_count(), b.net.alive_vs_count());
+    assert_eq!(a.landmarks, b.landmarks);
+}

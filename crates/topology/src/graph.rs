@@ -1,0 +1,115 @@
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a physical node in a [`Graph`].
+pub type NodeId = u32;
+
+/// Distance value reported for unreachable nodes.
+pub const INFINITE_DISTANCE: u32 = u32::MAX;
+
+/// Undirected weighted graph in adjacency-list form.
+///
+/// Edge weights are small positive integers (1 for intradomain hops, 3 for
+/// interdomain hops in the paper's cost model), so distances fit comfortably
+/// in `u32`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    /// `adj[u]` lists `(v, weight)` pairs. Each undirected edge appears twice.
+    adj: Vec<Vec<(NodeId, u32)>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`. Duplicate edges are
+    /// ignored (first weight wins); self-loops are rejected.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: u32) -> bool {
+        assert!(w > 0, "edge weights must be positive");
+        if u == v {
+            return false;
+        }
+        let (u_us, v_us) = (u as usize, v as usize);
+        assert!(u_us < self.adj.len() && v_us < self.adj.len());
+        if self.adj[u_us].iter().any(|&(x, _)| x == v) {
+            return false;
+        }
+        self.adj[u_us].push((v, w));
+        self.adj[v_us].push((u, w));
+        self.edge_count += 1;
+        true
+    }
+
+    /// True iff the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].iter().any(|&(x, _)| x == v)
+    }
+
+    /// Neighbors of `u` with edge weights.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, u32)] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Single-source shortest path distances from `src` (Dijkstra).
+    /// Unreachable nodes get [`INFINITE_DISTANCE`].
+    pub fn dijkstra(&self, src: NodeId) -> Vec<u32> {
+        let n = self.adj.len();
+        let mut dist = vec![INFINITE_DISTANCE; n];
+        let mut heap = BinaryHeap::new();
+        dist[src as usize] = 0;
+        heap.push(Reverse((0u32, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u as usize] {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// True iff every node is reachable from node 0 (or the graph is empty).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let dist = self.dijkstra(0);
+        dist.iter().all(|&d| d != INFINITE_DISTANCE)
+    }
+
+    /// All-pairs shortest paths via repeated Dijkstra — O(V·E log V).
+    /// Intended for tests and small graphs; large graphs should use
+    /// [`crate::DistanceOracle`] which computes rows lazily and in parallel.
+    pub fn all_pairs(&self) -> Vec<Vec<u32>> {
+        (0..self.adj.len() as NodeId)
+            .map(|u| self.dijkstra(u))
+            .collect()
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic Internet topologies and distance oracles.
+//!
+//! The paper evaluates on two GT-ITM transit-stub topologies of ~5,000 nodes
+//! ("ts5k-large" and "ts5k-small") where **interdomain hops cost 3 latency
+//! units and intradomain hops cost 1**. GT-ITM itself is not available
+//! offline, so this crate implements a from-scratch transit-stub generator
+//! with the same shape parameters (see `DESIGN.md` §2) — the paper's results
+//! depend only on the transit-stub *structure* and the 3:1 cost ratio.
+//!
+//! * [`Graph`] — undirected weighted graph in adjacency-list form with
+//!   Dijkstra shortest paths.
+//! * [`TransitStubConfig`] / [`TransitStubTopology`] — the generator. The two
+//!   paper presets are [`TransitStubConfig::ts5k_large`] and
+//!   [`TransitStubConfig::ts5k_small`].
+//! * [`select_landmarks`] — spread landmark nodes across transit domains
+//!   (the paper uses 15 landmarks).
+//! * [`DistanceOracle`] — caching multi-source shortest-path oracle used to
+//!   derive landmark vectors and per-transfer hop costs.
+
+mod graph;
+mod landmarks;
+mod oracle;
+mod transit_stub;
+
+pub use graph::{Graph, NodeId, INFINITE_DISTANCE};
+pub use landmarks::select_landmarks;
+pub use oracle::DistanceOracle;
+pub use transit_stub::{DomainKind, TransitStubConfig, TransitStubTopology};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,87 @@
+use crate::graph::{Graph, NodeId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Caching shortest-path oracle.
+///
+/// Landmark vectors need distances *from* 15 landmarks; transfer-cost
+/// accounting (Figures 7 and 8) needs distances between arbitrary pairs of
+/// overlay attach points. Rather than a full 5,000×5,000 all-pairs matrix,
+/// the oracle runs Dijkstra per distinct source on demand and memoizes the
+/// row. Rows can also be bulk-precomputed in parallel with
+/// [`DistanceOracle::precompute`].
+pub struct DistanceOracle {
+    graph: Arc<Graph>,
+    rows: Vec<RwLock<Option<Arc<Vec<u32>>>>>,
+}
+
+impl DistanceOracle {
+    /// Creates an oracle over `graph` with an empty cache.
+    pub fn new(graph: Arc<Graph>) -> Self {
+        let n = graph.node_count();
+        DistanceOracle {
+            graph,
+            rows: (0..n).map(|_| RwLock::new(None)).collect(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Shortest-path distance row from `src` (computing and caching it if
+    /// needed).
+    pub fn row(&self, src: NodeId) -> Arc<Vec<u32>> {
+        if let Some(row) = self.rows[src as usize].read().clone() {
+            return row;
+        }
+        let computed = Arc::new(self.graph.dijkstra(src));
+        let mut slot = self.rows[src as usize].write();
+        // Another thread may have raced us; keep whichever is present.
+        if let Some(existing) = slot.clone() {
+            return existing;
+        }
+        *slot = Some(computed.clone());
+        computed
+    }
+
+    /// Shortest-path distance between `u` and `v` in latency units.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        if u == v {
+            return 0;
+        }
+        self.row(u)[v as usize]
+    }
+
+    /// Landmark vector of `node`: distances to each of `landmarks`, in order.
+    pub fn landmark_vector(&self, node: NodeId, landmarks: &[NodeId]) -> Vec<u32> {
+        // Dijkstra from each landmark (few sources) rather than from every
+        // node (many sources): the cache makes repeated calls cheap.
+        landmarks.iter().map(|&l| self.row(l)[node as usize]).collect()
+    }
+
+    /// Precomputes rows for `sources` in parallel using scoped threads.
+    pub fn precompute(&self, sources: &[NodeId], threads: usize) {
+        let threads = threads.max(1);
+        let chunk = sources.len().div_ceil(threads);
+        if chunk == 0 {
+            return;
+        }
+        crossbeam::scope(|s| {
+            for part in sources.chunks(chunk) {
+                s.spawn(move |_| {
+                    for &src in part {
+                        let _ = self.row(src);
+                    }
+                });
+            }
+        })
+        .expect("precompute worker panicked");
+    }
+
+    /// Number of cached rows (for tests / diagnostics).
+    pub fn cached_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.read().is_some()).count()
+    }
+}

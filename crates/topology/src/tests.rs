@@ -1,0 +1,347 @@
+use crate::transit_stub::{INTER_DOMAIN_WEIGHT, INTRA_DOMAIN_WEIGHT};
+use crate::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc as StdArc;
+
+fn small_topo(seed: u64) -> TransitStubTopology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TransitStubTopology::generate(TransitStubConfig::tiny(), &mut rng)
+}
+
+#[test]
+fn graph_basic_ops() {
+    let mut g = Graph::new(4);
+    assert!(g.add_edge(0, 1, 1));
+    assert!(g.add_edge(1, 2, 2));
+    assert!(!g.add_edge(0, 1, 5)); // duplicate ignored
+    assert!(!g.add_edge(2, 2, 1)); // self loop rejected
+    assert_eq!(g.edge_count(), 2);
+    assert!(g.has_edge(1, 0));
+    assert_eq!(g.degree(1), 2);
+    assert!(!g.is_connected()); // node 3 isolated
+}
+
+#[test]
+fn dijkstra_matches_hand_computed() {
+    // 0 -1- 1 -1- 2
+    //  \----5----/
+    let mut g = Graph::new(3);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(0, 2, 5);
+    let d = g.dijkstra(0);
+    assert_eq!(d, vec![0, 1, 2]);
+}
+
+#[test]
+fn dijkstra_unreachable_is_infinite() {
+    let g = Graph::new(2);
+    let d = g.dijkstra(0);
+    assert_eq!(d[1], INFINITE_DISTANCE);
+}
+
+/// Brute-force Bellman-Ford style relaxation as an independent check.
+fn bellman_ford(g: &Graph, src: NodeId) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![u64::from(INFINITE_DISTANCE); n];
+    dist[src as usize] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n as NodeId {
+            if dist[u as usize] == u64::from(INFINITE_DISTANCE) {
+                continue;
+            }
+            for &(v, w) in g.neighbors(u) {
+                let nd = dist[u as usize] + u64::from(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist.into_iter().map(|d| d.min(u64::from(INFINITE_DISTANCE)) as u32).collect()
+}
+
+#[test]
+fn dijkstra_agrees_with_bellman_ford_on_random_graphs() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..20 {
+        let n = 30;
+        let mut g = Graph::new(n);
+        for _ in 0..60 {
+            let u = rand::Rng::gen_range(&mut rng, 0..n as NodeId);
+            let v = rand::Rng::gen_range(&mut rng, 0..n as NodeId);
+            if u != v {
+                g.add_edge(u, v, rand::Rng::gen_range(&mut rng, 1..5));
+            }
+        }
+        for src in [0, 7, 29] {
+            assert_eq!(g.dijkstra(src), bellman_ford(&g, src));
+        }
+    }
+}
+
+#[test]
+fn tiny_topology_is_connected_and_shaped() {
+    let topo = small_topo(1);
+    assert!(topo.graph.is_connected());
+    let cfg = topo.config;
+    assert_eq!(
+        topo.transit_by_domain.len(),
+        cfg.transit_domains
+    );
+    assert_eq!(
+        topo.stub_by_domain.len(),
+        cfg.transit_domains * cfg.transit_nodes_per_domain * cfg.stub_domains_per_transit_node
+    );
+    // Every node is classified, and classification matches group membership.
+    for (d, ids) in topo.transit_by_domain.iter().enumerate() {
+        for &n in ids {
+            assert_eq!(topo.kind(n), DomainKind::Transit { domain: d as u32 });
+        }
+    }
+    for (d, ids) in topo.stub_by_domain.iter().enumerate() {
+        for &n in ids {
+            assert_eq!(topo.kind(n), DomainKind::Stub { domain: d as u32 });
+        }
+    }
+}
+
+#[test]
+fn ts5k_presets_have_paper_scale() {
+    // Around 5,000 nodes each (paper: "approximately 5,000 nodes each").
+    let large = TransitStubConfig::ts5k_large().expected_nodes();
+    let small = TransitStubConfig::ts5k_small().expected_nodes();
+    assert!((4000..7000).contains(&large), "ts5k-large expected {large}");
+    assert!((4000..7000).contains(&small), "ts5k-small expected {small}");
+}
+
+#[test]
+fn ts5k_large_generates_connected() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let topo = TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng);
+    assert!(topo.graph.is_connected());
+    let n = topo.node_count();
+    assert!((4000..7000).contains(&n), "actual node count {n}");
+}
+
+#[test]
+fn interdomain_edges_cost_three() {
+    let topo = small_topo(3);
+    // Every edge between nodes of different domains must have weight 3,
+    // intradomain edges weight 1.
+    for u in 0..topo.node_count() as NodeId {
+        for &(v, w) in topo.graph.neighbors(u) {
+            let same_domain = topo.kind(u) == topo.kind(v);
+            if same_domain {
+                assert_eq!(w, INTRA_DOMAIN_WEIGHT, "intra edge {u}-{v}");
+            } else {
+                assert_eq!(w, INTER_DOMAIN_WEIGHT, "inter edge {u}-{v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    let a = small_topo(99);
+    let b = small_topo(99);
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    for u in 0..a.node_count() as NodeId {
+        assert_eq!(a.graph.neighbors(u), b.graph.neighbors(u));
+    }
+}
+
+#[test]
+fn landmarks_spread_over_transit_domains() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng);
+    let lms = select_landmarks(&topo, 15, &mut rng);
+    assert_eq!(lms.len(), 15);
+    // No duplicates.
+    let mut sorted = lms.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 15);
+    // ts5k-large has 15 transit nodes across 5 domains: all must be used,
+    // hitting every domain.
+    let mut domains: Vec<u32> = lms
+        .iter()
+        .map(|&l| match topo.kind(l) {
+            DomainKind::Transit { domain } => domain,
+            DomainKind::Stub { .. } => panic!("landmark should be transit node here"),
+        })
+        .collect();
+    domains.sort_unstable();
+    domains.dedup();
+    assert_eq!(domains.len(), 5);
+}
+
+#[test]
+fn landmarks_fill_from_stubs_when_needed() {
+    let topo = small_topo(11); // only 4 transit nodes
+    let mut rng = StdRng::seed_from_u64(6);
+    let lms = select_landmarks(&topo, 10, &mut rng);
+    assert_eq!(lms.len(), 10);
+}
+
+#[test]
+fn oracle_matches_direct_dijkstra() {
+    let topo = small_topo(2);
+    let g = StdArc::new(topo.graph.clone());
+    let oracle = DistanceOracle::new(g.clone());
+    let direct = g.dijkstra(0);
+    for v in 0..g.node_count() as NodeId {
+        assert_eq!(oracle.distance(0, v), direct[v as usize]);
+    }
+    assert_eq!(oracle.cached_rows(), 1);
+}
+
+#[test]
+fn oracle_precompute_parallel() {
+    let topo = small_topo(8);
+    let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
+    let sources: Vec<NodeId> = (0..topo.node_count() as NodeId).collect();
+    oracle.precompute(&sources, 4);
+    assert_eq!(oracle.cached_rows(), topo.node_count());
+    // Spot-check symmetry (undirected graph ⇒ symmetric distances).
+    for &u in sources.iter().step_by(3) {
+        for &v in sources.iter().step_by(5) {
+            assert_eq!(oracle.distance(u, v), oracle.distance(v, u));
+        }
+    }
+}
+
+#[test]
+fn landmark_vector_has_expected_shape() {
+    let topo = small_topo(4);
+    let mut rng = StdRng::seed_from_u64(4);
+    let lms = select_landmarks(&topo, 4, &mut rng);
+    let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
+    let stub = topo.stub_nodes()[0];
+    let vec = oracle.landmark_vector(stub, &lms);
+    assert_eq!(vec.len(), 4);
+    // A landmark's own vector has a zero coordinate at its position.
+    let own = oracle.landmark_vector(lms[2], &lms);
+    assert_eq!(own[2], 0);
+}
+
+#[test]
+fn same_stub_nodes_have_similar_landmark_vectors() {
+    // The premise of landmark clustering (§4.1): physically close nodes have
+    // similar landmark vectors. Two nodes in the same stub domain must have
+    // coordinates differing by at most the stub's internal diameter, while a
+    // node in a different transit domain differs by interdomain distances.
+    let mut rng = StdRng::seed_from_u64(21);
+    let topo = TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng);
+    let lms = select_landmarks(&topo, 15, &mut rng);
+    let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
+
+    let stub0 = &topo.stub_by_domain[0];
+    let a = oracle.landmark_vector(stub0[0], &lms);
+    let b = oracle.landmark_vector(stub0[1], &lms);
+    let same_diff: u32 = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+
+    // A node hanging off the *last* transit domain.
+    let far = *topo.stub_by_domain.last().unwrap().first().unwrap();
+    let c = oracle.landmark_vector(far, &lms);
+    let far_diff: u32 = a.iter().zip(&c).map(|(x, y)| x.abs_diff(*y)).sum();
+
+    assert!(
+        same_diff < far_diff,
+        "same-stub diff {same_diff} should be below cross-domain diff {far_diff}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_generated_topologies_connected(seed in 0u64..500) {
+        let topo = small_topo(seed);
+        prop_assert!(topo.graph.is_connected());
+    }
+
+    #[test]
+    fn prop_triangle_inequality(seed in 0u64..50) {
+        let topo = small_topo(seed);
+        let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
+        let n = topo.node_count() as NodeId;
+        for u in (0..n).step_by(5) {
+            for v in (0..n).step_by(7) {
+                for w in (0..n).step_by(3) {
+                    let duv = u64::from(oracle.distance(u, v));
+                    let duw = u64::from(oracle.distance(u, w));
+                    let dwv = u64::from(oracle.distance(w, v));
+                    prop_assert!(duv <= duw + dwv);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_graph_shares_edges_with_hop_graph() {
+    let topo = small_topo(31);
+    assert_eq!(topo.graph.node_count(), topo.latency_graph.node_count());
+    assert_eq!(topo.graph.edge_count(), topo.latency_graph.edge_count());
+    for u in 0..topo.node_count() as NodeId {
+        let mut hop_neighbors: Vec<NodeId> =
+            topo.graph.neighbors(u).iter().map(|&(v, _)| v).collect();
+        let mut lat_neighbors: Vec<NodeId> =
+            topo.latency_graph.neighbors(u).iter().map(|&(v, _)| v).collect();
+        hop_neighbors.sort_unstable();
+        lat_neighbors.sort_unstable();
+        assert_eq!(hop_neighbors, lat_neighbors);
+    }
+    assert!(topo.latency_graph.is_connected());
+}
+
+#[test]
+fn coords_cluster_stub_members() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let topo = TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng);
+    let dist = |a: NodeId, b: NodeId| -> f64 {
+        let (ax, ay) = topo.coords[a as usize];
+        let (bx, by) = topo.coords[b as usize];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    };
+    // Same-stub pairs are far closer in the plane than cross-domain pairs.
+    let s0 = &topo.stub_by_domain[0];
+    let s_far = topo.stub_by_domain.last().unwrap();
+    let same = dist(s0[0], s0[1]);
+    let cross = dist(s0[0], s_far[0]);
+    assert!(
+        same * 5.0 < cross,
+        "same-stub {same:.1} should be well below cross-domain {cross:.1}"
+    );
+}
+
+#[test]
+fn latency_distances_distinguish_sibling_stubs() {
+    // The property the landmark mapping relies on (DESIGN.md §4b.2): two
+    // stub domains hanging off the same transit node get different latency
+    // signatures, even though their hop-count signatures are nearly equal.
+    let mut rng = StdRng::seed_from_u64(34);
+    let topo = TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng);
+    let lat = DistanceOracle::new(StdArc::new(topo.latency_graph.clone()));
+    let lms = select_landmarks(&topo, 15, &mut rng);
+    // Stub domains 0 and 1 hang off the same transit node by construction.
+    let a = lat.landmark_vector(topo.stub_by_domain[0][0], &lms);
+    let b = lat.landmark_vector(topo.stub_by_domain[1][0], &lms);
+    let diff: u64 = a.iter().zip(&b).map(|(x, y)| u64::from(x.abs_diff(*y))).sum();
+    // Same-stub neighbours differ far less.
+    let a2 = lat.landmark_vector(topo.stub_by_domain[0][1], &lms);
+    let same_diff: u64 = a.iter().zip(&a2).map(|(x, y)| u64::from(x.abs_diff(*y))).sum();
+    assert!(
+        diff > 3 * same_diff.max(1),
+        "sibling stubs should separate: cross {diff} vs same {same_diff}"
+    );
+}

@@ -1,0 +1,97 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Gnutella-like capacity levels (§5.1).
+pub const GNUTELLA_CAPACITIES: [f64; 5] = [1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+/// …and their probabilities: 20%, 45%, 30%, 4.9%, 0.1%.
+pub const GNUTELLA_WEIGHTS: [f64; 5] = [0.20, 0.45, 0.30, 0.049, 0.001];
+
+/// Index of a node's capacity class within its profile (0 = weakest).
+/// Figures 5 and 6 of the paper group nodes by this class.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CapacityClass(pub usize);
+
+/// A discrete node-capacity distribution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CapacityProfile {
+    capacities: Vec<f64>,
+    /// Cumulative weights, last entry 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl CapacityProfile {
+    /// Builds a profile from `(capacity, weight)` pairs; weights must be
+    /// positive and are normalized to sum to 1.
+    pub fn new(levels: &[(f64, f64)]) -> Self {
+        assert!(!levels.is_empty(), "profile needs at least one level");
+        assert!(
+            levels.iter().all(|&(c, w)| c > 0.0 && w > 0.0),
+            "capacities and weights must be positive"
+        );
+        let total: f64 = levels.iter().map(|&(_, w)| w).sum();
+        let mut cumulative = Vec::with_capacity(levels.len());
+        let mut acc = 0.0;
+        for &(_, w) in levels {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().unwrap() = 1.0; // kill rounding drift
+        CapacityProfile {
+            capacities: levels.iter().map(|&(c, _)| c).collect(),
+            cumulative,
+        }
+    }
+
+    /// The paper's Gnutella-like profile.
+    pub fn gnutella() -> Self {
+        let levels: Vec<(f64, f64)> = GNUTELLA_CAPACITIES
+            .iter()
+            .zip(GNUTELLA_WEIGHTS.iter())
+            .map(|(&c, &w)| (c, w))
+            .collect();
+        CapacityProfile::new(&levels)
+    }
+
+    /// A degenerate profile where every node has the same capacity
+    /// (for homogeneity ablations).
+    pub fn uniform(capacity: f64) -> Self {
+        CapacityProfile::new(&[(capacity, 1.0)])
+    }
+
+    /// Number of capacity classes.
+    pub fn class_count(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity value of a class.
+    pub fn capacity_of(&self, class: CapacityClass) -> f64 {
+        self.capacities[class.0]
+    }
+
+    /// Samples a capacity class.
+    pub fn sample_class<R: Rng>(&self, rng: &mut R) -> CapacityClass {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.capacities.len() - 1);
+        CapacityClass(idx)
+    }
+
+    /// Samples a capacity value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.capacity_of(self.sample_class(rng))
+    }
+
+    /// Mean capacity of the profile.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (c, &cum) in self.capacities.iter().zip(&self.cumulative) {
+            mean += c * (cum - prev);
+            prev = cum;
+        }
+        mean
+    }
+}

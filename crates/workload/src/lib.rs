@@ -1,0 +1,26 @@
+//! Workload models from the paper's experiment setup (§5.1):
+//!
+//! * **Load distributions** ([`LoadModel`]) — the load of a virtual server
+//!   owning a fraction `f` of the identifier space is drawn from either a
+//!   Gaussian `N(μf, σ√f)` ("…would result if the load of a virtual server
+//!   is attributed to a large number of small objects…") or a Pareto with
+//!   shape `α = 1.5` and mean `μf` (infinite standard deviation).
+//! * **Capacity profile** ([`CapacityProfile`]) — the Gnutella-like profile:
+//!   capacities `1, 10, 10², 10³, 10⁴` with probabilities
+//!   `20%, 45%, 30%, 4.9%, 0.1%`.
+//!
+//! All sampling is deterministic given the caller-supplied RNG. `rand_distr`
+//! is not among the approved offline dependencies, so the Gaussian
+//! (Box–Muller) and Pareto (inverse CDF) samplers are implemented here and
+//! verified against their analytic moments in the test suite.
+
+mod capacity;
+mod load;
+mod objects;
+
+pub use capacity::{CapacityClass, CapacityProfile, GNUTELLA_CAPACITIES, GNUTELLA_WEIGHTS};
+pub use load::{sample_gaussian, sample_pareto, LoadModel};
+pub use objects::{ObjectSkew, ObjectWorkload, StoredObject};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,95 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of virtual-server loads (paper §5.1).
+///
+/// `μ` ("mu") and `σ` ("sigma") are the mean and standard deviation of the
+/// **total system load**; a virtual server owning fraction `f` of the
+/// identifier space draws its load from the per-VS marginal:
+///
+/// * [`LoadModel::Gaussian`] — `N(μ·f, σ·√f)`, truncated at 0. The paper:
+///   "the Gaussian distribution would result if the load of a virtual server
+///   is attributed to a large number of small objects it stores and the
+///   individual loads on these objects are independent."
+/// * [`LoadModel::Pareto`] — shape `α = 1.5`, mean `μ·f` (so scale
+///   `x_m = μ·f·(α−1)/α`); heavy-tailed with infinite variance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LoadModel {
+    /// Gaussian per-VS load `N(mu·f, sigma·√f)`, truncated at zero.
+    Gaussian {
+        /// Mean of the total system load.
+        mu: f64,
+        /// Standard deviation of the total system load.
+        sigma: f64,
+    },
+    /// Pareto per-VS load with mean `mu·f` and the given shape.
+    Pareto {
+        /// Mean of the total system load.
+        mu: f64,
+        /// Shape parameter `α` (the paper uses 1.5; variance is infinite for
+        /// `α ≤ 2`).
+        alpha: f64,
+    },
+}
+
+impl LoadModel {
+    /// The paper's Gaussian configuration with a chosen total mean and
+    /// standard deviation.
+    pub fn gaussian(mu: f64, sigma: f64) -> Self {
+        assert!(mu > 0.0 && sigma >= 0.0);
+        LoadModel::Gaussian { mu, sigma }
+    }
+
+    /// The paper's Pareto configuration: `α = 1.5`, total mean `mu`.
+    pub fn pareto(mu: f64) -> Self {
+        LoadModel::Pareto { mu, alpha: 1.5 }
+    }
+
+    /// Samples the load of a virtual server owning `fraction` of the
+    /// identifier space. Always non-negative.
+    pub fn sample_vs_load<R: Rng>(&self, fraction: f64, rng: &mut R) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        if fraction == 0.0 {
+            return 0.0;
+        }
+        match *self {
+            LoadModel::Gaussian { mu, sigma } => {
+                let mean = mu * fraction;
+                let sd = sigma * fraction.sqrt();
+                (mean + sd * sample_gaussian(rng)).max(0.0)
+            }
+            LoadModel::Pareto { mu, alpha } => {
+                let mean = mu * fraction;
+                sample_pareto(mean, alpha, rng)
+            }
+        }
+    }
+
+    /// The expected load of a virtual server owning `fraction` of the space
+    /// (equals `μ·f` for both models, modulo Gaussian truncation).
+    pub fn expected_vs_load(&self, fraction: f64) -> f64 {
+        match *self {
+            LoadModel::Gaussian { mu, .. } | LoadModel::Pareto { mu, .. } => mu * fraction,
+        }
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn sample_gaussian<R: Rng>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Pareto sample with the given mean and shape, via inverse CDF.
+///
+/// A Pareto with scale `x_m` and shape `α > 1` has mean `α·x_m/(α−1)`;
+/// solving for the scale gives `x_m = mean·(α−1)/α`.
+pub fn sample_pareto<R: Rng>(mean: f64, alpha: f64, rng: &mut R) -> f64 {
+    assert!(alpha > 1.0, "Pareto mean finite only for alpha > 1");
+    assert!(mean >= 0.0);
+    let xm = mean * (alpha - 1.0) / alpha;
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    xm / u.powf(1.0 / alpha)
+}

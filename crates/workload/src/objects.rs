@@ -1,0 +1,178 @@
+use crate::load::sample_pareto;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One stored object: a DHT key and the load (storage/bandwidth/CPU) it
+/// puts on whichever virtual server owns the key.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StoredObject {
+    /// The object's DHT key (raw 32-bit ring identifier).
+    pub key: u32,
+    /// The load this object induces on its owner.
+    pub load: f64,
+}
+
+/// Object-granularity workload generator.
+///
+/// The paper justifies its Gaussian per-VS load model by noting it "would
+/// result if the load of a virtual server is attributed to a large number
+/// of small objects it stores and the individual loads on these objects
+/// are independent" (§5.1). This generator makes that microfoundation
+/// explicit: `objects` objects with keys uniform over the ring and loads
+/// drawn from a chosen per-object distribution; the load of a virtual
+/// server is the *sum over objects in its region*, so a region owning a
+/// fraction `f` of the ring aggregates `≈ objects·f` objects — Gaussian by
+/// the CLT for light-tailed object loads, heavy-tailed for Zipf-skewed
+/// popularity.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ObjectWorkload {
+    /// Number of objects in the system.
+    pub objects: usize,
+    /// Total system load, split across objects.
+    pub total_load: f64,
+    /// Per-object load skew.
+    pub skew: ObjectSkew,
+}
+
+/// How load is distributed across objects.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ObjectSkew {
+    /// Every object carries the same load (the CLT case: per-VS loads come
+    /// out Gaussian with mean `μ·f` and standard deviation `∝ √f`).
+    Uniform,
+    /// Object loads follow a Zipf law with the given exponent over a random
+    /// popularity ranking (a few hot objects dominate; per-VS loads become
+    /// heavy-tailed like the paper's Pareto model).
+    Zipf {
+        /// Zipf exponent `s` (≈1 for classic web/content popularity).
+        exponent: f64,
+    },
+    /// Object loads i.i.d. Pareto with the given shape (mean preserved).
+    Pareto {
+        /// Shape parameter `α > 1`.
+        alpha: f64,
+    },
+}
+
+impl ObjectWorkload {
+    /// A uniform-object workload (paper's Gaussian microfoundation).
+    pub fn uniform(objects: usize, total_load: f64) -> Self {
+        ObjectWorkload {
+            objects,
+            total_load,
+            skew: ObjectSkew::Uniform,
+        }
+    }
+
+    /// A Zipf-skewed workload.
+    pub fn zipf(objects: usize, total_load: f64, exponent: f64) -> Self {
+        assert!(exponent > 0.0);
+        ObjectWorkload {
+            objects,
+            total_load,
+            skew: ObjectSkew::Zipf { exponent },
+        }
+    }
+
+    /// Generates the object population. Keys are uniform over the 32-bit
+    /// ring; the sum of loads equals `total_load` (exactly for Uniform and
+    /// Zipf; in expectation for Pareto).
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Vec<StoredObject> {
+        assert!(self.objects > 0, "need at least one object");
+        let n = self.objects;
+        let mut out = Vec::with_capacity(n);
+        match self.skew {
+            ObjectSkew::Uniform => {
+                let each = self.total_load / n as f64;
+                for _ in 0..n {
+                    out.push(StoredObject {
+                        key: rng.gen(),
+                        load: each,
+                    });
+                }
+            }
+            ObjectSkew::Zipf { exponent } => {
+                // Normalized Zipf weights over a random rank permutation
+                // (the object at a random key is equally likely to be any
+                // rank).
+                let h: f64 = (1..=n).map(|r| (r as f64).powf(-exponent)).sum();
+                for r in 1..=n {
+                    let w = (r as f64).powf(-exponent) / h;
+                    out.push(StoredObject {
+                        key: rng.gen(),
+                        load: self.total_load * w,
+                    });
+                }
+            }
+            ObjectSkew::Pareto { alpha } => {
+                let mean = self.total_load / n as f64;
+                for _ in 0..n {
+                    out.push(StoredObject {
+                        key: rng.gen(),
+                        load: sample_pareto(mean, alpha, rng),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_objects_sum_to_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = ObjectWorkload::uniform(1000, 5000.0);
+        let objs = w.generate(&mut rng);
+        assert_eq!(objs.len(), 1000);
+        let total: f64 = objs.iter().map(|o| o.load).sum();
+        assert!((total - 5000.0).abs() < 1e-6);
+        assert!(objs.iter().all(|o| (o.load - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zipf_objects_sum_to_total_and_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = ObjectWorkload::zipf(10_000, 1e6, 1.0);
+        let objs = w.generate(&mut rng);
+        let total: f64 = objs.iter().map(|o| o.load).sum();
+        assert!((total - 1e6).abs() < 1e-3);
+        let max = objs.iter().map(|o| o.load).fold(0.0f64, f64::max);
+        let mean = total / objs.len() as f64;
+        assert!(max > 50.0 * mean, "hot object should dominate: {max} vs {mean}");
+    }
+
+    #[test]
+    fn pareto_objects_mean_approximately_preserved() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = ObjectWorkload {
+            objects: 100_000,
+            total_load: 1e6,
+            skew: ObjectSkew::Pareto { alpha: 2.5 },
+        };
+        let objs = w.generate(&mut rng);
+        let total: f64 = objs.iter().map(|o| o.load).sum();
+        assert!((total - 1e6).abs() / 1e6 < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn keys_cover_the_ring_uniformly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = ObjectWorkload::uniform(100_000, 1.0);
+        let objs = w.generate(&mut rng);
+        // Quarter-ring buckets should each hold ~25%.
+        let mut buckets = [0usize; 4];
+        for o in &objs {
+            buckets[(o.key >> 30) as usize] += 1;
+        }
+        for &b in &buckets {
+            let frac = b as f64 / objs.len() as f64;
+            assert!((frac - 0.25).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+use crate::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn gnutella_profile_matches_paper_levels() {
+    let p = CapacityProfile::gnutella();
+    assert_eq!(p.class_count(), 5);
+    for (i, &c) in GNUTELLA_CAPACITIES.iter().enumerate() {
+        assert_eq!(p.capacity_of(CapacityClass(i)), c);
+    }
+}
+
+#[test]
+fn gnutella_sampling_matches_weights() {
+    let p = CapacityProfile::gnutella();
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 200_000;
+    let mut counts = [0usize; 5];
+    for _ in 0..n {
+        counts[p.sample_class(&mut rng).0] += 1;
+    }
+    for (i, &w) in GNUTELLA_WEIGHTS.iter().enumerate() {
+        let observed = counts[i] as f64 / n as f64;
+        let tol = (w * (1.0 - w) / n as f64).sqrt() * 6.0 + 1e-4; // ~6σ
+        assert!(
+            (observed - w).abs() < tol,
+            "class {i}: observed {observed:.4} expected {w:.4}"
+        );
+    }
+}
+
+#[test]
+fn profile_mean_closed_form() {
+    let p = CapacityProfile::gnutella();
+    // 1·0.2 + 10·0.45 + 100·0.3 + 1000·0.049 + 10000·0.001 = 93.7
+    assert!((p.mean() - 93.7).abs() < 1e-9);
+}
+
+#[test]
+fn uniform_profile_is_constant() {
+    let p = CapacityProfile::uniform(42.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..100 {
+        assert_eq!(p.sample(&mut rng), 42.0);
+    }
+    assert_eq!(p.mean(), 42.0);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn profile_rejects_zero_weight() {
+    CapacityProfile::new(&[(1.0, 0.0)]);
+}
+
+#[test]
+fn gaussian_sampler_moments() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 200_000;
+    let (mut sum, mut sq) = (0.0, 0.0);
+    for _ in 0..n {
+        let x = sample_gaussian(&mut rng);
+        sum += x;
+        sq += x * x;
+    }
+    let mean = sum / n as f64;
+    let var = sq / n as f64 - mean * mean;
+    assert!(mean.abs() < 0.02, "mean {mean}");
+    assert!((var - 1.0).abs() < 0.03, "variance {var}");
+}
+
+#[test]
+fn pareto_sampler_mean_and_support() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let (mean, alpha) = (50.0, 3.0); // finite variance for a stable test
+    let xm = mean * (alpha - 1.0) / alpha;
+    let n = 400_000;
+    let mut sum = 0.0;
+    for _ in 0..n {
+        let x = sample_pareto(mean, alpha, &mut rng);
+        assert!(x >= xm * 0.999, "support starts at x_m");
+        sum += x;
+    }
+    let observed = sum / n as f64;
+    assert!(
+        (observed - mean).abs() / mean < 0.02,
+        "observed mean {observed}, want {mean}"
+    );
+}
+
+#[test]
+fn pareto_alpha_15_is_heavy_tailed() {
+    // With α = 1.5 (the paper's choice) large outliers must appear: the
+    // 99.9th percentile is x_m·1000^(1/1.5) ≈ 100·x_m.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mean = 10.0;
+    let xm = mean * 0.5 / 1.5;
+    let max = (0..100_000)
+        .map(|_| sample_pareto(mean, 1.5, &mut rng))
+        .fold(0.0f64, f64::max);
+    assert!(max > 50.0 * xm, "expected heavy tail, max {max}");
+}
+
+#[test]
+fn gaussian_vs_load_scales_with_fraction() {
+    let model = LoadModel::gaussian(1_000_000.0, 1000.0);
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = 50_000;
+    for f in [1e-4, 1e-3] {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += model.sample_vs_load(f, &mut rng);
+        }
+        let mean = sum / n as f64;
+        let expect = model.expected_vs_load(f);
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "f={f}: mean {mean} expect {expect}"
+        );
+    }
+}
+
+#[test]
+fn pareto_vs_load_mean_scales_with_fraction() {
+    let model = LoadModel::pareto(1_000_000.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    // α = 1.5 converges slowly; generous tolerance, large n.
+    let n = 2_000_000;
+    let f = 1e-3;
+    let mut sum = 0.0;
+    for _ in 0..n {
+        sum += model.sample_vs_load(f, &mut rng);
+    }
+    let mean = sum / n as f64;
+    let expect = model.expected_vs_load(f);
+    assert!(
+        (mean - expect).abs() / expect < 0.25,
+        "mean {mean} expect {expect}"
+    );
+}
+
+#[test]
+fn vs_load_zero_fraction_is_zero() {
+    let mut rng = StdRng::seed_from_u64(8);
+    assert_eq!(LoadModel::gaussian(100.0, 10.0).sample_vs_load(0.0, &mut rng), 0.0);
+    assert_eq!(LoadModel::pareto(100.0).sample_vs_load(0.0, &mut rng), 0.0);
+}
+
+proptest! {
+    #[test]
+    fn prop_loads_never_negative(seed: u64, f in 0.0f64..=1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = LoadModel::gaussian(1000.0, 5000.0); // huge σ forces truncation
+        prop_assert!(g.sample_vs_load(f, &mut rng) >= 0.0);
+        let p = LoadModel::pareto(1000.0);
+        prop_assert!(p.sample_vs_load(f, &mut rng) >= 0.0);
+    }
+
+    #[test]
+    fn prop_profile_sample_is_a_level(seed: u64) {
+        let p = CapacityProfile::gnutella();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = p.sample(&mut rng);
+        prop_assert!(GNUTELLA_CAPACITIES.contains(&c));
+    }
+
+    #[test]
+    fn prop_gaussian_finite(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = sample_gaussian(&mut rng);
+        prop_assert!(x.is_finite());
+    }
+}

@@ -1,0 +1,72 @@
+//! Churn and self-repair (§3.1.1): peers join and crash under a Poisson
+//! process while the K-nary tree runs periodic soft-state maintenance and
+//! Chord runs stabilization; lookups keep succeeding through successor
+//! lists, and the tree converges back to a consistent state.
+//!
+//! ```text
+//! cargo run --release --example churn_self_repair
+//! ```
+
+use proxbal::chord::{ChordNetwork, RoutingState};
+use proxbal::ktree::KTree;
+use proxbal::sim::churn::{run_churn, ChurnConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+
+    let mut net = ChordNetwork::new();
+    for _ in 0..128 {
+        net.join_peer(5, &mut rng);
+    }
+    let mut tree = KTree::build(&net, 2);
+    let mut routing = RoutingState::build(&net);
+
+    println!(
+        "start: {} peers, {} virtual servers, tree of {} KT nodes (height {})",
+        net.alive_peers().len(),
+        net.alive_vs_count(),
+        tree.len(),
+        tree.height()
+    );
+
+    let cfg = ChurnConfig {
+        join_rate: 0.08,
+        crash_rate: 0.08,
+        vs_per_join: 5,
+        maintenance_interval: 10,
+        stabilize_interval: 10,
+        duration: 2_000,
+    };
+    let stats = run_churn(&mut net, &mut tree, &mut routing, &cfg, &mut rng);
+
+    println!(
+        "churn: {} joins, {} crashes over {} time units",
+        stats.joins, stats.crashes, cfg.duration
+    );
+    println!(
+        "tree maintenance: {} rounds, {} total mutations (grow/prune/replant)",
+        stats.maintenance_rounds, stats.tree_mutations
+    );
+    println!(
+        "lookups during churn: {} sampled, {:.1}% reached the correct owner",
+        stats.lookups,
+        100.0 * stats.lookup_success_rate
+    );
+    println!(
+        "after churn stopped the tree stabilized in {} extra rounds",
+        stats.final_repair_rounds
+    );
+    println!(
+        "end: {} peers, {} virtual servers, tree of {} KT nodes (height {})",
+        net.alive_peers().len(),
+        net.alive_vs_count(),
+        tree.len(),
+        tree.height()
+    );
+
+    net.check_invariants().expect("chord invariants hold");
+    tree.check_invariants(&net).expect("tree invariants hold");
+    println!("all structural invariants verified.");
+}

@@ -1,0 +1,59 @@
+//! Periodic re-balancing under load drift — stress-testing the paper's
+//! stability assumption ("the load on a virtual server is stable over the
+//! timescale it takes for the load balancing algorithm to perform") by
+//! letting per-virtual-server loads follow a geometric random walk while
+//! the balancer runs every few steps.
+//!
+//! ```text
+//! cargo run --release --example drifting_loads
+//! ```
+
+use proxbal::chord::ChordNetwork;
+use proxbal::core::{BalancerConfig, LoadState};
+use proxbal::sim::drift::{run_drift, DriftConfig};
+use proxbal::workload::{CapacityProfile, LoadModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut net = ChordNetwork::new();
+    for _ in 0..256 {
+        net.join_peer(5, &mut rng);
+    }
+    let mut loads = LoadState::generate(
+        &net,
+        &CapacityProfile::gnutella(),
+        &LoadModel::gaussian(1_000_000.0, 10_000.0),
+        &mut rng,
+    );
+
+    let cfg = DriftConfig {
+        steps: 50,
+        rebalance_every: 10,
+        sigma: 0.1,
+    };
+    // Virtual-server splitting handles the oversized-VS pile-up that
+    // repeated balancing creates on high-capacity peers.
+    let balancer_cfg = BalancerConfig {
+        max_splits: 16,
+        ..BalancerConfig::default()
+    };
+    let stats = run_drift(&mut net, &mut loads, &cfg, balancer_cfg, None, &mut rng);
+
+    println!("step  gini   heavy  moved-this-step");
+    for s in &stats.timeline {
+        let marker = if s.moved > 0.0 { "  <- rebalance" } else { "" };
+        println!(
+            "{:>4}  {:>5.3}  {:>5}  {:>12.3e}{marker}",
+            s.step, s.gini, s.heavy, s.moved
+        );
+    }
+    println!(
+        "\n{} rebalances moved {:.3e} load total; worst heavy count {}",
+        stats.rebalances,
+        stats.total_moved,
+        stats.max_heavy()
+    );
+    net.check_invariants().expect("invariants hold");
+}

@@ -1,0 +1,152 @@
+//! Cross-crate infrastructure tests: the K-nary tree over a live Chord
+//! network under churn, LBI aggregation correctness through the tree, and
+//! protocol latency over the underlay.
+
+use proxbal::chord::{ChordNetwork, RoutingState};
+use proxbal::core::{Lbi, LoadState};
+use proxbal::ktree::KTree;
+use proxbal::sim::churn::{run_churn, ChurnConfig};
+use proxbal::sim::latency::{aggregation_latency, root_path_latencies};
+use proxbal::sim::{Scenario, TopologyKind};
+use proxbal::workload::{CapacityProfile, LoadModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+#[test]
+fn lbi_through_tree_equals_ground_truth_after_churn() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut net = ChordNetwork::new();
+    for _ in 0..96 {
+        net.join_peer(4, &mut rng);
+    }
+    let mut tree = KTree::build(&net, 2);
+
+    // Churn, then repair.
+    for p in net.alive_peers().into_iter().take(20) {
+        net.crash_peer(p);
+    }
+    for _ in 0..10 {
+        net.join_peer(4, &mut rng);
+    }
+    tree.maintain_until_stable(&net, 128);
+    tree.check_invariants(&net).unwrap();
+
+    // LBI aggregation over the repaired tree matches central totals.
+    let loads = LoadState::generate(
+        &net,
+        &CapacityProfile::gnutella(),
+        &LoadModel::gaussian(1e6, 1e4),
+        &mut rng,
+    );
+    let mut inputs: HashMap<_, Lbi> = HashMap::new();
+    for p in net.alive_peers() {
+        let vs = net.vss_of(p)[0];
+        inputs.insert(tree.report_target(&net, vs), loads.node_lbi(&net, p));
+    }
+    let out = tree.aggregate(inputs);
+    let got = out.root_value.unwrap();
+    let want = loads.totals(&net);
+    assert!((got.load - want.load).abs() <= 1e-6 * want.load);
+    assert!((got.capacity - want.capacity).abs() < 1e-9);
+    assert_eq!(got.min_vs_load, want.min_vs_load);
+}
+
+#[test]
+fn sustained_churn_with_lookups() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = ChordNetwork::new();
+    for _ in 0..64 {
+        net.join_peer(4, &mut rng);
+    }
+    let mut tree = KTree::build(&net, 4);
+    let mut routing = RoutingState::build(&net);
+    let cfg = ChurnConfig {
+        join_rate: 0.1,
+        crash_rate: 0.1,
+        vs_per_join: 4,
+        maintenance_interval: 8,
+        stabilize_interval: 8,
+        duration: 1500,
+    };
+    let stats = run_churn(&mut net, &mut tree, &mut routing, &cfg, &mut rng);
+    assert!(stats.joins > 50);
+    assert!(stats.crashes > 50);
+    assert!(stats.lookup_success_rate > 0.8, "{}", stats.lookup_success_rate);
+    net.check_invariants().unwrap();
+    tree.check_invariants(&net).unwrap();
+}
+
+#[test]
+fn aggregation_latency_reflects_topology() {
+    let mut scenario = Scenario::small(3);
+    scenario.peers = 96;
+    scenario.topology = TopologyKind::Tiny;
+    let prepared = scenario.prepare();
+    let tree = KTree::build(&prepared.net, 2);
+    let oracle = prepared.oracle.as_ref().unwrap();
+
+    let lat = aggregation_latency(&prepared.net, oracle, &tree);
+    assert!(lat > 0);
+    // Bounded by (max message depth) × (graph diameter).
+    let diameter = (0..prepared.topo.as_ref().unwrap().node_count() as u32)
+        .map(|n| *oracle.row(0).iter().max().unwrap().min(&u32::MAX).max(&oracle.distance(0, n)))
+        .max()
+        .unwrap();
+    let bound = u64::from(tree.max_message_depth()) * u64::from(2 * diameter);
+    assert!(lat <= bound, "latency {lat} exceeds bound {bound}");
+
+    // Per-node path latencies are monotone toward leaves.
+    let paths = root_path_latencies(&prepared.net, oracle, &tree);
+    for id in tree.iter_ids() {
+        if let Some(parent) = tree.node(id).parent {
+            assert!(paths[&id] >= paths[&parent]);
+        }
+    }
+}
+
+#[test]
+fn balance_runs_back_to_back_converge() {
+    // Running the balancer repeatedly must be stable: after the first pass
+    // removes all heavy nodes, further passes move (almost) nothing.
+    let mut scenario = Scenario::small(5);
+    scenario.peers = 192;
+    scenario.topology = TopologyKind::None;
+    let mut prepared = scenario.prepare();
+    let balancer =
+        proxbal::core::LoadBalancer::new(proxbal::core::BalancerConfig::default());
+    let mut rng = prepared.derived_rng(5);
+
+    let first = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+    assert!(!first.transfers.is_empty());
+    assert_eq!(first.heavy_after(), 0);
+
+    let second = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+    let moved_first = proxbal::core::total_moved_load(&first.transfers);
+    let moved_second = proxbal::core::total_moved_load(&second.transfers);
+    assert!(
+        moved_second <= moved_first * 0.05,
+        "second pass should be a no-op: {moved_first} then {moved_second}"
+    );
+}
+
+#[test]
+fn tree_tracks_network_growth_incrementally() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut net = ChordNetwork::new();
+    net.join_peer(3, &mut rng);
+    let mut tree = KTree::build(&net, 2);
+    // Interleave joins with maintenance; the tree must track every step and
+    // stay consistent at stabilization points.
+    for wave in 0..6 {
+        for _ in 0..8 {
+            net.join_peer(3, &mut rng);
+        }
+        tree.maintain_until_stable(&net, 128);
+        tree.check_invariants(&net)
+            .unwrap_or_else(|e| panic!("wave {wave}: {e}"));
+        for (_, vs) in net.ring().iter() {
+            assert_eq!(tree.node(tree.report_target(&net, vs)).host, vs);
+        }
+    }
+}
