@@ -1,0 +1,417 @@
+//! Minimal offline replacement for the `rand` crate (0.8 surface).
+//!
+//! The build environment cannot reach a crates.io mirror, so this crate
+//! implements exactly the API the workspace uses: [`RngCore`],
+//! [`SeedableRng`] (with `seed_from_u64`), the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), [`rngs::StdRng`] (xoshiro256++ seeded
+//! through SplitMix64) and [`seq::SliceRandom`] (`choose`, `shuffle`).
+//!
+//! Determinism is the only contract the workspace relies on: the same seed
+//! always yields the same stream. The streams do **not** match upstream
+//! `rand` bit-for-bit (upstream uses ChaCha12 for `StdRng`), which is fine —
+//! every consumer derives its expectations from the stream itself.
+
+/// Core random-number source: 32/64-bit outputs and byte filling.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A source constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (the scheme upstream `rand` documents for this constructor).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (full range for integers, `[0, 1)`
+    /// for floats, fair coin for `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// A uniformly random value in `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distribution traits and the [`Standard`](distributions::Standard)
+/// distribution.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A way of sampling values of `T` from randomness.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution per type.
+    pub struct Standard;
+
+    macro_rules! impl_standard_uint {
+        ($($t:ty => $via:ident),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        u64 => next_u64, usize => next_u64,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Uniform range sampling (`gen_range` support).
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a sub-range.
+        pub trait SampleUniform: Sized {
+            /// Uniform sample from `[lo, hi)` (`inclusive` widens to
+            /// `[lo, hi]`).
+            fn sample_in<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        /// Range forms accepted by `gen_range`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "cannot sample empty range");
+                T::sample_in(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                T::sample_in(rng, lo, hi, true)
+            }
+        }
+
+        // Unbiased integer sampling via Lemire's widening multiply over the
+        // span. The span always fits the next-wider unsigned type.
+        macro_rules! impl_sample_uniform_int {
+            ($($t:ty => $u:ty, $wide:ty, $next:ident);* $(;)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: RngCore + ?Sized>(
+                        rng: &mut R, lo: Self, hi: Self, inclusive: bool,
+                    ) -> Self {
+                        let span = (hi as $u).wrapping_sub(lo as $u) as $wide
+                            + if inclusive { 1 } else { 0 };
+                        let wide_bits = <$u>::BITS;
+                        if span == 0 || span > <$u>::MAX as $wide {
+                            // Full type range.
+                            return rng.$next() as $t;
+                        }
+                        let r = rng.$next() as $u as $wide;
+                        let hi_part = ((r * span) >> wide_bits) as $u;
+                        lo.wrapping_add(hi_part as $t)
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_int! {
+            u8 => u32, u64, next_u32;
+            u16 => u32, u64, next_u32;
+            u32 => u32, u64, next_u32;
+            u64 => u64, u128, next_u64;
+            usize => u64, u128, next_u64;
+            i8 => u32, u64, next_u32;
+            i16 => u32, u64, next_u32;
+            i32 => u32, u64, next_u32;
+            i64 => u64, u128, next_u64;
+            isize => u64, u128, next_u64;
+        }
+
+        macro_rules! impl_sample_uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: RngCore + ?Sized>(
+                        rng: &mut R, lo: Self, hi: Self, _inclusive: bool,
+                    ) -> Self {
+                        let unit = (rng.next_u64() >> 11) as $t
+                            * (1.0 / (1u64 << 53) as $t);
+                        let v = lo + (hi - lo) * unit;
+                        // Guard against rounding up to an exclusive bound.
+                        if v >= hi && lo < hi { lo } else { v }
+                    }
+                }
+            )*};
+        }
+        impl_sample_uniform_float!(f32, f64);
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Small, fast and statistically strong; deterministic per seed (the
+    /// only property the simulations depend on).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias kept for API compatibility (upstream's small fast generator).
+    pub type SmallRng = StdRng;
+}
+
+/// Random slice operations.
+pub mod seq {
+    use super::distributions::uniform::SampleRange;
+    use super::RngCore;
+
+    /// `choose` / `shuffle` over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element (`None` if empty).
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: RngCore + ?Sized;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore + ?Sized;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: RngCore + ?Sized,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((0..self.len()).sample_single(rng))
+            }
+        }
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: RngCore + ?Sized,
+        {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_single(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleUniform;
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = u32::sample_in(&mut rng, 0, u32::MAX, true);
+        let _ = u64::sample_in(&mut rng, 0, u64::MAX, true);
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        use super::seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,473 @@
+//! Minimal offline replacement for `serde`.
+//!
+//! Instead of serde's visitor architecture, this crate uses a concrete
+//! self-describing data model: [`Content`]. [`Serialize`] renders a value
+//! into a `Content` tree; [`Deserialize`] rebuilds a value from one.
+//! `serde_json` (the compat version) converts `Content` to/from JSON text.
+//!
+//! The `derive` feature forwards to the compat `serde_derive` proc macro,
+//! which generates both trait impls for plain (non-generic, attribute-free)
+//! structs and enums — exactly the shapes this workspace derives.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+/// Self-describing value tree — the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null` / `None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String (also unit enum variants).
+    Str(String),
+    /// Sequence (vectors, tuples, tuple variants).
+    Seq(Vec<Content>),
+    /// Map with string keys, insertion-ordered (structs, maps, struct
+    /// variants).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in map entries; absent keys read as [`Content::Null`]
+    /// (so `Option` fields tolerate missing keys).
+    pub fn field<'a>(entries: &'a [(String, Content)], key: &str) -> &'a Content {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or(&Content::Null)
+    }
+
+    /// Renders a map key. Panics on non-scalar keys (the derive only maps
+    /// scalar-keyed maps).
+    pub fn key_string(&self) -> String {
+        match self {
+            Content::Str(s) => s.clone(),
+            Content::U64(v) => v.to_string(),
+            Content::I64(v) => v.to_string(),
+            Content::Bool(v) => v.to_string(),
+            other => panic!("unsupported map key {other:?}"),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from any message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Values renderable into the [`Content`] data model.
+pub trait Serialize {
+    /// Renders `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Values rebuildable from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, or explains why it cannot.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_scalar_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => *v as u64,
+                    // Stringified map keys round-trip through here.
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|e| DeError::new(format!("integer key: {e}")))?,
+                    other => return Err(DeError::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_scalar_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self >= 0 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::new("integer out of range"))?,
+                    Content::F64(v) if v.fract() == 0.0 => *v as i64,
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|e| DeError::new(format!("integer key: {e}")))?,
+                    other => return Err(DeError::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_scalar_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::new(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(v) => Ok(*v),
+            Content::Str(s) => s
+                .parse::<bool>()
+                .map_err(|e| DeError::new(format!("bool key: {e}"))),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::new("expected single character")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(DeError::new(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| DeError::new("expected tuple sequence"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected {expected}-tuple, got {} elements", seq.len())));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+fn map_to_content<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Content::Map(
+        entries
+            .map(|(k, v)| (k.to_content().key_string(), v.to_content()))
+            .collect(),
+    )
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(c: &Content) -> Result<Vec<(K, V)>, DeError> {
+    c.as_map()
+        .ok_or_else(|| DeError::new("expected map"))?
+        .iter()
+        .map(|(k, v)| {
+            Ok((
+                K::from_content(&Content::Str(k.clone()))?,
+                V::from_content(v)?,
+            ))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: entries sorted by rendered key.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content().key_string(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Content::Seq(items)
+    }
+}
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_and_missing_fields() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(3)).unwrap(),
+            Some(3)
+        );
+        let entries = vec![("a".to_string(), Content::U64(1))];
+        assert_eq!(Content::field(&entries, "missing"), &Content::Null);
+    }
+
+    #[test]
+    fn maps_with_integer_keys_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(1u32, "y".to_string());
+        let back = BTreeMap::<u32, String>::from_content(&m.to_content()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u32, 2.5f64, "z".to_string());
+        let back = <(u32, f64, String)>::from_content(&t.to_content()).unwrap();
+        assert_eq!(t, back);
+    }
+}

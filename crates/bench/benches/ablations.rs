@@ -126,14 +126,18 @@ fn bench_splitting(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_max_splits");
     group.sample_size(10);
     for splits in [0usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(splits), &splits, |b, &splits| {
-            let cfg = BalancerConfig {
-                epsilon: 0.0, // the regime where splitting matters
-                max_splits: splits,
-                ..p.scenario.balancer
-            };
-            b.iter(|| std::hint::black_box(run_with(&p, cfg)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(splits),
+            &splits,
+            |b, &splits| {
+                let cfg = BalancerConfig {
+                    epsilon: 0.0, // the regime where splitting matters
+                    max_splits: splits,
+                    ..p.scenario.balancer
+                };
+                b.iter(|| std::hint::black_box(run_with(&p, cfg)));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,56 @@
+//! Benchmarks the single-source shortest-path kernels behind the distance
+//! oracle: the binary-heap baseline (`dijkstra_reference`), the bucket-queue
+//! kernel with a fresh allocation per call (`dijkstra`), and the zero-alloc
+//! `dijkstra_into` that reuses a [`DijkstraScratch`] across calls — the form
+//! the oracle's row fills actually use.
+//!
+//! Two weight regimes: the hop-cost graph (weights 1/3, well inside the
+//! bucket threshold) and the latency graph (Euclidean weights, the regime
+//! where the kernel may fall back to the heap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxbal_topology::{DijkstraScratch, Graph, TransitStubConfig, TransitStubTopology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_graph(c: &mut Criterion, name: &str, graph: &Graph) {
+    let mut group = c.benchmark_group(format!("dijkstra_{name}"));
+    group.sample_size(20);
+    // Spread sources over the graph so no kernel wins by cache luck.
+    let n = graph.node_count() as u32;
+    let sources: Vec<u32> = (0..8).map(|i| i * (n / 8)).collect();
+
+    group.bench_function("heap_reference", |b| {
+        b.iter(|| {
+            for &src in &sources {
+                std::hint::black_box(graph.dijkstra_reference(src));
+            }
+        });
+    });
+    group.bench_function("bucket_alloc", |b| {
+        b.iter(|| {
+            for &src in &sources {
+                std::hint::black_box(graph.dijkstra(src));
+            }
+        });
+    });
+    group.bench_function("bucket_scratch", |b| {
+        let mut scratch = DijkstraScratch::new();
+        b.iter(|| {
+            for &src in &sources {
+                std::hint::black_box(graph.dijkstra_into(src, &mut scratch));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let topo = TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng);
+    bench_graph(c, "ts5k_large_hops", &topo.graph);
+    bench_graph(c, "ts5k_large_latency", &topo.latency_graph);
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

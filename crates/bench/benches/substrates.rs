@@ -88,19 +88,15 @@ fn bench_topology(c: &mut Criterion) {
             std::hint::black_box(topo.graph.dijkstra(i))
         });
     });
-    group.bench_with_input(
-        BenchmarkId::new("generate", "ts5k_large"),
-        &(),
-        |b, ()| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(7);
-                std::hint::black_box(TransitStubTopology::generate(
-                    TransitStubConfig::ts5k_large(),
-                    &mut rng,
-                ))
-            });
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("generate", "ts5k_large"), &(), |b, ()| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            std::hint::black_box(TransitStubTopology::generate(
+                TransitStubConfig::ts5k_large(),
+                &mut rng,
+            ))
+        });
+    });
     group.finish();
 }
 

@@ -39,8 +39,7 @@ fn bench_phases(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("vsa_sweep", k), &k, |b, _| {
             let params = ClassifyParams::default();
             let system = loads.totals(net);
-            let classification =
-                proxbal_core::Classification::compute(net, loads, &params, system);
+            let classification = proxbal_core::Classification::compute(net, loads, &params, system);
             let shed = proxbal_core::reports::shed_candidates(net, loads, &params, &classification);
             let light = proxbal_core::reports::light_slots(net, loads, &params, &classification);
             b.iter(|| {

@@ -77,8 +77,7 @@ impl PrefixRouting {
                     // Representative key: our l-digit prefix, digit d, zeros.
                     let shift = 28 - 4 * l;
                     let prefix_mask = !((1u64 << (shift + 4)) - 1) as u32;
-                    let key =
-                        Id::new((position.raw() & prefix_mask) | ((d as u32) << shift));
+                    let key = Id::new((position.raw() & prefix_mask) | ((d as u32) << shift));
                     if let Some((cand_pos, cand)) = ring.owner_entry(key) {
                         // Accept only a genuine prefix match (the owner may
                         // wrap around into a different prefix region).

@@ -133,7 +133,11 @@ impl Ring {
         let end = region.end().raw();
         let mut out = Vec::new();
         if start < end {
-            out.extend(self.by_pos.range(start..end).map(|(&p, &v)| (Id::new(p), v)));
+            out.extend(
+                self.by_pos
+                    .range(start..end)
+                    .map(|(&p, &v)| (Id::new(p), v)),
+            );
         } else {
             out.extend(self.by_pos.range(start..).map(|(&p, &v)| (Id::new(p), v)));
             out.extend(self.by_pos.range(..end).map(|(&p, &v)| (Id::new(p), v)));

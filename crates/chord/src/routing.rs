@@ -23,15 +23,57 @@ pub struct LookupOutcome {
     pub timeouts: u32,
 }
 
+/// One entry of the sorted finger view: a finger target together with its
+/// clockwise offset from the owning VS (`position + 1`), precomputed so
+/// lookups never touch the network to learn a finger's position.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+struct FingerEntry {
+    /// `position.wrapping_add(1).distance_to(finger position)` — ring
+    /// positions are fixed per [`VsId`], so this never goes stale.
+    offset: u64,
+    /// The finger target.
+    vs: VsId,
+}
+
 /// Per-virtual-server routing tables.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct VsRouting {
     /// Ring position when the tables were built.
     position: Id,
     /// `fingers[k]` targets the owner of `position + 2^k` (k-th finger).
+    /// Indexed by `k` for the round-robin `fix_fingers` repair.
     fingers: Vec<Option<VsId>>,
+    /// The distinct finger targets sorted ascending by clockwise offset
+    /// from `position + 1`. Lookups binary-search this view for the
+    /// closest preceding finger instead of scanning all 32 slots; it is
+    /// rebuilt whenever a finger slot changes (repair-time work, which is
+    /// off the lookup hot path).
+    sorted_fingers: Vec<FingerEntry>,
     /// First `SUCCESSOR_LIST_LEN` successors at build time.
     successors: Vec<VsId>,
+}
+
+impl VsRouting {
+    /// Recomputes [`VsRouting::sorted_fingers`] from the slot array.
+    ///
+    /// With fresh tables the slots are already offset-sorted (finger `k`
+    /// targets the first VS at or after `position + 2^k`), but incremental
+    /// repair updates one slot at a time against a changed ring, which can
+    /// break per-slot monotonicity — so sort unconditionally. 32 entries;
+    /// negligible next to the ring scans repair already does.
+    fn rebuild_sorted(&mut self, net: &ChordNetwork) {
+        let base = self.position.wrapping_add(1);
+        self.sorted_fingers.clear();
+        self.sorted_fingers
+            .extend(self.fingers.iter().filter_map(|f| {
+                f.map(|vs| FingerEntry {
+                    offset: base.distance_to(net.vs(vs).position),
+                    vs,
+                })
+            }));
+        self.sorted_fingers.sort_unstable_by_key(|e| e.offset);
+        self.sorted_fingers.dedup();
+    }
 }
 
 /// Finger tables and successor lists for every alive virtual server.
@@ -57,7 +99,9 @@ impl RoutingState {
     pub fn build(net: &ChordNetwork) -> Self {
         let mut state = RoutingState::default();
         for (_, vs) in net.ring().iter() {
-            state.tables.insert(vs, Self::table_for(net.ring(), vs, net));
+            state
+                .tables
+                .insert(vs, Self::table_for(net.ring(), vs, net));
         }
         state
     }
@@ -72,11 +116,14 @@ impl RoutingState {
             .into_iter()
             .map(|(_, v)| v)
             .collect();
-        VsRouting {
+        let mut table = VsRouting {
             position,
             fingers,
+            sorted_fingers: Vec::new(),
             successors,
-        }
+        };
+        table.rebuild_sorted(net);
+        table
     }
 
     /// Number of virtual servers with routing tables.
@@ -93,8 +140,7 @@ impl RoutingState {
     /// network (one stabilization round for that VS).
     pub fn stabilize_vs(&mut self, net: &ChordNetwork, vs: VsId) {
         if net.vs(vs).alive {
-            self.tables
-                .insert(vs, Self::table_for(net.ring(), vs, net));
+            self.tables.insert(vs, Self::table_for(net.ring(), vs, net));
         } else {
             self.tables.remove(&vs);
         }
@@ -163,6 +209,7 @@ impl RoutingState {
             }
             if table.fingers[k as usize] != fresh_finger {
                 table.fingers[k as usize] = fresh_finger;
+                table.rebuild_sorted(net);
                 changed += 1;
             }
         }
@@ -245,10 +292,7 @@ impl RoutingState {
 
             // Does the key fall between us and our first alive successor?
             let mut next: Option<VsId> = None;
-            let between = Arc::from_bounds(
-                table.position.wrapping_add(1),
-                key.wrapping_add(1),
-            );
+            let between = Arc::from_bounds(table.position.wrapping_add(1), key.wrapping_add(1));
             for &succ in &table.successors {
                 if !net.vs(succ).alive {
                     timeouts += 1;
@@ -271,23 +315,29 @@ impl RoutingState {
                 break;
             }
 
-            // Closest preceding alive finger: scan fingers from the top,
-            // pick the alive one whose position is in (cur, key).
-            let span = Arc::from_bounds(table.position.wrapping_add(1), key);
-            for f in table.fingers.iter().rev() {
-                let Some(fv) = *f else { continue };
-                if fv == cur {
+            // Closest preceding alive finger. The sorted view orders the
+            // distinct finger targets by clockwise offset from
+            // `position + 1`; an entry precedes the key iff its offset is
+            // below the key's, so a binary search finds the candidate range
+            // and the scan walks it backwards (closest first). Only fingers
+            // that actually precede the key are probed — dead entries past
+            // the key cost no timeout, and a dead target occupying several
+            // slots times out once, matching what a real node (which knows
+            // every finger's identifier locally) would contact.
+            let key_offset = table.position.wrapping_add(1).distance_to(key);
+            let idx = table
+                .sorted_fingers
+                .partition_point(|e| e.offset < key_offset);
+            for e in table.sorted_fingers[..idx].iter().rev() {
+                if e.vs == cur {
                     continue;
                 }
-                if !net.vs(fv).alive {
+                if !net.vs(e.vs).alive {
                     timeouts += 1;
                     continue;
                 }
-                let fpos = net.vs(fv).position;
-                if span.contains(fpos) {
-                    next = Some(fv);
-                    break;
-                }
+                next = Some(e.vs);
+                break;
             }
 
             match next {

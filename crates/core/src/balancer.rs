@@ -242,8 +242,7 @@ impl LoadBalancer {
         let inputs = match self.cfg.mode {
             ProximityMode::Ignorant => ignorant_inputs(net, tree, &shed, &light, rng),
             ProximityMode::Aware(ref prox) => {
-                let u = underlay
-                    .expect("proximity-aware balancing requires an underlay topology");
+                let u = underlay.expect("proximity-aware balancing requires an underlay topology");
                 proximity_inputs(net, tree, &shed, &light, prox, u.latency(), u.landmarks)
             }
         };
@@ -267,8 +266,7 @@ impl LoadBalancer {
         }
 
         // Phase 4: VST (§3.5).
-        let transfers =
-            execute_transfers(net, loads, &vsa.assignments, underlay.map(|u| u.oracle));
+        let transfers = execute_transfers(net, loads, &vsa.assignments, underlay.map(|u| u.oracle));
 
         // Re-classify against the same system LBI for the after picture.
         let after_cls = Classification::compute(net, loads, &params, system);

@@ -69,8 +69,7 @@ pub use reports::{Classification, ProximityParams};
 pub use selection::{choose_shed_set, EXACT_LIMIT};
 pub use split::split_and_place;
 pub use transfer::{
-    absorb_join, execute_transfers, graceful_leave, total_moved_load, weighted_cost,
-    TransferRecord,
+    absorb_join, execute_transfers, graceful_leave, total_moved_load, weighted_cost, TransferRecord,
 };
 pub use vsa::{run_vsa, VsaOutcome, VsaParams};
 

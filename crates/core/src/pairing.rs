@@ -121,18 +121,31 @@ impl RendezvousLists {
     /// node).
     pub fn pair(&mut self, l_min: f64) -> Vec<Assignment> {
         let mut out = Vec::new();
+        self.pair_into(l_min, &mut out);
+        out
+    }
+
+    /// [`RendezvousLists::pair`] writing into a caller-provided buffer
+    /// (appended, not cleared) — the VSA sweep reuses one buffer across
+    /// every rendezvous point instead of allocating per node.
+    pub fn pair_into(&mut self, l_min: f64, out: &mut Vec<Assignment>) {
         // Heaviest-first over shed candidates. A candidate that fits nowhere
-        // is set aside; lighter candidates may still fit.
-        let mut unpaired_shed: Vec<ShedCandidate> = Vec::new();
-        while let Some(cand) = self.shed.pop() {
+        // stays in place; lighter candidates may still fit. Walking an index
+        // down from the top of the sorted list visits candidates heaviest
+        // first while leaving misfits where they already are — the list
+        // stays sorted throughout, no set-aside buffer needed.
+        let mut i = self.shed.len();
+        while i > 0 {
+            i -= 1;
+            let cand = self.shed[i];
             // Best fit: first light slot with spare >= load.
             let idx = self
                 .light
                 .partition_point(|s| s.spare.total_cmp(&cand.load).is_lt());
             if idx == self.light.len() {
-                unpaired_shed.push(cand);
-                continue;
+                continue; // fits nowhere; stays in the list
             }
+            self.shed.remove(i);
             let slot = self.light.remove(idx);
             out.push(Assignment {
                 vs: cand.vs,
@@ -142,17 +155,18 @@ impl RendezvousLists {
             });
             let residual = slot.spare - cand.load;
             if residual >= l_min && residual > 0.0 {
-                self.push_light(LightSlot {
-                    spare: residual,
-                    peer: slot.peer,
-                });
+                let at = self
+                    .light
+                    .partition_point(|s| s.spare.total_cmp(&residual).is_lt());
+                self.light.insert(
+                    at,
+                    LightSlot {
+                        spare: residual,
+                        peer: slot.peer,
+                    },
+                );
             }
         }
-        // Put the misfits back (sorted ascending).
-        for cand in unpaired_shed {
-            self.push_shed(cand);
-        }
-        out
     }
 
     /// Removes the shed candidate for `vs`, if present. Returns whether a
@@ -175,36 +189,41 @@ impl RendezvousLists {
 
 impl Merge for RendezvousLists {
     fn merge(&mut self, other: Self) {
-        // Merge two sorted lists (merge-sort style) to keep order.
-        self.light = merge_sorted(
-            std::mem::take(&mut self.light),
-            other.light,
-            |a, b| a.spare.total_cmp(&b.spare).is_le(),
-        );
-        self.shed = merge_sorted(
-            std::mem::take(&mut self.shed),
-            other.shed,
-            |a, b| a.load.total_cmp(&b.load).is_le(),
-        );
+        // Merge the sorted runs in place: each list grows within its own
+        // buffer instead of being rebuilt into a fresh allocation on every
+        // KT-node absorb.
+        merge_sorted_into(&mut self.light, &other.light, |a, b| {
+            a.spare.total_cmp(&b.spare).is_le()
+        });
+        merge_sorted_into(&mut self.shed, &other.shed, |a, b| {
+            a.load.total_cmp(&b.load).is_le()
+        });
     }
 }
 
-fn merge_sorted<T>(a: Vec<T>, b: Vec<T>, le: impl Fn(&T, &T) -> bool) -> Vec<T> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
-    loop {
-        match (ia.peek(), ib.peek()) {
-            (Some(x), Some(y)) => {
-                if le(x, y) {
-                    out.push(ia.next().unwrap());
-                } else {
-                    out.push(ib.next().unwrap());
-                }
-            }
-            (Some(_), None) => out.push(ia.next().unwrap()),
-            (None, Some(_)) => out.push(ib.next().unwrap()),
-            (None, None) => break,
-        }
+/// Merges sorted `src` into sorted `dst`, keeping `dst` sorted and stable
+/// (`dst` elements win ties). Runs backward over `dst`'s own buffer — one
+/// `resize` for capacity, then each element is written exactly once; no
+/// scratch allocation.
+fn merge_sorted_into<T: Copy>(dst: &mut Vec<T>, src: &[T], le: impl Fn(&T, &T) -> bool) {
+    if src.is_empty() {
+        return;
     }
-    out
+    let a = dst.len();
+    let b = src.len();
+    // Grow to final size; the filler value is overwritten below.
+    dst.resize(a + b, src[0]);
+    let (mut i, mut j, mut w) = (a, b, a + b);
+    // Take the larger tail element first. Writes trail reads (`w > i`
+    // whenever `j > 0`), so no unread `dst` element is clobbered.
+    while j > 0 {
+        if i > 0 && !le(&dst[i - 1], &src[j - 1]) {
+            dst[w - 1] = dst[i - 1];
+            i -= 1;
+        } else {
+            dst[w - 1] = src[j - 1];
+            j -= 1;
+        }
+        w -= 1;
+    }
 }

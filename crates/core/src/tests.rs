@@ -307,7 +307,10 @@ fn pairing_never_overfills() {
     lists.push_shed(cand(7.0, 0, 100));
     lists.push_light(slot(5.0, 200));
     let a = lists.pair(1.0);
-    assert!(a.is_empty(), "candidate larger than any slot stays unpaired");
+    assert!(
+        a.is_empty(),
+        "candidate larger than any slot stays unpaired"
+    );
     assert_eq!(lists.shed().len(), 1);
     assert_eq!(lists.light().len(), 1);
 }
@@ -450,8 +453,16 @@ fn balancer_rounds_are_logarithmic() {
         let report = balancer.run(&mut net, &mut loads, None, &mut rng);
         let m = net.alive_vs_count() as f64;
         let bound = (2.0 * m.log(k as f64)).ceil() as u32 + 6;
-        assert!(report.lbi_rounds <= bound, "k={k} lbi {}", report.lbi_rounds);
-        assert!(report.vsa.rounds <= bound, "k={k} vsa {}", report.vsa.rounds);
+        assert!(
+            report.lbi_rounds <= bound,
+            "k={k} lbi {}",
+            report.lbi_rounds
+        );
+        assert!(
+            report.vsa.rounds <= bound,
+            "k={k} vsa {}",
+            report.vsa.rounds
+        );
     }
 }
 
@@ -690,16 +701,20 @@ fn object_loads_charge_owner_vss() {
         net.join_peer(3, &mut rng);
     }
     let objects = vec![
-        StoredObject { key: 0x1000_0000, load: 5.0 },
-        StoredObject { key: 0x9000_0000, load: 7.0 },
-        StoredObject { key: 0x9000_0001, load: 2.0 },
+        StoredObject {
+            key: 0x1000_0000,
+            load: 5.0,
+        },
+        StoredObject {
+            key: 0x9000_0000,
+            load: 7.0,
+        },
+        StoredObject {
+            key: 0x9000_0001,
+            load: 2.0,
+        },
     ];
-    let loads = LoadState::from_objects(
-        &net,
-        &CapacityProfile::uniform(10.0),
-        &objects,
-        &mut rng,
-    );
+    let loads = LoadState::from_objects(&net, &CapacityProfile::uniform(10.0), &objects, &mut rng);
     // Total conserved.
     let total: f64 = net.ring().iter().map(|(_, v)| loads.vs_load(v)).sum();
     assert!((total - 14.0).abs() < 1e-12);
@@ -721,8 +736,7 @@ fn object_microfoundation_yields_balanceable_system() {
         net.join_peer(5, &mut rng);
     }
     let objects = ObjectWorkload::uniform(200_000, 1e6).generate(&mut rng);
-    let mut loads =
-        LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
+    let mut loads = LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
     let balancer = LoadBalancer::new(BalancerConfig::default());
     let report = balancer.run(&mut net, &mut loads, None, &mut rng);
     assert!(report.before[&NodeClass::Heavy] > 0);
@@ -738,8 +752,7 @@ fn zipf_objects_create_hotspot_vss() {
         net.join_peer(5, &mut rng);
     }
     let objects = ObjectWorkload::zipf(50_000, 1e6, 1.2).generate(&mut rng);
-    let loads =
-        LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
+    let loads = LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
     let mut vs_loads: Vec<f64> = net.ring().iter().map(|(_, v)| loads.vs_load(v)).collect();
     vs_loads.sort_by(f64::total_cmp);
     let max = *vs_loads.last().unwrap();
@@ -886,8 +899,7 @@ fn run_with_tree_reuses_and_tree_survives_transfers() {
     let (mut net, mut loads, mut rng) = setup(96, 5, 80);
     let mut tree = KTree::build(&net, 2);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report =
-        balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+    let report = balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
     assert!(!report.transfers.is_empty());
     // Transfers keep ring positions, so the tree needs no maintenance.
     assert_eq!(

@@ -29,6 +29,9 @@ pub fn execute_transfers(
     assignments: &[Assignment],
     oracle: Option<&DistanceOracle>,
 ) -> Vec<TransferRecord> {
+    if let Some(o) = oracle {
+        precompute_endpoint_rows(net, assignments, o);
+    }
     let mut out = Vec::with_capacity(assignments.len());
     for &a in assignments {
         let vs = net.vs(a.vs);
@@ -57,6 +60,50 @@ pub fn execute_transfers(
         });
     }
     out
+}
+
+/// Batch-fills oracle rows for the cheaper side of the transfer endpoints.
+///
+/// Every transfer needs `distance(from, to)`. The oracle answers a point
+/// query from either endpoint's cached row (the graph is undirected), so
+/// one Dijkstra per *distinct* attachment on the smaller side covers every
+/// pair — typically the receiving light nodes, a ~3× smaller set than the
+/// shedding heavy nodes.
+fn precompute_endpoint_rows(
+    net: &ChordNetwork,
+    assignments: &[Assignment],
+    oracle: &DistanceOracle,
+) {
+    let mut froms: Vec<u32> = Vec::with_capacity(assignments.len());
+    let mut tos: Vec<u32> = Vec::with_capacity(assignments.len());
+    for a in assignments {
+        let vs = net.vs(a.vs);
+        if !vs.alive || vs.host != a.from {
+            continue;
+        }
+        if net.peer(a.to).state != proxbal_chord::PeerState::Alive {
+            continue;
+        }
+        let from = net.peer(a.from).underlay;
+        let to = net.peer(a.to).underlay;
+        if from != u32::MAX && to != u32::MAX {
+            froms.push(from);
+            tos.push(to);
+        }
+    }
+    froms.sort_unstable();
+    froms.dedup();
+    tos.sort_unstable();
+    tos.dedup();
+    let smaller = if tos.len() <= froms.len() {
+        &tos
+    } else {
+        &froms
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    oracle.precompute(smaller, threads);
 }
 
 /// Total load moved across a set of transfers.

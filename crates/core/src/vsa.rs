@@ -80,15 +80,18 @@ pub fn run_vsa(
             }
             let is_root = id == tree.root();
             if is_root || lists.len() >= params.rendezvous_threshold {
-                let produced = lists.pair(params.l_min);
-                if !produced.is_empty() {
+                // Pair straight into the outcome's assignment buffer — one
+                // growing Vec for the whole sweep, no per-node allocation.
+                let before = outcome.assignments.len();
+                lists.pair_into(params.l_min, &mut outcome.assignments);
+                let produced = outcome.assignments.len() - before;
+                if produced > 0 {
                     outcome.rendezvous_points += 1;
                     let d = tree.node(id).depth as usize;
                     if outcome.assignments_per_depth.len() <= d {
                         outcome.assignments_per_depth.resize(d + 1, 0);
                     }
-                    outcome.assignments_per_depth[d] += produced.len();
-                    outcome.assignments.extend(produced);
+                    outcome.assignments_per_depth[d] += produced;
                 }
             }
             if lists.is_empty() {
@@ -115,5 +118,8 @@ pub fn run_vsa(
 }
 
 fn inputs_is_empty(inputs: &HashMap<KtNodeId, RendezvousLists>, id: &KtNodeId) -> bool {
-    inputs.get(id).map(RendezvousLists::is_empty).unwrap_or(true)
+    inputs
+        .get(id)
+        .map(RendezvousLists::is_empty)
+        .unwrap_or(true)
 }

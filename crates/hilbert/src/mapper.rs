@@ -140,7 +140,6 @@ impl LandmarkMapper {
         }
     }
 
-
     /// Total number of grid cells, `2^{m·b}` (saturating at `u128::MAX`).
     pub fn grid_count(&self) -> u128 {
         let bits = self.curve.index_bits();

@@ -132,7 +132,10 @@ mod tests {
         let mut h_sum = 0u64;
         let mut m_sum = 0u64;
         let l1 = |a: &[u32], b: &[u32]| -> u64 {
-            a.iter().zip(b).map(|(x, y)| u64::from(x.abs_diff(*y))).sum()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| u64::from(x.abs_diff(*y)))
+                .sum()
         };
         let mut hp = hilbert.decode(0);
         let mut mp = morton.decode(0);

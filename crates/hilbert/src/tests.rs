@@ -34,11 +34,7 @@ fn consecutive_indices_are_grid_neighbors_2d() {
     let mut prev = c.decode(0);
     for h in 1..256u128 {
         let cur = c.decode(h);
-        let l1: u32 = prev
-            .iter()
-            .zip(&cur)
-            .map(|(a, b)| a.abs_diff(*b))
-            .sum();
+        let l1: u32 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
         assert_eq!(l1, 1, "step {h}: {prev:?} -> {cur:?}");
         prev = cur;
     }
@@ -129,9 +125,8 @@ fn mapper_close_vectors_close_keys() {
     let mut rng = StdRng::seed_from_u64(11);
     let m = LandmarkMapper::new(8, 3, 100);
 
-    let ring_dist = |a: proxbal_id::Id, b: proxbal_id::Id| -> u64 {
-        a.distance_to(b).min(b.distance_to(a))
-    };
+    let ring_dist =
+        |a: proxbal_id::Id, b: proxbal_id::Id| -> u64 { a.distance_to(b).min(b.distance_to(a)) };
 
     let mut close_sum = 0u128;
     let mut far_sum = 0u128;
@@ -143,7 +138,11 @@ fn mapper_close_vectors_close_keys() {
             .iter()
             .map(|&x| {
                 let delta = rng.gen_range(0..=3);
-                if rng.gen() { x.saturating_add(delta).min(100) } else { x.saturating_sub(delta) }
+                if rng.gen() {
+                    x.saturating_add(delta).min(100)
+                } else {
+                    x.saturating_sub(delta)
+                }
             })
             .collect();
         let far: Vec<u32> = (0..8).map(|_| rng.gen_range(0..=100)).collect();

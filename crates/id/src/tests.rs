@@ -97,7 +97,10 @@ fn overlaps_cases() {
 
 #[test]
 fn center_of_regions() {
-    assert_eq!(Arc::from_bounds(Id::new(3), Id::new(5)).center(), Id::new(4));
+    assert_eq!(
+        Arc::from_bounds(Id::new(3), Id::new(5)).center(),
+        Id::new(4)
+    );
     // wrapping center
     let r = Arc::from_bounds(Id::new(0xFFFF_FFFE), Id::new(2));
     assert_eq!(r.center(), Id::new(0));

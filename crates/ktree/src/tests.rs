@@ -59,7 +59,11 @@ fn message_depth_is_logarithmic() {
         let bound = (2.0 * m.log(k as f64)).ceil() as u32 + 6;
         let md = tree.max_message_depth();
         assert!(md <= bound, "k={k}: message depth {md} bound {bound}");
-        assert!(tree.height() <= bound + 1, "k={k}: height {}", tree.height());
+        assert!(
+            tree.height() <= bound + 1,
+            "k={k}: height {}",
+            tree.height()
+        );
         // Sanity floor: the tree is genuinely multi-level.
         assert!(md >= m.log(k as f64).floor() as u32 / 2);
     }
@@ -219,7 +223,11 @@ fn aggregate_rounds_bounded_by_height() {
         // structural height near boundaries.
         let m = net.alive_vs_count() as f64;
         let bound = m.log(k as f64).ceil() as u32 + 8;
-        assert!(out.rounds <= bound, "k={k}: rounds {} bound {bound}", out.rounds);
+        assert!(
+            out.rounds <= bound,
+            "k={k}: rounds {} bound {bound}",
+            out.rounds
+        );
     }
 }
 

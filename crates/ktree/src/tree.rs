@@ -115,10 +115,7 @@ impl KTree {
         let inside = net.ring().vss_in(region);
         match inside.as_slice() {
             [(_, vs)] => *vs,
-            _ => net
-                .ring()
-                .owner(region.center())
-                .expect("non-empty ring"),
+            _ => net.ring().owner(region.center()).expect("non-empty ring"),
         }
     }
 

@@ -263,7 +263,7 @@ pub fn run_churn_with_balancing<R: Rng>(
     balance_interval: SimTime,
     balancer_cfg: proxbal_core::BalancerConfig,
     capacity: &proxbal_workload::CapacityProfile,
-    _load_model: &proxbal_workload::LoadModel,
+    load_model: &proxbal_workload::LoadModel,
     rng: &mut R,
 ) -> ChurnBalanceStats {
     use proxbal_core::LoadBalancer;
@@ -301,6 +301,13 @@ pub fn run_churn_with_balancing<R: Rng>(
             let vss: Vec<_> = net.vss_of(p).to_vec();
             for vs in vss {
                 proxbal_core::absorb_join(net, loads, vs);
+                // Beyond the region share absorbed from the successor, a
+                // joining peer brings its own workload into the system:
+                // sample each VS's intrinsic load from the model, scaled
+                // by the region it now owns (the same §5.1 rule the
+                // initial population used).
+                let f = net.region_of(vs).fraction();
+                loads.add_vs_load(vs, load_model.sample_vs_load(f, rng));
             }
             stats.churn.joins += 1;
             q.schedule_in(poisson_delay(cfg.join_rate, rng), BalEvent::Join);

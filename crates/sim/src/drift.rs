@@ -202,6 +202,7 @@ mod tests {
         // One initial balance, then pure drift.
         let balancer = LoadBalancer::new(BalancerConfig::default());
         let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+        let balanced = heavy_count(&net, &loads, BalancerConfig::default().epsilon);
         let cfg = DriftConfig {
             steps: 60,
             rebalance_every: 1000, // never fires within the horizon
@@ -216,11 +217,13 @@ mod tests {
             &mut rng,
         );
         assert_eq!(stats.rebalances, 0);
-        let early = stats.timeline[2].heavy;
+        // Compare against the freshly balanced state rather than an early
+        // timeline sample: heavy counts saturate within a few steps at this
+        // volatility, so any single early-vs-late pair is noise-sensitive.
         let late = stats.timeline.last().unwrap().heavy;
         assert!(
-            late > early,
-            "heavy nodes should accumulate under drift: {early} -> {late}"
+            late > balanced,
+            "heavy nodes should accumulate under drift: {balanced} -> {late}"
         );
     }
 

@@ -32,11 +32,14 @@ pub fn fig4_unit_load(prepared: &mut Prepared) -> Fig4Output {
     let balancer = LoadBalancer::new(prepared.scenario.balancer);
     // Field-wise borrow (not `prepared.underlay()`) so `net`/`loads` can be
     // borrowed mutably at the same time.
-    let underlay = prepared.oracle.as_ref().map(|oracle| proxbal_core::Underlay {
-        oracle,
-        latency_oracle: prepared.latency_oracle.as_ref(),
-        landmarks: &prepared.landmarks,
-    });
+    let underlay = prepared
+        .oracle
+        .as_ref()
+        .map(|oracle| proxbal_core::Underlay {
+            oracle,
+            latency_oracle: prepared.latency_oracle.as_ref(),
+            landmarks: &prepared.landmarks,
+        });
     let mut rng = prepared.derived_rng(4);
     let report = balancer.run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng);
 
@@ -89,11 +92,14 @@ pub fn fig56_class_loads(prepared: &mut Prepared) -> ClassLoadsOutput {
 
     let before = collect(prepared);
     let balancer = LoadBalancer::new(prepared.scenario.balancer);
-    let underlay = prepared.oracle.as_ref().map(|oracle| proxbal_core::Underlay {
-        oracle,
-        latency_oracle: prepared.latency_oracle.as_ref(),
-        landmarks: &prepared.landmarks,
-    });
+    let underlay = prepared
+        .oracle
+        .as_ref()
+        .map(|oracle| proxbal_core::Underlay {
+            oracle,
+            latency_oracle: prepared.latency_oracle.as_ref(),
+            landmarks: &prepared.landmarks,
+        });
     let mut rng = prepared.derived_rng(56);
     let report = balancer.run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng);
     let after = collect(prepared);
@@ -177,34 +183,39 @@ pub struct RoundsRow {
 }
 
 /// Measures protocol rounds across overlay sizes and tree degrees.
-pub fn rounds_scaling(sizes: &[usize], ks: &[usize], seed: u64) -> Vec<RoundsRow> {
-    let mut rows = Vec::new();
-    for &peers in sizes {
-        for &k in ks {
-            let mut scenario = Scenario::small(seed ^ (peers as u64) ^ ((k as u64) << 32));
-            scenario.peers = peers;
-            scenario.topology = crate::TopologyKind::None;
-            scenario.balancer = BalancerConfig {
-                k,
-                ..BalancerConfig::default()
-            };
-            let mut prepared = scenario.prepare();
-            let balancer = LoadBalancer::new(prepared.scenario.balancer);
-            let mut rng = prepared.derived_rng(1000 + k as u64);
-            let report = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
-            let m = prepared.net.alive_vs_count();
-            rows.push(RoundsRow {
-                peers,
-                virtual_servers: m,
-                k,
-                lbi_rounds: report.lbi_rounds,
-                dissemination_rounds: report.dissemination_rounds,
-                vsa_rounds: report.vsa.rounds,
-                log_k_m: (m as f64).ln() / (k as f64).ln(),
-            });
+///
+/// Every `(peers, k)` grid cell is an independent scenario whose seed and
+/// RNG streams derive from the cell alone, so the sweep runs through the
+/// parallel engine and the rows come back in grid order regardless of
+/// `threads`.
+pub fn rounds_scaling(sizes: &[usize], ks: &[usize], seed: u64, threads: usize) -> Vec<RoundsRow> {
+    let cells: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&peers| ks.iter().map(move |&k| (peers, k)))
+        .collect();
+    crate::parallel::map_items(&cells, threads, |_, &(peers, k)| {
+        let mut scenario = Scenario::small(seed ^ (peers as u64) ^ ((k as u64) << 32));
+        scenario.peers = peers;
+        scenario.topology = crate::TopologyKind::None;
+        scenario.balancer = BalancerConfig {
+            k,
+            ..BalancerConfig::default()
+        };
+        let mut prepared = scenario.prepare();
+        let balancer = LoadBalancer::new(prepared.scenario.balancer);
+        let mut rng = prepared.derived_rng(1000 + k as u64);
+        let report = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+        let m = prepared.net.alive_vs_count();
+        RoundsRow {
+            peers,
+            virtual_servers: m,
+            k,
+            lbi_rounds: report.lbi_rounds,
+            dissemination_rounds: report.dissemination_rounds,
+            vsa_rounds: report.vsa.rounds,
+            log_k_m: (m as f64).ln() / (k as f64).ln(),
         }
-    }
-    rows
+    })
 }
 
 /// One row of the tree self-repair experiment (§3.1.1).
@@ -245,7 +256,9 @@ pub fn repair_after_crash(peers: usize, crash_fraction: f64, k: usize, seed: u64
 
     let mut rng = prepared.derived_rng(0xCAFE);
     for _ in 0..n_crash {
-        prepared.net.join_peer(prepared.scenario.vs_per_peer, &mut rng);
+        prepared
+            .net
+            .join_peer(prepared.scenario.vs_per_peer, &mut rng);
     }
     let join_repair_rounds = tree.maintain_until_stable(&prepared.net, 256);
     tree.check_invariants(&prepared.net).expect("regrown tree");
@@ -332,31 +345,15 @@ pub struct ReplicatedMovedLoad {
 /// Runs [`fig78_moved_load`] on `graphs` independently seeded scenarios in
 /// parallel and pools the histograms.
 pub fn fig78_replicated(base: &Scenario, graphs: usize, threads: usize) -> ReplicatedMovedLoad {
-    let threads = threads.max(1);
-    let outputs: Vec<MovedLoadOutput> = {
-        let mut slots: Vec<Option<MovedLoadOutput>> = (0..graphs).map(|_| None).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slot_refs: Vec<parking_lot::Mutex<&mut Option<MovedLoadOutput>>> =
-            slots.iter_mut().map(parking_lot::Mutex::new).collect();
-        crossbeam::scope(|s| {
-            for _ in 0..threads.min(graphs) {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= graphs {
-                        break;
-                    }
-                    let mut scenario = base.clone();
-                    scenario.seed = base.seed.wrapping_add(i as u64);
-                    let prepared = scenario.prepare();
-                    let out = fig78_moved_load(&prepared);
-                    **slot_refs[i].lock() = Some(out);
-                });
-            }
-        })
-        .expect("replication worker panicked");
-        drop(slot_refs);
-        slots.into_iter().map(|o| o.expect("filled")).collect()
-    };
+    // Each graph's seed derives from its index, so the sweep engine's
+    // determinism contract holds and the pooled result is independent of
+    // `threads`.
+    let outputs: Vec<MovedLoadOutput> = crate::parallel::map_indexed(graphs, threads, |i| {
+        let mut scenario = base.clone();
+        scenario.seed = base.seed.wrapping_add(i as u64);
+        let prepared = scenario.prepare();
+        fig78_moved_load(&prepared)
+    });
 
     let mut pooled = ReplicatedMovedLoad {
         aware: DistanceHistogram::new(),
@@ -401,7 +398,12 @@ pub struct AblationRow {
 /// Hilbert-vs-Morton curve, key dimensionality and tree degree — and
 /// reports the *outcomes* (Criterion's `ablations` bench reports the
 /// costs).
-pub fn ablation_sweep(prepared: &Prepared) -> Vec<AblationRow> {
+///
+/// Each variant clones the prepared initial state and derives its RNG from
+/// the scenario seed alone, so the variants run through the parallel
+/// engine and the rows come back in declaration order regardless of
+/// `threads`.
+pub fn ablation_sweep(prepared: &Prepared, threads: usize) -> Vec<AblationRow> {
     use proxbal_core::{ProximityParams, Underlay};
     use proxbal_hilbert::CurveKind;
 
@@ -410,25 +412,6 @@ pub fn ablation_sweep(prepared: &Prepared) -> Vec<AblationRow> {
         oracle,
         latency_oracle: prepared.latency_oracle.as_ref(),
         landmarks: &prepared.landmarks,
-    };
-
-    let run = |label: &str, cfg: BalancerConfig| -> AblationRow {
-        let mut net = prepared.net.clone();
-        let mut loads = prepared.loads.clone();
-        let mut rng = prepared.derived_rng(0xAB1A);
-        let report = LoadBalancer::new(cfg).run(&mut net, &mut loads, Some(underlay), &mut rng);
-        let mut hist = DistanceHistogram::new();
-        for t in &report.transfers {
-            hist.add(t.distance.expect("underlay present"), t.assignment.load);
-        }
-        AblationRow {
-            label: label.to_string(),
-            heavy_after: report.heavy_after(),
-            moved_load: proxbal_core::total_moved_load(&report.transfers),
-            frac2: hist.fraction_within(2),
-            frac10: hist.fraction_within(10),
-            mean_distance: hist.mean_distance(),
-        }
     };
 
     let base = BalancerConfig {
@@ -440,16 +423,20 @@ pub fn ablation_sweep(prepared: &Prepared) -> Vec<AblationRow> {
         ..base
     };
 
-    let mut rows = vec![run("default (aware, eps=0.05, thr=30, K=2)", base)];
+    let mut variants: Vec<(String, BalancerConfig)> =
+        vec![("default (aware, eps=0.05, thr=30, K=2)".into(), base)];
     for eps in [0.0, 0.2, 0.5] {
-        rows.push(run(
-            &format!("epsilon={eps}"),
-            BalancerConfig { epsilon: eps, ..base },
+        variants.push((
+            format!("epsilon={eps}"),
+            BalancerConfig {
+                epsilon: eps,
+                ..base
+            },
         ));
     }
     for thr in [2usize, 100] {
-        rows.push(run(
-            &format!("threshold={thr}"),
+        variants.push((
+            format!("threshold={thr}"),
             BalancerConfig {
                 rendezvous_threshold: thr,
                 ..base
@@ -457,36 +444,57 @@ pub fn ablation_sweep(prepared: &Prepared) -> Vec<AblationRow> {
         ));
     }
     for k in [4usize, 8] {
-        rows.push(run(&format!("K={k}"), BalancerConfig { k, ..base }));
+        variants.push((format!("K={k}"), BalancerConfig { k, ..base }));
     }
-    rows.push(run(
-        "curve=Morton",
+    variants.push((
+        "curve=Morton".into(),
         aware(ProximityParams {
             curve: CurveKind::Morton,
             ..ProximityParams::default()
         }),
     ));
     for kd in [1usize, 5, 15] {
-        rows.push(run(
-            &format!("key_dims={kd}"),
+        variants.push((
+            format!("key_dims={kd}"),
             aware(ProximityParams {
                 key_dims: Some(kd),
                 ..ProximityParams::default()
             }),
         ));
     }
-    rows.push(run(
-        "no per-dim scaling",
+    variants.push((
+        "no per-dim scaling".into(),
         aware(ProximityParams {
             per_dim_scaling: false,
             ..ProximityParams::default()
         }),
     ));
-    rows.push(run("proximity-ignorant", BalancerConfig {
-        mode: ProximityMode::Ignorant,
-        ..base
-    }));
-    rows
+    variants.push((
+        "proximity-ignorant".into(),
+        BalancerConfig {
+            mode: ProximityMode::Ignorant,
+            ..base
+        },
+    ));
+
+    crate::parallel::map_items(&variants, threads, |_, (label, cfg)| {
+        let mut net = prepared.net.clone();
+        let mut loads = prepared.loads.clone();
+        let mut rng = prepared.derived_rng(0xAB1A);
+        let report = LoadBalancer::new(*cfg).run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let mut hist = DistanceHistogram::new();
+        for t in &report.transfers {
+            hist.add(t.distance.expect("underlay present"), t.assignment.load);
+        }
+        AblationRow {
+            label: label.clone(),
+            heavy_after: report.heavy_after(),
+            moved_load: proxbal_core::total_moved_load(&report.transfers),
+            frac2: hist.fraction_within(2),
+            frac10: hist.fraction_within(10),
+            mean_distance: hist.mean_distance(),
+        }
+    })
 }
 
 /// One row of the protocol-latency experiment: simulated wall-clock time
@@ -510,7 +518,13 @@ pub struct LatencyRow {
 
 /// Simulates the tree phases at the message level across sizes/degrees and
 /// loss rates (the wall-clock behind "fast load balancing").
-pub fn protocol_latency(sizes: &[usize], ks: &[usize], losses: &[f64], seed: u64) -> Vec<LatencyRow> {
+pub fn protocol_latency(
+    sizes: &[usize],
+    ks: &[usize],
+    losses: &[f64],
+    seed: u64,
+    threads: usize,
+) -> Vec<LatencyRow> {
     use crate::protocol::{simulate_aggregation, simulate_dissemination, LossModel};
     let mut rows = Vec::new();
     for &peers in sizes {
@@ -519,7 +533,10 @@ pub fn protocol_latency(sizes: &[usize], ks: &[usize], losses: &[f64], seed: u64
         scenario.topology = crate::TopologyKind::Ts5kLarge;
         let prepared = scenario.prepare();
         let oracle = prepared.oracle.as_ref().expect("topology present");
-        for &k in ks {
+        // Each k builds its own tree and derives a fresh per-k RNG, so the
+        // k-cells run through the parallel engine; the loss loop stays
+        // sequential inside each cell to reuse the tree.
+        let per_k = crate::parallel::map_items(ks, threads, |_, &k| {
             let tree = KTree::build(&prepared.net, k);
             let contributors: std::collections::HashSet<_> = prepared
                 .net
@@ -527,6 +544,7 @@ pub fn protocol_latency(sizes: &[usize], ks: &[usize], losses: &[f64], seed: u64
                 .iter()
                 .map(|(_, vs)| tree.report_target(&prepared.net, vs))
                 .collect();
+            let mut cell = Vec::with_capacity(losses.len());
             for &loss in losses {
                 let model = if loss == 0.0 {
                     LossModel::reliable()
@@ -545,9 +563,8 @@ pub fn protocol_latency(sizes: &[usize], ks: &[usize], losses: &[f64], seed: u64
                     &model,
                     &mut rng,
                 );
-                let dis =
-                    simulate_dissemination(&prepared.net, &tree, oracle, &model, &mut rng);
-                rows.push(LatencyRow {
+                let dis = simulate_dissemination(&prepared.net, &tree, oracle, &model, &mut rng);
+                cell.push(LatencyRow {
                     peers,
                     k,
                     loss,
@@ -556,7 +573,9 @@ pub fn protocol_latency(sizes: &[usize], ks: &[usize], losses: &[f64], seed: u64
                     messages: agg.messages + dis.messages,
                 });
             }
-        }
+            cell
+        });
+        rows.extend(per_k.into_iter().flatten());
     }
     rows
 }

@@ -20,6 +20,7 @@ pub mod drift;
 pub mod experiments;
 pub mod latency;
 pub mod metrics;
+pub mod parallel;
 pub mod protocol;
 mod scenario;
 

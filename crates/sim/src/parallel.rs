@@ -1,0 +1,114 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every multi-run experiment driver (Figure 7/8 graph replication, the
+//! ablation sweep, round/latency scaling grids, the `repro` binary's
+//! figure/claim phases) funnels through [`map_indexed`]: jobs are claimed
+//! dynamically from a shared counter, but each job is a pure function of
+//! its *index* (seeds are derived from the index, never from thread
+//! identity or claim order) and every result lands in its own slot. The
+//! returned vector — and anything folded from it in index order — is
+//! therefore bit-identical regardless of `threads`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs `job(i)` for every `i in 0..count` on up to `threads` workers and
+/// returns the results in index order.
+///
+/// `job` must derive all randomness from its index; under that contract
+/// the output is independent of `threads`. Panics in a job propagate.
+pub fn map_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count);
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    let next = &next;
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index processed"))
+        .collect()
+}
+
+/// Maps `job(index, item)` over `items` in parallel, preserving order.
+pub fn map_items<I, T, F>(items: &[I], threads: usize, job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    map_indexed(items.len(), threads, |i| job(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // A job whose output depends only on its index: any thread count
+        // must produce the identical vector.
+        let job = |i: usize| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(i as u64);
+            (0..50).fold(0u64, |acc, _| acc.wrapping_add(rng.gen::<u64>()))
+        };
+        let sequential = map_indexed(32, 1, job);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(
+                map_indexed(32, threads, job),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_one_item_edge_cases() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 1), vec![1]);
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(map_items(&items, 4, |i, s| s.len() + i), vec![1, 3, 5]);
+    }
+}

@@ -133,11 +133,11 @@ pub fn simulate_aggregation<R: Rng>(
     // `send` models one (possibly lossy) transmission: schedules either the
     // delivery or a chain of retransmissions.
     let send = |queue: &mut EventQueue<Event>,
-                    timing: &mut PhaseTiming,
-                    rng: &mut R,
-                    from: KtNodeId,
-                    to: KtNodeId,
-                    latency: SimTime| {
+                timing: &mut PhaseTiming,
+                rng: &mut R,
+                from: KtNodeId,
+                to: KtNodeId,
+                latency: SimTime| {
         let mut delay = latency;
         loop {
             timing.messages += 1;
@@ -151,13 +151,13 @@ pub fn simulate_aggregation<R: Rng>(
         }
     };
 
-    // Leaves of the active set (pending == 0) fire immediately.
+    // Leaves of the active set (pending == 0) fire immediately, in node-id
+    // order: the set's iteration order varies per instance, and with loss
+    // enabled every send draws from the RNG — an unsorted walk would bind
+    // draws to leaves nondeterministically.
     let mut root_done = false;
-    let ready: Vec<KtNodeId> = active
-        .iter()
-        .copied()
-        .filter(|n| pending[n] == 0)
-        .collect();
+    let mut ready: Vec<KtNodeId> = active.iter().copied().filter(|n| pending[n] == 0).collect();
+    ready.sort_unstable();
     for n in ready {
         match tree.node(n).parent {
             Some(parent) => {
@@ -206,25 +206,29 @@ pub fn simulate_dissemination<R: Rng>(
     };
     let mut delivered: HashSet<KtNodeId> = HashSet::new();
 
-    let fanout = |queue: &mut EventQueue<Event>,
-                      timing: &mut PhaseTiming,
-                      rng: &mut R,
-                      node: KtNodeId| {
-        for &child in tree.node(node).children.iter().flatten() {
-            let lat = edge_latency(net, oracle, tree, child, node);
-            let mut delay = lat;
-            loop {
-                timing.messages += 1;
-                if rng.gen::<f64>() < loss.loss_probability {
-                    timing.losses += 1;
-                    delay += loss.retransmit_after + lat;
-                } else {
-                    queue.schedule_in(delay, Event::Deliver { from: node, to: child });
-                    break;
+    let fanout =
+        |queue: &mut EventQueue<Event>, timing: &mut PhaseTiming, rng: &mut R, node: KtNodeId| {
+            for &child in tree.node(node).children.iter().flatten() {
+                let lat = edge_latency(net, oracle, tree, child, node);
+                let mut delay = lat;
+                loop {
+                    timing.messages += 1;
+                    if rng.gen::<f64>() < loss.loss_probability {
+                        timing.losses += 1;
+                        delay += loss.retransmit_after + lat;
+                    } else {
+                        queue.schedule_in(
+                            delay,
+                            Event::Deliver {
+                                from: node,
+                                to: child,
+                            },
+                        );
+                        break;
+                    }
                 }
             }
-        }
-    };
+        };
 
     delivered.insert(tree.root());
     fanout(&mut queue, &mut timing, rng, tree.root());
@@ -256,10 +260,7 @@ mod tests {
         (prepared, tree)
     }
 
-    fn all_report_targets(
-        prepared: &crate::Prepared,
-        tree: &KTree,
-    ) -> HashSet<KtNodeId> {
+    fn all_report_targets(prepared: &crate::Prepared, tree: &KTree) -> HashSet<KtNodeId> {
         prepared
             .net
             .ring()

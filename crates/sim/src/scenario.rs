@@ -76,15 +76,18 @@ impl Scenario {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let topo = match self.topology {
-            TopologyKind::Ts5kLarge => {
-                Some(TransitStubTopology::generate(TransitStubConfig::ts5k_large(), &mut rng))
-            }
-            TopologyKind::Ts5kSmall => {
-                Some(TransitStubTopology::generate(TransitStubConfig::ts5k_small(), &mut rng))
-            }
-            TopologyKind::Tiny => {
-                Some(TransitStubTopology::generate(TransitStubConfig::tiny(), &mut rng))
-            }
+            TopologyKind::Ts5kLarge => Some(TransitStubTopology::generate(
+                TransitStubConfig::ts5k_large(),
+                &mut rng,
+            )),
+            TopologyKind::Ts5kSmall => Some(TransitStubTopology::generate(
+                TransitStubConfig::ts5k_small(),
+                &mut rng,
+            )),
+            TopologyKind::Tiny => Some(TransitStubTopology::generate(
+                TransitStubConfig::tiny(),
+                &mut rng,
+            )),
             TopologyKind::None => None,
         };
 
@@ -105,6 +108,11 @@ impl Scenario {
             let landmarks = select_landmarks(topo, self.landmarks, &mut rng);
             let oracle = DistanceOracle::new(Arc::new(topo.graph.clone()));
             let latency_oracle = DistanceOracle::new(Arc::new(topo.latency_graph.clone()));
+            // Landmark vectors need the distance row *from* each landmark in
+            // the latency metric; batch-fill them up front so no balancing
+            // run (aware or ignorant, any mode ordering) computes one twice.
+            let threads = crate::parallel::default_threads();
+            latency_oracle.precompute(&landmarks, threads);
             (Some((oracle, latency_oracle)), landmarks)
         } else {
             (None, Vec::new())
@@ -166,4 +174,3 @@ impl Prepared {
         StdRng::seed_from_u64(self.scenario.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ label)
     }
 }
-

@@ -62,7 +62,7 @@ fn fig78_replicated_pools_graphs() {
 
 #[test]
 fn rounds_scaling_is_monotone_in_size_and_k() {
-    let rows = rounds_scaling(&[64, 256], &[2, 8], 5);
+    let rows = rounds_scaling(&[64, 256], &[2, 8], 5, 2);
     assert_eq!(rows.len(), 4);
     let get = |peers: usize, k: usize| {
         rows.iter()
@@ -104,7 +104,7 @@ fn ablation_sweep_covers_all_variants() {
     let mut scenario = small(11, TopologyKind::Tiny);
     scenario.landmarks = 6;
     let prepared = scenario.prepare();
-    let rows = ablation_sweep(&prepared);
+    let rows = ablation_sweep(&prepared, 2);
     assert!(rows.len() >= 12);
     // Ignorant baseline must have the worst mean distance.
     let ignorant = rows
@@ -117,6 +117,53 @@ fn ablation_sweep_covers_all_variants() {
     for r in &rows {
         assert!(r.moved_load > 0.0, "{} moved nothing", r.label);
     }
+}
+
+/// The determinism contract of the sweep engine: every parallelized driver
+/// produces bit-identical output regardless of worker count, because each
+/// cell derives its RNG from the cell's identity alone. Compared via JSON
+/// rendering, which is exact for identical f64 bit patterns.
+#[test]
+fn parallel_drivers_are_thread_count_invariant() {
+    let fig = |threads| {
+        let base = small(17, TopologyKind::Tiny);
+        serde_json::to_string(&fig78_replicated(&base, 3, threads)).unwrap()
+    };
+    let fig1 = fig(1);
+    assert_eq!(fig1, fig(2), "fig78 differs at 2 threads");
+    assert_eq!(fig1, fig(8), "fig78 differs at 8 threads");
+
+    let rounds =
+        |threads| serde_json::to_string(&rounds_scaling(&[64, 128], &[2, 8], 19, threads)).unwrap();
+    let rounds1 = rounds(1);
+    assert_eq!(rounds1, rounds(2), "rounds_scaling differs at 2 threads");
+    assert_eq!(rounds1, rounds(8), "rounds_scaling differs at 8 threads");
+
+    let mut scenario = small(11, TopologyKind::Tiny);
+    scenario.landmarks = 6;
+    let prepared = scenario.prepare();
+    let ablation = |threads| serde_json::to_string(&ablation_sweep(&prepared, threads)).unwrap();
+    let ablation1 = ablation(1);
+    assert_eq!(
+        ablation1,
+        ablation(2),
+        "ablation_sweep differs at 2 threads"
+    );
+    assert_eq!(
+        ablation1,
+        ablation(8),
+        "ablation_sweep differs at 8 threads"
+    );
+
+    let latency = |threads| {
+        serde_json::to_string(&protocol_latency(&[96], &[2, 8], &[0.0, 0.05], 23, threads)).unwrap()
+    };
+    let latency1 = latency(1);
+    assert_eq!(
+        latency1,
+        latency(8),
+        "protocol_latency differs at 8 threads"
+    );
 }
 
 #[test]

@@ -8,6 +8,12 @@ pub type NodeId = u32;
 /// Distance value reported for unreachable nodes.
 pub const INFINITE_DISTANCE: u32 = u32::MAX;
 
+/// Largest maximum edge weight for which [`Graph::dijkstra_into`] uses the
+/// bucket queue (Dial's algorithm). Above this the circular bucket array —
+/// `max_weight + 1` slots, swept one distance value per step — stops paying
+/// for itself and the binary heap takes over.
+const MAX_BUCKET_WEIGHT: u32 = 4096;
+
 /// Undirected weighted graph in adjacency-list form.
 ///
 /// Edge weights are small positive integers (1 for intradomain hops, 3 for
@@ -18,6 +24,32 @@ pub struct Graph {
     /// `adj[u]` lists `(v, weight)` pairs. Each undirected edge appears twice.
     adj: Vec<Vec<(NodeId, u32)>>,
     edge_count: usize,
+    /// Largest edge weight present (0 while edgeless). Decides between the
+    /// bucket-queue and binary-heap Dijkstra variants.
+    max_weight: u32,
+}
+
+/// Reusable working memory for [`Graph::dijkstra_into`].
+///
+/// Holds the distance array, the touched-node list used to reset it in
+/// O(|reached|), and both priority-queue variants (circular buckets for
+/// small integer weights, binary heap otherwise). Reusing one scratch
+/// across calls makes repeated single-source runs allocation-free; the
+/// scratch adapts automatically when used against graphs of different
+/// sizes.
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<u32>,
+    touched: Vec<NodeId>,
+    buckets: Vec<Vec<NodeId>>,
+    heap: BinaryHeap<Reverse<(u32, NodeId)>>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
 }
 
 impl Graph {
@@ -26,6 +58,7 @@ impl Graph {
         Graph {
             adj: vec![Vec::new(); n],
             edge_count: 0,
+            max_weight: 0,
         }
     }
 
@@ -37,6 +70,11 @@ impl Graph {
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// Largest edge weight in the graph (0 while edgeless).
+    pub fn max_weight(&self) -> u32 {
+        self.max_weight
     }
 
     /// Adds the undirected edge `{u, v}` with weight `w`. Duplicate edges are
@@ -54,6 +92,7 @@ impl Graph {
         self.adj[u_us].push((v, w));
         self.adj[v_us].push((u, w));
         self.edge_count += 1;
+        self.max_weight = self.max_weight.max(w);
         true
     }
 
@@ -72,9 +111,113 @@ impl Graph {
         self.adj[u as usize].len()
     }
 
-    /// Single-source shortest path distances from `src` (Dijkstra).
+    /// Single-source shortest path distances from `src`.
     /// Unreachable nodes get [`INFINITE_DISTANCE`].
     pub fn dijkstra(&self, src: NodeId) -> Vec<u32> {
+        let mut scratch = DijkstraScratch::new();
+        self.dijkstra_into(src, &mut scratch);
+        scratch.dist
+    }
+
+    /// Single-source shortest path distances from `src`, written into
+    /// `scratch` and returned as a slice (valid until the scratch is next
+    /// used). With a reused scratch the call allocates nothing once the
+    /// buffers have grown to the graph's size.
+    ///
+    /// Small integer edge weights (the paper's 1-intradomain /
+    /// 3-interdomain cost model, and the bounded Euclidean latency model)
+    /// route to a circular bucket queue — O(E + D) for maximum distance D —
+    /// instead of the O(E log V) binary heap, which remains as the fallback
+    /// for large weights.
+    pub fn dijkstra_into<'a>(&self, src: NodeId, scratch: &'a mut DijkstraScratch) -> &'a [u32] {
+        let n = self.adj.len();
+        assert!((src as usize) < n, "source out of range");
+        if scratch.dist.len() != n {
+            scratch.dist.clear();
+            scratch.dist.resize(n, INFINITE_DISTANCE);
+        } else {
+            for &u in &scratch.touched {
+                scratch.dist[u as usize] = INFINITE_DISTANCE;
+            }
+        }
+        scratch.touched.clear();
+        if self.max_weight > 0 && self.max_weight <= MAX_BUCKET_WEIGHT {
+            self.dijkstra_buckets(src, scratch);
+        } else {
+            self.dijkstra_heap(src, scratch);
+        }
+        &scratch.dist
+    }
+
+    /// Dial's algorithm: a circular array of `max_weight + 1` buckets
+    /// indexed by distance modulo the ring size. Every tentative distance
+    /// in flight lies within `max_weight` of the current sweep distance,
+    /// so the ring never aliases two live distance values to one slot.
+    fn dijkstra_buckets(&self, src: NodeId, scratch: &mut DijkstraScratch) {
+        let ring = self.max_weight as usize + 1;
+        if scratch.buckets.len() < ring {
+            scratch.buckets.resize_with(ring, Vec::new);
+        }
+        let dist = &mut scratch.dist;
+        dist[src as usize] = 0;
+        scratch.touched.push(src);
+        scratch.buckets[0].push(src);
+        let mut pending = 1usize;
+        let mut d = 0u32;
+        while pending > 0 {
+            let slot = d as usize % ring;
+            while let Some(u) = scratch.buckets[slot].pop() {
+                pending -= 1;
+                if dist[u as usize] != d {
+                    continue; // superseded entry
+                }
+                for &(v, w) in &self.adj[u as usize] {
+                    let nd = d + w;
+                    let dv = &mut dist[v as usize];
+                    if nd < *dv {
+                        if *dv == INFINITE_DISTANCE {
+                            scratch.touched.push(v);
+                        }
+                        *dv = nd;
+                        scratch.buckets[nd as usize % ring].push(v);
+                        pending += 1;
+                    }
+                }
+            }
+            d += 1;
+        }
+    }
+
+    /// Binary-heap Dijkstra over the scratch buffers (fallback for graphs
+    /// whose weights are too large for the bucket ring).
+    fn dijkstra_heap(&self, src: NodeId, scratch: &mut DijkstraScratch) {
+        let dist = &mut scratch.dist;
+        scratch.heap.clear();
+        dist[src as usize] = 0;
+        scratch.touched.push(src);
+        scratch.heap.push(Reverse((0u32, src)));
+        while let Some(Reverse((d, u))) = scratch.heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u as usize] {
+                let nd = d + w;
+                let dv = &mut dist[v as usize];
+                if nd < *dv {
+                    if *dv == INFINITE_DISTANCE {
+                        scratch.touched.push(v);
+                    }
+                    *dv = nd;
+                    scratch.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+
+    /// Reference binary-heap Dijkstra with per-call allocation — the
+    /// pre-optimization kernel, kept as the correctness baseline for
+    /// property tests and the `dijkstra_kernels` benchmark.
+    pub fn dijkstra_reference(&self, src: NodeId) -> Vec<u32> {
         let n = self.adj.len();
         let mut dist = vec![INFINITE_DISTANCE; n];
         let mut heap = BinaryHeap::new();
@@ -104,12 +247,88 @@ impl Graph {
         dist.iter().all(|&d| d != INFINITE_DISTANCE)
     }
 
-    /// All-pairs shortest paths via repeated Dijkstra — O(V·E log V).
-    /// Intended for tests and small graphs; large graphs should use
+    /// All-pairs shortest paths via repeated single-source runs sharing one
+    /// scratch. Intended for tests and small graphs; large graphs should use
     /// [`crate::DistanceOracle`] which computes rows lazily and in parallel.
     pub fn all_pairs(&self) -> Vec<Vec<u32>> {
+        let mut scratch = DijkstraScratch::new();
         (0..self.adj.len() as NodeId)
-            .map(|u| self.dijkstra(u))
+            .map(|u| self.dijkstra_into(u, &mut scratch).to_vec())
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(seed: u64, n: usize, edges: usize, max_w: u32) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        for _ in 0..edges {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if u != v {
+                g.add_edge(u, v, rng.gen_range(1..=max_w));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn bucket_queue_matches_reference_heap() {
+        for seed in 0..8 {
+            // Small weights → bucket path; include disconnected graphs.
+            let g = random_graph(seed, 60, 90, 3);
+            assert!(g.max_weight() <= MAX_BUCKET_WEIGHT);
+            for src in [0, 17, 59] {
+                assert_eq!(
+                    g.dijkstra(src),
+                    g.dijkstra_reference(src),
+                    "seed {seed} src {src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sources_and_graphs() {
+        let g1 = random_graph(1, 40, 80, 3);
+        let g2 = random_graph(2, 70, 100, 5);
+        let mut scratch = DijkstraScratch::new();
+        for src in 0..40 {
+            assert_eq!(
+                g1.dijkstra_into(src, &mut scratch),
+                &g1.dijkstra_reference(src)[..]
+            );
+        }
+        // Same scratch against a different-sized graph.
+        for src in [0u32, 33, 69] {
+            assert_eq!(
+                g2.dijkstra_into(src, &mut scratch),
+                &g2.dijkstra_reference(src)[..]
+            );
+        }
+        // And back again.
+        assert_eq!(
+            g1.dijkstra_into(5, &mut scratch),
+            &g1.dijkstra_reference(5)[..]
+        );
+    }
+
+    #[test]
+    fn heap_fallback_matches_reference() {
+        // Weights above the bucket threshold force the heap variant.
+        let g = random_graph(3, 50, 80, MAX_BUCKET_WEIGHT * 4);
+        assert!(g.max_weight() > MAX_BUCKET_WEIGHT);
+        let mut scratch = DijkstraScratch::new();
+        for src in [0u32, 25, 49] {
+            assert_eq!(
+                g.dijkstra_into(src, &mut scratch),
+                &g.dijkstra_reference(src)[..]
+            );
+        }
     }
 }

@@ -22,7 +22,7 @@ mod landmarks;
 mod oracle;
 mod transit_stub;
 
-pub use graph::{Graph, NodeId, INFINITE_DISTANCE};
+pub use graph::{DijkstraScratch, Graph, NodeId, INFINITE_DISTANCE};
 pub use landmarks::select_landmarks;
 pub use oracle::DistanceOracle;
 pub use transit_stub::{DomainKind, TransitStubConfig, TransitStubTopology};

@@ -1,6 +1,14 @@
-use crate::graph::{Graph, NodeId};
+use crate::graph::{DijkstraScratch, Graph, NodeId};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread Dijkstra working memory: row fills from any oracle on
+    /// this thread reuse one scratch, so steady-state row computation
+    /// allocates only the row itself.
+    static SCRATCH: RefCell<DijkstraScratch> = RefCell::new(DijkstraScratch::new());
+}
 
 /// Caching shortest-path oracle.
 ///
@@ -9,7 +17,9 @@ use std::sync::Arc;
 /// overlay attach points. Rather than a full 5,000×5,000 all-pairs matrix,
 /// the oracle runs Dijkstra per distinct source on demand and memoizes the
 /// row. Rows can also be bulk-precomputed in parallel with
-/// [`DistanceOracle::precompute`].
+/// [`DistanceOracle::precompute`]. Point queries exploit symmetry: the
+/// graph is undirected, so [`DistanceOracle::distance`] answers from
+/// whichever endpoint's row is already cached before computing a new one.
 pub struct DistanceOracle {
     graph: Arc<Graph>,
     rows: Vec<RwLock<Option<Arc<Vec<u32>>>>>,
@@ -30,13 +40,21 @@ impl DistanceOracle {
         &self.graph
     }
 
+    /// The cached row from `src`, if one exists.
+    fn cached(&self, src: NodeId) -> Option<Arc<Vec<u32>>> {
+        self.rows[src as usize].read().clone()
+    }
+
     /// Shortest-path distance row from `src` (computing and caching it if
     /// needed).
     pub fn row(&self, src: NodeId) -> Arc<Vec<u32>> {
-        if let Some(row) = self.rows[src as usize].read().clone() {
+        if let Some(row) = self.cached(src) {
             return row;
         }
-        let computed = Arc::new(self.graph.dijkstra(src));
+        let computed = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            Arc::new(self.graph.dijkstra_into(src, &mut scratch).to_vec())
+        });
         let mut slot = self.rows[src as usize].write();
         // Another thread may have raced us; keep whichever is present.
         if let Some(existing) = slot.clone() {
@@ -47,9 +65,19 @@ impl DistanceOracle {
     }
 
     /// Shortest-path distance between `u` and `v` in latency units.
+    ///
+    /// The graph is undirected, so `d(u, v) = d(v, u)`: if either
+    /// endpoint's row is cached the answer is a lookup, and only when
+    /// neither is does this compute (and cache) the row from `u`.
     pub fn distance(&self, u: NodeId, v: NodeId) -> u32 {
         if u == v {
             return 0;
+        }
+        if let Some(row) = self.cached(u) {
+            return row[v as usize];
+        }
+        if let Some(row) = self.cached(v) {
+            return row[u as usize];
         }
         self.row(u)[v as usize]
     }
@@ -58,26 +86,44 @@ impl DistanceOracle {
     pub fn landmark_vector(&self, node: NodeId, landmarks: &[NodeId]) -> Vec<u32> {
         // Dijkstra from each landmark (few sources) rather than from every
         // node (many sources): the cache makes repeated calls cheap.
-        landmarks.iter().map(|&l| self.row(l)[node as usize]).collect()
+        landmarks
+            .iter()
+            .map(|&l| self.row(l)[node as usize])
+            .collect()
     }
 
     /// Precomputes rows for `sources` in parallel using scoped threads.
+    /// Each worker thread fills rows through its own thread-local scratch,
+    /// so the batch allocates nothing beyond the rows themselves.
+    /// Already-cached sources are skipped without spawning work for them.
     pub fn precompute(&self, sources: &[NodeId], threads: usize) {
-        let threads = threads.max(1);
-        let chunk = sources.len().div_ceil(threads);
-        if chunk == 0 {
+        let missing: Vec<NodeId> = sources
+            .iter()
+            .copied()
+            .filter(|&src| self.rows[src as usize].read().is_none())
+            .collect();
+        if missing.is_empty() {
             return;
         }
-        crossbeam::scope(|s| {
-            for part in sources.chunks(chunk) {
-                s.spawn(move |_| {
+        let threads = threads.max(1);
+        if threads == 1 {
+            // Inline on the caller's thread: no spawn overhead, and the
+            // caller's thread-local scratch keeps the batch allocation-free.
+            for &src in &missing {
+                let _ = self.row(src);
+            }
+            return;
+        }
+        let chunk = missing.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in missing.chunks(chunk) {
+                s.spawn(move || {
                     for &src in part {
                         let _ = self.row(src);
                     }
                 });
             }
-        })
-        .expect("precompute worker panicked");
+        });
     }
 
     /// Number of cached rows (for tests / diagnostics).

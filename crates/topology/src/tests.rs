@@ -65,7 +65,9 @@ fn bellman_ford(g: &Graph, src: NodeId) -> Vec<u32> {
             break;
         }
     }
-    dist.into_iter().map(|d| d.min(u64::from(INFINITE_DISTANCE)) as u32).collect()
+    dist.into_iter()
+        .map(|d| d.min(u64::from(INFINITE_DISTANCE)) as u32)
+        .collect()
 }
 
 #[test]
@@ -92,10 +94,7 @@ fn tiny_topology_is_connected_and_shaped() {
     let topo = small_topo(1);
     assert!(topo.graph.is_connected());
     let cfg = topo.config;
-    assert_eq!(
-        topo.transit_by_domain.len(),
-        cfg.transit_domains
-    );
+    assert_eq!(topo.transit_by_domain.len(), cfg.transit_domains);
     assert_eq!(
         topo.stub_by_domain.len(),
         cfg.transit_domains * cfg.transit_nodes_per_domain * cfg.stub_domains_per_transit_node
@@ -270,6 +269,45 @@ proptest! {
     }
 
     #[test]
+    fn prop_bucket_dijkstra_matches_heap(seed in 0u64..200) {
+        // The bucket-queue kernel must agree with the binary-heap baseline
+        // on every source, in both weight regimes (hop costs well inside
+        // the bucket threshold; latency weights that may fall back).
+        let topo = small_topo(seed);
+        let mut scratch = DijkstraScratch::new();
+        for graph in [&topo.graph, &topo.latency_graph] {
+            let n = graph.node_count() as NodeId;
+            for src in (0..n).step_by(7) {
+                let heap = graph.dijkstra_reference(src);
+                prop_assert_eq!(&graph.dijkstra(src), &heap);
+                // The scratch is deliberately reused across sources and
+                // graphs — stale state must not leak between runs.
+                prop_assert_eq!(graph.dijkstra_into(src, &mut scratch), &heap[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_precompute_threads_match_sequential(seed in 0u64..50) {
+        // Batched multi-source precompute fills exactly the same rows
+        // regardless of thread count.
+        let topo = small_topo(seed);
+        let graph = StdArc::new(topo.graph.clone());
+        let sequential = DistanceOracle::new(StdArc::clone(&graph));
+        let threaded = DistanceOracle::new(graph);
+        let n = topo.node_count() as NodeId;
+        let sources: Vec<NodeId> = (0..n).step_by(3).collect();
+        sequential.precompute(&sources, 1);
+        threaded.precompute(&sources, 4);
+        prop_assert_eq!(sequential.cached_rows(), threaded.cached_rows());
+        for &src in &sources {
+            let seq_row = sequential.row(src);
+            let thr_row = threaded.row(src);
+            prop_assert_eq!(seq_row.as_slice(), thr_row.as_slice());
+        }
+    }
+
+    #[test]
     fn prop_triangle_inequality(seed in 0u64..50) {
         let topo = small_topo(seed);
         let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
@@ -295,8 +333,12 @@ fn latency_graph_shares_edges_with_hop_graph() {
     for u in 0..topo.node_count() as NodeId {
         let mut hop_neighbors: Vec<NodeId> =
             topo.graph.neighbors(u).iter().map(|&(v, _)| v).collect();
-        let mut lat_neighbors: Vec<NodeId> =
-            topo.latency_graph.neighbors(u).iter().map(|&(v, _)| v).collect();
+        let mut lat_neighbors: Vec<NodeId> = topo
+            .latency_graph
+            .neighbors(u)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
         hop_neighbors.sort_unstable();
         lat_neighbors.sort_unstable();
         assert_eq!(hop_neighbors, lat_neighbors);
@@ -336,10 +378,18 @@ fn latency_distances_distinguish_sibling_stubs() {
     // Stub domains 0 and 1 hang off the same transit node by construction.
     let a = lat.landmark_vector(topo.stub_by_domain[0][0], &lms);
     let b = lat.landmark_vector(topo.stub_by_domain[1][0], &lms);
-    let diff: u64 = a.iter().zip(&b).map(|(x, y)| u64::from(x.abs_diff(*y))).sum();
+    let diff: u64 = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| u64::from(x.abs_diff(*y)))
+        .sum();
     // Same-stub neighbours differ far less.
     let a2 = lat.landmark_vector(topo.stub_by_domain[0][1], &lms);
-    let same_diff: u64 = a.iter().zip(&a2).map(|(x, y)| u64::from(x.abs_diff(*y))).sum();
+    let same_diff: u64 = a
+        .iter()
+        .zip(&a2)
+        .map(|(x, y)| u64::from(x.abs_diff(*y)))
+        .sum();
     assert!(
         diff > 3 * same_diff.max(1),
         "sibling stubs should separate: cross {diff} vs same {same_diff}"

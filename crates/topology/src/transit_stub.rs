@@ -187,12 +187,18 @@ impl TransitStubTopology {
         for (d, ids) in transit_by_domain.iter().enumerate() {
             let (cx, cy) = domain_centers[d];
             for &t in ids {
-                coords[t as usize] = (cx + rng.gen_range(-60.0..60.0), cy + rng.gen_range(-60.0..60.0));
+                coords[t as usize] = (
+                    cx + rng.gen_range(-60.0..60.0),
+                    cy + rng.gen_range(-60.0..60.0),
+                );
             }
         }
         for (sd, ids) in stub_by_domain.iter().enumerate() {
             let (hx, hy) = coords[stub_home_transit[sd] as usize];
-            let (sx, sy) = (hx + rng.gen_range(-120.0..120.0), hy + rng.gen_range(-120.0..120.0));
+            let (sx, sy) = (
+                hx + rng.gen_range(-120.0..120.0),
+                hy + rng.gen_range(-120.0..120.0),
+            );
             for &n in ids {
                 coords[n as usize] = (sx + rng.gen_range(-4.0..4.0), sy + rng.gen_range(-4.0..4.0));
             }
@@ -203,14 +209,22 @@ impl TransitStubTopology {
         // 3. Intradomain transit edges: ring + extra random chords (weight 1).
         for ids in &transit_by_domain {
             connect_ring(&mut graph, ids, INTRA_DOMAIN_WEIGHT);
-            add_random_edges(&mut graph, ids, config.extra_transit_edges, INTRA_DOMAIN_WEIGHT, rng);
+            add_random_edges(
+                &mut graph,
+                ids,
+                config.extra_transit_edges,
+                INTRA_DOMAIN_WEIGHT,
+                rng,
+            );
         }
 
         // 4. Interdomain transit edges (weight 3): spanning chain between
         //    consecutive domains guarantees connectivity, plus extra random
         //    cross-domain links.
         for d in 1..config.transit_domains {
-            let u = *transit_by_domain[d - 1].choose(rng).expect("non-empty domain");
+            let u = *transit_by_domain[d - 1]
+                .choose(rng)
+                .expect("non-empty domain");
             let v = *transit_by_domain[d].choose(rng).expect("non-empty domain");
             graph.add_edge(u, v, INTER_DOMAIN_WEIGHT);
         }

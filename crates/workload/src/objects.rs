@@ -144,7 +144,10 @@ mod tests {
         assert!((total - 1e6).abs() < 1e-3);
         let max = objs.iter().map(|o| o.load).fold(0.0f64, f64::max);
         let mean = total / objs.len() as f64;
-        assert!(max > 50.0 * mean, "hot object should dominate: {max} vs {mean}");
+        assert!(
+            max > 50.0 * mean,
+            "hot object should dominate: {max} vs {mean}"
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ fn pareto_vs_load_mean_scales_with_fraction() {
 #[test]
 fn vs_load_zero_fraction_is_zero() {
     let mut rng = StdRng::seed_from_u64(8);
-    assert_eq!(LoadModel::gaussian(100.0, 10.0).sample_vs_load(0.0, &mut rng), 0.0);
+    assert_eq!(
+        LoadModel::gaussian(100.0, 10.0).sample_vs_load(0.0, &mut rng),
+        0.0
+    );
     assert_eq!(LoadModel::pareto(100.0).sample_vs_load(0.0, &mut rng), 0.0);
 }
 

@@ -32,8 +32,7 @@ fn main() {
         100.0 * objects.iter().map(|o| o.load).fold(0.0f64, f64::max) / 1_000_000.0
     );
 
-    let mut loads =
-        LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
+    let mut loads = LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
 
     let hottest_vs = |net: &ChordNetwork, loads: &LoadState| -> f64 {
         net.ring()

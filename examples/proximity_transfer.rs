@@ -25,10 +25,7 @@ fn main() {
 
     let out = fig78_moved_load(&prepared);
 
-    println!(
-        "\n{:>24} {:>14} {:>14}",
-        "", "prox-aware", "prox-ignorant"
-    );
+    println!("\n{:>24} {:>14} {:>14}", "", "prox-aware", "prox-ignorant");
     for d in [1u32, 2, 5, 10, 15, 20] {
         println!(
             "{:>24} {:>13.1}% {:>13.1}%",

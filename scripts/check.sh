@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything that must be green before a change ships.
+#
+#   scripts/check.sh
+#
+# Runs, in order:
+#   1. tier-1 verify (ROADMAP.md): release build + root test suite
+#   2. the full workspace test suite
+#   3. formatting check (no diffs allowed)
+#   4. clippy over every target, warnings denied
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -62,8 +62,7 @@ fn works_for_both_load_models_and_degrees() {
         for _ in 0..128 {
             net.join_peer(5, &mut rng);
         }
-        let mut loads =
-            LoadState::generate(&net, &CapacityProfile::gnutella(), &model, &mut rng);
+        let mut loads = LoadState::generate(&net, &CapacityProfile::gnutella(), &model, &mut rng);
         let balancer = LoadBalancer::new(BalancerConfig {
             k,
             ..BalancerConfig::default()

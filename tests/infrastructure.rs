@@ -72,7 +72,11 @@ fn sustained_churn_with_lookups() {
     let stats = run_churn(&mut net, &mut tree, &mut routing, &cfg, &mut rng);
     assert!(stats.joins > 50);
     assert!(stats.crashes > 50);
-    assert!(stats.lookup_success_rate > 0.8, "{}", stats.lookup_success_rate);
+    assert!(
+        stats.lookup_success_rate > 0.8,
+        "{}",
+        stats.lookup_success_rate
+    );
     net.check_invariants().unwrap();
     tree.check_invariants(&net).unwrap();
 }
@@ -90,7 +94,15 @@ fn aggregation_latency_reflects_topology() {
     assert!(lat > 0);
     // Bounded by (max message depth) × (graph diameter).
     let diameter = (0..prepared.topo.as_ref().unwrap().node_count() as u32)
-        .map(|n| *oracle.row(0).iter().max().unwrap().min(&u32::MAX).max(&oracle.distance(0, n)))
+        .map(|n| {
+            *oracle
+                .row(0)
+                .iter()
+                .max()
+                .unwrap()
+                .min(&u32::MAX)
+                .max(&oracle.distance(0, n))
+        })
         .max()
         .unwrap();
     let bound = u64::from(tree.max_message_depth()) * u64::from(2 * diameter);
@@ -113,8 +125,7 @@ fn balance_runs_back_to_back_converge() {
     scenario.peers = 192;
     scenario.topology = TopologyKind::None;
     let mut prepared = scenario.prepare();
-    let balancer =
-        proxbal::core::LoadBalancer::new(proxbal::core::BalancerConfig::default());
+    let balancer = proxbal::core::LoadBalancer::new(proxbal::core::BalancerConfig::default());
     let mut rng = prepared.derived_rng(5);
 
     let first = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);

@@ -89,7 +89,7 @@ fn fig8_shape_weaker_but_persistent_advantage() {
 
 #[test]
 fn rounds_shape_logarithmic_scaling() {
-    let rows = rounds_scaling(&[128, 512, 2048], &[2], 85);
+    let rows = rounds_scaling(&[128, 512, 2048], &[2], 85, 2);
     // 16× more peers: rounds grow by a bounded additive amount (log), not
     // multiplicatively.
     let r128 = rows.iter().find(|r| r.peers == 128).unwrap();
@@ -103,7 +103,7 @@ fn rounds_shape_logarithmic_scaling() {
 
 #[test]
 fn latency_shape_k8_faster_than_k2() {
-    let rows = protocol_latency(&[256], &[2, 8], &[0.0], 86);
+    let rows = protocol_latency(&[256], &[2, 8], &[0.0], 86, 2);
     let t2 = rows.iter().find(|r| r.k == 2).unwrap();
     let t8 = rows.iter().find(|r| r.k == 8).unwrap();
     assert!(

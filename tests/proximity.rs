@@ -95,7 +95,10 @@ fn transfer_distances_match_oracle() {
 fn deterministic_given_seed() {
     let a = fig78_moved_load(&moved_load_scenario(TopologyKind::Tiny, 64, 77).prepare());
     let b = fig78_moved_load(&moved_load_scenario(TopologyKind::Tiny, 64, 77).prepare());
-    assert_eq!(a.aware_report.transfers.len(), b.aware_report.transfers.len());
+    assert_eq!(
+        a.aware_report.transfers.len(),
+        b.aware_report.transfers.len()
+    );
     assert_eq!(a.aware.cdf(), b.aware.cdf());
     assert_eq!(a.ignorant.cdf(), b.ignorant.cdf());
 }
