@@ -10,6 +10,7 @@
 //! repro --claim repair     # §3.1.1: tree self-repair after crashes
 //! repro --claim baselines  # §1.1: CFS thrashing comparison
 //! repro --all              # everything
+//! repro --scale xl         # 65,536 peers on a ts50k underlay (bounded RAM)
 //! repro ... --scale small  # reduced size for quick runs
 //! repro ... --seed 42      # change the master seed
 //! repro ... --threads 4    # worker threads for the sweep engine
@@ -48,6 +49,20 @@ macro_rules! say {
 enum Scale {
     Full,
     Small,
+    /// 65,536 peers over a ~50k-node underlay with a bounded oracle cache.
+    /// Runs its own phase (four balancer phases + the fig-7-shaped
+    /// proximity sweep) instead of the figure/claim grid.
+    Xl,
+}
+
+impl Scale {
+    fn name(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Small => "small",
+            Scale::Xl => "xl",
+        }
+    }
 }
 
 struct Args {
@@ -89,8 +104,9 @@ fn parse_args() -> Args {
             }
             "--claim" => args.claims.push(it.next().expect("--claim needs a name")),
             "--scale" => {
-                args.scale = match it.next().expect("--scale needs full|small").as_str() {
+                args.scale = match it.next().expect("--scale needs full|small|xl").as_str() {
                     "small" => Scale::Small,
+                    "xl" => Scale::Xl,
                     _ => Scale::Full,
                 }
             }
@@ -114,7 +130,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.figs.is_empty() && args.claims.is_empty() {
+    if args.scale != Scale::Xl && args.figs.is_empty() && args.claims.is_empty() {
         args.figs = vec![4, 5, 6, 7, 8];
         args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
     }
@@ -130,6 +146,7 @@ fn scenario(args: &Args, topology: TopologyKind) -> Scenario {
             s.landmarks = 15;
             s
         }
+        Scale::Xl => unreachable!("xl runs its own phase"),
     };
     s.topology = topology;
     s
@@ -193,8 +210,121 @@ fn peak_messages(v: &serde_json::Value) -> Option<u64> {
     }
 }
 
+/// Merges `key` → `entry` into BENCH_repro.json, preserving every other
+/// top-level key an earlier run recorded (the `--timing` doc and the `xl`
+/// entry are written by different invocations).
+fn merge_bench_json(key: &str, entry: serde_json::Value) {
+    let mut doc = std::fs::read_to_string("BENCH_repro.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| match v {
+            serde_json::Value::Object(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_else(serde_json::Map::new);
+    doc.insert(key.to_string(), entry);
+    std::fs::write(
+        "BENCH_repro.json",
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("serialize timings"),
+    )
+    .expect("write BENCH_repro.json");
+    println!("wrote BENCH_repro.json ({key})");
+}
+
+/// The xl-scale phase: all four balancer phases at 65,536 peers over a
+/// ts50k underlay (twice: aware + ignorant — the fig-7-shaped proximity
+/// sweep), with wall time and peak RSS appended to BENCH_repro.json.
+fn run_xl(args: &Args) {
+    for fig in &args.figs {
+        assert!(
+            *fig == 7,
+            "--scale xl runs the fig-7-shaped sweep only (got --fig {fig})"
+        );
+    }
+    assert!(
+        args.claims.is_empty(),
+        "--scale xl does not run the claim grid"
+    );
+    println!(
+        "── xl scale: four-phase protocol at 65,536 peers on ts50k (seed {}) ──",
+        args.seed
+    );
+    let total = Instant::now();
+    let out = proxbal_sim::experiments::xl_scale(args.seed);
+    let total_wall = total.elapsed().as_secs_f64();
+    let peak_rss = proxbal_bench::peak_rss_bytes();
+
+    println!(
+        "underlay: {} nodes   peers: {}   virtual servers: {}   oracle cache: {} rows",
+        out.underlay_nodes, out.peers, out.virtual_servers, out.oracle_capacity
+    );
+    println!("prepare: {:.1}s", out.prepare_wall_s);
+    for run in [&out.aware, &out.ignorant] {
+        println!(
+            "{:<18}: {}   heavy {} -> {}   transfers {}   {:.1}s",
+            format!("proximity-{}", run.label),
+            headline(&run.histogram),
+            run.heavy_before,
+            run.heavy_after,
+            run.transfers,
+            run.wall_s
+        );
+    }
+    println!("\n  CDF of moved load (distance: aware | ignorant)");
+    for d in [0u32, 1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50] {
+        println!(
+            "  <={d:>3} hops: {:6.1}% | {:6.1}%",
+            (100.0 * out.aware.histogram.fraction_within(d)).max(0.0),
+            (100.0 * out.ignorant.histogram.fraction_within(d)).max(0.0)
+        );
+    }
+    match peak_rss {
+        Some(b) => println!(
+            "total: {total_wall:.1}s   peak RSS: {:.2} GiB",
+            b as f64 / (1u64 << 30) as f64
+        ),
+        None => println!("total: {total_wall:.1}s   peak RSS: unavailable"),
+    }
+
+    let entry = serde_json::json!({
+        "seed": args.seed,
+        "peers": out.peers,
+        "underlay_nodes": out.underlay_nodes,
+        "virtual_servers": out.virtual_servers,
+        "oracle_capacity": out.oracle_capacity,
+        "total_wall_s": total_wall,
+        "prepare_wall_s": out.prepare_wall_s,
+        "aware_wall_s": out.aware.wall_s,
+        "ignorant_wall_s": out.ignorant.wall_s,
+        "peak_rss_bytes": peak_rss.unwrap_or(0),
+        "lbi_messages": out.aware.lbi_messages,
+        "vsa_record_hops": out.aware.vsa_record_hops,
+        "aware_frac2": out.aware.frac2,
+        "aware_frac10": out.aware.frac10,
+        "ignorant_frac10": out.ignorant.frac10,
+        "heavy_after": out.aware.heavy_after.max(out.ignorant.heavy_after),
+    });
+    merge_bench_json("xl", entry);
+
+    if let Some(path) = &args.json {
+        let doc = serde_json::json!({
+            "paper": "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)",
+            "seed": args.seed,
+            "scale": "xl",
+            "results": serde_json::to_value(&out).expect("serialize xl output"),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.scale == Scale::Xl {
+        run_xl(&args);
+        return;
+    }
     let mut phases: Vec<Phase> = Vec::new();
     for &fig in &args.figs {
         if (4..=8).contains(&fig) {
@@ -272,14 +402,27 @@ fn main() {
             "bench": "repro",
             "paper": "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)",
             "seed": args.seed,
-            "scale": if args.scale == Scale::Full { "full" } else { "small" },
+            "scale": args.scale.name(),
             "threads": args.threads,
             "total_wall_s": total_wall.as_secs_f64(),
             "phases": timings,
         });
+        // Carry over an `xl` entry a previous `--scale xl` run recorded.
+        let xl = std::fs::read_to_string("BENCH_repro.json")
+            .ok()
+            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+            .and_then(|v| v.get("xl").cloned());
+        let mut doc = match doc {
+            serde_json::Value::Object(m) => m,
+            _ => unreachable!("json! object"),
+        };
+        if let Some(xl) = xl {
+            doc.insert("xl".to_string(), xl);
+        }
         std::fs::write(
             "BENCH_repro.json",
-            serde_json::to_string_pretty(&doc).expect("serialize timings"),
+            serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+                .expect("serialize timings"),
         )
         .expect("write BENCH_repro.json");
         println!("wrote BENCH_repro.json");
@@ -289,7 +432,7 @@ fn main() {
         let doc = serde_json::json!({
             "paper": "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)",
             "seed": args.seed,
-            "scale": if args.scale == Scale::Full { "full" } else { "small" },
+            "scale": args.scale.name(),
             "results": serde_json::Value::Object(results),
         });
         std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
@@ -411,6 +554,7 @@ fn fig78(args: &Args, topology: TopologyKind, fig: u32) -> (String, serde_json::
     let graphs = match args.scale {
         Scale::Full => 10,
         Scale::Small => 3,
+        Scale::Xl => unreachable!("xl runs its own phase"),
     };
     say!(
         o,
@@ -494,6 +638,7 @@ fn claim_rounds(args: &Args) -> (String, serde_json::Value) {
     let sizes: Vec<usize> = match args.scale {
         Scale::Full => vec![256, 512, 1024, 2048, 4096],
         Scale::Small => vec![64, 128, 256, 512],
+        Scale::Xl => unreachable!("xl runs its own phase"),
     };
     let rows = rounds_scaling(&sizes, &[2, 8], args.seed, args.threads);
     let json = serde_json::to_value(&rows).expect("serialize rows");
@@ -534,6 +679,7 @@ fn claim_repair(args: &Args) -> (String, serde_json::Value) {
     let peers = match args.scale {
         Scale::Full => 2048,
         Scale::Small => 256,
+        Scale::Xl => unreachable!("xl runs its own phase"),
     };
     say!(
         o,
@@ -660,6 +806,7 @@ fn claim_drift(args: &Args) -> (String, serde_json::Value) {
     let peers = match args.scale {
         Scale::Full => 1024,
         Scale::Small => 256,
+        Scale::Xl => unreachable!("xl runs its own phase"),
     };
     let mut s = scenario(args, TopologyKind::None);
     s.peers = peers;
@@ -729,6 +876,7 @@ fn claim_latency(args: &Args) -> (String, serde_json::Value) {
     let sizes: Vec<usize> = match args.scale {
         Scale::Full => vec![1024, 4096],
         Scale::Small => vec![256],
+        Scale::Xl => unreachable!("xl runs its own phase"),
     };
     let rows = proxbal_sim::experiments::protocol_latency(
         &sizes,

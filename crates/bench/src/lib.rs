@@ -13,3 +13,15 @@ pub fn headline(h: &DistanceHistogram) -> String {
         h.mean_distance()
     )
 }
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`), or
+/// `None` when `/proc/self/status` is unavailable or unparsable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}

@@ -121,6 +121,40 @@ impl Ring {
         }
     }
 
+    /// Number of virtual-server positions inside `region`, counting at most
+    /// `cap` — an early-exit variant for callers that only need to
+    /// distinguish "empty / one / more" (the K-nary tree's split rule asks
+    /// exactly that for every candidate region, so a full range scan per
+    /// node would make tree construction quadratic at 50k+ scale).
+    pub fn count_in_at_most(&self, region: &Arc, cap: usize) -> usize {
+        self.iter_in(region).take(cap).count()
+    }
+
+    /// Iterates the virtual servers whose positions lie inside `region`,
+    /// clockwise, without materializing them.
+    pub fn iter_in<'a>(&'a self, region: &Arc) -> impl Iterator<Item = (Id, VsId)> + 'a {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
+        let none = (Included(0u32), Excluded(0u32));
+        let (first, second) = if region.is_empty() {
+            (none, none)
+        } else if region.is_full() {
+            ((Unbounded, Unbounded), none)
+        } else {
+            let start = region.start().raw();
+            let end = region.end().raw(); // exclusive
+            if start < end {
+                ((Included(start), Excluded(end)), none)
+            } else {
+                // Wraps past 0: [start, 2^32) ∪ [0, end).
+                ((Included(start), Unbounded), (Unbounded, Excluded(end)))
+            }
+        };
+        self.by_pos
+            .range(first)
+            .chain(self.by_pos.range(second))
+            .map(|(&p, &vs)| (Id::new(p), vs))
+    }
+
     /// The virtual servers whose positions lie inside `region`, clockwise.
     pub fn vss_in(&self, region: &Arc) -> Vec<(Id, VsId)> {
         if region.is_empty() {

@@ -211,12 +211,12 @@ impl LoadBalancer {
         // reports through the root directly — in a real deployment it would
         // retain an empty virtual-server registration; losing its capacity
         // from the aggregate would silently inflate every target.
-        let mut lbi_inputs = HashMap::new();
+        let mut lbi_inputs = proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
         for p in net.alive_peers() {
             use proxbal_ktree::Merge;
             let target = random_report_target(net, tree, p, rng).unwrap_or_else(|| tree.root());
             let lbi = loads.node_lbi(net, p);
-            match lbi_inputs.get_mut(&target) {
+            match lbi_inputs.get_mut(target) {
                 Some(acc) => Merge::merge(acc, lbi),
                 None => {
                     lbi_inputs.insert(target, lbi);
@@ -225,7 +225,7 @@ impl LoadBalancer {
         }
         // Count inter-peer tree edges on the contributing paths (each edge
         // carries exactly one aggregated LBI message).
-        let lbi_messages = count_active_edges(net, tree, lbi_inputs.keys().copied());
+        let lbi_messages = count_active_edges(net, tree, lbi_inputs.keys());
         let agg = tree.aggregate(lbi_inputs);
         let system = agg.root_value.expect("at least one peer reported");
         let lbi_rounds = agg.rounds;
@@ -300,12 +300,13 @@ fn count_active_edges(
     tree: &KTree,
     seeds: impl Iterator<Item = proxbal_ktree::KtNodeId>,
 ) -> usize {
-    let mut visited = std::collections::HashSet::new();
+    let mut visited = vec![false; tree.slot_bound()];
     let mut edges = 0;
     for seed in seeds {
         let mut cur = seed;
         while let Some(parent) = tree.node(cur).parent {
-            if !visited.insert(cur) {
+            let slot = cur.0 as usize;
+            if std::mem::replace(&mut visited[slot], true) {
                 break; // shared suffix already counted
             }
             let a = net.vs(tree.node(cur).host).host;

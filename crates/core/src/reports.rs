@@ -4,7 +4,7 @@ use crate::pairing::{LightSlot, RendezvousLists, ShedCandidate};
 use crate::selection::choose_shed_set;
 use proxbal_chord::{ChordNetwork, PeerId, VsId};
 use proxbal_hilbert::{CurveKind, LandmarkMapper};
-use proxbal_ktree::{KTree, KtNodeId};
+use proxbal_ktree::{KTree, KtNodeId, KtNodeMap};
 use proxbal_topology::{DistanceOracle, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -116,8 +116,8 @@ pub fn ignorant_inputs<R: Rng>(
     shed: &BTreeMap<PeerId, Vec<ShedCandidate>>,
     light: &BTreeMap<PeerId, LightSlot>,
     rng: &mut R,
-) -> HashMap<KtNodeId, RendezvousLists> {
-    let mut inputs: HashMap<KtNodeId, RendezvousLists> = HashMap::new();
+) -> KtNodeMap<RendezvousLists> {
+    let mut inputs: KtNodeMap<RendezvousLists> = KtNodeMap::with_slot_bound(tree.slot_bound());
     // A peer with no virtual servers (possible for light peers that shed
     // everything in an earlier pass) enters at the root.
     let entry_for = |p: PeerId, rng: &mut R| -> KtNodeId {
@@ -128,14 +128,14 @@ pub fn ignorant_inputs<R: Rng>(
     };
     for (&p, cands) in shed {
         let target = entry_for(p, rng);
-        let lists = inputs.entry(target).or_default();
+        let lists = inputs.or_default(target);
         for c in cands {
             lists.push_shed(*c);
         }
     }
     for (&p, slot) in light {
         let target = entry_for(p, rng);
-        inputs.entry(target).or_default().push_light(*slot);
+        inputs.or_default(target).push_light(*slot);
     }
     inputs
 }
@@ -196,7 +196,7 @@ pub fn proximity_inputs(
     params: &ProximityParams,
     oracle: &DistanceOracle,
     landmarks: &[NodeId],
-) -> HashMap<KtNodeId, RendezvousLists> {
+) -> KtNodeMap<RendezvousLists> {
     assert!(!landmarks.is_empty(), "need at least one landmark");
     // Landmark vectors of every participating node, projected onto the
     // key dimensions.
@@ -248,7 +248,7 @@ pub fn proximity_inputs(
     }
     .with_curve(params.curve);
 
-    let mut inputs: HashMap<KtNodeId, RendezvousLists> = HashMap::new();
+    let mut inputs: KtNodeMap<RendezvousLists> = KtNodeMap::with_slot_bound(tree.slot_bound());
     let target_for = |p: PeerId| -> KtNodeId {
         let v = &vectors[&p];
         let v: Vec<u32> = if params.center_vectors {
@@ -263,14 +263,14 @@ pub fn proximity_inputs(
     };
     for (&p, cands) in shed {
         let target = target_for(p);
-        let lists = inputs.entry(target).or_default();
+        let lists = inputs.or_default(target);
         for c in cands {
             lists.push_shed(*c);
         }
     }
     for (&p, slot) in light {
         let target = target_for(p);
-        inputs.entry(target).or_default().push_light(*slot);
+        inputs.or_default(target).push_light(*slot);
     }
     inputs
 }

@@ -29,9 +29,20 @@ pub fn execute_transfers(
     assignments: &[Assignment],
     oracle: Option<&DistanceOracle>,
 ) -> Vec<TransferRecord> {
-    if let Some(o) = oracle {
-        precompute_endpoint_rows(net, assignments, o);
-    }
+    // With an unbounded oracle cache, warm whole rows and query per
+    // transfer. With a bounded cache, precompute every pair distance up
+    // front in capacity-sized batches instead: peer attachments are
+    // immutable, so the values are identical, and the per-transfer query
+    // order (which interleaves both endpoints) can no longer thrash the
+    // cache into recomputing rows.
+    let memo: Option<DistanceMemo> = match oracle {
+        Some(o) if o.capacity() > 0 => Some(pair_distances_chunked(net, assignments, o)),
+        Some(o) => {
+            precompute_endpoint_rows(net, assignments, o);
+            None
+        }
+        None => None,
+    };
     let mut out = Vec::with_capacity(assignments.len());
     for &a in assignments {
         let vs = net.vs(a.vs);
@@ -49,7 +60,9 @@ pub fn execute_transfers(
                 from != u32::MAX && to != u32::MAX,
                 "transfer distance requires underlay attachments"
             );
-            o.distance(from, to)
+            memo.as_ref()
+                .and_then(|m| m.get(&(from, to)).copied())
+                .unwrap_or_else(|| o.distance(from, to))
         });
         // Load rides with the virtual server; LoadState is keyed by VsId so
         // nothing to move — but assert the invariant in debug builds.
@@ -60,6 +73,74 @@ pub fn execute_transfers(
         });
     }
     out
+}
+
+type DistanceMemo = std::collections::HashMap<(u32, u32), u32>;
+
+/// Collects the `(from, to)` attachment pairs of the assignments that look
+/// executable right now (same filter [`execute_transfers`] applies).
+fn endpoint_pairs(net: &ChordNetwork, assignments: &[Assignment]) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(assignments.len());
+    for a in assignments {
+        let vs = net.vs(a.vs);
+        if !vs.alive || vs.host != a.from {
+            continue;
+        }
+        if net.peer(a.to).state != proxbal_chord::PeerState::Alive {
+            continue;
+        }
+        let from = net.peer(a.from).underlay;
+        let to = net.peer(a.to).underlay;
+        if from != u32::MAX && to != u32::MAX {
+            pairs.push((from, to));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Computes every endpoint-pair distance through a **bounded** oracle cache
+/// without thrashing it: distinct sources on the cheaper side are processed
+/// in batches of at most half the cache capacity, each batch's rows filled
+/// once (in parallel) and drained into a flat pair→distance memo before the
+/// next batch may evict them.
+fn pair_distances_chunked(
+    net: &ChordNetwork,
+    assignments: &[Assignment],
+    oracle: &DistanceOracle,
+) -> DistanceMemo {
+    let pairs = endpoint_pairs(net, assignments);
+    let mut froms: Vec<u32> = pairs.iter().map(|&(f, _)| f).collect();
+    let mut tos: Vec<u32> = pairs.iter().map(|&(_, t)| t).collect();
+    froms.sort_unstable();
+    froms.dedup();
+    tos.sort_unstable();
+    tos.dedup();
+    // One Dijkstra per distinct node on the smaller side covers every pair.
+    let by_to = tos.len() <= froms.len();
+    let mut by_src: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for &(f, t) in &pairs {
+        let (src, other) = if by_to { (t, f) } else { (f, t) };
+        by_src.entry(src).or_default().push(other);
+    }
+    let sources: Vec<u32> = by_src.keys().copied().collect();
+    let batch = (oracle.capacity() / 2).max(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut memo = DistanceMemo::with_capacity(pairs.len());
+    for chunk in sources.chunks(batch) {
+        oracle.precompute(chunk, threads);
+        for &src in chunk {
+            let row = oracle.row(src);
+            for &other in &by_src[&src] {
+                let (f, t) = if by_to { (other, src) } else { (src, other) };
+                memo.insert((f, t), row[other as usize]);
+            }
+        }
+    }
+    memo
 }
 
 /// Batch-fills oracle rows for the cheaper side of the transfer endpoints.

@@ -1,7 +1,6 @@
 use crate::pairing::{Assignment, RendezvousLists};
-use proxbal_ktree::{KTree, KtNodeId};
+use proxbal_ktree::{KTree, KtNodeMap};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Parameters of the VSA sweep.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -57,22 +56,23 @@ pub struct VsaOutcome {
 /// unconditionally.
 pub fn run_vsa(
     tree: &KTree,
-    mut inputs: HashMap<KtNodeId, RendezvousLists>,
+    inputs: impl Into<KtNodeMap<RendezvousLists>>,
     params: &VsaParams,
 ) -> VsaOutcome {
+    let mut inputs: KtNodeMap<RendezvousLists> = inputs.into();
     let mut outcome = VsaOutcome::default();
     let depths = tree.message_depths();
     outcome.rounds = inputs
-        .keys()
-        .filter(|id| !inputs_is_empty(&inputs, id))
-        .map(|id| depths.get(id).copied().unwrap_or(0))
+        .iter()
+        .filter(|(_, lists)| !lists.is_empty())
+        .map(|(id, _)| depths.get(id).copied().unwrap_or(0))
         .max()
         .unwrap_or(0);
 
     let levels = tree.levels();
     for level in levels.iter().rev() {
         for &id in level {
-            let Some(mut lists) = inputs.remove(&id) else {
+            let Some(mut lists) = inputs.remove(id) else {
                 continue;
             };
             if lists.is_empty() {
@@ -103,7 +103,7 @@ pub fn run_vsa(
                     if tree.node(id).host != tree.node(parent).host {
                         outcome.record_hops += lists.len();
                     }
-                    match inputs.get_mut(&parent) {
+                    match inputs.get_mut(parent) {
                         Some(acc) => acc.merge(lists),
                         None => {
                             inputs.insert(parent, lists);
@@ -115,11 +115,4 @@ pub fn run_vsa(
         }
     }
     outcome
-}
-
-fn inputs_is_empty(inputs: &HashMap<KtNodeId, RendezvousLists>, id: &KtNodeId) -> bool {
-    inputs
-        .get(id)
-        .map(RendezvousLists::is_empty)
-        .unwrap_or(true)
 }

@@ -1,5 +1,5 @@
-use crate::tree::{KTree, KtNodeId};
-use std::collections::HashMap;
+use crate::node_map::KtNodeMap;
+use crate::tree::KTree;
 
 /// A commutative, associative combine operation — the shape of every
 /// bottom-up aggregation the tree performs (LBI sums/minima, VSA list
@@ -22,7 +22,7 @@ pub struct AggregateOutcome<A> {
     pub rounds: u32,
     /// Per-node aggregated values (each KT node's view), including inner
     /// nodes — useful when intermediate values matter (VSA rendezvous).
-    pub per_node: HashMap<KtNodeId, A>,
+    pub per_node: KtNodeMap<A>,
 }
 
 impl KTree {
@@ -31,8 +31,9 @@ impl KTree {
     /// merge children level by level until the root.
     pub fn aggregate<A: Merge + Clone>(
         &self,
-        mut inputs: HashMap<KtNodeId, A>,
+        inputs: impl Into<KtNodeMap<A>>,
     ) -> AggregateOutcome<A> {
+        let mut inputs: KtNodeMap<A> = inputs.into();
         let levels = self.levels();
         // Message rounds: deepest contributing node by inter-VS hop count.
         let depths = self.message_depths();
@@ -43,9 +44,9 @@ impl KTree {
             .unwrap_or(0);
         for level in levels.iter().skip(1).rev() {
             for &id in level {
-                if let Some(value) = inputs.remove(&id) {
+                if let Some(value) = inputs.remove(id) {
                     let parent = self.node(id).parent.expect("non-root has parent");
-                    match inputs.get_mut(&parent) {
+                    match inputs.get_mut(parent) {
                         Some(acc) => acc.merge(value.clone()),
                         None => {
                             inputs.insert(parent, value.clone());
@@ -56,7 +57,7 @@ impl KTree {
                 }
             }
         }
-        let root_value = inputs.get(&self.root()).cloned();
+        let root_value = inputs.get(self.root()).cloned();
         AggregateOutcome {
             root_value,
             rounds,
@@ -67,8 +68,8 @@ impl KTree {
     /// Top-down dissemination of a value from the root to every node;
     /// returns the per-node copies and the number of downward message
     /// rounds (the tree's maximum message depth).
-    pub fn disseminate<A: Clone>(&self, value: A) -> (HashMap<KtNodeId, A>, u32) {
-        let mut out = HashMap::with_capacity(self.len());
+    pub fn disseminate<A: Clone>(&self, value: A) -> (KtNodeMap<A>, u32) {
+        let mut out = KtNodeMap::with_slot_bound(self.slot_bound());
         for id in self.iter_ids() {
             out.insert(id, value.clone());
         }

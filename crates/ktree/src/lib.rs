@@ -19,9 +19,11 @@
 //! virtual-server-assignment sweep.
 
 mod aggregate;
+mod node_map;
 mod tree;
 
 pub use aggregate::{AggregateOutcome, Merge};
+pub use node_map::KtNodeMap;
 pub use tree::{KTree, KtNode, KtNodeId};
 
 #[cfg(test)]

@@ -235,7 +235,7 @@ fn aggregate_rounds_bounded_by_height() {
 fn aggregate_empty_inputs() {
     let (net, _) = net_with(4, 2, 14);
     let tree = KTree::build(&net, 2);
-    let out = tree.aggregate::<Sum>(HashMap::new());
+    let out = tree.aggregate::<Sum>(HashMap::<KtNodeId, Sum>::new());
     assert_eq!(out.root_value, None);
     assert_eq!(out.rounds, 0);
 }

@@ -112,16 +112,18 @@ impl KTree {
     /// virtual server positioned inside the region if there is exactly one,
     /// otherwise the owner of the region's center point.
     fn host_for(net: &ChordNetwork, region: &Arc) -> VsId {
-        let inside = net.ring().vss_in(region);
-        match inside.as_slice() {
-            [(_, vs)] => *vs,
+        // Peek at most two entries instead of materializing the region's
+        // whole contents — the root's region holds every virtual server.
+        let mut inside = net.ring().iter_in(region);
+        match (inside.next(), inside.next()) {
+            (Some((_, vs)), None) => vs,
             _ => net.ring().owner(region.center()).expect("non-empty ring"),
         }
     }
 
     /// Whether a node over `region` should be a leaf.
     fn is_leaf_region(net: &ChordNetwork, region: &Arc) -> bool {
-        net.ring().count_in(region) <= 1
+        net.ring().count_in_at_most(region, 2) <= 1
     }
 
     /// Tree degree `K`.
@@ -137,6 +139,13 @@ impl KTree {
     /// Number of live KT nodes.
     pub fn len(&self) -> usize {
         self.nodes.len() - self.free.len()
+    }
+
+    /// Exclusive upper bound on raw slot indices of live handles — the
+    /// arena length, used to size flat per-node vectors
+    /// ([`crate::KtNodeMap`], protocol scratch bitsets).
+    pub fn slot_bound(&self) -> usize {
+        self.nodes.len()
     }
 
     /// True iff the tree is empty (never the case after `build`).
@@ -248,7 +257,7 @@ impl KTree {
             }
             for i in 0..self.k {
                 let part = region.child(i, self.k);
-                let needed = !part.is_empty() && net.ring().count_in(&part) >= 1;
+                let needed = !part.is_empty() && net.ring().count_in_at_most(&part, 1) >= 1;
                 let existing = self.node(id).children[i];
                 match (needed, existing) {
                     (false, Some(child)) => {
@@ -305,7 +314,7 @@ impl KTree {
             }
             for i in 0..self.k {
                 let part = node.region.child(i, self.k);
-                let needed = !part.is_empty() && net.ring().count_in(&part) >= 1;
+                let needed = !part.is_empty() && net.ring().count_in_at_most(&part, 1) >= 1;
                 match node.children[i] {
                     Some(child) => {
                         if !needed {
@@ -331,13 +340,13 @@ impl KTree {
     /// node from the root along tree edges: an edge between KT nodes planted
     /// in the *same* virtual server is free (intra-process). This is the
     /// metric behind the paper's `O(log_K N)` bounds.
-    pub fn message_depths(&self) -> std::collections::HashMap<KtNodeId, u32> {
-        let mut out = std::collections::HashMap::with_capacity(self.len());
+    pub fn message_depths(&self) -> crate::KtNodeMap<u32> {
+        let mut out = crate::KtNodeMap::with_slot_bound(self.slot_bound());
         let mut queue = std::collections::VecDeque::new();
         out.insert(self.root, 0u32);
         queue.push_back(self.root);
         while let Some(id) = queue.pop_front() {
-            let md = out[&id];
+            let md = out[id];
             let node = self.node(id);
             for &child in node.children.iter().flatten() {
                 let hop = u32::from(self.node(child).host != node.host);
@@ -363,7 +372,7 @@ impl KTree {
         let depth = self.node(id).depth + 1;
         for i in 0..self.k {
             let part = region.child(i, self.k);
-            if part.is_empty() || net.ring().count_in(&part) == 0 {
+            if part.is_empty() || net.ring().count_in_at_most(&part, 1) == 0 {
                 continue;
             }
             let child = self.alloc(KtNode {

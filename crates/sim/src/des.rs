@@ -70,6 +70,15 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Rewinds the queue to an empty state at time 0, keeping the heap's
+    /// allocation — lets one queue (and the event objects it will hold) be
+    /// pooled across many simulation runs instead of reallocating per run.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.now = 0;
+        self.seq = 0;
+    }
+
     /// Schedules `event` at absolute time `at`. Panics if `at` is in the
     /// past (events may be scheduled at the current instant).
     pub fn schedule(&mut self, at: SimTime, event: E) {

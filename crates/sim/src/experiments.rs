@@ -525,7 +525,9 @@ pub fn protocol_latency(
     seed: u64,
     threads: usize,
 ) -> Vec<LatencyRow> {
-    use crate::protocol::{simulate_aggregation, simulate_dissemination, LossModel};
+    use crate::protocol::{
+        simulate_aggregation_in, simulate_dissemination_in, LossModel, ProtocolScratch,
+    };
     let mut rows = Vec::new();
     for &peers in sizes {
         let mut scenario = Scenario::paper(seed ^ peers as u64);
@@ -535,15 +537,20 @@ pub fn protocol_latency(
         let oracle = prepared.oracle.as_ref().expect("topology present");
         // Each k builds its own tree and derives a fresh per-k RNG, so the
         // k-cells run through the parallel engine; the loss loop stays
-        // sequential inside each cell to reuse the tree.
+        // sequential inside each cell to reuse the tree — and one scratch
+        // per cell, so the 100k+-message lossy runs allocate nothing per
+        // event and ask the oracle for each tree edge only once.
         let per_k = crate::parallel::map_items(ks, threads, |_, &k| {
             let tree = KTree::build(&prepared.net, k);
-            let contributors: std::collections::HashSet<_> = prepared
+            let mut contributors: Vec<_> = prepared
                 .net
                 .ring()
                 .iter()
                 .map(|(_, vs)| tree.report_target(&prepared.net, vs))
                 .collect();
+            contributors.sort_unstable();
+            contributors.dedup();
+            let mut scratch = ProtocolScratch::new();
             let mut cell = Vec::with_capacity(losses.len());
             for &loss in losses {
                 let model = if loss == 0.0 {
@@ -555,15 +562,25 @@ pub fn protocol_latency(
                     }
                 };
                 let mut rng = prepared.derived_rng(0x1A7 ^ (k as u64) << 8);
-                let agg = simulate_aggregation(
+                let agg = simulate_aggregation_in(
                     &prepared.net,
                     &tree,
                     oracle,
                     &contributors,
                     &model,
                     &mut rng,
-                );
-                let dis = simulate_dissemination(&prepared.net, &tree, oracle, &model, &mut rng);
+                    &mut scratch,
+                )
+                .expect("scenario peers are attached");
+                let dis = simulate_dissemination_in(
+                    &prepared.net,
+                    &tree,
+                    oracle,
+                    &model,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .expect("scenario peers are attached");
                 cell.push(LatencyRow {
                     peers,
                     k,
@@ -578,4 +595,127 @@ pub fn protocol_latency(
         rows.extend(per_k.into_iter().flatten());
     }
     rows
+}
+
+/// Compact per-run summary of one xl-scale balancing pass. The full
+/// [`BalanceReport`] carries every transfer record — tens of thousands of
+/// entries at 65k peers — so the xl harness keeps the figure-shaped
+/// aggregates and drops the raw records.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct XlRunSummary {
+    /// `"aware"` or `"ignorant"`.
+    pub label: String,
+    /// Heavy peers before the run.
+    pub heavy_before: usize,
+    /// Heavy peers after the run.
+    pub heavy_after: usize,
+    /// Executed transfers.
+    pub transfers: usize,
+    /// Total load moved.
+    pub moved_load: f64,
+    /// Fraction of moved load within 2 hops.
+    pub frac2: f64,
+    /// Fraction of moved load within 10 hops.
+    pub frac10: f64,
+    /// Load-weighted mean transfer distance.
+    pub mean_distance: f64,
+    /// LBI aggregation message rounds.
+    pub lbi_rounds: u32,
+    /// VSA sweep message rounds.
+    pub vsa_rounds: u32,
+    /// Upward LBI messages.
+    pub lbi_messages: usize,
+    /// VSA record·hop units.
+    pub vsa_record_hops: usize,
+    /// Wall-clock seconds for this run (clone + four phases).
+    pub wall_s: f64,
+    /// Moved-load-vs-distance histogram (the Figure-7 curve).
+    pub histogram: DistanceHistogram,
+}
+
+/// Result of the xl-scale end-to-end pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct XlScaleOutput {
+    /// Peers in the overlay.
+    pub peers: usize,
+    /// Nodes in the ts50k underlay graph.
+    pub underlay_nodes: usize,
+    /// Virtual servers on the ring.
+    pub virtual_servers: usize,
+    /// Oracle row-cache bound used (rows).
+    pub oracle_capacity: usize,
+    /// Wall-clock seconds to generate the topology, overlay and oracles.
+    pub prepare_wall_s: f64,
+    /// Proximity-aware four-phase run.
+    pub aware: XlRunSummary,
+    /// Proximity-ignorant four-phase run.
+    pub ignorant: XlRunSummary,
+}
+
+/// The xl-scale pass: prepares [`Scenario::xl`] (65,536 peers over a ~50k
+/// underlay) with a bounded oracle cache, then runs the full four-phase
+/// balancer twice from identical initial state — proximity-aware and
+/// proximity-ignorant, the Figure-7 comparison shape. Deterministic for a
+/// given seed; the cache bound changes memory behaviour only.
+pub fn xl_scale(seed: u64) -> XlScaleOutput {
+    let scenario = Scenario::xl(seed);
+    let t0 = std::time::Instant::now();
+    let prepared = scenario.prepare_bounded(crate::XL_ORACLE_CAPACITY);
+    let prepare_wall_s = t0.elapsed().as_secs_f64();
+    let underlay = prepared.underlay().expect("xl runs over a topology");
+
+    let run = |mode: ProximityMode, label: u64, name: &str| -> XlRunSummary {
+        let t = std::time::Instant::now();
+        let mut net = prepared.net.clone();
+        let mut loads = prepared.loads.clone();
+        let cfg = BalancerConfig {
+            mode,
+            ..prepared.scenario.balancer
+        };
+        let mut rng = prepared.derived_rng(label);
+        let report = LoadBalancer::new(cfg).run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let mut histogram = DistanceHistogram::new();
+        for tr in &report.transfers {
+            histogram.add(tr.distance.expect("underlay present"), tr.assignment.load);
+        }
+        XlRunSummary {
+            label: name.to_string(),
+            heavy_before: report.before.get(&NodeClass::Heavy).copied().unwrap_or(0),
+            heavy_after: report.heavy_after(),
+            transfers: report.transfers.len(),
+            moved_load: proxbal_core::total_moved_load(&report.transfers),
+            frac2: histogram.fraction_within(2),
+            frac10: histogram.fraction_within(10),
+            mean_distance: histogram.mean_distance(),
+            lbi_rounds: report.lbi_rounds,
+            vsa_rounds: report.vsa.rounds,
+            lbi_messages: report.messages.lbi_messages,
+            vsa_record_hops: report.messages.vsa_record_hops,
+            wall_s: t.elapsed().as_secs_f64(),
+            histogram,
+        }
+    };
+
+    // Same labels as the full-scale Figure-7 runs (78 = aware, 79 =
+    // ignorant) so the xl RNG streams mirror the fig78 shape.
+    let aware = run(
+        ProximityMode::Aware(proxbal_core::ProximityParams::default()),
+        78,
+        "aware",
+    );
+    let ignorant = run(ProximityMode::Ignorant, 79, "ignorant");
+
+    XlScaleOutput {
+        peers: prepared.net.alive_peers().len(),
+        underlay_nodes: prepared
+            .topo
+            .as_ref()
+            .map(|t| t.graph.node_count())
+            .unwrap_or(0),
+        virtual_servers: prepared.net.ring().len(),
+        oracle_capacity: crate::XL_ORACLE_CAPACITY,
+        prepare_wall_s,
+        aware,
+        ignorant,
+    }
 }

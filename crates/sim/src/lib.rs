@@ -24,4 +24,4 @@ pub mod parallel;
 pub mod protocol;
 mod scenario;
 
-pub use scenario::{Prepared, Scenario, TopologyKind};
+pub use scenario::{Prepared, Scenario, TopologyKind, XL_ORACLE_CAPACITY};

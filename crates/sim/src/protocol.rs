@@ -7,6 +7,14 @@
 //! once every contributing child has reported, and messages can be lost
 //! and retransmitted after a timeout. The result is the *wall-clock*
 //! completion time behind the paper's "fast load balancing" claim.
+//!
+//! The phase drivers come in two forms: plain entry points that allocate
+//! working state per call, and `*_in` variants that run inside a caller-held
+//! [`ProtocolScratch`]. The scratch pools every per-run allocation — the
+//! active/pending/delivered node tables, the per-edge latency memo, and the
+//! event queue's heap — so a sweep that simulates hundreds of phases over
+//! the same tree (claim-latency curves run 100k+ messages) stops allocating
+//! per event and stops re-asking the distance oracle for the same tree edge.
 
 use crate::des::{EventQueue, SimTime};
 use proxbal_chord::ChordNetwork;
@@ -14,7 +22,6 @@ use proxbal_ktree::{KTree, KtNodeId};
 use proxbal_topology::DistanceOracle;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Message-loss model.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -46,6 +53,27 @@ pub struct PhaseTiming {
     pub losses: usize,
 }
 
+/// Why a protocol simulation could not run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A tree edge crosses a peer with no underlay attachment, so its
+    /// latency is undefined. Attach every peer (`ChordNetwork::attach`)
+    /// before simulating over a physical topology.
+    UnattachedPeer(proxbal_chord::PeerId),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnattachedPeer(p) => {
+                write!(f, "peer {p:?} has no underlay attachment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 #[derive(Debug)]
 enum Event {
     /// A message from `from` arrives at `to` (tree edge).
@@ -56,29 +84,103 @@ enum Event {
     },
 }
 
-/// Latency of the tree edge between a KT node and its parent, in the
-/// underlay's units. Free if both are planted in virtual servers of the
-/// same peer.
-fn edge_latency(
-    net: &ChordNetwork,
-    oracle: &DistanceOracle,
-    tree: &KTree,
-    child: KtNodeId,
-    parent: KtNodeId,
-) -> SimTime {
-    let a = net.vs(tree.node(child).host).host;
-    let b = net.vs(tree.node(parent).host).host;
-    if a == b {
-        return 0;
+/// Sentinel for "edge latency not memoized yet".
+const UNMEMOIZED: SimTime = SimTime::MAX;
+
+/// Reusable working state for the phase simulations.
+///
+/// One scratch serves any number of runs. It re-binds itself to whatever
+/// tree it is handed; per-node tables are reset in O(tree size) and the
+/// edge-latency memo survives across runs **over the same binding** (same
+/// tree shape on the same network), which is exactly the claim-latency
+/// sweep's access pattern. Reusing a scratch across *different* trees is
+/// safe — the binding fingerprint changes and the memo is dropped.
+#[derive(Default)]
+pub struct ProtocolScratch {
+    /// Fingerprint of the tree this scratch is bound to:
+    /// `(root, len, slot_bound)`. Trees are arena-allocated and mutated in
+    /// place, so pointer identity is meaningless; this triple changes for
+    /// any structural change that could invalidate the memo.
+    binding: Option<(KtNodeId, usize, usize)>,
+    /// Latency of the edge from KT node (by slot) to its parent;
+    /// [`UNMEMOIZED`] when unknown.
+    edge_memo: Vec<SimTime>,
+    /// Scratch bitmap: node participates in the current aggregation.
+    active: Vec<bool>,
+    /// Scratch table: active children the node still waits for.
+    pending: Vec<u32>,
+    /// Scratch bitmap: node already received the current dissemination.
+    delivered: Vec<bool>,
+    /// Pooled event queue (the heap's buffer survives across runs).
+    queue: EventQueue<Event>,
+}
+
+impl ProtocolScratch {
+    /// An empty scratch, bound to nothing.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let (ua, ub) = (net.peer(a).underlay, net.peer(b).underlay);
-    assert!(ua != u32::MAX && ub != u32::MAX, "peers must be attached");
-    SimTime::from(oracle.distance(ua, ub))
+
+    /// Points the scratch at `tree`, resetting the per-run tables and
+    /// keeping the edge memo iff the binding fingerprint is unchanged.
+    fn bind(&mut self, tree: &KTree) {
+        let bound = tree.slot_bound();
+        let binding = Some((tree.root(), tree.len(), bound));
+        if self.binding != binding {
+            self.binding = binding;
+            self.edge_memo.clear();
+            self.edge_memo.resize(bound, UNMEMOIZED);
+        }
+        self.active.clear();
+        self.active.resize(bound, false);
+        self.pending.clear();
+        self.pending.resize(bound, 0);
+        self.delivered.clear();
+        self.delivered.resize(bound, false);
+        self.queue.reset();
+    }
+
+    /// Latency of the tree edge from `child` to `parent`, memoized by the
+    /// child's slot (a node has one parent). Free if both KT nodes are
+    /// planted in virtual servers of the same peer.
+    fn edge_latency(
+        &mut self,
+        net: &ChordNetwork,
+        oracle: &DistanceOracle,
+        tree: &KTree,
+        child: KtNodeId,
+        parent: KtNodeId,
+    ) -> Result<SimTime, ProtocolError> {
+        let slot = child.0 as usize;
+        let memoized = self.edge_memo[slot];
+        if memoized != UNMEMOIZED {
+            return Ok(memoized);
+        }
+        let a = net.vs(tree.node(child).host).host;
+        let b = net.vs(tree.node(parent).host).host;
+        let latency = if a == b {
+            0
+        } else {
+            let (ua, ub) = (net.peer(a).underlay, net.peer(b).underlay);
+            if ua == u32::MAX {
+                return Err(ProtocolError::UnattachedPeer(a));
+            }
+            if ub == u32::MAX {
+                return Err(ProtocolError::UnattachedPeer(b));
+            }
+            SimTime::from(oracle.distance(ua, ub))
+        };
+        self.edge_memo[slot] = latency;
+        Ok(latency)
+    }
 }
 
 /// Simulates the bottom-up LBI aggregation as individual messages: every
 /// KT node on the path from a contributing node to the root forwards
 /// upward once all its contributing children have reported.
+///
+/// `contributors` may repeat nodes and come in any order; the simulation is
+/// a function of the contributor *set*.
 ///
 /// Returns the timing; with [`LossModel::reliable`] the completion time
 /// equals the analytic maximum root-path latency over contributing nodes.
@@ -86,44 +188,70 @@ pub fn simulate_aggregation<R: Rng>(
     net: &ChordNetwork,
     tree: &KTree,
     oracle: &DistanceOracle,
-    contributors: &HashSet<KtNodeId>,
+    contributors: &[KtNodeId],
     loss: &LossModel,
     rng: &mut R,
-) -> PhaseTiming {
+) -> Result<PhaseTiming, ProtocolError> {
+    simulate_aggregation_in(
+        net,
+        tree,
+        oracle,
+        contributors,
+        loss,
+        rng,
+        &mut ProtocolScratch::new(),
+    )
+}
+
+/// [`simulate_aggregation`] running inside a caller-held scratch — no
+/// per-run allocation once the scratch is warm.
+pub fn simulate_aggregation_in<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    contributors: &[KtNodeId],
+    loss: &LossModel,
+    rng: &mut R,
+    scratch: &mut ProtocolScratch,
+) -> Result<PhaseTiming, ProtocolError> {
     assert!((0.0..1.0).contains(&loss.loss_probability));
+    scratch.bind(tree);
     // Active nodes: contributors and all their ancestors.
-    let mut active: HashSet<KtNodeId> = HashSet::new();
+    let mut any_active = false;
     for &c in contributors {
         let mut cur = Some(c);
         while let Some(id) = cur {
-            if !active.insert(id) {
+            let slot = id.0 as usize;
+            if std::mem::replace(&mut scratch.active[slot], true) {
                 break;
             }
+            any_active = true;
             cur = tree.node(id).parent;
         }
     }
-    if active.is_empty() {
-        return PhaseTiming {
+    if !any_active {
+        return Ok(PhaseTiming {
             completion: 0,
             messages: 0,
             losses: 0,
-        };
+        });
     }
 
     // pending[n] = number of active children n still waits for.
-    let mut pending: HashMap<KtNodeId, usize> = HashMap::new();
-    for &n in &active {
-        let k = tree
+    for slot in 0..scratch.active.len() {
+        if !scratch.active[slot] {
+            continue;
+        }
+        let n = KtNodeId(slot as u32);
+        scratch.pending[slot] = tree
             .node(n)
             .children
             .iter()
             .flatten()
-            .filter(|c| active.contains(c))
-            .count();
-        pending.insert(n, k);
+            .filter(|c| scratch.active[c.0 as usize])
+            .count() as u32;
     }
 
-    let mut queue: EventQueue<Event> = EventQueue::new();
     let mut timing = PhaseTiming {
         completion: 0,
         messages: 0,
@@ -152,32 +280,33 @@ pub fn simulate_aggregation<R: Rng>(
     };
 
     // Leaves of the active set (pending == 0) fire immediately, in node-id
-    // order: the set's iteration order varies per instance, and with loss
-    // enabled every send draws from the RNG — an unsorted walk would bind
-    // draws to leaves nondeterministically.
+    // order — the ascending bitmap scan *is* that order, so with loss
+    // enabled RNG draws bind to leaves deterministically.
     let mut root_done = false;
-    let mut ready: Vec<KtNodeId> = active.iter().copied().filter(|n| pending[n] == 0).collect();
-    ready.sort_unstable();
-    for n in ready {
+    for slot in 0..scratch.active.len() {
+        if !scratch.active[slot] || scratch.pending[slot] != 0 {
+            continue;
+        }
+        let n = KtNodeId(slot as u32);
         match tree.node(n).parent {
             Some(parent) => {
-                let lat = edge_latency(net, oracle, tree, n, parent);
-                send(&mut queue, &mut timing, rng, n, parent, lat);
+                let lat = scratch.edge_latency(net, oracle, tree, n, parent)?;
+                send(&mut scratch.queue, &mut timing, rng, n, parent, lat);
             }
             None => root_done = true, // degenerate: root is the only node
         }
     }
 
-    while let Some((t, Event::Deliver { from: _, to })) = queue.pop() {
-        let slot = pending.get_mut(&to).expect("active node");
+    while let Some((t, Event::Deliver { from: _, to })) = scratch.queue.pop() {
+        let slot = &mut scratch.pending[to.0 as usize];
         *slot -= 1;
         if *slot > 0 {
             continue;
         }
         match tree.node(to).parent {
             Some(parent) => {
-                let lat = edge_latency(net, oracle, tree, to, parent);
-                send(&mut queue, &mut timing, rng, to, parent, lat);
+                let lat = scratch.edge_latency(net, oracle, tree, to, parent)?;
+                send(&mut scratch.queue, &mut timing, rng, to, parent, lat);
             }
             None => {
                 timing.completion = t;
@@ -186,7 +315,7 @@ pub fn simulate_aggregation<R: Rng>(
         }
     }
     assert!(root_done, "aggregation must reach the root");
-    timing
+    Ok(timing)
 }
 
 /// Simulates the top-down dissemination: the root broadcasts, every node
@@ -197,50 +326,85 @@ pub fn simulate_dissemination<R: Rng>(
     oracle: &DistanceOracle,
     loss: &LossModel,
     rng: &mut R,
-) -> PhaseTiming {
-    let mut queue: EventQueue<Event> = EventQueue::new();
+) -> Result<PhaseTiming, ProtocolError> {
+    simulate_dissemination_in(net, tree, oracle, loss, rng, &mut ProtocolScratch::new())
+}
+
+/// [`simulate_dissemination`] running inside a caller-held scratch.
+pub fn simulate_dissemination_in<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    loss: &LossModel,
+    rng: &mut R,
+    scratch: &mut ProtocolScratch,
+) -> Result<PhaseTiming, ProtocolError> {
+    assert!((0.0..1.0).contains(&loss.loss_probability));
+    scratch.bind(tree);
     let mut timing = PhaseTiming {
         completion: 0,
         messages: 0,
         losses: 0,
     };
-    let mut delivered: HashSet<KtNodeId> = HashSet::new();
+    let mut reached = 0usize;
 
-    let fanout =
-        |queue: &mut EventQueue<Event>, timing: &mut PhaseTiming, rng: &mut R, node: KtNodeId| {
-            for &child in tree.node(node).children.iter().flatten() {
-                let lat = edge_latency(net, oracle, tree, child, node);
-                let mut delay = lat;
-                loop {
-                    timing.messages += 1;
-                    if rng.gen::<f64>() < loss.loss_probability {
-                        timing.losses += 1;
-                        delay += loss.retransmit_after + lat;
-                    } else {
-                        queue.schedule_in(
-                            delay,
-                            Event::Deliver {
-                                from: node,
-                                to: child,
-                            },
-                        );
-                        break;
-                    }
+    #[allow(clippy::too_many_arguments)]
+    fn fanout<R: Rng>(
+        scratch: &mut ProtocolScratch,
+        net: &ChordNetwork,
+        oracle: &DistanceOracle,
+        tree: &KTree,
+        loss: &LossModel,
+        timing: &mut PhaseTiming,
+        rng: &mut R,
+        node: KtNodeId,
+    ) -> Result<(), ProtocolError> {
+        let children: Vec<KtNodeId> = tree.node(node).children.iter().flatten().copied().collect();
+        for child in children {
+            let lat = scratch.edge_latency(net, oracle, tree, child, node)?;
+            let mut delay = lat;
+            loop {
+                timing.messages += 1;
+                if rng.gen::<f64>() < loss.loss_probability {
+                    timing.losses += 1;
+                    delay += loss.retransmit_after + lat;
+                } else {
+                    scratch.queue.schedule_in(
+                        delay,
+                        Event::Deliver {
+                            from: node,
+                            to: child,
+                        },
+                    );
+                    break;
                 }
             }
-        };
+        }
+        Ok(())
+    }
 
-    delivered.insert(tree.root());
-    fanout(&mut queue, &mut timing, rng, tree.root());
-    while let Some((t, Event::Deliver { to, .. })) = queue.pop() {
-        if !delivered.insert(to) {
+    scratch.delivered[tree.root().0 as usize] = true;
+    reached += 1;
+    fanout(
+        scratch,
+        net,
+        oracle,
+        tree,
+        loss,
+        &mut timing,
+        rng,
+        tree.root(),
+    )?;
+    while let Some((t, Event::Deliver { to, .. })) = scratch.queue.pop() {
+        if std::mem::replace(&mut scratch.delivered[to.0 as usize], true) {
             continue;
         }
+        reached += 1;
         timing.completion = t;
-        fanout(&mut queue, &mut timing, rng, to);
+        fanout(scratch, net, oracle, tree, loss, &mut timing, rng, to)?;
     }
-    assert_eq!(delivered.len(), tree.len(), "every KT node must be reached");
-    timing
+    assert_eq!(reached, tree.len(), "every KT node must be reached");
+    Ok(timing)
 }
 
 #[cfg(test)]
@@ -260,13 +424,16 @@ mod tests {
         (prepared, tree)
     }
 
-    fn all_report_targets(prepared: &crate::Prepared, tree: &KTree) -> HashSet<KtNodeId> {
-        prepared
+    fn all_report_targets(prepared: &crate::Prepared, tree: &KTree) -> Vec<KtNodeId> {
+        let mut targets: Vec<KtNodeId> = prepared
             .net
             .ring()
             .iter()
             .map(|(_, vs)| tree.report_target(&prepared.net, vs))
-            .collect()
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        targets
     }
 
     #[test]
@@ -282,7 +449,8 @@ mod tests {
             &contributors,
             &LossModel::reliable(),
             &mut rng,
-        );
+        )
+        .expect("attached");
         // With every node contributing, the DES completion equals the max
         // root-path latency over all contributing nodes.
         let paths = root_path_latencies(&prepared.net, oracle, &tree);
@@ -297,7 +465,7 @@ mod tests {
         let (prepared, tree) = setup();
         let oracle = prepared.oracle.as_ref().unwrap();
         let all = all_report_targets(&prepared, &tree);
-        let few: HashSet<KtNodeId> = all.iter().copied().take(3).collect();
+        let few: Vec<KtNodeId> = all.iter().copied().take(3).collect();
         let mut rng = StdRng::seed_from_u64(2);
         let t_all = simulate_aggregation(
             &prepared.net,
@@ -306,7 +474,8 @@ mod tests {
             &all,
             &LossModel::reliable(),
             &mut rng,
-        );
+        )
+        .expect("attached");
         let t_few = simulate_aggregation(
             &prepared.net,
             &tree,
@@ -314,7 +483,8 @@ mod tests {
             &few,
             &LossModel::reliable(),
             &mut rng,
-        );
+        )
+        .expect("attached");
         assert!(t_few.completion <= t_all.completion);
         assert!(t_few.messages < t_all.messages);
     }
@@ -332,7 +502,8 @@ mod tests {
             &contributors,
             &LossModel::reliable(),
             &mut rng,
-        );
+        )
+        .expect("attached");
         let lossy = simulate_aggregation(
             &prepared.net,
             &tree,
@@ -343,7 +514,8 @@ mod tests {
                 retransmit_after: 20,
             },
             &mut rng,
-        );
+        )
+        .expect("attached");
         assert!(lossy.losses > 0);
         assert!(lossy.completion >= reliable.completion);
         assert!(lossy.messages > reliable.messages);
@@ -360,7 +532,8 @@ mod tests {
             oracle,
             &LossModel::reliable(),
             &mut rng,
-        );
+        )
+        .expect("attached");
         // Broadcast completion equals the max root-path latency over all
         // nodes.
         let paths = root_path_latencies(&prepared.net, oracle, &tree);
@@ -378,11 +551,74 @@ mod tests {
             &prepared.net,
             &tree,
             oracle,
-            &HashSet::new(),
+            &[],
             &LossModel::reliable(),
             &mut rng,
-        );
+        )
+        .expect("attached");
         assert_eq!(timing.completion, 0);
         assert_eq!(timing.messages, 0);
+    }
+
+    #[test]
+    fn unattached_peer_is_a_typed_error() {
+        let (mut prepared, tree) = setup();
+        let contributors = all_report_targets(&prepared, &tree);
+        // Detach every peer: any inter-peer tree edge now has no latency.
+        let peers: Vec<_> = prepared.net.alive_peers();
+        for p in &peers {
+            prepared.net.attach(*p, u32::MAX);
+        }
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &contributors,
+            &LossModel::reliable(),
+            &mut rng,
+        )
+        .expect_err("unattached peers must not simulate");
+        assert!(matches!(err, ProtocolError::UnattachedPeer(_)));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let (prepared, tree) = setup();
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let contributors = all_report_targets(&prepared, &tree);
+        let loss = LossModel {
+            loss_probability: 0.2,
+            retransmit_after: 15,
+        };
+        let fresh: Vec<PhaseTiming> = (0..4)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(100 + i);
+                simulate_aggregation(&prepared.net, &tree, oracle, &contributors, &loss, &mut rng)
+                    .expect("attached")
+            })
+            .collect();
+        let mut scratch = ProtocolScratch::new();
+        let pooled: Vec<PhaseTiming> = (0..4)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(100 + i);
+                simulate_aggregation_in(
+                    &prepared.net,
+                    &tree,
+                    oracle,
+                    &contributors,
+                    &loss,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .expect("attached")
+            })
+            .collect();
+        for (f, p) in fresh.iter().zip(&pooled) {
+            assert_eq!(f.completion, p.completion);
+            assert_eq!(f.messages, p.messages);
+            assert_eq!(f.losses, p.losses);
+        }
     }
 }

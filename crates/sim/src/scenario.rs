@@ -17,6 +17,9 @@ pub enum TopologyKind {
     Ts5kLarge,
     /// The paper's "ts5k-small": nodes scattered across the Internet.
     Ts5kSmall,
+    /// A 50k-node transit-stub underlay (ts5k-large shape, 10× the size)
+    /// for the xl-scale runs.
+    Ts50k,
     /// A tiny topology for tests and examples.
     Tiny,
     /// No underlay (proximity-ignorant experiments only).
@@ -43,6 +46,11 @@ pub struct Scenario {
     /// Master seed: every random choice derives from it.
     pub seed: u64,
 }
+
+/// Oracle row-cache bound used by the xl-scale runs: 4096 rows ≈ 800 MB at
+/// ts50k graph size, which keeps the whole four-phase run in a few GiB of
+/// RSS. Pass to [`Scenario::prepare_bounded`].
+pub const XL_ORACLE_CAPACITY: usize = 4096;
 
 impl Scenario {
     /// The paper's full-scale setup (§5.2): 4096 peers × 5 virtual servers,
@@ -71,8 +79,29 @@ impl Scenario {
         }
     }
 
+    /// The xl-scale setup: 65,536 peers over a ~50k-node transit-stub
+    /// underlay. Prepare it with
+    /// `prepare_bounded(`[`XL_ORACLE_CAPACITY`]`)` — an unbounded oracle
+    /// cache can grow past 100 GB at this scale.
+    pub fn xl(seed: u64) -> Self {
+        Scenario {
+            peers: 65_536,
+            topology: TopologyKind::Ts50k,
+            ..Self::paper(seed)
+        }
+    }
+
     /// Builds the network, loads, topology, oracle and landmarks.
     pub fn prepare(&self) -> Prepared {
+        self.prepare_bounded(0)
+    }
+
+    /// Like [`Scenario::prepare`], but bounds both distance oracles' row
+    /// caches to `oracle_capacity` resident rows (`0` = unbounded) and pins
+    /// the landmark rows so they survive eviction pressure. Every result is
+    /// bit-identical to the unbounded preparation — eviction only discards
+    /// memoized pure functions of the graph.
+    pub fn prepare_bounded(&self, oracle_capacity: usize) -> Prepared {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let topo = match self.topology {
@@ -82,6 +111,10 @@ impl Scenario {
             )),
             TopologyKind::Ts5kSmall => Some(TransitStubTopology::generate(
                 TransitStubConfig::ts5k_small(),
+                &mut rng,
+            )),
+            TopologyKind::Ts50k => Some(TransitStubTopology::generate(
+                TransitStubConfig::ts50k(),
                 &mut rng,
             )),
             TopologyKind::Tiny => Some(TransitStubTopology::generate(
@@ -106,13 +139,22 @@ impl Scenario {
                 net.attach(p, stubs[i % stubs.len()]);
             }
             let landmarks = select_landmarks(topo, self.landmarks, &mut rng);
-            let oracle = DistanceOracle::new(Arc::new(topo.graph.clone()));
-            let latency_oracle = DistanceOracle::new(Arc::new(topo.latency_graph.clone()));
+            let cap = oracle_capacity;
+            let oracle = DistanceOracle::with_capacity(Arc::new(topo.graph.clone()), cap);
+            let latency_oracle =
+                DistanceOracle::with_capacity(Arc::new(topo.latency_graph.clone()), cap);
             // Landmark vectors need the distance row *from* each landmark in
             // the latency metric; batch-fill them up front so no balancing
             // run (aware or ignorant, any mode ordering) computes one twice.
             let threads = crate::parallel::default_threads();
             latency_oracle.precompute(&landmarks, threads);
+            // Landmark rows back every proximity query; with a bounded
+            // cache they must survive arbitrary eviction pressure.
+            if cap > 0 {
+                for &l in &landmarks {
+                    latency_oracle.pin(l);
+                }
+            }
             (Some((oracle, latency_oracle)), landmarks)
         } else {
             (None, Vec::new())

@@ -166,6 +166,19 @@ fn parallel_drivers_are_thread_count_invariant() {
     );
 }
 
+/// The eviction contract of the bounded oracle cache: a fig-7-shaped run
+/// with a 16-row cache (constant eviction pressure during the transfer
+/// phase) renders byte-identically to the unbounded cache — eviction only
+/// discards memoized pure functions of the graph, never answers.
+#[test]
+fn bounded_oracle_cache_is_bit_identical() {
+    let mut base = small(7, TopologyKind::Ts5kLarge);
+    base.peers = 512;
+    let unbounded = serde_json::to_string(&fig78_moved_load(&base.prepare_bounded(0))).unwrap();
+    let bounded = serde_json::to_string(&fig78_moved_load(&base.prepare_bounded(16))).unwrap();
+    assert_eq!(unbounded, bounded);
+}
+
 #[test]
 fn balancer_config_in_scenario_is_respected() {
     let mut scenario = small(13, TopologyKind::None);

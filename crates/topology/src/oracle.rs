@@ -1,6 +1,8 @@
 use crate::graph::{DijkstraScratch, Graph, NodeId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 thread_local! {
@@ -9,6 +11,11 @@ thread_local! {
     /// allocates only the row itself.
     static SCRATCH: RefCell<DijkstraScratch> = RefCell::new(DijkstraScratch::new());
 }
+
+/// Row metadata bit: the row was touched since its last second chance.
+const REF_BIT: u8 = 1;
+/// Row metadata bit: the row is pinned and must never be evicted.
+const PIN_BIT: u8 = 2;
 
 /// Caching shortest-path oracle.
 ///
@@ -20,18 +27,48 @@ thread_local! {
 /// [`DistanceOracle::precompute`]. Point queries exploit symmetry: the
 /// graph is undirected, so [`DistanceOracle::distance`] answers from
 /// whichever endpoint's row is already cached before computing a new one.
+///
+/// # Bounded memory
+///
+/// At 50k-node scale a row is ~200 KB, so an unbounded cache can grow to
+/// gigabytes. [`DistanceOracle::with_capacity`] bounds the number of
+/// resident *unpinned* rows: once the bound is reached, inserting a new
+/// row evicts an old one by second-chance (clock) replacement. Rows that
+/// back repeated queries — the landmark rows — can be
+/// [pinned](DistanceOracle::pin) so they never leave the cache and never
+/// count against the bound. Eviction only ever discards memoized pure
+/// functions of the graph, so query results are bit-identical for any
+/// capacity, including unbounded.
 pub struct DistanceOracle {
     graph: Arc<Graph>,
     rows: Vec<RwLock<Option<Arc<Vec<u32>>>>>,
+    /// Per-row `REF_BIT`/`PIN_BIT` flags (addressed by source id).
+    meta: Vec<AtomicU8>,
+    /// Maximum resident unpinned rows; `0` means unbounded.
+    capacity: usize,
+    /// Number of resident unpinned rows.
+    resident: AtomicUsize,
+    /// Second-chance queue of resident unpinned row ids, oldest first.
+    clock: Mutex<VecDeque<NodeId>>,
 }
 
 impl DistanceOracle {
-    /// Creates an oracle over `graph` with an empty cache.
+    /// Creates an oracle over `graph` with an empty, **unbounded** cache.
     pub fn new(graph: Arc<Graph>) -> Self {
+        Self::with_capacity(graph, 0)
+    }
+
+    /// Creates an oracle whose cache holds at most `capacity` unpinned
+    /// rows (`0` = unbounded). Pinned rows live outside the bound.
+    pub fn with_capacity(graph: Arc<Graph>, capacity: usize) -> Self {
         let n = graph.node_count();
         DistanceOracle {
             graph,
             rows: (0..n).map(|_| RwLock::new(None)).collect(),
+            meta: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            capacity,
+            resident: AtomicUsize::new(0),
+            clock: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -40,9 +77,24 @@ impl DistanceOracle {
         &self.graph
     }
 
+    /// The row-cache capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The cached row from `src`, if one exists.
     fn cached(&self, src: NodeId) -> Option<Arc<Vec<u32>>> {
-        self.rows[src as usize].read().clone()
+        let row = self.rows[src as usize].read().clone();
+        if row.is_some() {
+            // Second chance: a touched row survives one clock pass.
+            self.meta[src as usize].fetch_or(REF_BIT, Ordering::Relaxed);
+        }
+        row
+    }
+
+    /// True iff the row from `src` is currently resident.
+    pub fn is_cached(&self, src: NodeId) -> bool {
+        self.rows[src as usize].read().is_some()
     }
 
     /// Shortest-path distance row from `src` (computing and caching it if
@@ -55,13 +107,78 @@ impl DistanceOracle {
             let mut scratch = scratch.borrow_mut();
             Arc::new(self.graph.dijkstra_into(src, &mut scratch).to_vec())
         });
-        let mut slot = self.rows[src as usize].write();
-        // Another thread may have raced us; keep whichever is present.
-        if let Some(existing) = slot.clone() {
-            return existing;
+        {
+            let mut slot = self.rows[src as usize].write();
+            // Another thread may have raced us; keep whichever is present.
+            if let Some(existing) = slot.clone() {
+                return existing;
+            }
+            *slot = Some(computed.clone());
+            self.meta[src as usize].fetch_or(REF_BIT, Ordering::Relaxed);
         }
-        *slot = Some(computed.clone());
+        if self.meta[src as usize].load(Ordering::Relaxed) & PIN_BIT == 0 {
+            self.resident.fetch_add(1, Ordering::Relaxed);
+            self.clock.lock().push_back(src);
+            if self.capacity > 0 {
+                while self.resident.load(Ordering::Relaxed) > self.capacity {
+                    if !self.evict_one() {
+                        break; // nothing evictable (all pinned / in flight)
+                    }
+                }
+            }
+        }
         computed
+    }
+
+    /// Evicts one unpinned resident row by second-chance replacement.
+    /// Returns `false` when the queue drains without finding a victim.
+    fn evict_one(&self) -> bool {
+        let mut clock = self.clock.lock();
+        // Each entry is inspected at most twice per call (once to clear its
+        // reference bit, once to evict), so the sweep terminates.
+        let mut budget = 2 * clock.len();
+        while budget > 0 {
+            budget -= 1;
+            let Some(src) = clock.pop_front() else {
+                return false;
+            };
+            let meta = &self.meta[src as usize];
+            let flags = meta.load(Ordering::Relaxed);
+            if flags & PIN_BIT != 0 {
+                // Pinned after insertion: leave resident, drop from the
+                // clock, and stop counting it against the bound.
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            if flags & REF_BIT != 0 {
+                meta.fetch_and(!REF_BIT, Ordering::Relaxed);
+                clock.push_back(src);
+                continue;
+            }
+            let mut slot = self.rows[src as usize].write();
+            // Re-check under the slot lock: a concurrent `pin` sets the
+            // bit before ensuring residency, so this is the last word.
+            if meta.load(Ordering::Relaxed) & PIN_BIT != 0 {
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            if slot.take().is_some() {
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pins the row from `src`: it is computed if absent and will never be
+    /// evicted (nor count against the capacity bound).
+    pub fn pin(&self, src: NodeId) {
+        // Order matters: set the bit first so a concurrent eviction that
+        // already popped this row re-checks and leaves it resident. If the
+        // row was already resident (and counted), the clock sweep corrects
+        // the resident count when it reaches the now-stale queue entry.
+        self.meta[src as usize].fetch_or(PIN_BIT, Ordering::Relaxed);
+        let _ = self.row(src);
     }
 
     /// Shortest-path distance between `u` and `v` in latency units.
@@ -96,6 +213,11 @@ impl DistanceOracle {
     /// Each worker thread fills rows through its own thread-local scratch,
     /// so the batch allocates nothing beyond the rows themselves.
     /// Already-cached sources are skipped without spawning work for them.
+    ///
+    /// Work is claimed through a shared atomic cursor rather than a static
+    /// split: Dijkstra cost varies per source (stub vs transit, weight
+    /// regime), so pre-chunked partitions leave tail threads idle while one
+    /// worker drains an expensive chunk.
     pub fn precompute(&self, sources: &[NodeId], threads: usize) {
         let missing: Vec<NodeId> = sources
             .iter()
@@ -105,7 +227,7 @@ impl DistanceOracle {
         if missing.is_empty() {
             return;
         }
-        let threads = threads.max(1);
+        let threads = threads.max(1).min(missing.len());
         if threads == 1 {
             // Inline on the caller's thread: no spawn overhead, and the
             // caller's thread-local scratch keeps the batch allocation-free.
@@ -114,13 +236,15 @@ impl DistanceOracle {
             }
             return;
         }
-        let chunk = missing.len().div_ceil(threads);
+        let cursor = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for part in missing.chunks(chunk) {
-                s.spawn(move || {
-                    for &src in part {
-                        let _ = self.row(src);
-                    }
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&src) = missing.get(i) else {
+                        break;
+                    };
+                    let _ = self.row(src);
                 });
             }
         });

@@ -219,6 +219,56 @@ fn oracle_precompute_parallel() {
 }
 
 #[test]
+fn oracle_precompute_cursor_any_thread_count() {
+    // Work is handed out through a shared atomic cursor, so every thread
+    // count fills exactly the same rows with exactly the same contents.
+    let topo = small_topo(9);
+    let graph = StdArc::new(topo.graph.clone());
+    let baseline = DistanceOracle::new(StdArc::clone(&graph));
+    let sources: Vec<NodeId> = (0..topo.node_count() as NodeId).step_by(2).collect();
+    baseline.precompute(&sources, 1);
+    for threads in [1usize, 2, 8] {
+        let oracle = DistanceOracle::new(StdArc::clone(&graph));
+        oracle.precompute(&sources, threads);
+        assert_eq!(oracle.cached_rows(), sources.len(), "threads={threads}");
+        for &src in &sources {
+            assert_eq!(
+                oracle.row(src).as_slice(),
+                baseline.row(src).as_slice(),
+                "row {src} differs at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_rows_survive_eviction_pressure() {
+    let topo = small_topo(3);
+    let graph = StdArc::new(topo.graph.clone());
+    let oracle = DistanceOracle::with_capacity(StdArc::clone(&graph), 4);
+    let pinned: Vec<NodeId> = vec![0, 1];
+    for &p in &pinned {
+        oracle.pin(p);
+    }
+    // Touch every row in the graph — far more than capacity, so the clock
+    // hand sweeps the queue many times over.
+    let n = topo.node_count() as NodeId;
+    for src in 0..n {
+        let _ = oracle.row(src);
+    }
+    for &p in &pinned {
+        assert!(oracle.is_cached(p), "pinned row {p} was evicted");
+    }
+    // Unpinned residency stays bounded by the capacity.
+    assert!(oracle.cached_rows() <= oracle.capacity() + pinned.len());
+    // Eviction only discards memoized values; answers never change.
+    let unbounded = DistanceOracle::new(graph);
+    for src in (0..n).step_by(5) {
+        assert_eq!(oracle.distance(src, n - 1), unbounded.distance(src, n - 1));
+    }
+}
+
+#[test]
 fn landmark_vector_has_expected_shape() {
     let topo = small_topo(4);
     let mut rng = StdRng::seed_from_u64(4);

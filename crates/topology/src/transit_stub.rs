@@ -90,6 +90,22 @@ impl TransitStubConfig {
         }
     }
 
+    /// "ts50k": the ts5k-large shape scaled to ~50k nodes (10 transit
+    /// domains × 5 transit nodes × 10 stub domains of ~100 nodes), for the
+    /// xl-scale runs that stress bounded-memory behaviour.
+    pub fn ts50k() -> Self {
+        TransitStubConfig {
+            transit_domains: 10,
+            transit_nodes_per_domain: 5,
+            stub_domains_per_transit_node: 10,
+            avg_stub_domain_size: 100,
+            extra_transit_edges: 3,
+            extra_inter_domain_edges: 10,
+            stub_edge_density: 0.42,
+            extra_stub_uplink_prob: 0.6,
+        }
+    }
+
     /// A tiny topology for unit tests and examples (a few dozen nodes).
     pub fn tiny() -> Self {
         TransitStubConfig {

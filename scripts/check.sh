@@ -1,15 +1,28 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything that must be green before a change ships.
 #
-#   scripts/check.sh
+#   scripts/check.sh [--xl-smoke]
 #
 # Runs, in order:
 #   1. tier-1 verify (ROADMAP.md): release build + root test suite
 #   2. the full workspace test suite
 #   3. formatting check (no diffs allowed)
 #   4. clippy over every target, warnings denied
+#
+# --xl-smoke additionally runs the 65k-peer / ts50k scale pass
+# (`repro --scale xl --fig 7`) under a generous timeout. It takes a few
+# minutes and needs ~2 GiB of RAM, so it's opt-in rather than part of
+# the default gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+XL_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --xl-smoke) XL_SMOKE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -25,5 +38,10 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$XL_SMOKE" == "1" ]]; then
+  echo "==> xl smoke: repro --scale xl --fig 7"
+  timeout 1800 ./target/release/repro --scale xl --fig 7
+fi
 
 echo "==> all checks passed"
