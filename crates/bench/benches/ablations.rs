@@ -21,7 +21,9 @@ fn run_with(prepared: &Prepared, cfg: BalancerConfig) -> proxbal_core::BalanceRe
     let balancer = LoadBalancer::new(cfg);
     let mut rng = prepared.derived_rng(1717);
     let underlay = prepared.underlay();
-    balancer.run(&mut net, &mut loads, underlay, &mut rng)
+    balancer
+        .run(&mut net, &mut loads, underlay, &mut rng)
+        .expect("attached network")
 }
 
 fn bench_epsilon(c: &mut Criterion) {

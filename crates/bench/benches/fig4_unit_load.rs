@@ -21,7 +21,11 @@ fn bench_fig4(c: &mut Criterion) {
                 let mut loads = prepared.loads.clone();
                 let balancer = LoadBalancer::new(prepared.scenario.balancer);
                 let mut rng = prepared.derived_rng(4);
-                std::hint::black_box(balancer.run(&mut net, &mut loads, None, &mut rng))
+                std::hint::black_box(
+                    balancer
+                        .run(&mut net, &mut loads, None, &mut rng)
+                        .expect("attached network"),
+                )
             });
         });
     }

@@ -33,7 +33,11 @@ fn bench_modes(c: &mut Criterion) {
                     ..prepared.scenario.balancer
                 });
                 let mut rng = prepared.derived_rng(7);
-                std::hint::black_box(balancer.run(&mut net, &mut loads, Some(underlay), &mut rng))
+                std::hint::black_box(
+                    balancer
+                        .run(&mut net, &mut loads, Some(underlay), &mut rng)
+                        .expect("attached network"),
+                )
             });
         });
     }

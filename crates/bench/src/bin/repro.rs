@@ -15,6 +15,7 @@
 //! repro ... --seed 42      # change the master seed
 //! repro ... --threads 4    # worker threads for the sweep engine
 //! repro ... --timing       # per-phase wall-clock -> BENCH_repro.json
+//! repro --faults 0.1       # fault-injection sweep at loss rates {0,1%,5%,10%}
 //! ```
 //!
 //! Every phase derives its state from the master seed alone, so the output
@@ -73,6 +74,7 @@ struct Args {
     json: Option<String>,
     threads: usize,
     timing: bool,
+    faults: Option<f64>,
 }
 
 const ALL_CLAIMS: [&str; 7] = [
@@ -94,6 +96,7 @@ fn parse_args() -> Args {
         json: None,
         threads: proxbal_sim::parallel::default_threads(),
         timing: false,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -120,6 +123,14 @@ fn parse_args() -> Args {
                     .expect("thread count");
             }
             "--timing" => args.timing = true,
+            "--faults" => {
+                args.faults = Some(
+                    it.next()
+                        .expect("--faults needs a loss rate")
+                        .parse()
+                        .expect("loss rate"),
+                );
+            }
             "--all" => {
                 args.figs = vec![4, 5, 6, 7, 8];
                 args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
@@ -130,7 +141,11 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.scale != Scale::Xl && args.figs.is_empty() && args.claims.is_empty() {
+    if args.scale != Scale::Xl
+        && args.faults.is_none()
+        && args.figs.is_empty()
+        && args.claims.is_empty()
+    {
         args.figs = vec![4, 5, 6, 7, 8];
         args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
     }
@@ -222,6 +237,17 @@ fn merge_bench_json(key: &str, entry: serde_json::Value) {
             _ => None,
         })
         .unwrap_or_else(serde_json::Map::new);
+    if !doc.contains_key("bench") {
+        doc.insert("bench".to_string(), serde_json::json!("repro"));
+    }
+    if !doc.contains_key("paper") {
+        doc.insert(
+            "paper".to_string(),
+            serde_json::json!(
+                "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)"
+            ),
+        );
+    }
     doc.insert(key.to_string(), entry);
     std::fs::write(
         "BENCH_repro.json",
@@ -319,11 +345,79 @@ fn run_xl(args: &Args) {
     }
 }
 
+/// The `--faults <rate>` phase: the four-phase protocol driven through a
+/// seeded fault plan at loss rates {0, 1%, 5%, `<rate>`}, reporting phase
+/// completion, repair work, convergence rounds and residual imbalance per
+/// rate. Every merged metric is a pure function of `(seed, rates)` — no
+/// wall-clocks — so the entry is byte-stable across machines and thread
+/// counts and can be diffed by the CI bench-drift gate.
+fn run_faults(args: &Args, rate: f64) {
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "--faults rate must be in [0, 1)"
+    );
+    let mut rates = vec![0.0, 0.01, 0.05, rate];
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rate"));
+    rates.dedup();
+    let s = scenario(args, TopologyKind::Ts5kLarge);
+    let t = Instant::now();
+    let rows = proxbal_sim::experiments::fault_sweep(&s, &rates, args.threads);
+    let wall = t.elapsed();
+
+    println!(
+        "── Fault-injection sweep ({} peers, seed {}) ──",
+        s.peers, s.seed
+    );
+    println!(
+        "{:>6} {:>7} {:>5} | {:>6} {:>6} | {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6} | {:>6} {:>6} {:>8} | {:>5} {:>4} {:>4} {:>4}",
+        "loss", "crashed", "stale", "agg", "diss", "reatt", "prune", "rounds", "msgs",
+        "retries", "gaveup", "heavy0", "heavy1", "residual", "xfers", "rq", "re", "ab"
+    );
+    for r in &rows {
+        println!(
+            "{:>5.1}% {:>7} {:>5} | {:>5.1}% {:>5.1}% | {:>5} {:>5} {:>6} | {:>8} {:>7} {:>6} | {:>6} {:>6} {:>8.4} | {:>5} {:>4} {:>4} {:>4}",
+            r.loss_rate * 100.0,
+            r.crashed_peers,
+            r.stale_links,
+            r.aggregation_completion * 100.0,
+            r.dissemination_completion * 100.0,
+            r.repair_reattached,
+            r.repair_pruned,
+            r.convergence_rounds,
+            r.messages,
+            r.retries,
+            r.gave_up,
+            r.heavy_before,
+            r.heavy_after,
+            r.residual_heavy_fraction,
+            r.transfers,
+            r.requeued,
+            r.reassigned,
+            r.abandoned,
+        );
+    }
+    println!("fault sweep wall: {:.2}s", wall.as_secs_f64());
+
+    let entry = serde_json::json!({
+        "seed": args.seed,
+        "scale": args.scale.name(),
+        "rates": rates,
+        "rows": rows,
+    });
+    merge_bench_json("faults", entry);
+}
+
 fn main() {
     let args = parse_args();
     if args.scale == Scale::Xl {
         run_xl(&args);
         return;
+    }
+    if let Some(rate) = args.faults {
+        run_faults(&args, rate);
+        if args.figs.is_empty() && args.claims.is_empty() {
+            return;
+        }
     }
     let mut phases: Vec<Phase> = Vec::new();
     for &fig in &args.figs {
@@ -398,34 +492,15 @@ fn main() {
             }
         }
         println!("{:<18} {:>8.2}s", "total", total_wall.as_secs_f64());
-        let doc = serde_json::json!({
-            "bench": "repro",
-            "paper": "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)",
+        // One top-level entry per scale, so full/small/xl/faults runs
+        // coexist in the committed document.
+        let entry = serde_json::json!({
             "seed": args.seed,
-            "scale": args.scale.name(),
             "threads": args.threads,
             "total_wall_s": total_wall.as_secs_f64(),
             "phases": timings,
         });
-        // Carry over an `xl` entry a previous `--scale xl` run recorded.
-        let xl = std::fs::read_to_string("BENCH_repro.json")
-            .ok()
-            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
-            .and_then(|v| v.get("xl").cloned());
-        let mut doc = match doc {
-            serde_json::Value::Object(m) => m,
-            _ => unreachable!("json! object"),
-        };
-        if let Some(xl) = xl {
-            doc.insert("xl".to_string(), xl);
-        }
-        std::fs::write(
-            "BENCH_repro.json",
-            serde_json::to_string_pretty(&serde_json::Value::Object(doc))
-                .expect("serialize timings"),
-        )
-        .expect("write BENCH_repro.json");
-        println!("wrote BENCH_repro.json");
+        merge_bench_json(args.scale.name(), entry);
     }
 
     if let Some(path) = &args.json {
@@ -954,12 +1029,9 @@ fn claim_overhead(args: &Args) -> (String, serde_json::Value) {
             ..prepared.scenario.balancer
         };
         let mut rng = prepared.derived_rng(0x0F0F);
-        let report = proxbal_core::LoadBalancer::new(cfg).run(
-            &mut net,
-            &mut loads,
-            Some(underlay),
-            &mut rng,
-        );
+        let report = proxbal_core::LoadBalancer::new(cfg)
+            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .expect("attached network");
         report.messages
     });
     let mut rows = Vec::new();

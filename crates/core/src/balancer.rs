@@ -175,7 +175,7 @@ impl LoadBalancer {
         loads: &mut LoadState,
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
-    ) -> BalanceReport {
+    ) -> Result<BalanceReport, crate::BalanceError> {
         let mut tree = KTree::build(net, self.cfg.k);
         self.run_with_tree(net, loads, &mut tree, underlay, rng)
     }
@@ -197,7 +197,7 @@ impl LoadBalancer {
         tree: &mut KTree,
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
-    ) -> BalanceReport {
+    ) -> Result<BalanceReport, crate::BalanceError> {
         assert_eq!(tree.k(), self.cfg.k, "tree degree must match the config");
         tree.maintain_until_stable(net, 256);
         let params = ClassifyParams {
@@ -266,7 +266,8 @@ impl LoadBalancer {
         }
 
         // Phase 4: VST (§3.5).
-        let transfers = execute_transfers(net, loads, &vsa.assignments, underlay.map(|u| u.oracle));
+        let transfers =
+            execute_transfers(net, loads, &vsa.assignments, underlay.map(|u| u.oracle))?;
 
         // Re-classify against the same system LBI for the after picture.
         let after_cls = Classification::compute(net, loads, &params, system);
@@ -280,7 +281,7 @@ impl LoadBalancer {
             vst_weighted_cost: crate::weighted_cost(&transfers),
         };
 
-        BalanceReport {
+        Ok(BalanceReport {
             system,
             lbi_rounds,
             dissemination_rounds,
@@ -289,7 +290,7 @@ impl LoadBalancer {
             transfers,
             after,
             messages,
-        }
+        })
     }
 }
 

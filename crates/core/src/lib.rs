@@ -44,7 +44,7 @@
 //!     &mut rng,
 //! );
 //! let balancer = LoadBalancer::new(BalancerConfig::default());
-//! let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+//! let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
 //! assert!(report.heavy_after() <= report.before[&proxbal_core::NodeClass::Heavy]);
 //! ```
 
@@ -69,7 +69,8 @@ pub use reports::{Classification, ProximityParams};
 pub use selection::{choose_shed_set, EXACT_LIMIT};
 pub use split::split_and_place;
 pub use transfer::{
-    absorb_join, execute_transfers, graceful_leave, total_moved_load, weighted_cost, TransferRecord,
+    absorb_join, execute_transfers, execute_transfers_with_requeue, graceful_leave,
+    total_moved_load, weighted_cost, BalanceError, RequeueOutcome, TransferRecord,
 };
 pub use vsa::{run_vsa, VsaOutcome, VsaParams};
 

@@ -375,7 +375,7 @@ proptest! {
 fn balancer_eliminates_heavy_nodes_gaussian() {
     let (mut net, mut loads, mut rng) = setup(128, 5, 10);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     let heavy_before = report.before[&NodeClass::Heavy];
     assert!(heavy_before > 0, "workload should create heavy nodes");
     // The paper: "all heavy nodes become light by transferring excess loads"
@@ -403,7 +403,7 @@ fn balancer_eliminates_heavy_nodes_pareto() {
         &mut rng,
     );
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     let heavy_before = report.before[&NodeClass::Heavy];
     assert!(heavy_before > 0);
     assert!(report.heavy_after() * 10 <= heavy_before);
@@ -414,7 +414,7 @@ fn balancer_conserves_total_load() {
     let (mut net, mut loads, mut rng) = setup(64, 5, 12);
     let before = loads.totals(&net).load;
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let _ = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     let after = loads.totals(&net).load;
     assert!(
         (before - after).abs() < 1e-6 * before,
@@ -426,7 +426,7 @@ fn balancer_conserves_total_load() {
 fn balancer_no_node_exceeds_target_after_run() {
     let (mut net, mut loads, mut rng) = setup(96, 5, 13);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     let params = ClassifyParams {
         epsilon: balancer.config().epsilon,
     };
@@ -450,7 +450,7 @@ fn balancer_rounds_are_logarithmic() {
             k,
             ..BalancerConfig::default()
         });
-        let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+        let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
         let m = net.alive_vs_count() as f64;
         let bound = (2.0 * m.log(k as f64)).ceil() as u32 + 6;
         assert!(
@@ -470,7 +470,7 @@ fn balancer_rounds_are_logarithmic() {
 fn balancer_aligns_load_with_capacity() {
     let (mut net, mut loads, mut rng) = setup(256, 5, 15);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let _ = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     // Average load per capacity class must increase with capacity (Figures
     // 5/6: higher-capacity nodes carry more load).
     let mut per_class: HashMap<usize, (f64, usize)> = HashMap::new();
@@ -597,9 +597,92 @@ fn execute_transfers_skips_stale_assignments() {
     let victim = assignments[0].from;
     net.crash_peer(victim);
     let before = net.alive_vs_count();
-    let records = execute_transfers(&mut net, &mut loads, &assignments, None);
+    let records = execute_transfers(&mut net, &mut loads, &assignments, None).unwrap();
     assert!(records.iter().all(|r| r.assignment.from != victim));
     assert_eq!(net.alive_vs_count(), before);
+    net.check_invariants().unwrap();
+}
+
+#[test]
+fn execute_transfers_unattached_peer_is_typed_error() {
+    use proxbal_topology::{DistanceOracle, TransitStubConfig, TransitStubTopology};
+    use std::sync::Arc;
+    let (mut net, mut loads, mut rng) = setup(16, 3, 23);
+    let params = ClassifyParams::default();
+    let assignments = random_matching(&net, &loads, &params, &mut rng);
+    assert!(!assignments.is_empty());
+    // An oracle is supplied but no peer was ever attached to the underlay:
+    // the distance is undefined, and the run must say so instead of
+    // asserting.
+    let topo = TransitStubTopology::generate(TransitStubConfig::tiny(), &mut rng);
+    let oracle = DistanceOracle::new(Arc::new(topo.graph));
+    let err = execute_transfers(&mut net, &mut loads, &assignments, Some(&oracle)).unwrap_err();
+    assert!(matches!(err, BalanceError::UnattachedPeer(_)));
+}
+
+#[test]
+fn requeue_reassigns_transfers_whose_receiver_died() {
+    let (mut net, mut loads, mut rng) = setup(32, 3, 22);
+    let params = ClassifyParams::default();
+    let assignments = random_matching(&net, &loads, &params, &mut rng);
+    assert!(!assignments.is_empty());
+    // The receiver of the first assignment dies between VSA and VST.
+    let dead = assignments[0].to;
+    net.crash_peer(dead);
+    let lost = assignments.iter().filter(|a| a.to == dead).count();
+    // A surviving non-heavy peer left room at the root rendezvous.
+    let alt = net
+        .alive_peers()
+        .into_iter()
+        .find(|&p| p != dead && assignments.iter().all(|a| a.from != p && a.to != p))
+        .or_else(|| {
+            net.alive_peers()
+                .into_iter()
+                .find(|&p| p != dead && assignments.iter().all(|a| a.from != p))
+        })
+        .expect("a surviving non-shedding peer");
+    let mut spare = RendezvousLists::new();
+    spare.push_light(LightSlot {
+        spare: 1e18,
+        peer: alt,
+    });
+    let outcome =
+        execute_transfers_with_requeue(&mut net, &mut loads, &assignments, None, &mut spare, 0.0)
+            .unwrap();
+    assert_eq!(outcome.requeued, lost);
+    assert_eq!(outcome.reassigned, lost, "roomy slot takes every orphan");
+    assert_eq!(outcome.abandoned, 0);
+    // The re-paired transfers landed on the substitute, none on the corpse.
+    let onto_alt = outcome
+        .transfers
+        .iter()
+        .filter(|r| r.assignment.to == alt)
+        .count();
+    assert!(onto_alt >= lost, "orphans re-paired onto the substitute");
+    assert!(outcome.transfers.iter().all(|r| r.assignment.to != dead));
+    net.check_invariants().unwrap();
+}
+
+#[test]
+fn requeue_without_room_abandons_for_next_round() {
+    let (mut net, mut loads, mut rng) = setup(32, 3, 24);
+    let params = ClassifyParams::default();
+    let assignments = random_matching(&net, &loads, &params, &mut rng);
+    assert!(!assignments.is_empty());
+    let dead = assignments[0].to;
+    net.crash_peer(dead);
+    let lost = assignments.iter().filter(|a| a.to == dead).count();
+    let mut spare = RendezvousLists::new(); // no surviving light slots
+    let outcome =
+        execute_transfers_with_requeue(&mut net, &mut loads, &assignments, None, &mut spare, 0.0)
+            .unwrap();
+    assert_eq!(outcome.requeued, lost);
+    assert_eq!(outcome.reassigned, 0);
+    assert_eq!(outcome.abandoned, lost);
+    // The stranded virtual servers stayed with their shedding hosts.
+    for a in assignments.iter().filter(|a| a.to == dead) {
+        assert_eq!(net.vs(a.vs).host, a.from);
+    }
     net.check_invariants().unwrap();
 }
 
@@ -614,7 +697,7 @@ fn splitting_reduces_epsilon_zero_stragglers() {
             max_splits,
             ..BalancerConfig::default()
         });
-        let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+        let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
         net.check_invariants().unwrap();
         report.heavy_after()
     };
@@ -635,7 +718,7 @@ fn splitting_conserves_load_end_to_end() {
         max_splits: 32,
         ..BalancerConfig::default()
     });
-    let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let _ = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     let after = loads.totals(&net).load;
     assert!((before - after).abs() < 1e-6 * before);
     net.check_invariants().unwrap();
@@ -667,7 +750,7 @@ fn empty_peers_keep_reporting_capacity() {
     assert!(net.vss_of(victim).is_empty());
 
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     // Aggregated capacity equals ground truth (the empty peer included).
     let want = loads.totals(&net);
     assert!(
@@ -738,7 +821,7 @@ fn object_microfoundation_yields_balanceable_system() {
     let objects = ObjectWorkload::uniform(200_000, 1e6).generate(&mut rng);
     let mut loads = LoadState::from_objects(&net, &CapacityProfile::gnutella(), &objects, &mut rng);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     assert!(report.before[&NodeClass::Heavy] > 0);
     assert_eq!(report.heavy_after(), 0);
 }
@@ -793,7 +876,7 @@ fn weighted_cost_sums_load_times_distance() {
 fn message_stats_are_consistent() {
     let (mut net, mut loads, mut rng) = setup(128, 5, 60);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
     let m = &report.messages;
     // Every peer reports once; messages are aggregated along shared paths,
     // so LBI messages are at most (peers − 1) edges and at least the tree's
@@ -899,7 +982,9 @@ fn run_with_tree_reuses_and_tree_survives_transfers() {
     let (mut net, mut loads, mut rng) = setup(96, 5, 80);
     let mut tree = KTree::build(&net, 2);
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+    let report = balancer
+        .run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng)
+        .unwrap();
     assert!(!report.transfers.is_empty());
     // Transfers keep ring positions, so the tree needs no maintenance.
     assert_eq!(
@@ -918,7 +1003,9 @@ fn run_with_tree_reuses_and_tree_survives_transfers() {
             loads.set_class(p, proxbal_workload::CapacityClass(1));
         }
     }
-    let report2 = balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+    let report2 = balancer
+        .run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng)
+        .unwrap();
     tree.check_invariants(&net).unwrap();
     net.check_invariants().unwrap();
     assert!(report2.heavy_after() <= report2.before[&NodeClass::Heavy]);
@@ -930,7 +1017,9 @@ fn run_with_tree_rejects_mismatched_degree() {
     let (mut net, mut loads, mut rng) = setup(8, 2, 81);
     let mut tree = KTree::build(&net, 8);
     let balancer = LoadBalancer::new(BalancerConfig::default()); // k = 2
-    let _ = balancer.run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng);
+    let _ = balancer
+        .run_with_tree(&mut net, &mut loads, &mut tree, None, &mut rng)
+        .unwrap();
 }
 
 #[test]

@@ -1,8 +1,31 @@
 use crate::lbi::LoadState;
-use crate::pairing::Assignment;
-use proxbal_chord::{ChordNetwork, PeerId, VsId};
+use crate::pairing::{Assignment, RendezvousLists, ShedCandidate};
+use proxbal_chord::{ChordNetwork, PeerId, PeerState, VsId};
 use proxbal_topology::DistanceOracle;
 use serde::{Deserialize, Serialize};
+
+/// Why a balancing run could not proceed — protocol-level conditions a
+/// caller can hit with a half-configured network (in contrast to the
+/// programmer-error `assert!`s on [`crate::BalancerConfig`] values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceError {
+    /// A transfer endpoint has no underlay attachment, so its physical
+    /// distance is undefined. Attach every peer
+    /// (`ChordNetwork::attach`) before running with an oracle.
+    UnattachedPeer(PeerId),
+}
+
+impl std::fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BalanceError::UnattachedPeer(p) => {
+                write!(f, "peer {p:?} has no underlay attachment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {}
 
 /// One executed virtual-server transfer (VST, §3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -22,13 +45,15 @@ pub struct TransferRecord {
 ///
 /// Assignments whose source peer no longer hosts the virtual server (e.g.
 /// it crashed between VSA and VST) are skipped, mirroring the soft-state
-/// tolerance of the protocol.
+/// tolerance of the protocol. Fails with
+/// [`BalanceError::UnattachedPeer`] when a distance is requested for a
+/// peer that was never attached to the underlay.
 pub fn execute_transfers(
     net: &mut ChordNetwork,
     loads: &mut LoadState,
     assignments: &[Assignment],
     oracle: Option<&DistanceOracle>,
-) -> Vec<TransferRecord> {
+) -> Result<Vec<TransferRecord>, BalanceError> {
     // With an unbounded oracle cache, warm whole rows and query per
     // transfer. With a bounded cache, precompute every pair distance up
     // front in capacity-sized batches instead: peer attachments are
@@ -53,17 +78,24 @@ pub fn execute_transfers(
             continue;
         }
         net.transfer_vs(a.vs, a.to);
-        let distance = oracle.map(|o| {
-            let from = net.peer(a.from).underlay;
-            let to = net.peer(a.to).underlay;
-            assert!(
-                from != u32::MAX && to != u32::MAX,
-                "transfer distance requires underlay attachments"
-            );
-            memo.as_ref()
-                .and_then(|m| m.get(&(from, to)).copied())
-                .unwrap_or_else(|| o.distance(from, to))
-        });
+        let distance = match oracle {
+            Some(o) => {
+                let from = net.peer(a.from).underlay;
+                let to = net.peer(a.to).underlay;
+                if from == u32::MAX {
+                    return Err(BalanceError::UnattachedPeer(a.from));
+                }
+                if to == u32::MAX {
+                    return Err(BalanceError::UnattachedPeer(a.to));
+                }
+                Some(
+                    memo.as_ref()
+                        .and_then(|m| m.get(&(from, to)).copied())
+                        .unwrap_or_else(|| o.distance(from, to)),
+                )
+            }
+            None => None,
+        };
         // Load rides with the virtual server; LoadState is keyed by VsId so
         // nothing to move — but assert the invariant in debug builds.
         debug_assert!((loads.vs_load(a.vs) - a.load).abs() < 1e-9 || a.load >= 0.0);
@@ -72,7 +104,76 @@ pub fn execute_transfers(
             distance,
         });
     }
-    out
+    Ok(out)
+}
+
+/// Accounting of a fault-tolerant VST round
+/// ([`execute_transfers_with_requeue`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RequeueOutcome {
+    /// Every transfer that executed (first pass plus re-pairings).
+    pub transfers: Vec<TransferRecord>,
+    /// Assignments whose receiving peer was dead at execution time and
+    /// that were re-offered at the next-higher rendezvous.
+    pub requeued: usize,
+    /// Of the requeued, how many found a surviving light slot and moved.
+    pub reassigned: usize,
+    /// Of the requeued, how many found no room and stayed put (they will
+    /// be picked up by the next balancing round).
+    pub abandoned: usize,
+}
+
+/// Fault-tolerant variant of [`execute_transfers`]: an assignment whose
+/// receiving peer died between VSA and VST is not silently skipped but
+/// **requeued at the next-higher rendezvous** — its shed candidate is
+/// re-inserted into `spare` (the surviving light slots that bubbled up to
+/// the root during the sweep) and re-paired best-fit, exactly as the
+/// rendezvous point itself would have done had the failure been known
+/// (§3.4's graceful degradation). Deterministic: both lists are sorted and
+/// the re-pairing is the same best-fit walk as the in-sweep pairing.
+///
+/// The default [`execute_transfers`] path is untouched — fault-free runs
+/// stay byte-identical.
+pub fn execute_transfers_with_requeue(
+    net: &mut ChordNetwork,
+    loads: &mut LoadState,
+    assignments: &[Assignment],
+    oracle: Option<&DistanceOracle>,
+    spare: &mut RendezvousLists,
+    l_min: f64,
+) -> Result<RequeueOutcome, BalanceError> {
+    let transfers = execute_transfers(net, loads, assignments, oracle)?;
+    // Assignments still valid on the shedding side whose receiver died.
+    let mut requeued = 0usize;
+    for a in assignments {
+        let vs = net.vs(a.vs);
+        if vs.alive && vs.host == a.from && net.peer(a.to).state != PeerState::Alive {
+            spare.push_shed(ShedCandidate {
+                load: a.load,
+                vs: a.vs,
+                from: a.from,
+            });
+            requeued += 1;
+        }
+    }
+    let mut outcome = RequeueOutcome {
+        transfers,
+        requeued,
+        reassigned: 0,
+        abandoned: 0,
+    };
+    if requeued == 0 {
+        return Ok(outcome);
+    }
+    let mut extra = Vec::new();
+    spare.pair_into(l_min, &mut extra);
+    // Dead light peers may linger in `spare` too; the executor's liveness
+    // filter drops those pairings, leaving the candidate for next round.
+    let executed = execute_transfers(net, loads, &extra, oracle)?;
+    outcome.reassigned = executed.len();
+    outcome.abandoned = requeued - outcome.reassigned;
+    outcome.transfers.extend(executed);
+    Ok(outcome)
 }
 
 type DistanceMemo = std::collections::HashMap<(u32, u32), u32>;

@@ -327,6 +327,124 @@ proptest! {
 }
 
 #[test]
+fn stale_parent_orphans_subtree_and_repair_reattaches_it() {
+    let (net, _) = net_with(32, 3, 17);
+    let mut tree = KTree::build(&net, 2);
+    let before = tree.len();
+    let victim = tree
+        .iter_ids()
+        .find(|&id| tree.node(id).depth >= 2 && !tree.node(id).is_leaf())
+        .expect("deep interior node");
+    tree.inject_stale_parent(victim, tree.root());
+    // The orphan no longer answers a root descent for its region.
+    assert!(tree
+        .iter_ids()
+        .filter(|&id| tree.node(id).parent == Some(tree.root()))
+        .all(|id| tree.node(tree.root()).children.contains(&Some(id)) || id == victim));
+    let stats = tree.repair(&net, 64);
+    // Nothing changed in the network, so the subtree slots straight back in.
+    assert_eq!(stats.reattached, 1);
+    assert_eq!(stats.pruned, 0);
+    assert_eq!(tree.len(), before);
+    tree.check_invariants(&net).unwrap();
+    assert_eq!(
+        tree.node(victim).parent.map(|p| tree.node(p).depth + 1),
+        Some(tree.node(victim).depth)
+    );
+}
+
+#[test]
+fn repair_prunes_orphan_whose_slot_regrew() {
+    let (net, _) = net_with(32, 3, 18);
+    let mut tree = KTree::build(&net, 2);
+    let victim = tree
+        .iter_ids()
+        .find(|&id| tree.node(id).depth >= 2 && !tree.node(id).is_leaf())
+        .expect("deep interior node");
+    tree.inject_stale_parent(victim, tree.root());
+    // A maintenance round that runs *before* repair regrows the vacated
+    // slot, so the orphan's place is taken and repair must discard it.
+    assert!(tree.maintain_round(&net) > 0);
+    let stats = tree.repair(&net, 64);
+    assert_eq!(stats.reattached, 0);
+    assert!(stats.pruned >= 1);
+    tree.check_invariants(&net).unwrap();
+    let fresh = KTree::build(&net, 2);
+    assert_eq!(tree.len(), fresh.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_repair_after_crashes_and_stale_links_restores_coverage(
+        seed in 0u64..3000,
+        crashes in 1usize..8,
+        stale in 0usize..4,
+        k in 2usize..5,
+    ) {
+        let (mut net, mut rng) = net_with(24, 3, seed);
+        let mut tree = KTree::build(&net, k);
+        // Rewire some deep links to a stale parent (the root), then crash
+        // a batch of random peers.
+        for _ in 0..stale {
+            let candidates: Vec<KtNodeId> = tree
+                .iter_ids()
+                .filter(|&id| tree.node(id).depth >= 2)
+                .collect();
+            if let Some(&victim) = candidates
+                .get(rand::Rng::gen_range(&mut rng, 0..candidates.len().max(1)))
+            {
+                tree.inject_stale_parent(victim, tree.root());
+            }
+        }
+        let alive = net.alive_peers();
+        for p in alive.into_iter().take(crashes) {
+            net.crash_peer(p);
+        }
+        tree.repair(&net, 256);
+        // Well-formed K-nary tree again...
+        tree.check_invariants(&net).map_err(TestCaseError::fail)?;
+        // ...no orphans: every non-root node is its parent's child...
+        for id in tree.iter_ids() {
+            match tree.node(id).parent {
+                None => prop_assert_eq!(id, tree.root()),
+                Some(p) => {
+                    prop_assert!(tree.node(p).children.contains(&Some(id)));
+                    prop_assert_eq!(tree.node(id).depth, tree.node(p).depth + 1);
+                }
+            }
+        }
+        // ...and its leaves cover the live ID space: every live VS has a
+        // self-hosted report target (the paper's planting guarantee).
+        for (_, vs) in net.ring().iter() {
+            prop_assert_eq!(tree.node(tree.report_target(&net, vs)).host, vs);
+        }
+        // Repair converges to exactly the fresh build.
+        let fresh = KTree::build(&net, k);
+        prop_assert_eq!(tree.len(), fresh.len());
+    }
+}
+
+#[test]
+fn node_map_clear_and_retain() {
+    let mut map = KtNodeMap::with_slot_bound(8);
+    for i in 0..6u32 {
+        map.insert(KtNodeId(i), i * 10);
+    }
+    map.retain(|id, v| {
+        *v += 1;
+        id.0 % 2 == 0
+    });
+    assert_eq!(map.len(), 3);
+    assert_eq!(map.get(KtNodeId(2)), Some(&21));
+    assert_eq!(map.get(KtNodeId(3)), None);
+    map.clear();
+    assert!(map.is_empty());
+    assert_eq!(map.get(KtNodeId(2)), None);
+}
+
+#[test]
 fn split_regions_sum_check() {
     // Guard against a regression where child(i, k) and split(k) disagree for
     // the full ring (the root always splits the full ring).

@@ -32,6 +32,17 @@ impl KtNode {
     }
 }
 
+/// Accounting returned by [`KTree::repair`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairStats {
+    /// Orphaned subtrees re-attached at their region's slot.
+    pub reattached: usize,
+    /// Nodes discarded because their region slot was gone or taken.
+    pub pruned: usize,
+    /// Maintenance rounds needed to stabilize afterwards.
+    pub rounds: usize,
+}
+
 /// The distributed K-nary tree, materialized as an arena.
 ///
 /// `K` is the tree degree (the paper evaluates K = 2 and K = 8). The root
@@ -334,6 +345,146 @@ impl KTree {
             }
         }
         Ok(())
+    }
+
+    /// Simulates a *stale parent pointer*: detaches `child` from its real
+    /// parent (which forgets it, as a pruned-and-rebuilt parent would) and
+    /// leaves `child.parent` dangling at `stale` — a node that does not list
+    /// it as a child. The whole subtree under `child` becomes unreachable
+    /// from the root until [`Self::repair`] runs. Panics on the root.
+    pub fn inject_stale_parent(&mut self, child: KtNodeId, stale: KtNodeId) {
+        assert!(child != self.root, "cannot orphan the root");
+        let real = self.node(child).parent.expect("non-root has a parent");
+        let parent = self.nodes[real.0 as usize]
+            .as_mut()
+            .expect("stale KT node handle");
+        for slot in parent.children.iter_mut() {
+            if *slot == Some(child) {
+                *slot = None;
+            }
+        }
+        self.nodes[child.0 as usize].as_mut().unwrap().parent = Some(stale);
+    }
+
+    /// Repairs the tree after faults: orphaned subtrees (stale parent
+    /// pointers, crashed hosts) are re-attached by the DHT analogue of
+    /// "look up the parent's key region" — a root descent to the node whose
+    /// region subdivision exactly matches the orphan's region. An orphan
+    /// whose slot is gone (the region no longer needs a subtree, or a fresh
+    /// duplicate already grew there) is pruned instead; the periodic
+    /// maintenance rounds that follow regrow whatever coverage is missing
+    /// and re-plant hosts for the current membership. Returns the repair
+    /// accounting; panics (via [`Self::maintain_until_stable`]) if the tree
+    /// does not stabilize within `limit` rounds.
+    pub fn repair(&mut self, net: &ChordNetwork, limit: usize) -> RepairStats {
+        // Phase 1: mark everything reachable from the root.
+        let mut reachable = vec![false; self.slot_bound()];
+        let mut queue = std::collections::VecDeque::new();
+        reachable[self.root.0 as usize] = true;
+        queue.push_back(self.root);
+        while let Some(id) = queue.pop_front() {
+            for &child in self.node(id).children.iter().flatten() {
+                if !std::mem::replace(&mut reachable[child.0 as usize], true) {
+                    queue.push_back(child);
+                }
+            }
+        }
+
+        // Phase 2: orphan roots — unreachable nodes nobody claims as a
+        // child (their descendants are claimed, by them). Slot order keeps
+        // the repair deterministic.
+        let orphan_roots: Vec<KtNodeId> = self
+            .iter_ids()
+            .filter(|&id| {
+                if reachable[id.0 as usize] {
+                    return false;
+                }
+                match self.node(id).parent {
+                    None => true,
+                    Some(p) => match &self.nodes[p.0 as usize] {
+                        None => true, // parent slot itself is gone
+                        Some(pn) => !pn.children.contains(&Some(id)),
+                    },
+                }
+            })
+            .collect();
+
+        // Phase 3: re-attach each orphan where its region belongs, or prune.
+        let mut stats = RepairStats {
+            reattached: 0,
+            pruned: 0,
+            rounds: 0,
+        };
+        for orphan in orphan_roots {
+            let region = self.node(orphan).region;
+            let slot = self.lookup_parent_slot(&region).filter(|&(p, i)| {
+                reachable[p.0 as usize]
+                    && self.node(p).children[i].is_none()
+                    && !Self::is_leaf_region(net, &self.node(p).region)
+            });
+            match slot {
+                Some((p, i)) => {
+                    self.nodes[p.0 as usize].as_mut().unwrap().children[i] = Some(orphan);
+                    self.nodes[orphan.0 as usize].as_mut().unwrap().parent = Some(p);
+                    // Fix depths and extend reachability over the subtree.
+                    let base = self.node(p).depth + 1;
+                    let mut fix = std::collections::VecDeque::new();
+                    fix.push_back((orphan, base));
+                    while let Some((id, depth)) = fix.pop_front() {
+                        self.nodes[id.0 as usize].as_mut().unwrap().depth = depth;
+                        reachable[id.0 as usize] = true;
+                        for &child in self.node(id).children.iter().flatten() {
+                            fix.push_back((child, depth + 1));
+                        }
+                    }
+                    stats.reattached += 1;
+                }
+                None => {
+                    stats.pruned += self.subtree_len(orphan);
+                    self.prune(orphan);
+                }
+            }
+        }
+
+        // Phase 4: ordinary periodic maintenance converges the rest
+        // (replanting, missing coverage, leftover duplicates).
+        stats.rounds = self.maintain_until_stable(net, limit);
+        stats
+    }
+
+    /// Root descent to the (node, child-slot) whose region subdivision is
+    /// exactly `region` — the DHT-lookup analogue used by [`Self::repair`]
+    /// (any peer can locate the root deterministically and walk down by key
+    /// region). `None` if the current tree shape has no such slot.
+    fn lookup_parent_slot(&self, region: &Arc) -> Option<(KtNodeId, usize)> {
+        let pos = region.center();
+        let mut cur = self.root;
+        loop {
+            let node = self.node(cur);
+            let mut next = None;
+            for i in 0..self.k {
+                let part = node.region.child(i, self.k);
+                if part == *region {
+                    return Some((cur, i));
+                }
+                if part.contains(pos) {
+                    next = node.children[i];
+                    break;
+                }
+            }
+            cur = next?;
+        }
+    }
+
+    /// Number of nodes in the subtree rooted at `id`.
+    fn subtree_len(&self, id: KtNodeId) -> usize {
+        1 + self
+            .node(id)
+            .children
+            .iter()
+            .flatten()
+            .map(|&c| self.subtree_len(c))
+            .sum::<usize>()
     }
 
     /// Number of **inter-virtual-server messages** needed to reach each KT

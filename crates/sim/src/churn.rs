@@ -328,7 +328,9 @@ pub fn run_churn_with_balancing<R: Rng>(
             q.schedule_in(cfg.maintenance_interval, BalEvent::Maintain);
         }
         BalEvent::Balance => {
-            let report = balancer.run(net, loads, None, rng);
+            let report = balancer
+                .run(net, loads, None, rng)
+                .expect("attached network");
             stats.balance_passes += 1;
             stats.total_moved += proxbal_core::total_moved_load(&report.transfers);
             stats.stale_assignments_skipped +=

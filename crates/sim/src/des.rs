@@ -7,6 +7,39 @@ use std::collections::BinaryHeap;
 /// Simulated time in abstract latency units.
 pub type SimTime = u64;
 
+/// Per-message retry schedule with exponential backoff: attempt `n`
+/// (0-based) times out after `base_timeout · backoff^n`, and a sender gives
+/// up on an edge after `max_retries` failed attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Timeout of the first attempt.
+    pub base_timeout: SimTime,
+    /// Multiplier applied per failed attempt.
+    pub backoff: u32,
+    /// Failed attempts after which the sender abandons the edge (so a
+    /// message gets `max_retries + 1` transmissions in total).
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// The default schedule of the fault-injected protocol sims: 30 latency
+    /// units base (the reliable sims' retransmit interval), doubling, give
+    /// up after 5 retries.
+    pub fn protocol_default() -> Self {
+        RetryPolicy {
+            base_timeout: 30,
+            backoff: 2,
+            max_retries: 5,
+        }
+    }
+
+    /// Timeout of attempt `attempt` (0-based), saturating on overflow.
+    pub fn timeout_after(&self, attempt: u32) -> SimTime {
+        let factor = (self.backoff as SimTime).saturating_pow(attempt);
+        self.base_timeout.saturating_mul(factor)
+    }
+}
+
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -164,6 +197,16 @@ mod tests {
         q.schedule(10, ());
         q.pop();
         q.schedule(5, ());
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially() {
+        let p = RetryPolicy::protocol_default();
+        assert_eq!(p.timeout_after(0), 30);
+        assert_eq!(p.timeout_after(1), 60);
+        assert_eq!(p.timeout_after(2), 120);
+        // Saturates instead of overflowing.
+        assert_eq!(p.timeout_after(200), SimTime::MAX);
     }
 
     #[test]

@@ -117,7 +117,9 @@ pub fn run_drift<R: Rng>(
 
         let mut moved = 0.0;
         if (step + 1) % cfg.rebalance_every == 0 {
-            let report = balancer.run(net, loads, underlay, rng);
+            let report = balancer
+                .run(net, loads, underlay, rng)
+                .expect("attached network");
             moved = proxbal_core::total_moved_load(&report.transfers);
             stats.total_moved += moved;
             stats.rebalances += 1;
@@ -201,7 +203,9 @@ mod tests {
         let (mut net, mut loads, mut rng) = setup(2);
         // One initial balance, then pure drift.
         let balancer = LoadBalancer::new(BalancerConfig::default());
-        let _ = balancer.run(&mut net, &mut loads, None, &mut rng);
+        let _ = balancer
+            .run(&mut net, &mut loads, None, &mut rng)
+            .expect("attached network");
         let balanced = heavy_count(&net, &loads, BalancerConfig::default().epsilon);
         let cfg = DriftConfig {
             steps: 60,

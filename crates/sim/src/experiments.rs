@@ -41,7 +41,9 @@ pub fn fig4_unit_load(prepared: &mut Prepared) -> Fig4Output {
             landmarks: &prepared.landmarks,
         });
     let mut rng = prepared.derived_rng(4);
-    let report = balancer.run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng);
+    let report = balancer
+        .run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng)
+        .expect("attached network");
 
     let after: Vec<f64> = peers
         .iter()
@@ -101,7 +103,9 @@ pub fn fig56_class_loads(prepared: &mut Prepared) -> ClassLoadsOutput {
             landmarks: &prepared.landmarks,
         });
     let mut rng = prepared.derived_rng(56);
-    let report = balancer.run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng);
+    let report = balancer
+        .run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng)
+        .expect("attached network");
     let after = collect(prepared);
 
     ClassLoadsOutput {
@@ -141,7 +145,9 @@ pub fn fig78_moved_load(prepared: &Prepared) -> MovedLoadOutput {
         };
         let balancer = LoadBalancer::new(cfg);
         let mut rng = prepared.derived_rng(label);
-        let report = balancer.run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let report = balancer
+            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .expect("attached network");
         let mut hist = DistanceHistogram::new();
         for t in &report.transfers {
             hist.add(t.distance.expect("underlay present"), t.assignment.load);
@@ -204,7 +210,9 @@ pub fn rounds_scaling(sizes: &[usize], ks: &[usize], seed: u64, threads: usize) 
         let mut prepared = scenario.prepare();
         let balancer = LoadBalancer::new(prepared.scenario.balancer);
         let mut rng = prepared.derived_rng(1000 + k as u64);
-        let report = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+        let report = balancer
+            .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+            .expect("attached network");
         let m = prepared.net.alive_vs_count();
         RoundsRow {
             peers,
@@ -305,7 +313,9 @@ pub fn scheme_comparison(prepared: &Prepared) -> SchemeComparison {
     let mut loads = prepared.loads.clone();
     let balancer = LoadBalancer::new(prepared.scenario.balancer);
     let mut rng = prepared.derived_rng(91);
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer
+        .run(&mut net, &mut loads, None, &mut rng)
+        .expect("attached network");
     let gini_tree = gini(&unit_loads(&net, &loads));
 
     // CFS baseline.
@@ -481,7 +491,9 @@ pub fn ablation_sweep(prepared: &Prepared, threads: usize) -> Vec<AblationRow> {
         let mut net = prepared.net.clone();
         let mut loads = prepared.loads.clone();
         let mut rng = prepared.derived_rng(0xAB1A);
-        let report = LoadBalancer::new(*cfg).run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let report = LoadBalancer::new(*cfg)
+            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .expect("attached network");
         let mut hist = DistanceHistogram::new();
         for t in &report.transfers {
             hist.add(t.distance.expect("underlay present"), t.assignment.load);
@@ -673,7 +685,9 @@ pub fn xl_scale(seed: u64) -> XlScaleOutput {
             ..prepared.scenario.balancer
         };
         let mut rng = prepared.derived_rng(label);
-        let report = LoadBalancer::new(cfg).run(&mut net, &mut loads, Some(underlay), &mut rng);
+        let report = LoadBalancer::new(cfg)
+            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .expect("attached network");
         let mut histogram = DistanceHistogram::new();
         for tr in &report.transfers {
             histogram.add(tr.distance.expect("underlay present"), tr.assignment.load);
@@ -717,5 +731,242 @@ pub fn xl_scale(seed: u64) -> XlScaleOutput {
         prepare_wall_s,
         aware,
         ignorant,
+    }
+}
+
+/// One cell of the fault-injection sweep ([`fault_sweep`]): the four-phase
+/// protocol driven through a seeded [`crate::faults::FaultPlan`] at one
+/// loss rate, with message drops/delays, a mid-round crash wave, stale KT
+/// links, tree repair, and VST requeue all exercised.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// Message-loss probability of the plan (delays and crashes scale with
+    /// it — see [`crate::faults::FaultConfig::with_loss`]).
+    pub loss_rate: f64,
+    /// Peers crash-stopped during the aggregation phase.
+    pub crashed_peers: usize,
+    /// KT links rewired to a stale parent before the run.
+    pub stale_links: usize,
+    /// Fraction of contributors whose LBI reached the root.
+    pub aggregation_completion: f64,
+    /// Fraction of (repaired-)tree nodes the dissemination reached.
+    pub dissemination_completion: f64,
+    /// Orphaned subtrees the repair re-attached.
+    pub repair_reattached: usize,
+    /// Orphaned KT nodes the repair had to discard.
+    pub repair_pruned: usize,
+    /// Maintenance rounds until the repaired tree stabilized — the
+    /// convergence-rounds metric.
+    pub convergence_rounds: usize,
+    /// Protocol messages across both faulty phases (retransmissions
+    /// included).
+    pub messages: usize,
+    /// Retransmission attempts.
+    pub retries: usize,
+    /// Edges abandoned after the retry budget.
+    pub gave_up: usize,
+    /// Heavy peers before VSA (post-crash classification).
+    pub heavy_before: usize,
+    /// Heavy peers after the transfers.
+    pub heavy_after: usize,
+    /// Residual imbalance: heavy peers after, as a fraction of alive peers.
+    pub residual_heavy_fraction: f64,
+    /// Transfers executed (first pass plus re-pairings).
+    pub transfers: usize,
+    /// Assignments requeued because their receiver died post-VSA.
+    pub requeued: usize,
+    /// Requeued assignments that found a surviving light slot.
+    pub reassigned: usize,
+    /// Requeued assignments left for the next balancing round.
+    pub abandoned: usize,
+}
+
+/// Sweeps the four-phase protocol across fault rates: for each rate, a
+/// seeded fault plan injects stale KT links, drops/delays messages, and
+/// crash-stops peers mid-aggregation; the tree then repairs itself, the
+/// classification/VSA phases run over the surviving membership, a second
+/// crash wave hits the assignment receivers, and VST requeues the stranded
+/// transfers at the root rendezvous. Each rate is an independent cell over
+/// a clone of the same prepared scenario, so the sweep is bit-identical at
+/// any thread count, and the whole row set is a pure function of
+/// `(scenario.seed, rates)`.
+pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<FaultSweepRow> {
+    use crate::des::RetryPolicy;
+    use crate::faults::{simulate_aggregation_faulty, simulate_dissemination_faulty};
+    use crate::faults::{FaultConfig, FaultPlan};
+    use crate::protocol::ProtocolScratch;
+    use proxbal_core::reports::{ignorant_inputs, light_slots, shed_candidates};
+    use proxbal_core::{execute_transfers_with_requeue, run_vsa, Classification, VsaParams};
+    use rand::SeedableRng;
+
+    let prepared = scenario.prepare();
+    let oracle = prepared
+        .oracle
+        .as_ref()
+        .expect("fault sweep needs a topology");
+
+    crate::parallel::map_items(rates, threads, |_, &rate| {
+        let mut net = prepared.net.clone();
+        let mut loads = prepared.loads.clone();
+        let k = scenario.balancer.k;
+        let mut tree = KTree::build(&net, k);
+        let cfg = FaultConfig::with_loss(rate, scenario.seed ^ rate.to_bits());
+        let mut plan = FaultPlan::new(cfg);
+
+        // Stale-parent injection: rewire deep links to dangle at the root.
+        let stale = plan.pick_stale_links(&tree);
+        for &child in &stale {
+            tree.inject_stale_parent(child, tree.root());
+        }
+
+        // Crash schedule for the aggregation window (the KT root's host
+        // survives — in a real deployment a dead root is re-elected by the
+        // deterministic root location rule before any phase starts).
+        let root_host = net.vs(tree.node(tree.root()).host).host;
+        let crashes = plan.crash_schedule(&net, root_host, 300);
+
+        // Phase 1 under faults, over the pre-crash membership snapshot.
+        let mut contributors: Vec<_> = net
+            .ring()
+            .iter()
+            .map(|(_, vs)| tree.report_target(&net, vs))
+            .collect();
+        contributors.sort_unstable();
+        contributors.dedup();
+        let mut scratch = ProtocolScratch::new();
+        let agg = simulate_aggregation_faulty(
+            &net,
+            &tree,
+            oracle,
+            &contributors,
+            &mut plan,
+            RetryPolicy::protocol_default(),
+            &crashes,
+            &mut scratch,
+        )
+        .expect("scenario peers are attached");
+
+        // The crash wave lands: dead peers leave the ring, the tree repairs
+        // (orphan re-attach + soft-state maintenance).
+        for &(_, p) in &crashes {
+            net.crash_peer(p);
+        }
+        let repair = tree.repair(&net, 256);
+
+        // Phase 2 under message faults over the repaired tree (the crashed
+        // peers are gone from it, so no crash schedule here).
+        let mut scratch2 = ProtocolScratch::new();
+        let dis = simulate_dissemination_faulty(
+            &net,
+            &tree,
+            oracle,
+            &mut plan,
+            RetryPolicy::protocol_default(),
+            &[],
+            &mut scratch2,
+        )
+        .expect("scenario peers are attached");
+
+        // Phases 2b-3: classify the survivors and run the VSA sweep.
+        let params = proxbal_core::ClassifyParams {
+            epsilon: scenario.balancer.epsilon,
+        };
+        let system = loads.totals(&net);
+        let classification = Classification::compute(&net, &loads, &params, system);
+        let heavy_before = classification.count_of(NodeClass::Heavy);
+        let shed = shed_candidates(&net, &loads, &params, &classification);
+        let light = light_slots(&net, &loads, &params, &classification);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xD15);
+        let inputs = ignorant_inputs(&net, &tree, &shed, &light, &mut rng);
+        let vsa_params = VsaParams {
+            rendezvous_threshold: scenario.balancer.rendezvous_threshold,
+            l_min: system.min_vs_load,
+        };
+        let mut vsa = run_vsa(&tree, inputs, &vsa_params);
+
+        // A second crash wave hits the assignment receivers between VSA and
+        // VST, exercising the requeue path at the root rendezvous.
+        let mut receivers: Vec<_> = vsa.assignments.iter().map(|a| a.to).collect();
+        receivers.sort_unstable();
+        receivers.dedup();
+        let victims = plan.pick_transfer_victims(&receivers);
+        for &p in &victims {
+            net.crash_peer(p);
+        }
+        let outcome = execute_transfers_with_requeue(
+            &mut net,
+            &mut loads,
+            &vsa.assignments,
+            None,
+            &mut vsa.unassigned,
+            system.min_vs_load,
+        )
+        .expect("no oracle in the requeue pass");
+
+        let after = Classification::compute(&net, &loads, &params, system);
+        let heavy_after = after.count_of(NodeClass::Heavy);
+        let alive = net.alive_peers().len();
+
+        FaultSweepRow {
+            loss_rate: rate,
+            crashed_peers: crashes.len() + victims.len(),
+            stale_links: stale.len(),
+            aggregation_completion: agg.completion_rate(),
+            dissemination_completion: dis.completion_rate(),
+            repair_reattached: repair.reattached,
+            repair_pruned: repair.pruned,
+            convergence_rounds: repair.rounds,
+            messages: agg.timing.messages + dis.timing.messages,
+            retries: agg.retries + dis.retries,
+            gave_up: agg.gave_up + dis.gave_up,
+            heavy_before,
+            heavy_after,
+            residual_heavy_fraction: heavy_after as f64 / alive.max(1) as f64,
+            transfers: outcome.transfers.len(),
+            requeued: outcome.requeued,
+            reassigned: outcome.reassigned,
+            abandoned: outcome.abandoned,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TopologyKind;
+
+    fn sweep_scenario() -> Scenario {
+        let mut s = Scenario::small(60);
+        s.peers = 96;
+        s.topology = TopologyKind::Tiny;
+        s
+    }
+
+    #[test]
+    fn fault_sweep_zero_rate_is_clean() {
+        let rows = fault_sweep(&sweep_scenario(), &[0.0], 1);
+        let r = &rows[0];
+        assert_eq!(r.crashed_peers, 0);
+        assert_eq!(r.stale_links, 0);
+        assert_eq!(r.aggregation_completion, 1.0);
+        assert_eq!(r.dissemination_completion, 1.0);
+        assert_eq!(r.repair_reattached, 0);
+        assert_eq!(r.repair_pruned, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.gave_up, 0);
+        assert_eq!(r.requeued, 0);
+    }
+
+    #[test]
+    fn fault_sweep_is_thread_count_invariant() {
+        let s = sweep_scenario();
+        let rates = [0.0, 0.08];
+        let a = fault_sweep(&s, &rates, 1);
+        let b = fault_sweep(&s, &rates, 2);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "sweep must be bit-identical at any thread count");
+        // And the faulty cell actually exercised the machinery.
+        assert!(a[1].crashed_peers > 0 || a[1].retries > 0 || a[1].stale_links > 0);
     }
 }

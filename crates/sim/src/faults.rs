@@ -1,0 +1,755 @@
+//! Deterministic fault injection for the tree protocols.
+//!
+//! The reliable DES in [`crate::protocol`] assumes every message is
+//! eventually delivered and membership never changes mid-phase. This module
+//! supplies the adversary: a seeded [`FaultPlan`] that drops or delays
+//! individual messages, crash-stops peers mid-round (their virtual servers
+//! and KT positions die with them), and rewires KT links to stale parents —
+//! plus the robustness machinery the paper implies but never specifies:
+//! per-message retry with exponential backoff ([`RetryPolicy`]) and
+//! sender-side give-up, so a phase *degrades* (partial coverage, reported
+//! through [`FaultPhaseOutcome`]) instead of hanging or panicking.
+//!
+//! Everything is a pure function of `(FaultConfig, scenario seed)`: the
+//! plan owns its own RNG stream and every fate is drawn in event-queue
+//! order, so a faulty run is bit-identical across repeats and thread
+//! counts, matching the repo's determinism contract.
+
+use crate::des::{EventQueue, RetryPolicy, SimTime};
+use crate::protocol::{PhaseTiming, ProtocolError, ProtocolScratch};
+use proxbal_chord::{ChordNetwork, PeerId};
+use proxbal_ktree::{KTree, KtNodeId};
+use proxbal_topology::DistanceOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Declarative description of one fault regime. Embedded in
+/// [`crate::Scenario`] so a faulty experiment round-trips through serde
+/// like any other.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that a single transmission is silently dropped.
+    pub loss_rate: f64,
+    /// Probability that a transmission is delayed (but delivered).
+    pub delay_rate: f64,
+    /// Maximum extra delay of a delayed transmission, in latency units.
+    pub max_delay: SimTime,
+    /// Fraction of peers crash-stopped at random times inside the phase
+    /// window (the KT root's host is never picked).
+    pub crash_fraction: f64,
+    /// Number of KT links rewired to a stale parent before the run.
+    pub stale_parents: usize,
+    /// Seed of the plan's private RNG stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all (the identity plan).
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            loss_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 0,
+            crash_fraction: 0.0,
+            stale_parents: 0,
+            seed,
+        }
+    }
+
+    /// The sweep shape used by `repro --faults`: message loss at `rate`,
+    /// delays at half that rate, and a crash wave of `rate/2` of the peers.
+    /// `rate = 0` degenerates to [`FaultConfig::none`].
+    pub fn with_loss(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "loss rate must be in [0, 1)");
+        FaultConfig {
+            loss_rate: rate,
+            delay_rate: rate / 2.0,
+            max_delay: 50,
+            crash_fraction: rate / 2.0,
+            stale_parents: if rate > 0.0 { 3 } else { 0 },
+            seed,
+        }
+    }
+}
+
+/// What the plan decides for one transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered after the edge latency.
+    Deliver,
+    /// Delivered after the edge latency plus this much extra delay.
+    DelayBy(SimTime),
+    /// Silently dropped (the sender times out and retries).
+    Drop,
+}
+
+/// A seeded source of fault decisions. One plan drives one experiment; its
+/// RNG stream is private, so faulty runs never perturb the scenario RNG
+/// and the fault-free code paths stay byte-identical.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// Builds the plan for a config (the RNG derives from `cfg.seed`).
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA_17),
+        }
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Draws the fate of one transmission. Fates are consumed in
+    /// event-queue order, which is deterministic.
+    pub fn message_fate(&mut self) -> MessageFate {
+        if self.cfg.loss_rate == 0.0 && self.cfg.delay_rate == 0.0 {
+            return MessageFate::Deliver;
+        }
+        let draw: f64 = self.rng.gen();
+        if draw < self.cfg.loss_rate {
+            MessageFate::Drop
+        } else if draw < self.cfg.loss_rate + self.cfg.delay_rate {
+            MessageFate::DelayBy(self.rng.gen_range(1..=self.cfg.max_delay.max(1)))
+        } else {
+            MessageFate::Deliver
+        }
+    }
+
+    /// Draws the crash-stop schedule: `crash_fraction` of the alive peers
+    /// (never `exclude`, the KT root's host) die at uniform times in
+    /// `[1, horizon)`.
+    pub fn crash_schedule(
+        &mut self,
+        net: &ChordNetwork,
+        exclude: PeerId,
+        horizon: SimTime,
+    ) -> Vec<(SimTime, PeerId)> {
+        use rand::seq::SliceRandom;
+        let mut peers = net.alive_peers();
+        peers.retain(|&p| p != exclude);
+        let n = ((peers.len() as f64) * self.cfg.crash_fraction).round() as usize;
+        peers.shuffle(&mut self.rng);
+        peers.truncate(n);
+        let mut schedule: Vec<(SimTime, PeerId)> = peers
+            .into_iter()
+            .map(|p| (self.rng.gen_range(1..horizon.max(2)), p))
+            .collect();
+        schedule.sort_unstable();
+        schedule
+    }
+
+    /// Picks `stale_parents` KT links to rewire: children at depth ≥ 2
+    /// whose parent pointer will be left dangling at the root (the one node
+    /// every peer can always locate — exactly the stale pointer a pruned
+    /// parent leaves behind). Returns the chosen children, deterministic
+    /// for the plan's stream.
+    pub fn pick_stale_links(&mut self, tree: &KTree) -> Vec<KtNodeId> {
+        use rand::seq::SliceRandom;
+        let mut candidates: Vec<KtNodeId> = tree
+            .iter_ids()
+            .filter(|&id| tree.node(id).depth >= 2)
+            .collect();
+        candidates.sort_unstable();
+        let n = self.cfg.stale_parents.min(candidates.len());
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(n);
+        candidates.sort_unstable();
+        candidates
+    }
+
+    /// Picks a post-VSA crash wave among `candidates` (typically the
+    /// receiving peers of the assignments): `crash_fraction` of them, used
+    /// to exercise the transfer-requeue path.
+    pub fn pick_transfer_victims(&mut self, candidates: &[PeerId]) -> Vec<PeerId> {
+        use rand::seq::SliceRandom;
+        let n = ((candidates.len() as f64) * self.cfg.crash_fraction).round() as usize;
+        let mut victims = candidates.to_vec();
+        victims.shuffle(&mut self.rng);
+        victims.truncate(n);
+        victims.sort_unstable();
+        victims
+    }
+}
+
+/// Outcome of one fault-injected phase: the usual timing plus coverage and
+/// retry accounting. `timing.completion` is the instant the phase resolved
+/// (last useful delivery or give-up at the root).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FaultPhaseOutcome {
+    /// Message-level timing (messages include retransmissions).
+    pub timing: PhaseTiming,
+    /// Units whose information made it through (aggregation: contributors
+    /// whose whole root path delivered; dissemination: KT nodes reached).
+    pub delivered: usize,
+    /// Units that had to make it through under no faults.
+    pub expected: usize,
+    /// Retransmission attempts (subset of `timing.messages`).
+    pub retries: usize,
+    /// Edges abandoned after the retry budget was exhausted.
+    pub gave_up: usize,
+}
+
+impl FaultPhaseOutcome {
+    /// Fraction of expected units delivered (1.0 when nothing was expected).
+    pub fn completion_rate(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.expected as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum FEvent {
+    /// `from` (re)transmits its message to `to`; `attempt` is 0-based.
+    Send {
+        from: KtNodeId,
+        to: KtNodeId,
+        attempt: u32,
+    },
+    /// The transmission arrives at `to`.
+    Deliver {
+        from: KtNodeId,
+        to: KtNodeId,
+        attempt: u32,
+    },
+}
+
+/// Shared state of one faulty phase run.
+struct FaultRun<'a> {
+    net: &'a ChordNetwork,
+    tree: &'a KTree,
+    oracle: &'a DistanceOracle,
+    plan: &'a mut FaultPlan,
+    retry: RetryPolicy,
+    /// Crash-stop instants by peer (absent = never crashes).
+    crash_at: HashMap<PeerId, SimTime>,
+    queue: EventQueue<FEvent>,
+    timing: PhaseTiming,
+    retries: usize,
+    gave_up: usize,
+    /// Edge `child → parent` delivered (indexed by child slot).
+    edge_delivered: Vec<bool>,
+}
+
+impl<'a> FaultRun<'a> {
+    fn new(
+        net: &'a ChordNetwork,
+        tree: &'a KTree,
+        oracle: &'a DistanceOracle,
+        plan: &'a mut FaultPlan,
+        retry: RetryPolicy,
+        crashes: &[(SimTime, PeerId)],
+    ) -> Self {
+        FaultRun {
+            net,
+            tree,
+            oracle,
+            plan,
+            retry,
+            crash_at: crashes.iter().map(|&(t, p)| (p, t)).collect(),
+            queue: EventQueue::new(),
+            timing: PhaseTiming {
+                completion: 0,
+                messages: 0,
+                losses: 0,
+            },
+            retries: 0,
+            gave_up: 0,
+            edge_delivered: vec![false; tree.slot_bound()],
+        }
+    }
+
+    /// The peer hosting a KT node (via its planted virtual server).
+    fn host_peer(&self, id: KtNodeId) -> PeerId {
+        self.net.vs(self.tree.node(id).host).host
+    }
+
+    /// Whether the peer hosting `id` is still up at `t` (crash-stop: dead
+    /// forever from its crash instant on).
+    fn alive_at(&self, id: KtNodeId, t: SimTime) -> bool {
+        self.crash_at
+            .get(&self.host_peer(id))
+            .is_none_or(|&ct| t < ct)
+    }
+
+    /// Handles a `Send` at time `t`: draws the fate, schedules the delivery
+    /// or the retry chain. Returns `Some(give_up_time)` when the sender
+    /// exhausted its retry budget (or died), i.e. the edge failed.
+    fn transmit(
+        &mut self,
+        scratch: &mut ProtocolScratch,
+        t: SimTime,
+        from: KtNodeId,
+        to: KtNodeId,
+        attempt: u32,
+    ) -> Result<Option<SimTime>, ProtocolError> {
+        if !self.alive_at(from, t) {
+            // Crash-stop mid-retry-chain: the sender is gone; its parent
+            // times out after the full remaining window.
+            return Ok(Some(t + self.remaining_window(attempt)));
+        }
+        self.timing.messages += 1;
+        if attempt > 0 {
+            self.retries += 1;
+        }
+        let latency = scratch.edge_latency(self.net, self.oracle, self.tree, from, to)?;
+        match self.plan.message_fate() {
+            MessageFate::Drop => {
+                self.timing.losses += 1;
+                Ok(self.retry_or_fail(t, from, to, attempt))
+            }
+            MessageFate::DelayBy(extra) => {
+                self.queue
+                    .schedule(t + latency + extra, FEvent::Deliver { from, to, attempt });
+                Ok(None)
+            }
+            MessageFate::Deliver => {
+                self.queue
+                    .schedule(t + latency, FEvent::Deliver { from, to, attempt });
+                Ok(None)
+            }
+        }
+    }
+
+    /// After a failed attempt at time `t`: schedules the next retry, or
+    /// reports the edge's give-up time once the budget is exhausted.
+    fn retry_or_fail(
+        &mut self,
+        t: SimTime,
+        from: KtNodeId,
+        to: KtNodeId,
+        attempt: u32,
+    ) -> Option<SimTime> {
+        let timeout = self.retry.timeout_after(attempt);
+        if attempt < self.retry.max_retries {
+            self.queue.schedule(
+                t + timeout,
+                FEvent::Send {
+                    from,
+                    to,
+                    attempt: attempt + 1,
+                },
+            );
+            None
+        } else {
+            self.gave_up += 1;
+            Some(t + timeout)
+        }
+    }
+
+    /// Worst-case remaining wait from attempt `attempt` to final give-up —
+    /// the stand-in for the receiver-side wait timer when a sender dies
+    /// silently.
+    fn remaining_window(&self, attempt: u32) -> SimTime {
+        (attempt..=self.retry.max_retries).fold(0, |acc: SimTime, a| {
+            acc.saturating_add(self.retry.timeout_after(a))
+        })
+    }
+}
+
+/// Fault-injected bottom-up aggregation: same protocol as
+/// [`crate::protocol::simulate_aggregation_in`], but messages follow the
+/// plan's fates, senders retry with exponential backoff and give up after
+/// the budget, and peers crash-stop mid-phase. A parent whose child edge
+/// permanently failed stops waiting for it (the fold of its wait timer into
+/// the give-up instant), so the phase always terminates — with partial
+/// coverage instead of an error.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_aggregation_faulty(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    contributors: &[KtNodeId],
+    plan: &mut FaultPlan,
+    retry: RetryPolicy,
+    crashes: &[(SimTime, PeerId)],
+    scratch: &mut ProtocolScratch,
+) -> Result<FaultPhaseOutcome, ProtocolError> {
+    scratch.bind(tree);
+    let mut run = FaultRun::new(net, tree, oracle, plan, retry, crashes);
+
+    // Active nodes: contributors and all their ancestors.
+    let mut any_active = false;
+    for &c in contributors {
+        let mut cur = Some(c);
+        while let Some(id) = cur {
+            let slot = id.0 as usize;
+            if std::mem::replace(&mut scratch.active[slot], true) {
+                break;
+            }
+            any_active = true;
+            cur = tree.node(id).parent;
+        }
+    }
+    // Distinct contributors (the unit of the completion rate).
+    let mut distinct: Vec<KtNodeId> = contributors.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let expected = distinct.len();
+    if !any_active {
+        return Ok(FaultPhaseOutcome {
+            timing: run.timing,
+            delivered: 0,
+            expected,
+            retries: 0,
+            gave_up: 0,
+        });
+    }
+
+    for slot in 0..scratch.active.len() {
+        if !scratch.active[slot] {
+            continue;
+        }
+        let n = KtNodeId(slot as u32);
+        scratch.pending[slot] = tree
+            .node(n)
+            .children
+            .iter()
+            .flatten()
+            .filter(|c| scratch.active[c.0 as usize])
+            .count() as u32;
+    }
+
+    let mut root_done = false;
+    let mut completion: SimTime = 0;
+
+    // `edge_failed` propagation: edge `child → parent` permanently failed
+    // at `fail_t`. The parent stops waiting; if that makes it ready but it
+    // is dead, its own edge fails one give-up window later, and so on up.
+    // Implemented as an explicit loop (shared by several handlers below).
+    macro_rules! on_ready {
+        ($run:expr, $scratch:expr, $node:expr, $t:expr) => {{
+            match tree.node($node).parent {
+                Some(parent) => $run.queue.schedule(
+                    $t,
+                    FEvent::Send {
+                        from: $node,
+                        to: parent,
+                        attempt: 0,
+                    },
+                ),
+                None => {
+                    root_done = true;
+                    completion = completion.max($t);
+                }
+            }
+        }};
+    }
+    macro_rules! edge_failed {
+        ($run:expr, $scratch:expr, $child:expr, $fail_t:expr) => {{
+            let mut cur = $child;
+            let mut t = $fail_t;
+            loop {
+                let Some(parent) = tree.node(cur).parent else {
+                    // The root's own information is never "sent"; a failed
+                    // chain ending at the root just resolves the wait.
+                    root_done = true;
+                    completion = completion.max(t);
+                    break;
+                };
+                let slot = parent.0 as usize;
+                scratch.pending[slot] -= 1;
+                if scratch.pending[slot] > 0 {
+                    break;
+                }
+                if $run.alive_at(parent, t) {
+                    on_ready!($run, $scratch, parent, t);
+                    break;
+                }
+                // Dead parent became "ready": its upward edge fails after
+                // the full give-up window (nobody transmits for it).
+                t = t.saturating_add($run.remaining_window(0));
+                cur = parent;
+            }
+        }};
+    }
+
+    // Leaves of the active set fire at t = 0, in ascending slot order (the
+    // deterministic RNG binding of the reliable sim, kept here).
+    for slot in 0..scratch.active.len() {
+        if !scratch.active[slot] || scratch.pending[slot] != 0 {
+            continue;
+        }
+        let n = KtNodeId(slot as u32);
+        if run.alive_at(n, 0) {
+            on_ready!(run, scratch, n, 0);
+        } else {
+            edge_failed!(run, scratch, n, run.remaining_window(0));
+        }
+    }
+
+    while let Some((t, ev)) = run.queue.pop() {
+        match ev {
+            FEvent::Send { from, to, attempt } => {
+                if let Some(fail_t) = run.transmit(scratch, t, from, to, attempt)? {
+                    edge_failed!(run, scratch, from, fail_t);
+                }
+            }
+            FEvent::Deliver { from, to, attempt } => {
+                if !run.alive_at(to, t) {
+                    // Receiver crashed: no ack, the sender times out.
+                    run.timing.losses += 1;
+                    if let Some(fail_t) = run.retry_or_fail(t, from, to, attempt) {
+                        edge_failed!(run, scratch, from, fail_t);
+                    }
+                    continue;
+                }
+                run.edge_delivered[from.0 as usize] = true;
+                let slot = to.0 as usize;
+                scratch.pending[slot] -= 1;
+                if scratch.pending[slot] == 0 {
+                    on_ready!(run, scratch, to, t);
+                }
+            }
+        }
+    }
+    debug_assert!(root_done, "every waiting chain resolves by construction");
+    run.timing.completion = completion;
+
+    // A contributor's LBI reached the root iff every edge on its root path
+    // delivered (crash-stop losses show up as missing edges: a node that
+    // died after receiving never forwarded).
+    let delivered = distinct
+        .iter()
+        .filter(|&&c| {
+            let mut cur = c;
+            while let Some(parent) = tree.node(cur).parent {
+                if !run.edge_delivered[cur.0 as usize] {
+                    return false;
+                }
+                cur = parent;
+            }
+            true
+        })
+        .count();
+
+    Ok(FaultPhaseOutcome {
+        timing: run.timing,
+        delivered,
+        expected,
+        retries: run.retries,
+        gave_up: run.gave_up,
+    })
+}
+
+/// Fault-injected top-down dissemination: the root broadcasts, every node
+/// forwards on arrival; lost edges orphan their subtree (no upstream
+/// propagation needed — an unreached node simply never forwards). Coverage
+/// is `delivered / tree.len()`.
+pub fn simulate_dissemination_faulty(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    plan: &mut FaultPlan,
+    retry: RetryPolicy,
+    crashes: &[(SimTime, PeerId)],
+    scratch: &mut ProtocolScratch,
+) -> Result<FaultPhaseOutcome, ProtocolError> {
+    scratch.bind(tree);
+    let mut run = FaultRun::new(net, tree, oracle, plan, retry, crashes);
+    let mut reached = 0usize;
+
+    let fanout = |run: &mut FaultRun<'_>, node: KtNodeId, t: SimTime| {
+        let children: Vec<KtNodeId> = tree.node(node).children.iter().flatten().copied().collect();
+        for child in children {
+            run.queue.schedule(
+                t,
+                FEvent::Send {
+                    from: node,
+                    to: child,
+                    attempt: 0,
+                },
+            );
+        }
+    };
+
+    scratch.delivered[tree.root().0 as usize] = true;
+    reached += 1;
+    fanout(&mut run, tree.root(), 0);
+
+    while let Some((t, ev)) = run.queue.pop() {
+        match ev {
+            FEvent::Send { from, to, attempt } => {
+                // A failed edge orphans `to`'s subtree; nothing to notify.
+                let _ = run.transmit(scratch, t, from, to, attempt)?;
+            }
+            FEvent::Deliver { from, to, attempt } => {
+                if !run.alive_at(to, t) {
+                    run.timing.losses += 1;
+                    let _ = run.retry_or_fail(t, from, to, attempt);
+                    continue;
+                }
+                if std::mem::replace(&mut scratch.delivered[to.0 as usize], true) {
+                    continue;
+                }
+                reached += 1;
+                run.timing.completion = run.timing.completion.max(t);
+                fanout(&mut run, to, t);
+            }
+        }
+    }
+
+    Ok(FaultPhaseOutcome {
+        timing: run.timing,
+        delivered: reached,
+        expected: tree.len(),
+        retries: run.retries,
+        gave_up: run.gave_up,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{simulate_aggregation, LossModel};
+    use crate::{Scenario, TopologyKind};
+
+    fn setup() -> (crate::Prepared, KTree) {
+        let mut scenario = Scenario::small(60);
+        scenario.peers = 96;
+        scenario.topology = TopologyKind::Tiny;
+        let prepared = scenario.prepare();
+        let tree = KTree::build(&prepared.net, 2);
+        (prepared, tree)
+    }
+
+    fn all_report_targets(prepared: &crate::Prepared, tree: &KTree) -> Vec<KtNodeId> {
+        let mut targets: Vec<KtNodeId> = prepared
+            .net
+            .ring()
+            .iter()
+            .map(|(_, vs)| tree.report_target(&prepared.net, vs))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    fn run_agg(
+        prepared: &crate::Prepared,
+        tree: &KTree,
+        cfg: FaultConfig,
+    ) -> (FaultPhaseOutcome, FaultPhaseOutcome) {
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let contributors = all_report_targets(prepared, tree);
+        let mut plan = FaultPlan::new(cfg);
+        let root_host = prepared.net.vs(tree.node(tree.root()).host).host;
+        let crashes = plan.crash_schedule(&prepared.net, root_host, 300);
+        let mut scratch = ProtocolScratch::new();
+        let agg = simulate_aggregation_faulty(
+            &prepared.net,
+            tree,
+            oracle,
+            &contributors,
+            &mut plan,
+            RetryPolicy::protocol_default(),
+            &crashes,
+            &mut scratch,
+        )
+        .expect("attached");
+        let dis = simulate_dissemination_faulty(
+            &prepared.net,
+            tree,
+            oracle,
+            &mut plan,
+            RetryPolicy::protocol_default(),
+            &crashes,
+            &mut scratch,
+        )
+        .expect("attached");
+        (agg, dis)
+    }
+
+    #[test]
+    fn no_faults_means_full_coverage_and_reliable_timing() {
+        let (prepared, tree) = setup();
+        let (agg, dis) = run_agg(&prepared, &tree, FaultConfig::none(7));
+        assert_eq!(agg.completion_rate(), 1.0);
+        assert_eq!(dis.completion_rate(), 1.0);
+        assert_eq!(agg.retries, 0);
+        assert_eq!(agg.gave_up, 0);
+        // The fault-free faulty driver matches the reliable sim exactly.
+        let oracle = prepared.oracle.as_ref().unwrap();
+        let contributors = all_report_targets(&prepared, &tree);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let reliable = simulate_aggregation(
+            &prepared.net,
+            &tree,
+            oracle,
+            &contributors,
+            &LossModel::reliable(),
+            &mut rng,
+        )
+        .expect("attached");
+        assert_eq!(agg.timing.completion, reliable.completion);
+        assert_eq!(agg.timing.messages, reliable.messages);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let (prepared, tree) = setup();
+        let cfg = FaultConfig::with_loss(0.1, 42);
+        let (a1, d1) = run_agg(&prepared, &tree, cfg);
+        let (a2, d2) = run_agg(&prepared, &tree, cfg);
+        assert_eq!(a1.timing.completion, a2.timing.completion);
+        assert_eq!(a1.timing.messages, a2.timing.messages);
+        assert_eq!(a1.delivered, a2.delivered);
+        assert_eq!(a1.gave_up, a2.gave_up);
+        assert_eq!(d1.delivered, d2.delivered);
+        assert_eq!(d1.timing.messages, d2.timing.messages);
+    }
+
+    #[test]
+    fn more_loss_means_less_coverage_and_more_retries() {
+        let (prepared, tree) = setup();
+        let (mild_agg, mild_dis) = run_agg(&prepared, &tree, FaultConfig::with_loss(0.01, 9));
+        let (harsh_agg, harsh_dis) = run_agg(&prepared, &tree, FaultConfig::with_loss(0.3, 9));
+        assert!(harsh_agg.completion_rate() <= mild_agg.completion_rate());
+        assert!(harsh_dis.completion_rate() <= mild_dis.completion_rate());
+        assert!(harsh_agg.retries > mild_agg.retries);
+        // Mild faults still deliver the vast majority.
+        assert!(mild_agg.completion_rate() > 0.8);
+        assert!(mild_dis.completion_rate() > 0.8);
+    }
+
+    #[test]
+    fn crash_stop_takes_subtrees_with_it() {
+        let (prepared, tree) = setup();
+        // Pure crash regime: no message loss, a tenth of the peers die.
+        let cfg = FaultConfig {
+            loss_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 0,
+            crash_fraction: 0.1,
+            stale_parents: 0,
+            seed: 5,
+        };
+        let (agg, dis) = run_agg(&prepared, &tree, cfg);
+        assert!(agg.delivered < agg.expected, "crashes must cost coverage");
+        assert!(dis.delivered < dis.expected);
+        assert!(
+            agg.completion_rate() > 0.0,
+            "the phase still degrades gracefully"
+        );
+    }
+
+    #[test]
+    fn fate_stream_is_seed_stable() {
+        let mut a = FaultPlan::new(FaultConfig::with_loss(0.2, 11));
+        let mut b = FaultPlan::new(FaultConfig::with_loss(0.2, 11));
+        for _ in 0..100 {
+            assert_eq!(a.message_fate(), b.message_fate());
+        }
+    }
+}

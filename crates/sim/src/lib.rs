@@ -18,6 +18,7 @@ pub mod churn;
 pub mod des;
 pub mod drift;
 pub mod experiments;
+pub mod faults;
 pub mod latency;
 pub mod metrics;
 pub mod parallel;

@@ -53,13 +53,28 @@ pub struct PhaseTiming {
     pub losses: usize,
 }
 
-/// Why a protocol simulation could not run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Why a protocol simulation could not run (or could not complete).
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ProtocolError {
     /// A tree edge crosses a peer with no underlay attachment, so its
     /// latency is undefined. Attach every peer (`ChordNetwork::attach`)
     /// before simulating over a physical topology.
     UnattachedPeer(proxbal_chord::PeerId),
+    /// The loss model's probability is outside `[0, 1)` — `1.0` would
+    /// retransmit forever.
+    InvalidLossProbability(f64),
+    /// A phase ended without covering the tree: `reached` of `expected`
+    /// nodes saw the message. Unreachable under the infinite-retransmit
+    /// loss model; the fault-injected drivers in [`crate::faults`] report
+    /// partial coverage through their own outcome instead of this error.
+    Incomplete {
+        /// Which phase fell short (`"aggregation"` or `"dissemination"`).
+        phase: &'static str,
+        /// Nodes the phase actually covered.
+        reached: usize,
+        /// Nodes the phase had to cover.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -67,6 +82,16 @@ impl std::fmt::Display for ProtocolError {
         match self {
             ProtocolError::UnattachedPeer(p) => {
                 write!(f, "peer {p:?} has no underlay attachment")
+            }
+            ProtocolError::InvalidLossProbability(p) => {
+                write!(f, "loss probability {p} outside [0, 1)")
+            }
+            ProtocolError::Incomplete {
+                phase,
+                reached,
+                expected,
+            } => {
+                write!(f, "{phase} covered {reached} of {expected} tree nodes")
             }
         }
     }
@@ -82,6 +107,15 @@ enum Event {
         from: KtNodeId,
         to: KtNodeId,
     },
+}
+
+/// Validates a loss probability (`1.0` would retransmit forever).
+fn check_loss(loss: &LossModel) -> Result<(), ProtocolError> {
+    if (0.0..1.0).contains(&loss.loss_probability) {
+        Ok(())
+    } else {
+        Err(ProtocolError::InvalidLossProbability(loss.loss_probability))
+    }
 }
 
 /// Sentinel for "edge latency not memoized yet".
@@ -106,11 +140,11 @@ pub struct ProtocolScratch {
     /// [`UNMEMOIZED`] when unknown.
     edge_memo: Vec<SimTime>,
     /// Scratch bitmap: node participates in the current aggregation.
-    active: Vec<bool>,
+    pub(crate) active: Vec<bool>,
     /// Scratch table: active children the node still waits for.
-    pending: Vec<u32>,
+    pub(crate) pending: Vec<u32>,
     /// Scratch bitmap: node already received the current dissemination.
-    delivered: Vec<bool>,
+    pub(crate) delivered: Vec<bool>,
     /// Pooled event queue (the heap's buffer survives across runs).
     queue: EventQueue<Event>,
 }
@@ -123,7 +157,7 @@ impl ProtocolScratch {
 
     /// Points the scratch at `tree`, resetting the per-run tables and
     /// keeping the edge memo iff the binding fingerprint is unchanged.
-    fn bind(&mut self, tree: &KTree) {
+    pub(crate) fn bind(&mut self, tree: &KTree) {
         let bound = tree.slot_bound();
         let binding = Some((tree.root(), tree.len(), bound));
         if self.binding != binding {
@@ -143,7 +177,7 @@ impl ProtocolScratch {
     /// Latency of the tree edge from `child` to `parent`, memoized by the
     /// child's slot (a node has one parent). Free if both KT nodes are
     /// planted in virtual servers of the same peer.
-    fn edge_latency(
+    pub(crate) fn edge_latency(
         &mut self,
         net: &ChordNetwork,
         oracle: &DistanceOracle,
@@ -214,7 +248,7 @@ pub fn simulate_aggregation_in<R: Rng>(
     rng: &mut R,
     scratch: &mut ProtocolScratch,
 ) -> Result<PhaseTiming, ProtocolError> {
-    assert!((0.0..1.0).contains(&loss.loss_probability));
+    check_loss(loss)?;
     scratch.bind(tree);
     // Active nodes: contributors and all their ancestors.
     let mut any_active = false;
@@ -314,7 +348,13 @@ pub fn simulate_aggregation_in<R: Rng>(
             }
         }
     }
-    assert!(root_done, "aggregation must reach the root");
+    if !root_done {
+        return Err(ProtocolError::Incomplete {
+            phase: "aggregation",
+            reached: 0,
+            expected: 1,
+        });
+    }
     Ok(timing)
 }
 
@@ -339,7 +379,7 @@ pub fn simulate_dissemination_in<R: Rng>(
     rng: &mut R,
     scratch: &mut ProtocolScratch,
 ) -> Result<PhaseTiming, ProtocolError> {
-    assert!((0.0..1.0).contains(&loss.loss_probability));
+    check_loss(loss)?;
     scratch.bind(tree);
     let mut timing = PhaseTiming {
         completion: 0,
@@ -403,7 +443,13 @@ pub fn simulate_dissemination_in<R: Rng>(
         timing.completion = t;
         fanout(scratch, net, oracle, tree, loss, &mut timing, rng, to)?;
     }
-    assert_eq!(reached, tree.len(), "every KT node must be reached");
+    if reached != tree.len() {
+        return Err(ProtocolError::Incomplete {
+            phase: "dissemination",
+            reached,
+            expected: tree.len(),
+        });
+    }
     Ok(timing)
 }
 

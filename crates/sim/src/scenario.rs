@@ -43,6 +43,12 @@ pub struct Scenario {
     pub landmarks: usize,
     /// Balancer configuration.
     pub balancer: BalancerConfig,
+    /// Fault regime driven through the protocol sims (`None` = the
+    /// fault-free runs of the paper's evaluation). Kept out of `prepare`
+    /// on purpose: faults never perturb scenario construction, so a faulty
+    /// scenario shares its network/loads/topology bit-for-bit with the
+    /// fault-free one.
+    pub faults: Option<crate::faults::FaultConfig>,
     /// Master seed: every random choice derives from it.
     pub seed: u64,
 }
@@ -64,6 +70,7 @@ impl Scenario {
             topology: TopologyKind::Ts5kLarge,
             landmarks: 15,
             balancer: BalancerConfig::default(),
+            faults: None,
             seed,
         }
     }

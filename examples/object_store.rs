@@ -51,7 +51,9 @@ fn main() {
         max_splits: 32,
         ..BalancerConfig::default()
     });
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer
+        .run(&mut net, &mut loads, None, &mut rng)
+        .expect("attached network");
 
     println!(
         "balanced: {} heavy -> {} heavy, {} transfers ({} splits of oversized servers)",

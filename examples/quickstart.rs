@@ -50,7 +50,9 @@ fn main() {
     // 3. One balancing pass: LBI aggregation → classification → virtual
     //    server assignment → transfer.
     let balancer = LoadBalancer::new(BalancerConfig::default());
-    let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+    let report = balancer
+        .run(&mut net, &mut loads, None, &mut rng)
+        .expect("attached network");
 
     println!(
         "classified: {} heavy / {} light / {} neutral",

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench-drift gate: re-derives the deterministic metrics of the committed
+# BENCH_repro.json (small-scale timing run + fault-injection sweep) and
+# fails if any of them changed. Wall-clock and throughput fields are
+# machine-dependent and are filtered out before the comparison — the gate
+# guards *results* (message counts, completion rates, imbalance, repair
+# work), not speed.
+#
+#   scripts/bench_drift.sh
+#
+# Expects `cargo build --release` to have run already (CI does this in
+# the check job; locally run it first or let this script pay the build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -x target/release/repro ]]; then
+  echo "==> building repro"
+  cargo build --release -p proxbal-bench
+fi
+
+REPRO="$PWD/target/release/repro"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Re-derive the small-scale timing entry and the fault sweep in a scratch
+# directory so the committed file is never touched.
+(cd "$WORK" \
+  && timeout 900 "$REPRO" --timing --scale small > /dev/null \
+  && timeout 900 "$REPRO" --faults 0.1 --scale small > /dev/null)
+
+# Strip fields that legitimately vary run-to-run or machine-to-machine.
+VOLATILE='"(wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s)"'
+filter() {
+  python3 -c '
+import json, re, sys
+volatile = re.compile(sys.argv[2])
+def scrub(v):
+    if isinstance(v, dict):
+        return {k: scrub(x) for k, x in v.items() if not volatile.fullmatch(k)}
+    if isinstance(v, list):
+        return [scrub(x) for x in v]
+    return v
+doc = scrub(json.load(open(sys.argv[1])))
+json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+' "$1" 'wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s'
+}
+
+# Compare only the entries the scratch run regenerated (small + faults):
+# full and xl are too slow for a per-PR gate and are covered by nightly.
+pick() {
+  python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sub = {k: doc[k] for k in ("small", "faults") if k in doc}
+json.dump(sub, open(sys.argv[2], "w"), indent=2)
+' "$1" "$2"
+}
+
+pick BENCH_repro.json "$WORK/committed_sub.json"
+pick "$WORK/BENCH_repro.json" "$WORK/fresh_sub.json"
+filter "$WORK/committed_sub.json" > "$WORK/committed.txt"
+filter "$WORK/fresh_sub.json" > "$WORK/fresh.txt"
+
+if ! diff -u "$WORK/committed.txt" "$WORK/fresh.txt"; then
+  echo >&2
+  echo "BENCH_repro.json drift: deterministic metrics changed." >&2
+  echo "If the change is intentional, regenerate the entries with:" >&2
+  echo "  ./target/release/repro --timing --scale small" >&2
+  echo "  ./target/release/repro --faults 0.1 --scale small" >&2
+  echo "and commit the updated BENCH_repro.json." >&2
+  exit 1
+fi
+
+echo "==> bench metrics match the committed BENCH_repro.json"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything that must be green before a change ships.
 #
-#   scripts/check.sh [--xl-smoke]
+#   scripts/check.sh [--xl-smoke] [--faults-smoke]
 #
 # Runs, in order:
 #   1. tier-1 verify (ROADMAP.md): release build + root test suite
@@ -13,13 +13,20 @@
 # (`repro --scale xl --fig 7`) under a generous timeout. It takes a few
 # minutes and needs ~2 GiB of RAM, so it's opt-in rather than part of
 # the default gate.
+#
+# --faults-smoke additionally runs the fault-injection sweep at small
+# scale twice (1 thread and 8 threads) and fails if the two runs don't
+# produce byte-identical sweep tables — the determinism contract of the
+# fault layer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 XL_SMOKE=0
+FAULTS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --xl-smoke) XL_SMOKE=1 ;;
+    --faults-smoke) FAULTS_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,6 +49,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "$XL_SMOKE" == "1" ]]; then
   echo "==> xl smoke: repro --scale xl --fig 7"
   timeout 1800 ./target/release/repro --scale xl --fig 7
+fi
+
+if [[ "$FAULTS_SMOKE" == "1" ]]; then
+  echo "==> faults smoke: repro --faults 0.1 --scale small (threads 1 vs 8)"
+  REPRO="$PWD/target/release/repro"
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  (cd "$SMOKE_DIR" && timeout 600 "$REPRO" --faults 0.1 --scale small --threads 1 > t1.txt \
+                   && mv BENCH_repro.json bench_t1.json \
+                   && timeout 600 "$REPRO" --faults 0.1 --scale small --threads 8 > t8.txt \
+                   && mv BENCH_repro.json bench_t8.json)
+  # The sweep table is deterministic; only the wall-clock line may differ.
+  diff <(grep -v "wall" "$SMOKE_DIR/t1.txt") <(grep -v "wall" "$SMOKE_DIR/t8.txt") || {
+    echo "fault sweep output differs across thread counts" >&2; exit 1; }
+  diff "$SMOKE_DIR/bench_t1.json" "$SMOKE_DIR/bench_t8.json" || {
+    echo "fault sweep JSON differs across thread counts" >&2; exit 1; }
 fi
 
 echo "==> all checks passed"

@@ -50,7 +50,8 @@
 //!
 //! // One balancing pass: aggregate → classify → assign → transfer.
 //! let report = LoadBalancer::new(BalancerConfig::default())
-//!     .run(&mut net, &mut loads, None, &mut rng);
+//!     .run(&mut net, &mut loads, None, &mut rng)
+//!     .expect("attached network");
 //! assert_eq!(report.heavy_after(), 0);
 //! ```
 

@@ -30,7 +30,9 @@ fn full_run_balances_and_preserves_invariants() {
 
     let balancer = LoadBalancer::new(BalancerConfig::default());
     let mut rng = prepared.derived_rng(1);
-    let report = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+    let report = balancer
+        .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+        .unwrap();
 
     prepared.net.check_invariants().unwrap();
     let total_after = prepared.loads.totals(&prepared.net).load;
@@ -67,7 +69,7 @@ fn works_for_both_load_models_and_degrees() {
             k,
             ..BalancerConfig::default()
         });
-        let report = balancer.run(&mut net, &mut loads, None, &mut rng);
+        let report = balancer.run(&mut net, &mut loads, None, &mut rng).unwrap();
         let heavy_before = report.before[&NodeClass::Heavy];
         assert!(heavy_before > 0, "model {model:?} produced no heavy nodes");
         assert!(
@@ -95,7 +97,9 @@ fn epsilon_trades_movement_for_balance() {
         let mut prepared = scenario.prepare();
         let balancer = LoadBalancer::new(prepared.scenario.balancer);
         let mut rng = prepared.derived_rng(2);
-        let report = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+        let report = balancer
+            .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+            .unwrap();
         moved.push(proxbal::core::total_moved_load(&report.transfers));
         // ε = 0 may leave a few stragglers (whole virtual servers cannot hit
         // an exact fair share — the very trade-off ε exists for); relaxed
@@ -124,7 +128,9 @@ fn higher_capacity_nodes_carry_more_after_balancing() {
     let mut prepared = scenario.prepare();
     let balancer = LoadBalancer::new(BalancerConfig::default());
     let mut rng = prepared.derived_rng(3);
-    let _ = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+    let _ = balancer
+        .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+        .unwrap();
 
     let mut per_class: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
     for p in prepared.net.alive_peers() {
@@ -171,7 +177,8 @@ fn stale_assignments_are_skipped_when_peers_crash_between_vsa_and_vst() {
     net.crash_peer(crash_src);
     net.crash_peer(crash_dst);
 
-    let records = proxbal::core::execute_transfers(&mut net, &mut loads, &assignments, None);
+    let records =
+        proxbal::core::execute_transfers(&mut net, &mut loads, &assignments, None).unwrap();
     net.check_invariants().unwrap();
     for r in &records {
         assert_ne!(r.assignment.from, crash_src);
@@ -193,7 +200,9 @@ fn ignorant_mode_requires_no_underlay_aware_panics_without() {
         &mut rng,
     );
     // Ignorant without underlay: fine.
-    let _ = LoadBalancer::new(BalancerConfig::default()).run(&mut net, &mut loads, None, &mut rng);
+    let _ = LoadBalancer::new(BalancerConfig::default())
+        .run(&mut net, &mut loads, None, &mut rng)
+        .unwrap();
     // Aware without underlay: must panic.
     let result = std::panic::catch_unwind(move || {
         let mut rng = StdRng::seed_from_u64(12);
@@ -201,7 +210,9 @@ fn ignorant_mode_requires_no_underlay_aware_panics_without() {
             mode: ProximityMode::Aware(Default::default()),
             ..BalancerConfig::default()
         };
-        LoadBalancer::new(cfg).run(&mut net, &mut loads, None, &mut rng)
+        LoadBalancer::new(cfg)
+            .run(&mut net, &mut loads, None, &mut rng)
+            .unwrap()
     });
     assert!(result.is_err());
 }

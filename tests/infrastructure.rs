@@ -128,11 +128,15 @@ fn balance_runs_back_to_back_converge() {
     let balancer = proxbal::core::LoadBalancer::new(proxbal::core::BalancerConfig::default());
     let mut rng = prepared.derived_rng(5);
 
-    let first = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+    let first = balancer
+        .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+        .unwrap();
     assert!(!first.transfers.is_empty());
     assert_eq!(first.heavy_after(), 0);
 
-    let second = balancer.run(&mut prepared.net, &mut prepared.loads, None, &mut rng);
+    let second = balancer
+        .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+        .unwrap();
     let moved_first = proxbal::core::total_moved_load(&first.transfers);
     let moved_second = proxbal::core::total_moved_load(&second.transfers);
     assert!(
