@@ -16,19 +16,24 @@
 //! repro ... --threads 4    # worker threads for the sweep engine
 //! repro ... --timing       # per-phase wall-clock -> BENCH_repro.json
 //! repro --faults 0.1       # fault-injection sweep at loss rates {0,1%,5%,10%}
+//! repro ... --trace t.json # chrome://tracing trace + t.ndjson event log
 //! ```
 //!
 //! Every phase derives its state from the master seed alone, so the output
-//! is bit-identical regardless of `--threads`.
+//! is bit-identical regardless of `--threads`. The `--trace` collector
+//! records only virtual-time spans and deterministic counters, so the trace
+//! files obey the same contract — and without `--trace` the collector is
+//! disabled and stdout stays byte-identical to an untraced build.
 
 use proxbal_bench::headline;
 use proxbal_core::NodeClass;
 use proxbal_sim::experiments::{
-    ablation_sweep, fig4_unit_load, fig56_class_loads, fig78_replicated, repair_after_crash,
-    rounds_scaling, scheme_comparison,
+    ablation_sweep_traced, fig4_unit_load_traced, fig56_class_loads_traced,
+    fig78_replicated_traced, repair_after_crash_traced, rounds_scaling_traced, scheme_comparison,
 };
 use proxbal_sim::metrics::{gini, Summary};
 use proxbal_sim::{Scenario, TopologyKind};
+use proxbal_trace::{Trace, TraceSummary};
 use proxbal_workload::LoadModel;
 use std::time::Instant;
 
@@ -75,6 +80,9 @@ struct Args {
     threads: usize,
     timing: bool,
     faults: Option<f64>,
+    /// chrome://tracing output path; also derives the `.ndjson` event-log
+    /// path. `None` disables the collector entirely.
+    trace: Option<String>,
 }
 
 const ALL_CLAIMS: [&str; 7] = [
@@ -97,6 +105,7 @@ fn parse_args() -> Args {
         threads: proxbal_sim::parallel::default_threads(),
         timing: false,
         faults: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -123,6 +132,7 @@ fn parse_args() -> Args {
                     .expect("thread count");
             }
             "--timing" => args.timing = true,
+            "--trace" => args.trace = Some(it.next().expect("--trace needs a path")),
             "--faults" => {
                 args.faults = Some(
                     it.next()
@@ -182,22 +192,22 @@ impl Phase {
     }
 }
 
-fn run_phase(phase: &Phase, args: &Args) -> (String, serde_json::Value) {
+fn run_phase(phase: &Phase, args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     match phase {
-        Phase::Fig(4) => fig4(args),
-        Phase::Fig(5) => fig56(args, false),
-        Phase::Fig(6) => fig56(args, true),
-        Phase::Fig(7) => fig78(args, TopologyKind::Ts5kLarge, 7),
-        Phase::Fig(8) => fig78(args, TopologyKind::Ts5kSmall, 8),
+        Phase::Fig(4) => fig4(args, trace),
+        Phase::Fig(5) => fig56(args, false, trace),
+        Phase::Fig(6) => fig56(args, true, trace),
+        Phase::Fig(7) => fig78(args, TopologyKind::Ts5kLarge, 7, trace),
+        Phase::Fig(8) => fig78(args, TopologyKind::Ts5kSmall, 8, trace),
         Phase::Fig(_) => unreachable!("validated in main"),
         Phase::Claim(c) => match c.as_str() {
-            "rounds" => claim_rounds(args),
-            "repair" => claim_repair(args),
-            "baselines" => claim_baselines(args),
-            "ablations" => claim_ablations(args),
-            "drift" => claim_drift(args),
-            "latency" => claim_latency(args),
-            "overhead" => claim_overhead(args),
+            "rounds" => claim_rounds(args, trace),
+            "repair" => claim_repair(args, trace),
+            "baselines" => claim_baselines(args, trace),
+            "ablations" => claim_ablations(args, trace),
+            "drift" => claim_drift(args, trace),
+            "latency" => claim_latency(args, trace),
+            "overhead" => claim_overhead(args, trace),
             _ => unreachable!("validated in main"),
         },
     }
@@ -260,7 +270,7 @@ fn merge_bench_json(key: &str, entry: serde_json::Value) {
 /// The xl-scale phase: all four balancer phases at 65,536 peers over a
 /// ts50k underlay (twice: aware + ignorant — the fig-7-shaped proximity
 /// sweep), with wall time and peak RSS appended to BENCH_repro.json.
-fn run_xl(args: &Args) {
+fn run_xl(args: &Args, trace: &mut Trace) {
     for fig in &args.figs {
         assert!(
             *fig == 7,
@@ -276,7 +286,7 @@ fn run_xl(args: &Args) {
         args.seed
     );
     let total = Instant::now();
-    let out = proxbal_sim::experiments::xl_scale(args.seed);
+    let out = proxbal_sim::experiments::xl_scale_traced(args.seed, trace);
     let total_wall = total.elapsed().as_secs_f64();
     let peak_rss = proxbal_bench::peak_rss_bytes();
 
@@ -351,7 +361,7 @@ fn run_xl(args: &Args) {
 /// rate. Every merged metric is a pure function of `(seed, rates)` — no
 /// wall-clocks — so the entry is byte-stable across machines and thread
 /// counts and can be diffed by the CI bench-drift gate.
-fn run_faults(args: &Args, rate: f64) {
+fn run_faults(args: &Args, rate: f64, trace: &mut Trace) {
     assert!(
         (0.0..1.0).contains(&rate),
         "--faults rate must be in [0, 1)"
@@ -361,7 +371,7 @@ fn run_faults(args: &Args, rate: f64) {
     rates.dedup();
     let s = scenario(args, TopologyKind::Ts5kLarge);
     let t = Instant::now();
-    let rows = proxbal_sim::experiments::fault_sweep(&s, &rates, args.threads);
+    let rows = proxbal_sim::experiments::fault_sweep_traced(&s, &rates, args.threads, trace);
     let wall = t.elapsed();
 
     println!(
@@ -407,15 +417,35 @@ fn run_faults(args: &Args, rate: f64) {
     merge_bench_json("faults", entry);
 }
 
+/// Writes the collected trace (chrome://tracing JSON at the `--trace` path,
+/// newline-JSON event log next to it) and prints the summary table. A no-op
+/// when `--trace` was not given, so plain runs stay byte-identical.
+fn finish_trace(args: &Args, trace: &Trace) {
+    let Some(path) = &args.trace else {
+        return;
+    };
+    std::fs::write(path, trace.to_chrome_json()).expect("write trace json");
+    let ndjson_path = match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.ndjson"),
+        None => format!("{path}.ndjson"),
+    };
+    std::fs::write(&ndjson_path, trace.to_ndjson()).expect("write trace ndjson");
+    print!("{}", TraceSummary::of(trace));
+    println!("wrote {path} (chrome://tracing) and {ndjson_path} (event log)");
+}
+
 fn main() {
     let args = parse_args();
+    let mut trace = Trace::new(args.trace.is_some(), "repro");
     if args.scale == Scale::Xl {
-        run_xl(&args);
+        run_xl(&args, &mut trace);
+        finish_trace(&args, &trace);
         return;
     }
     if let Some(rate) = args.faults {
-        run_faults(&args, rate);
+        run_faults(&args, rate, &mut trace);
         if args.figs.is_empty() && args.claims.is_empty() {
+            finish_trace(&args, &trace);
             return;
         }
     }
@@ -446,11 +476,17 @@ fn main() {
     // wall-clocks are not distorted by concurrent phases.
     let phase_threads = if args.timing { 1 } else { args.threads };
     let total = Instant::now();
-    let ran = proxbal_sim::parallel::map_items(&phases, phase_threads, |_, phase| {
-        let t = Instant::now();
-        let (text, value) = run_phase(phase, &args);
-        (text, value, t.elapsed())
-    });
+    let ran = proxbal_sim::parallel::map_items_traced(
+        &phases,
+        phase_threads,
+        &mut trace,
+        |_, phase, trace| {
+            trace.relabel(&phase.key());
+            let t = Instant::now();
+            let (text, value) = run_phase(phase, &args, trace);
+            (text, value, t.elapsed())
+        },
+    );
     let total_wall = total.elapsed();
 
     let mut results = serde_json::Map::new();
@@ -514,16 +550,17 @@ fn main() {
             .expect("write json");
         println!("wrote {path}");
     }
+    finish_trace(&args, &trace);
 }
 
-fn fig4(args: &Args) -> (String, serde_json::Value) {
+fn fig4(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
         "── Figure 4: unit load per node before/after load balancing (Gaussian) ──"
     );
     let mut prepared = scenario(args, TopologyKind::None).prepare();
-    let out = fig4_unit_load(&mut prepared);
+    let out = fig4_unit_load_traced(&mut prepared, trace);
     let before = Summary::of(&out.before);
     let after = Summary::of(&out.after);
     let heavy_before = out
@@ -569,7 +606,7 @@ fn fig4(args: &Args) -> (String, serde_json::Value) {
     (o, value)
 }
 
-fn fig56(args: &Args, pareto: bool) -> (String, serde_json::Value) {
+fn fig56(args: &Args, pareto: bool, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     let (fig, label) = if pareto {
         (6, "Pareto")
@@ -585,7 +622,7 @@ fn fig56(args: &Args, pareto: bool) -> (String, serde_json::Value) {
         s.load = LoadModel::pareto(1_000_000.0);
     }
     let mut prepared = s.prepare();
-    let out = fig56_class_loads(&mut prepared);
+    let out = fig56_class_loads_traced(&mut prepared, trace);
     say!(
         o,
         "{:>10} {:>6} {:>16} {:>16}",
@@ -621,7 +658,12 @@ fn fig56(args: &Args, pareto: bool) -> (String, serde_json::Value) {
     )
 }
 
-fn fig78(args: &Args, topology: TopologyKind, fig: u32) -> (String, serde_json::Value) {
+fn fig78(
+    args: &Args,
+    topology: TopologyKind,
+    fig: u32,
+    trace: &mut Trace,
+) -> (String, serde_json::Value) {
     let mut o = String::new();
     let name = if fig == 7 { "ts5k-large" } else { "ts5k-small" };
     // The paper runs 10 independently generated graphs per topology and
@@ -636,7 +678,7 @@ fn fig78(args: &Args, topology: TopologyKind, fig: u32) -> (String, serde_json::
         "── Figure {fig}: moved load vs transfer distance ({name}, {graphs} graphs) ──"
     );
     let base = scenario(args, topology);
-    let out = fig78_replicated(&base, graphs, args.threads);
+    let out = fig78_replicated_traced(&base, graphs, args.threads, trace);
     say!(o, "proximity-aware   : {}", headline(&out.aware));
     say!(o, "proximity-ignorant: {}", headline(&out.ignorant));
     // Most runs fully balance; an occasional draw leaves a small residue of
@@ -704,7 +746,7 @@ fn fig78(args: &Args, topology: TopologyKind, fig: u32) -> (String, serde_json::
     (o, value)
 }
 
-fn claim_rounds(args: &Args) -> (String, serde_json::Value) {
+fn claim_rounds(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
@@ -715,7 +757,7 @@ fn claim_rounds(args: &Args) -> (String, serde_json::Value) {
         Scale::Small => vec![64, 128, 256, 512],
         Scale::Xl => unreachable!("xl runs its own phase"),
     };
-    let rows = rounds_scaling(&sizes, &[2, 8], args.seed, args.threads);
+    let rows = rounds_scaling_traced(&sizes, &[2, 8], args.seed, args.threads, trace);
     let json = serde_json::to_value(&rows).expect("serialize rows");
     say!(
         o,
@@ -745,7 +787,7 @@ fn claim_rounds(args: &Args) -> (String, serde_json::Value) {
     (o, json)
 }
 
-fn claim_repair(args: &Args) -> (String, serde_json::Value) {
+fn claim_repair(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
@@ -772,9 +814,15 @@ fn claim_repair(args: &Args) -> (String, serde_json::Value) {
         .iter()
         .flat_map(|&k| [0.1, 0.25, 0.5].iter().map(move |&f| (k, f)))
         .collect();
-    let per_cell = proxbal_sim::parallel::map_items(&cells, args.threads, |_, &(k, frac)| {
-        repair_after_crash(peers, frac, k, args.seed)
-    });
+    let per_cell = proxbal_sim::parallel::map_items_traced(
+        &cells,
+        args.threads,
+        trace,
+        |_, &(k, frac), trace| {
+            trace.relabel(&format!("k{k}_crash{frac}"));
+            repair_after_crash_traced(peers, frac, k, args.seed, trace)
+        },
+    );
     let mut rows = Vec::new();
     for ((k, frac), row) in cells.iter().zip(per_cell) {
         say!(
@@ -798,7 +846,7 @@ fn claim_repair(args: &Args) -> (String, serde_json::Value) {
     (o, serde_json::Value::Array(rows))
 }
 
-fn claim_baselines(args: &Args) -> (String, serde_json::Value) {
+fn claim_baselines(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
@@ -810,6 +858,9 @@ fn claim_baselines(args: &Args) -> (String, serde_json::Value) {
     }
     let prepared = s.prepare();
     let cmp = scheme_comparison(&prepared);
+    trace.count("baseline_cfs_thrash_events", cmp.cfs_thrash_events as u64);
+    trace.count("baseline_heavy_before", cmp.heavy_before as u64);
+    trace.count("baseline_heavy_after", cmp.heavy_after as u64);
     say!(o, "unit-load gini before: {:.3}", cmp.gini_before);
     say!(
         o,
@@ -836,7 +887,7 @@ fn claim_baselines(args: &Args) -> (String, serde_json::Value) {
     (o, json)
 }
 
-fn claim_ablations(args: &Args) -> (String, serde_json::Value) {
+fn claim_ablations(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
@@ -847,7 +898,7 @@ fn claim_ablations(args: &Args) -> (String, serde_json::Value) {
         s.peers = 2048; // 14 full-scale runs; keep runtime sane
     }
     let prepared = s.prepare();
-    let rows = ablation_sweep(&prepared, args.threads);
+    let rows = ablation_sweep_traced(&prepared, args.threads, trace);
     let json = serde_json::to_value(&rows).expect("serialize ablations");
     say!(
         o,
@@ -875,7 +926,7 @@ fn claim_ablations(args: &Args) -> (String, serde_json::Value) {
     (o, json)
 }
 
-fn claim_drift(args: &Args) -> (String, serde_json::Value) {
+fn claim_drift(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(o, "── Extension: periodic re-balancing under load drift ──");
     let peers = match args.scale {
@@ -933,6 +984,9 @@ fn claim_drift(args: &Args) -> (String, serde_json::Value) {
         stats.total_moved
     );
     say!(o);
+    trace.count("drift_rebalances", stats.rebalances as u64);
+    trace.count_f64("drift_total_moved", stats.total_moved);
+    trace.count("drift_max_heavy", stats.max_heavy() as u64);
     let value = serde_json::json!({
         "rebalances": stats.rebalances,
         "total_moved": stats.total_moved,
@@ -942,7 +996,7 @@ fn claim_drift(args: &Args) -> (String, serde_json::Value) {
     (o, value)
 }
 
-fn claim_latency(args: &Args) -> (String, serde_json::Value) {
+fn claim_latency(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
@@ -953,12 +1007,13 @@ fn claim_latency(args: &Args) -> (String, serde_json::Value) {
         Scale::Small => vec![256],
         Scale::Xl => unreachable!("xl runs its own phase"),
     };
-    let rows = proxbal_sim::experiments::protocol_latency(
+    let rows = proxbal_sim::experiments::protocol_latency_traced(
         &sizes,
         &[2, 8],
         &[0.0, 0.05],
         args.seed,
         args.threads,
+        trace,
     );
     let json = serde_json::to_value(&rows).expect("serialize latency rows");
     say!(
@@ -990,7 +1045,7 @@ fn claim_latency(args: &Args) -> (String, serde_json::Value) {
     (o, json)
 }
 
-fn claim_overhead(args: &Args) -> (String, serde_json::Value) {
+fn claim_overhead(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let mut o = String::new();
     say!(
         o,
@@ -1021,19 +1076,25 @@ fn claim_overhead(args: &Args) -> (String, serde_json::Value) {
             proxbal_core::ProximityMode::Aware(proxbal_core::ProximityParams::default()),
         ),
     ];
-    let stats = proxbal_sim::parallel::map_items(&modes, args.threads, |_, &(_, mode)| {
-        let mut net = prepared.net.clone();
-        let mut loads = prepared.loads.clone();
-        let cfg = proxbal_core::BalancerConfig {
-            mode,
-            ..prepared.scenario.balancer
-        };
-        let mut rng = prepared.derived_rng(0x0F0F);
-        let report = proxbal_core::LoadBalancer::new(cfg)
-            .run(&mut net, &mut loads, Some(underlay), &mut rng)
-            .expect("attached network");
-        report.messages
-    });
+    let stats = proxbal_sim::parallel::map_items_traced(
+        &modes,
+        args.threads,
+        trace,
+        |_, &(name, mode), trace| {
+            trace.relabel(name);
+            let mut net = prepared.net.clone();
+            let mut loads = prepared.loads.clone();
+            let cfg = proxbal_core::BalancerConfig {
+                mode,
+                ..prepared.scenario.balancer
+            };
+            let mut rng = prepared.derived_rng(0x0F0F);
+            let report = proxbal_core::LoadBalancer::new(cfg)
+                .run_traced(&mut net, &mut loads, Some(underlay), &mut rng, trace)
+                .expect("attached network");
+            report.messages
+        },
+    );
     let mut rows = Vec::new();
     for ((name, _), m) in modes.iter().zip(stats) {
         say!(

@@ -4,11 +4,12 @@ use crate::reports::{
     ignorant_inputs, light_slots, proximity_inputs, shed_candidates, Classification,
     ProximityParams,
 };
-use crate::transfer::{execute_transfers, TransferRecord};
-use crate::vsa::{run_vsa, VsaOutcome, VsaParams};
+use crate::transfer::{execute_transfers_traced, TransferRecord};
+use crate::vsa::{run_vsa_traced, VsaOutcome, VsaParams};
 use proxbal_chord::{ChordNetwork, PeerId};
 use proxbal_ktree::KTree;
 use proxbal_topology::{DistanceOracle, NodeId};
+use proxbal_trace::Trace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -176,8 +177,23 @@ impl LoadBalancer {
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
     ) -> Result<BalanceReport, crate::BalanceError> {
+        self.run_traced(net, loads, underlay, rng, &mut Trace::disabled())
+    }
+
+    /// Like [`LoadBalancer::run`], recording per-phase spans and counters
+    /// into `trace`. Tracing never perturbs the run: a disabled collector
+    /// takes the identical code path and the report is byte-for-byte the
+    /// same either way.
+    pub fn run_traced<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        underlay: Option<Underlay<'_>>,
+        rng: &mut R,
+        trace: &mut Trace,
+    ) -> Result<BalanceReport, crate::BalanceError> {
         let mut tree = KTree::build(net, self.cfg.k);
-        self.run_with_tree(net, loads, &mut tree, underlay, rng)
+        self.run_with_tree_traced(net, loads, &mut tree, underlay, rng, trace)
     }
 
     /// Like [`LoadBalancer::run`], but over a long-lived tree: the tree is
@@ -198,8 +214,28 @@ impl LoadBalancer {
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
     ) -> Result<BalanceReport, crate::BalanceError> {
+        self.run_with_tree_traced(net, loads, tree, underlay, rng, &mut Trace::disabled())
+    }
+
+    /// Like [`LoadBalancer::run_with_tree`], recording per-phase spans and
+    /// counters into `trace`.
+    ///
+    /// The four phases are laid out sequentially on a virtual timeline whose
+    /// unit is one message round: tree maintenance, then `phase/lbi`
+    /// (duration = aggregation rounds), `phase/classify` (dissemination
+    /// rounds), `phase/vsa` (sweep rounds) and `phase/vst` (the maximum
+    /// physical transfer distance, since transfers run in parallel).
+    pub fn run_with_tree_traced<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        tree: &mut KTree,
+        underlay: Option<Underlay<'_>>,
+        rng: &mut R,
+        trace: &mut Trace,
+    ) -> Result<BalanceReport, crate::BalanceError> {
         assert_eq!(tree.k(), self.cfg.k, "tree degree must match the config");
-        tree.maintain_until_stable(net, 256);
+        let mut clock = tree.maintain_until_stable_traced(net, 256, 0, trace) as u64;
         let params = ClassifyParams {
             epsilon: self.cfg.epsilon,
         };
@@ -229,12 +265,37 @@ impl LoadBalancer {
         let agg = tree.aggregate(lbi_inputs);
         let system = agg.root_value.expect("at least one peer reported");
         let lbi_rounds = agg.rounds;
+        trace.span_args(
+            "phase/lbi",
+            clock,
+            u64::from(lbi_rounds),
+            &[
+                ("messages", lbi_messages.into()),
+                ("merges", agg.merges.into()),
+            ],
+        );
+        trace.count("lbi_messages", lbi_messages as u64);
+        trace.count("kt_aggregate_merges", agg.merges as u64);
+        clock += u64::from(lbi_rounds);
 
         // Phase 2: dissemination + classification (§3.3).
         let (_, dissemination_rounds) = tree.disseminate(system);
         let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
         let classification = Classification::compute(net, loads, &params, system);
         let before = class_counts(&classification);
+        let heavy_before = before.get(&NodeClass::Heavy).copied().unwrap_or(0);
+        trace.span_args(
+            "phase/classify",
+            clock,
+            u64::from(dissemination_rounds),
+            &[
+                ("messages", dissemination_messages.into()),
+                ("heavy", heavy_before.into()),
+            ],
+        );
+        trace.count("dissemination_messages", dissemination_messages as u64);
+        trace.count("heavy_before", heavy_before as u64);
+        clock += u64::from(dissemination_rounds);
 
         // Phase 3: VSA (§3.4 / §4.3).
         let shed = shed_candidates(net, loads, &params, &classification);
@@ -250,7 +311,7 @@ impl LoadBalancer {
             rendezvous_threshold: self.cfg.rendezvous_threshold,
             l_min: system.min_vs_load,
         };
-        let mut vsa = run_vsa(tree, inputs, &vsa_params);
+        let mut vsa = run_vsa_traced(tree, inputs, &vsa_params, trace);
 
         // Optional extension: split unplaceable virtual servers and place
         // the halves (off unless `max_splits > 0`).
@@ -262,16 +323,53 @@ impl LoadBalancer {
                 system.min_vs_load,
                 self.cfg.max_splits,
             );
+            trace.count("vsa_split_placed", extra.len() as u64);
             vsa.assignments.extend(extra);
         }
+        trace.span_args(
+            "phase/vsa",
+            clock,
+            u64::from(vsa.rounds),
+            &[
+                ("pairings", vsa.assignments.len().into()),
+                ("record_hops", vsa.record_hops.into()),
+                ("rendezvous_points", vsa.rendezvous_points.into()),
+            ],
+        );
+        trace.count("vsa_record_hops", vsa.record_hops as u64);
+        trace.count("vsa_notifications", 2 * vsa.assignments.len() as u64);
+        clock += u64::from(vsa.rounds);
 
         // Phase 4: VST (§3.5).
-        let transfers =
-            execute_transfers(net, loads, &vsa.assignments, underlay.map(|u| u.oracle))?;
+        let transfers = execute_transfers_traced(
+            net,
+            loads,
+            &vsa.assignments,
+            underlay.map(|u| u.oracle),
+            trace,
+        )?;
+        let vst_dur = transfers
+            .iter()
+            .filter_map(|t| t.distance)
+            .max()
+            .map_or(0, u64::from);
+        trace.span_args(
+            "phase/vst",
+            clock,
+            vst_dur,
+            &[
+                ("transfers", transfers.len().into()),
+                ("moved_load", crate::total_moved_load(&transfers).into()),
+            ],
+        );
 
         // Re-classify against the same system LBI for the after picture.
         let after_cls = Classification::compute(net, loads, &params, system);
         let after = class_counts(&after_cls);
+        trace.count(
+            "heavy_after",
+            after.get(&NodeClass::Heavy).copied().unwrap_or(0) as u64,
+        );
 
         let messages = MessageStats {
             lbi_messages,

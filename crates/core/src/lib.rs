@@ -69,10 +69,11 @@ pub use reports::{Classification, ProximityParams};
 pub use selection::{choose_shed_set, EXACT_LIMIT};
 pub use split::split_and_place;
 pub use transfer::{
-    absorb_join, execute_transfers, execute_transfers_with_requeue, graceful_leave,
-    total_moved_load, weighted_cost, BalanceError, RequeueOutcome, TransferRecord,
+    absorb_join, execute_transfers, execute_transfers_traced, execute_transfers_with_requeue,
+    execute_transfers_with_requeue_traced, graceful_leave, total_moved_load, weighted_cost,
+    BalanceError, RequeueOutcome, TransferRecord,
 };
-pub use vsa::{run_vsa, VsaOutcome, VsaParams};
+pub use vsa::{run_vsa, run_vsa_traced, VsaOutcome, VsaParams};
 
 #[cfg(test)]
 mod tests;

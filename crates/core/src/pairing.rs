@@ -1,5 +1,6 @@
 use proxbal_chord::{PeerId, VsId};
 use proxbal_ktree::Merge;
+use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// A virtual server a heavy node wants to shed:
@@ -129,11 +130,21 @@ impl RendezvousLists {
     /// (appended, not cleared) — the VSA sweep reuses one buffer across
     /// every rendezvous point instead of allocating per node.
     pub fn pair_into(&mut self, l_min: f64, out: &mut Vec<Assignment>) {
+        self.pair_into_traced(l_min, out, &mut Trace::disabled());
+    }
+
+    /// [`RendezvousLists::pair_into`] recording pairing-churn counters into
+    /// `trace`: `vsa_pair_misfits` (candidates that fit no light slot here
+    /// and propagate to the parent rendezvous) and `vsa_residual_reinserts`
+    /// (light slots re-offered with their residual room).
+    pub fn pair_into_traced(&mut self, l_min: f64, out: &mut Vec<Assignment>, trace: &mut Trace) {
         // Heaviest-first over shed candidates. A candidate that fits nowhere
         // stays in place; lighter candidates may still fit. Walking an index
         // down from the top of the sorted list visits candidates heaviest
         // first while leaving misfits where they already are — the list
         // stays sorted throughout, no set-aside buffer needed.
+        let mut misfits = 0u64;
+        let mut reinserts = 0u64;
         let mut i = self.shed.len();
         while i > 0 {
             i -= 1;
@@ -143,6 +154,7 @@ impl RendezvousLists {
                 .light
                 .partition_point(|s| s.spare.total_cmp(&cand.load).is_lt());
             if idx == self.light.len() {
+                misfits += 1;
                 continue; // fits nowhere; stays in the list
             }
             self.shed.remove(i);
@@ -155,6 +167,7 @@ impl RendezvousLists {
             });
             let residual = slot.spare - cand.load;
             if residual >= l_min && residual > 0.0 {
+                reinserts += 1;
                 let at = self
                     .light
                     .partition_point(|s| s.spare.total_cmp(&residual).is_lt());
@@ -167,6 +180,8 @@ impl RendezvousLists {
                 );
             }
         }
+        trace.count("vsa_pair_misfits", misfits);
+        trace.count("vsa_residual_reinserts", reinserts);
     }
 
     /// Removes the shed candidate for `vs`, if present. Returns whether a

@@ -2,6 +2,7 @@ use crate::lbi::LoadState;
 use crate::pairing::{Assignment, RendezvousLists, ShedCandidate};
 use proxbal_chord::{ChordNetwork, PeerId, PeerState, VsId};
 use proxbal_topology::DistanceOracle;
+use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Why a balancing run could not proceed — protocol-level conditions a
@@ -107,6 +108,32 @@ pub fn execute_transfers(
     Ok(out)
 }
 
+/// Like [`execute_transfers`], recording VST metrics into `trace`: the
+/// `vst_load_per_hop` histogram (observation = physical distance, weight =
+/// load moved at that distance), executed/skipped counters, and the moved
+/// load and `Σ load·distance` cost as floating-point counters.
+pub fn execute_transfers_traced(
+    net: &mut ChordNetwork,
+    loads: &mut LoadState,
+    assignments: &[Assignment],
+    oracle: Option<&DistanceOracle>,
+    trace: &mut Trace,
+) -> Result<Vec<TransferRecord>, BalanceError> {
+    let out = execute_transfers(net, loads, assignments, oracle)?;
+    if trace.is_enabled() {
+        trace.count("vst_transfers", out.len() as u64);
+        trace.count("vst_skipped", (assignments.len() - out.len()) as u64);
+        trace.count_f64("vst_moved_load", total_moved_load(&out));
+        trace.count_f64("vst_weighted_cost", weighted_cost(&out));
+        for t in &out {
+            if let Some(d) = t.distance {
+                trace.record_weighted("vst_load_per_hop", u64::from(d), t.assignment.load);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Accounting of a fault-tolerant VST round
 /// ([`execute_transfers_with_requeue`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -142,7 +169,30 @@ pub fn execute_transfers_with_requeue(
     spare: &mut RendezvousLists,
     l_min: f64,
 ) -> Result<RequeueOutcome, BalanceError> {
-    let transfers = execute_transfers(net, loads, assignments, oracle)?;
+    execute_transfers_with_requeue_traced(
+        net,
+        loads,
+        assignments,
+        oracle,
+        spare,
+        l_min,
+        &mut Trace::disabled(),
+    )
+}
+
+/// Like [`execute_transfers_with_requeue`], recording VST metrics (see
+/// [`execute_transfers_traced`]) plus `requeue_requeued` /
+/// `requeue_reassigned` / `requeue_abandoned` counters into `trace`.
+pub fn execute_transfers_with_requeue_traced(
+    net: &mut ChordNetwork,
+    loads: &mut LoadState,
+    assignments: &[Assignment],
+    oracle: Option<&DistanceOracle>,
+    spare: &mut RendezvousLists,
+    l_min: f64,
+    trace: &mut Trace,
+) -> Result<RequeueOutcome, BalanceError> {
+    let transfers = execute_transfers_traced(net, loads, assignments, oracle, trace)?;
     // Assignments still valid on the shedding side whose receiver died.
     let mut requeued = 0usize;
     for a in assignments {
@@ -166,13 +216,16 @@ pub fn execute_transfers_with_requeue(
         return Ok(outcome);
     }
     let mut extra = Vec::new();
-    spare.pair_into(l_min, &mut extra);
+    spare.pair_into_traced(l_min, &mut extra, trace);
     // Dead light peers may linger in `spare` too; the executor's liveness
     // filter drops those pairings, leaving the candidate for next round.
-    let executed = execute_transfers(net, loads, &extra, oracle)?;
+    let executed = execute_transfers_traced(net, loads, &extra, oracle, trace)?;
     outcome.reassigned = executed.len();
     outcome.abandoned = requeued - outcome.reassigned;
     outcome.transfers.extend(executed);
+    trace.count("requeue_requeued", outcome.requeued as u64);
+    trace.count("requeue_reassigned", outcome.reassigned as u64);
+    trace.count("requeue_abandoned", outcome.abandoned as u64);
     Ok(outcome)
 }
 

@@ -1,5 +1,6 @@
 use crate::pairing::{Assignment, RendezvousLists};
 use proxbal_ktree::{KTree, KtNodeMap};
+use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the VSA sweep.
@@ -59,6 +60,20 @@ pub fn run_vsa(
     inputs: impl Into<KtNodeMap<RendezvousLists>>,
     params: &VsaParams,
 ) -> VsaOutcome {
+    run_vsa_traced(tree, inputs, params, &mut Trace::disabled())
+}
+
+/// Like [`run_vsa`], recording per-rendezvous metrics into `trace`: the
+/// `vsa_rendezvous_list_depth` histogram (combined list length at the moment
+/// a node pairs), the depth-weighted `vsa_assignment_depth` histogram, and
+/// `vsa_pairings` / `vsa_unassigned` counters. Tracing reads state only —
+/// the sweep itself is bit-identical with tracing on or off.
+pub fn run_vsa_traced(
+    tree: &KTree,
+    inputs: impl Into<KtNodeMap<RendezvousLists>>,
+    params: &VsaParams,
+    trace: &mut Trace,
+) -> VsaOutcome {
     let mut inputs: KtNodeMap<RendezvousLists> = inputs.into();
     let mut outcome = VsaOutcome::default();
     let depths = tree.message_depths();
@@ -80,10 +95,11 @@ pub fn run_vsa(
             }
             let is_root = id == tree.root();
             if is_root || lists.len() >= params.rendezvous_threshold {
+                trace.record("vsa_rendezvous_list_depth", lists.len() as u64);
                 // Pair straight into the outcome's assignment buffer — one
                 // growing Vec for the whole sweep, no per-node allocation.
                 let before = outcome.assignments.len();
-                lists.pair_into(params.l_min, &mut outcome.assignments);
+                lists.pair_into_traced(params.l_min, &mut outcome.assignments, trace);
                 let produced = outcome.assignments.len() - before;
                 if produced > 0 {
                     outcome.rendezvous_points += 1;
@@ -92,6 +108,7 @@ pub fn run_vsa(
                         outcome.assignments_per_depth.resize(d + 1, 0);
                     }
                     outcome.assignments_per_depth[d] += produced;
+                    trace.record_weighted("vsa_assignment_depth", d as u64, produced as f64);
                 }
             }
             if lists.is_empty() {
@@ -114,5 +131,7 @@ pub fn run_vsa(
             }
         }
     }
+    trace.count("vsa_pairings", outcome.assignments.len() as u64);
+    trace.count("vsa_unassigned", outcome.unassigned.len() as u64);
     outcome
 }

@@ -23,6 +23,9 @@ pub struct AggregateOutcome<A> {
     /// Per-node aggregated values (each KT node's view), including inner
     /// nodes — useful when intermediate values matter (VSA rendezvous).
     pub per_node: KtNodeMap<A>,
+    /// Number of in-tree [`Merge::merge`] operations performed by the sweep
+    /// — the aggregation *work* (as opposed to `rounds`, its latency).
+    pub merges: usize,
 }
 
 impl KTree {
@@ -42,12 +45,16 @@ impl KTree {
             .map(|id| depths.get(id).copied().unwrap_or(0))
             .max()
             .unwrap_or(0);
+        let mut merges = 0usize;
         for level in levels.iter().skip(1).rev() {
             for &id in level {
                 if let Some(value) = inputs.remove(id) {
                     let parent = self.node(id).parent.expect("non-root has parent");
                     match inputs.get_mut(parent) {
-                        Some(acc) => acc.merge(value.clone()),
+                        Some(acc) => {
+                            acc.merge(value.clone());
+                            merges += 1;
+                        }
                         None => {
                             inputs.insert(parent, value.clone());
                         }
@@ -62,6 +69,7 @@ impl KTree {
             root_value,
             rounds,
             per_node: inputs,
+            merges,
         }
     }
 

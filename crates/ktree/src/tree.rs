@@ -306,6 +306,25 @@ impl KTree {
         panic!("K-nary tree failed to stabilize within {limit} rounds");
     }
 
+    /// Like [`Self::maintain_until_stable`], but records a `kt/maintain`
+    /// span (one virtual-time unit per round) starting at `ts`.
+    pub fn maintain_until_stable_traced(
+        &mut self,
+        net: &ChordNetwork,
+        limit: usize,
+        ts: proxbal_trace::VirtualTime,
+        trace: &mut proxbal_trace::Trace,
+    ) -> usize {
+        let rounds = self.maintain_until_stable(net, limit);
+        trace.span_args(
+            "kt/maintain",
+            ts,
+            rounds as u64,
+            &[("rounds", (rounds as u64).into())],
+        );
+        rounds
+    }
+
     /// Checks structural invariants of a **stable** tree. Used by tests.
     pub fn check_invariants(&self, net: &ChordNetwork) -> Result<(), String> {
         for id in self.iter_ids() {
@@ -449,6 +468,31 @@ impl KTree {
         // Phase 4: ordinary periodic maintenance converges the rest
         // (replanting, missing coverage, leftover duplicates).
         stats.rounds = self.maintain_until_stable(net, limit);
+        stats
+    }
+
+    /// Like [`Self::repair`], but records a `kt/repair` span (one
+    /// virtual-time unit per stabilization round) starting at `ts`, plus
+    /// `kt_reattached` / `kt_pruned` counters.
+    pub fn repair_traced(
+        &mut self,
+        net: &ChordNetwork,
+        limit: usize,
+        ts: proxbal_trace::VirtualTime,
+        trace: &mut proxbal_trace::Trace,
+    ) -> RepairStats {
+        let stats = self.repair(net, limit);
+        trace.span_args(
+            "kt/repair",
+            ts,
+            stats.rounds as u64,
+            &[
+                ("reattached", stats.reattached.into()),
+                ("pruned", stats.pruned.into()),
+            ],
+        );
+        trace.count("kt_reattached", stats.reattached as u64);
+        trace.count("kt_pruned", stats.pruned as u64);
         stats
     }
 

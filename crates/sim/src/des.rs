@@ -70,6 +70,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     seq: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,6 +79,7 @@ impl<E> Default for EventQueue<E> {
             heap: BinaryHeap::new(),
             now: 0,
             seq: 0,
+            high_water: 0,
         }
     }
 }
@@ -110,6 +112,14 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.now = 0;
         self.seq = 0;
+        self.high_water = 0;
+    }
+
+    /// Peak number of simultaneously pending events since construction or
+    /// the last [`EventQueue::reset`] — a pure function of the event
+    /// schedule, so it is reproducible across runs and thread counts.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Schedules `event` at absolute time `at`. Panics if `at` is in the
@@ -123,6 +133,7 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `event` `delay` units from now.
@@ -197,6 +208,23 @@ mod tests {
         q.schedule(10, ());
         q.pop();
         q.schedule(5, ());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.schedule(3, ());
+        q.pop();
+        q.pop();
+        q.schedule(9, ());
+        assert_eq!(q.high_water(), 3);
+        q.reset();
+        assert_eq!(q.high_water(), 0);
+        q.schedule(1, ());
+        assert_eq!(q.high_water(), 1);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use proxbal_core::{
     BalanceReport, BalancerConfig, ClassifyParams, LoadBalancer, NodeClass, ProximityMode,
 };
 use proxbal_ktree::KTree;
+use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Figure 4: scatter of unit load (load / capacity) per node before and
@@ -23,6 +24,12 @@ pub struct Fig4Output {
 
 /// Runs the Figure-4 experiment on a prepared scenario.
 pub fn fig4_unit_load(prepared: &mut Prepared) -> Fig4Output {
+    fig4_unit_load_traced(prepared, &mut Trace::disabled())
+}
+
+/// [`fig4_unit_load`] recording the balancer's phase spans and counters
+/// into `trace`.
+pub fn fig4_unit_load_traced(prepared: &mut Prepared, trace: &mut Trace) -> Fig4Output {
     let peers = prepared.net.alive_peers();
     let before: Vec<f64> = peers
         .iter()
@@ -42,7 +49,13 @@ pub fn fig4_unit_load(prepared: &mut Prepared) -> Fig4Output {
         });
     let mut rng = prepared.derived_rng(4);
     let report = balancer
-        .run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng)
+        .run_traced(
+            &mut prepared.net,
+            &mut prepared.loads,
+            underlay,
+            &mut rng,
+            trace,
+        )
         .expect("attached network");
 
     let after: Vec<f64> = peers
@@ -73,6 +86,12 @@ pub struct ClassLoadsOutput {
 /// Runs the Figure-5/6 experiment (the workload in `prepared` selects
 /// which figure).
 pub fn fig56_class_loads(prepared: &mut Prepared) -> ClassLoadsOutput {
+    fig56_class_loads_traced(prepared, &mut Trace::disabled())
+}
+
+/// [`fig56_class_loads`] recording the balancer's phase spans and counters
+/// into `trace`.
+pub fn fig56_class_loads_traced(prepared: &mut Prepared, trace: &mut Trace) -> ClassLoadsOutput {
     let classes = prepared.scenario.capacity.class_count();
     let class_capacity: Vec<f64> = (0..classes)
         .map(|c| {
@@ -104,7 +123,13 @@ pub fn fig56_class_loads(prepared: &mut Prepared) -> ClassLoadsOutput {
         });
     let mut rng = prepared.derived_rng(56);
     let report = balancer
-        .run(&mut prepared.net, &mut prepared.loads, underlay, &mut rng)
+        .run_traced(
+            &mut prepared.net,
+            &mut prepared.loads,
+            underlay,
+            &mut rng,
+            trace,
+        )
         .expect("attached network");
     let after = collect(prepared);
 
@@ -134,9 +159,16 @@ pub struct MovedLoadOutput {
 /// Runs both modes from identical initial conditions and returns the two
 /// distance histograms.
 pub fn fig78_moved_load(prepared: &Prepared) -> MovedLoadOutput {
+    fig78_moved_load_traced(prepared, &mut Trace::disabled())
+}
+
+/// [`fig78_moved_load`] recording each mode's run on its own child track
+/// (`aware` / `ignorant`) of `trace`.
+pub fn fig78_moved_load_traced(prepared: &Prepared, trace: &mut Trace) -> MovedLoadOutput {
     let underlay = prepared.underlay().expect("figure 7/8 requires a topology");
 
-    let run = |mode: ProximityMode, label: u64| {
+    let run = |mode: ProximityMode, label: u64, name: &str, trace: &mut Trace| {
+        let mut child = Trace::new(trace.is_enabled(), name);
         let mut net = prepared.net.clone();
         let mut loads = prepared.loads.clone();
         let cfg = BalancerConfig {
@@ -146,8 +178,9 @@ pub fn fig78_moved_load(prepared: &Prepared) -> MovedLoadOutput {
         let balancer = LoadBalancer::new(cfg);
         let mut rng = prepared.derived_rng(label);
         let report = balancer
-            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .run_traced(&mut net, &mut loads, Some(underlay), &mut rng, &mut child)
             .expect("attached network");
+        trace.absorb(child);
         let mut hist = DistanceHistogram::new();
         for t in &report.transfers {
             hist.add(t.distance.expect("underlay present"), t.assignment.load);
@@ -158,8 +191,10 @@ pub fn fig78_moved_load(prepared: &Prepared) -> MovedLoadOutput {
     let (aware, aware_report) = run(
         ProximityMode::Aware(proxbal_core::ProximityParams::default()),
         78,
+        "aware",
+        trace,
     );
-    let (ignorant, ignorant_report) = run(ProximityMode::Ignorant, 79);
+    let (ignorant, ignorant_report) = run(ProximityMode::Ignorant, 79, "ignorant", trace);
 
     MovedLoadOutput {
         aware,
@@ -195,11 +230,24 @@ pub struct RoundsRow {
 /// parallel engine and the rows come back in grid order regardless of
 /// `threads`.
 pub fn rounds_scaling(sizes: &[usize], ks: &[usize], seed: u64, threads: usize) -> Vec<RoundsRow> {
+    rounds_scaling_traced(sizes, ks, seed, threads, &mut Trace::disabled())
+}
+
+/// [`rounds_scaling`] recording each grid cell's balancer run on its own
+/// child track (`n{peers}_k{k}`) of `trace`, absorbed in grid order.
+pub fn rounds_scaling_traced(
+    sizes: &[usize],
+    ks: &[usize],
+    seed: u64,
+    threads: usize,
+    trace: &mut Trace,
+) -> Vec<RoundsRow> {
     let cells: Vec<(usize, usize)> = sizes
         .iter()
         .flat_map(|&peers| ks.iter().map(move |&k| (peers, k)))
         .collect();
-    crate::parallel::map_items(&cells, threads, |_, &(peers, k)| {
+    crate::parallel::map_items_traced(&cells, threads, trace, |_, &(peers, k), trace| {
+        trace.relabel(&format!("n{peers}_k{k}"));
         let mut scenario = Scenario::small(seed ^ (peers as u64) ^ ((k as u64) << 32));
         scenario.peers = peers;
         scenario.topology = crate::TopologyKind::None;
@@ -211,7 +259,13 @@ pub fn rounds_scaling(sizes: &[usize], ks: &[usize], seed: u64, threads: usize) 
         let balancer = LoadBalancer::new(prepared.scenario.balancer);
         let mut rng = prepared.derived_rng(1000 + k as u64);
         let report = balancer
-            .run(&mut prepared.net, &mut prepared.loads, None, &mut rng)
+            .run_traced(
+                &mut prepared.net,
+                &mut prepared.loads,
+                None,
+                &mut rng,
+                trace,
+            )
             .expect("attached network");
         let m = prepared.net.alive_vs_count();
         RoundsRow {
@@ -248,6 +302,19 @@ pub struct RepairRow {
 /// Crashes a fraction of peers at once, repairs, re-joins the same number
 /// of peers, and repairs again, measuring maintenance rounds for both waves.
 pub fn repair_after_crash(peers: usize, crash_fraction: f64, k: usize, seed: u64) -> RepairRow {
+    repair_after_crash_traced(peers, crash_fraction, k, seed, &mut Trace::disabled())
+}
+
+/// [`repair_after_crash`] recording both maintenance waves as `kt/maintain`
+/// spans (crash repair first, regrowth second, laid end to end on the
+/// round timeline) plus `crashed_peers` / `rejoined_peers` counters.
+pub fn repair_after_crash_traced(
+    peers: usize,
+    crash_fraction: f64,
+    k: usize,
+    seed: u64,
+    trace: &mut Trace,
+) -> RepairRow {
     let mut scenario = Scenario::small(seed);
     scenario.peers = peers;
     scenario.topology = crate::TopologyKind::None;
@@ -259,7 +326,8 @@ pub fn repair_after_crash(peers: usize, crash_fraction: f64, k: usize, seed: u64
     for p in victims.into_iter().take(n_crash) {
         prepared.net.crash_peer(p);
     }
-    let crash_repair_rounds = tree.maintain_until_stable(&prepared.net, 256);
+    trace.count("crashed_peers", n_crash as u64);
+    let crash_repair_rounds = tree.maintain_until_stable_traced(&prepared.net, 256, 0, trace);
     tree.check_invariants(&prepared.net).expect("repaired tree");
 
     let mut rng = prepared.derived_rng(0xCAFE);
@@ -268,7 +336,9 @@ pub fn repair_after_crash(peers: usize, crash_fraction: f64, k: usize, seed: u64
             .net
             .join_peer(prepared.scenario.vs_per_peer, &mut rng);
     }
-    let join_repair_rounds = tree.maintain_until_stable(&prepared.net, 256);
+    trace.count("rejoined_peers", n_crash as u64);
+    let join_repair_rounds =
+        tree.maintain_until_stable_traced(&prepared.net, 256, crash_repair_rounds as u64, trace);
     tree.check_invariants(&prepared.net).expect("regrown tree");
 
     RepairRow {
@@ -355,15 +425,29 @@ pub struct ReplicatedMovedLoad {
 /// Runs [`fig78_moved_load`] on `graphs` independently seeded scenarios in
 /// parallel and pools the histograms.
 pub fn fig78_replicated(base: &Scenario, graphs: usize, threads: usize) -> ReplicatedMovedLoad {
+    fig78_replicated_traced(base, graphs, threads, &mut Trace::disabled())
+}
+
+/// [`fig78_replicated`] recording each graph's aware/ignorant runs under a
+/// `graph{i}` child track of `trace`, absorbed in graph-index order (so the
+/// merged event stream is bit-identical at any thread count).
+pub fn fig78_replicated_traced(
+    base: &Scenario,
+    graphs: usize,
+    threads: usize,
+    trace: &mut Trace,
+) -> ReplicatedMovedLoad {
     // Each graph's seed derives from its index, so the sweep engine's
     // determinism contract holds and the pooled result is independent of
     // `threads`.
-    let outputs: Vec<MovedLoadOutput> = crate::parallel::map_indexed(graphs, threads, |i| {
-        let mut scenario = base.clone();
-        scenario.seed = base.seed.wrapping_add(i as u64);
-        let prepared = scenario.prepare();
-        fig78_moved_load(&prepared)
-    });
+    let outputs: Vec<MovedLoadOutput> =
+        crate::parallel::map_indexed_traced(graphs, threads, trace, |i, trace| {
+            trace.relabel(&format!("graph{i}"));
+            let mut scenario = base.clone();
+            scenario.seed = base.seed.wrapping_add(i as u64);
+            let prepared = scenario.prepare();
+            fig78_moved_load_traced(&prepared, trace)
+        });
 
     let mut pooled = ReplicatedMovedLoad {
         aware: DistanceHistogram::new(),
@@ -414,6 +498,16 @@ pub struct AblationRow {
 /// engine and the rows come back in declaration order regardless of
 /// `threads`.
 pub fn ablation_sweep(prepared: &Prepared, threads: usize) -> Vec<AblationRow> {
+    ablation_sweep_traced(prepared, threads, &mut Trace::disabled())
+}
+
+/// [`ablation_sweep`] recording each variant's balancer run on its own
+/// child track (the variant label), absorbed in declaration order.
+pub fn ablation_sweep_traced(
+    prepared: &Prepared,
+    threads: usize,
+    trace: &mut Trace,
+) -> Vec<AblationRow> {
     use proxbal_core::{ProximityParams, Underlay};
     use proxbal_hilbert::CurveKind;
 
@@ -487,12 +581,13 @@ pub fn ablation_sweep(prepared: &Prepared, threads: usize) -> Vec<AblationRow> {
         },
     ));
 
-    crate::parallel::map_items(&variants, threads, |_, (label, cfg)| {
+    crate::parallel::map_items_traced(&variants, threads, trace, |_, (label, cfg), trace| {
+        trace.relabel(label);
         let mut net = prepared.net.clone();
         let mut loads = prepared.loads.clone();
         let mut rng = prepared.derived_rng(0xAB1A);
         let report = LoadBalancer::new(*cfg)
-            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .run_traced(&mut net, &mut loads, Some(underlay), &mut rng, trace)
             .expect("attached network");
         let mut hist = DistanceHistogram::new();
         for t in &report.transfers {
@@ -537,8 +632,24 @@ pub fn protocol_latency(
     seed: u64,
     threads: usize,
 ) -> Vec<LatencyRow> {
+    protocol_latency_traced(sizes, ks, losses, seed, threads, &mut Trace::disabled())
+}
+
+/// [`protocol_latency`] recording each `(peers, k)` cell on its own child
+/// track (`n{peers}_k{k}`): one `des/aggregation` + `des/dissemination`
+/// span pair per loss rate, laid end to end on the cell's simulated
+/// timeline, plus the DES counters/histograms of the message-level sims.
+pub fn protocol_latency_traced(
+    sizes: &[usize],
+    ks: &[usize],
+    losses: &[f64],
+    seed: u64,
+    threads: usize,
+    trace: &mut Trace,
+) -> Vec<LatencyRow> {
     use crate::protocol::{
-        simulate_aggregation_in, simulate_dissemination_in, LossModel, ProtocolScratch,
+        simulate_aggregation_traced_in, simulate_dissemination_traced_in, LossModel,
+        ProtocolScratch,
     };
     let mut rows = Vec::new();
     for &peers in sizes {
@@ -552,7 +663,8 @@ pub fn protocol_latency(
         // sequential inside each cell to reuse the tree — and one scratch
         // per cell, so the 100k+-message lossy runs allocate nothing per
         // event and ask the oracle for each tree edge only once.
-        let per_k = crate::parallel::map_items(ks, threads, |_, &k| {
+        let per_k = crate::parallel::map_items_traced(ks, threads, trace, |_, &k, trace| {
+            trace.relabel(&format!("n{peers}_k{k}"));
             let tree = KTree::build(&prepared.net, k);
             let mut contributors: Vec<_> = prepared
                 .net
@@ -564,6 +676,9 @@ pub fn protocol_latency(
             contributors.dedup();
             let mut scratch = ProtocolScratch::new();
             let mut cell = Vec::with_capacity(losses.len());
+            // Simulated clock of this cell's track: the per-loss phase
+            // pairs are laid end to end so the spans never overlap.
+            let mut clock: u64 = 0;
             for &loss in losses {
                 let model = if loss == 0.0 {
                     LossModel::reliable()
@@ -574,7 +689,7 @@ pub fn protocol_latency(
                     }
                 };
                 let mut rng = prepared.derived_rng(0x1A7 ^ (k as u64) << 8);
-                let agg = simulate_aggregation_in(
+                let agg = simulate_aggregation_traced_in(
                     &prepared.net,
                     &tree,
                     oracle,
@@ -582,17 +697,39 @@ pub fn protocol_latency(
                     &model,
                     &mut rng,
                     &mut scratch,
+                    trace,
                 )
                 .expect("scenario peers are attached");
-                let dis = simulate_dissemination_in(
+                trace.span_args(
+                    "des/aggregation",
+                    clock,
+                    agg.completion,
+                    &[
+                        ("loss", loss.into()),
+                        ("messages", (agg.messages as u64).into()),
+                    ],
+                );
+                clock += agg.completion;
+                let dis = simulate_dissemination_traced_in(
                     &prepared.net,
                     &tree,
                     oracle,
                     &model,
                     &mut rng,
                     &mut scratch,
+                    trace,
                 )
                 .expect("scenario peers are attached");
+                trace.span_args(
+                    "des/dissemination",
+                    clock,
+                    dis.completion,
+                    &[
+                        ("loss", loss.into()),
+                        ("messages", (dis.messages as u64).into()),
+                    ],
+                );
+                clock += dis.completion;
                 cell.push(LatencyRow {
                     peers,
                     k,
@@ -670,14 +807,21 @@ pub struct XlScaleOutput {
 /// proximity-ignorant, the Figure-7 comparison shape. Deterministic for a
 /// given seed; the cache bound changes memory behaviour only.
 pub fn xl_scale(seed: u64) -> XlScaleOutput {
+    xl_scale_traced(seed, &mut Trace::disabled())
+}
+
+/// [`xl_scale`] recording each mode's four-phase run on its own child
+/// track (`aware` / `ignorant`) of `trace`.
+pub fn xl_scale_traced(seed: u64, trace: &mut Trace) -> XlScaleOutput {
     let scenario = Scenario::xl(seed);
     let t0 = std::time::Instant::now();
     let prepared = scenario.prepare_bounded(crate::XL_ORACLE_CAPACITY);
     let prepare_wall_s = t0.elapsed().as_secs_f64();
     let underlay = prepared.underlay().expect("xl runs over a topology");
 
-    let run = |mode: ProximityMode, label: u64, name: &str| -> XlRunSummary {
+    let run = |mode: ProximityMode, label: u64, name: &str, trace: &mut Trace| -> XlRunSummary {
         let t = std::time::Instant::now();
+        let mut child = Trace::new(trace.is_enabled(), name);
         let mut net = prepared.net.clone();
         let mut loads = prepared.loads.clone();
         let cfg = BalancerConfig {
@@ -686,8 +830,9 @@ pub fn xl_scale(seed: u64) -> XlScaleOutput {
         };
         let mut rng = prepared.derived_rng(label);
         let report = LoadBalancer::new(cfg)
-            .run(&mut net, &mut loads, Some(underlay), &mut rng)
+            .run_traced(&mut net, &mut loads, Some(underlay), &mut rng, &mut child)
             .expect("attached network");
+        trace.absorb(child);
         let mut histogram = DistanceHistogram::new();
         for tr in &report.transfers {
             histogram.add(tr.distance.expect("underlay present"), tr.assignment.load);
@@ -716,8 +861,9 @@ pub fn xl_scale(seed: u64) -> XlScaleOutput {
         ProximityMode::Aware(proxbal_core::ProximityParams::default()),
         78,
         "aware",
+        trace,
     );
-    let ignorant = run(ProximityMode::Ignorant, 79, "ignorant");
+    let ignorant = run(ProximityMode::Ignorant, 79, "ignorant", trace);
 
     XlScaleOutput {
         peers: prepared.net.alive_peers().len(),
@@ -791,12 +937,29 @@ pub struct FaultSweepRow {
 /// any thread count, and the whole row set is a pure function of
 /// `(scenario.seed, rates)`.
 pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<FaultSweepRow> {
+    fault_sweep_traced(scenario, rates, threads, &mut Trace::disabled())
+}
+
+/// [`fault_sweep`] recording each rate's cell on its own child track
+/// (`loss{rate}`): `des/aggregation` → `kt/repair` → `des/dissemination` →
+/// `phase/vsa` spans laid end to end on the cell's simulated timeline, the
+/// DES retry/backoff counters and histograms of the faulty sims, the
+/// VSA/VST counters of the surviving-membership pass, and a closing
+/// `rate_summary` instant carrying the row's headline numbers.
+pub fn fault_sweep_traced(
+    scenario: &Scenario,
+    rates: &[f64],
+    threads: usize,
+    trace: &mut Trace,
+) -> Vec<FaultSweepRow> {
     use crate::des::RetryPolicy;
-    use crate::faults::{simulate_aggregation_faulty, simulate_dissemination_faulty};
+    use crate::faults::{simulate_aggregation_faulty_traced, simulate_dissemination_faulty_traced};
     use crate::faults::{FaultConfig, FaultPlan};
     use crate::protocol::ProtocolScratch;
     use proxbal_core::reports::{ignorant_inputs, light_slots, shed_candidates};
-    use proxbal_core::{execute_transfers_with_requeue, run_vsa, Classification, VsaParams};
+    use proxbal_core::{
+        execute_transfers_with_requeue_traced, run_vsa_traced, Classification, VsaParams,
+    };
     use rand::SeedableRng;
 
     let prepared = scenario.prepare();
@@ -805,7 +968,8 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
         .as_ref()
         .expect("fault sweep needs a topology");
 
-    crate::parallel::map_items(rates, threads, |_, &rate| {
+    crate::parallel::map_items_traced(rates, threads, trace, |_, &rate, trace| {
+        trace.relabel(&format!("loss{rate:.2}"));
         let mut net = prepared.net.clone();
         let mut loads = prepared.loads.clone();
         let k = scenario.balancer.k;
@@ -818,12 +982,14 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
         for &child in &stale {
             tree.inject_stale_parent(child, tree.root());
         }
+        trace.count("kt_stale_links", stale.len() as u64);
 
         // Crash schedule for the aggregation window (the KT root's host
         // survives — in a real deployment a dead root is re-elected by the
         // deterministic root location rule before any phase starts).
         let root_host = net.vs(tree.node(tree.root()).host).host;
         let crashes = plan.crash_schedule(&net, root_host, 300);
+        trace.count("crashed_peers", crashes.len() as u64);
 
         // Phase 1 under faults, over the pre-crash membership snapshot.
         let mut contributors: Vec<_> = net
@@ -834,7 +1000,7 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
         contributors.sort_unstable();
         contributors.dedup();
         let mut scratch = ProtocolScratch::new();
-        let agg = simulate_aggregation_faulty(
+        let agg = simulate_aggregation_faulty_traced(
             &net,
             &tree,
             oracle,
@@ -843,20 +1009,33 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
             RetryPolicy::protocol_default(),
             &crashes,
             &mut scratch,
+            trace,
         )
         .expect("scenario peers are attached");
+        let mut clock = agg.timing.completion;
+        trace.span_args(
+            "des/aggregation",
+            0,
+            agg.timing.completion,
+            &[
+                ("delivered", (agg.delivered as u64).into()),
+                ("expected", (agg.expected as u64).into()),
+                ("retries", (agg.retries as u64).into()),
+            ],
+        );
 
         // The crash wave lands: dead peers leave the ring, the tree repairs
         // (orphan re-attach + soft-state maintenance).
         for &(_, p) in &crashes {
             net.crash_peer(p);
         }
-        let repair = tree.repair(&net, 256);
+        let repair = tree.repair_traced(&net, 256, clock, trace);
+        clock += repair.rounds as u64;
 
         // Phase 2 under message faults over the repaired tree (the crashed
         // peers are gone from it, so no crash schedule here).
         let mut scratch2 = ProtocolScratch::new();
-        let dis = simulate_dissemination_faulty(
+        let dis = simulate_dissemination_faulty_traced(
             &net,
             &tree,
             oracle,
@@ -864,8 +1043,20 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
             RetryPolicy::protocol_default(),
             &[],
             &mut scratch2,
+            trace,
         )
         .expect("scenario peers are attached");
+        trace.span_args(
+            "des/dissemination",
+            clock,
+            dis.timing.completion,
+            &[
+                ("delivered", (dis.delivered as u64).into()),
+                ("expected", (dis.expected as u64).into()),
+                ("retries", (dis.retries as u64).into()),
+            ],
+        );
+        clock += dis.timing.completion;
 
         // Phases 2b-3: classify the survivors and run the VSA sweep.
         let params = proxbal_core::ClassifyParams {
@@ -882,7 +1073,13 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
             rendezvous_threshold: scenario.balancer.rendezvous_threshold,
             l_min: system.min_vs_load,
         };
-        let mut vsa = run_vsa(&tree, inputs, &vsa_params);
+        let mut vsa = run_vsa_traced(&tree, inputs, &vsa_params, trace);
+        trace.span_args(
+            "phase/vsa",
+            clock,
+            vsa.rounds as u64,
+            &[("pairings", (vsa.assignments.len() as u64).into())],
+        );
 
         // A second crash wave hits the assignment receivers between VSA and
         // VST, exercising the requeue path at the root rendezvous.
@@ -893,13 +1090,15 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
         for &p in &victims {
             net.crash_peer(p);
         }
-        let outcome = execute_transfers_with_requeue(
+        trace.count("crashed_peers", victims.len() as u64);
+        let outcome = execute_transfers_with_requeue_traced(
             &mut net,
             &mut loads,
             &vsa.assignments,
             None,
             &mut vsa.unassigned,
             system.min_vs_load,
+            trace,
         )
         .expect("no oracle in the requeue pass");
 
@@ -907,7 +1106,7 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
         let heavy_after = after.count_of(NodeClass::Heavy);
         let alive = net.alive_peers().len();
 
-        FaultSweepRow {
+        let row = FaultSweepRow {
             loss_rate: rate,
             crashed_peers: crashes.len() + victims.len(),
             stale_links: stale.len(),
@@ -926,7 +1125,20 @@ pub fn fault_sweep(scenario: &Scenario, rates: &[f64], threads: usize) -> Vec<Fa
             requeued: outcome.requeued,
             reassigned: outcome.reassigned,
             abandoned: outcome.abandoned,
-        }
+        };
+        trace.instant_args(
+            "rate_summary",
+            clock,
+            &[
+                ("loss_rate", rate.into()),
+                ("retries", (row.retries as u64).into()),
+                ("gave_up", (row.gave_up as u64).into()),
+                ("requeued", (row.requeued as u64).into()),
+                ("abandoned", (row.abandoned as u64).into()),
+                ("heavy_after", (row.heavy_after as u64).into()),
+            ],
+        );
+        row
     })
 }
 

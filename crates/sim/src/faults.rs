@@ -20,6 +20,7 @@ use crate::protocol::{PhaseTiming, ProtocolError, ProtocolScratch};
 use proxbal_chord::{ChordNetwork, PeerId};
 use proxbal_ktree::{KTree, KtNodeId};
 use proxbal_topology::DistanceOracle;
+use proxbal_trace::Trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -240,6 +241,7 @@ struct FaultRun<'a> {
     gave_up: usize,
     /// Edge `child → parent` delivered (indexed by child slot).
     edge_delivered: Vec<bool>,
+    trace: &'a mut Trace,
 }
 
 impl<'a> FaultRun<'a> {
@@ -250,6 +252,7 @@ impl<'a> FaultRun<'a> {
         plan: &'a mut FaultPlan,
         retry: RetryPolicy,
         crashes: &[(SimTime, PeerId)],
+        trace: &'a mut Trace,
     ) -> Self {
         FaultRun {
             net,
@@ -267,7 +270,19 @@ impl<'a> FaultRun<'a> {
             retries: 0,
             gave_up: 0,
             edge_delivered: vec![false; tree.slot_bound()],
+            trace,
         }
+    }
+
+    /// Records the run's end-of-phase counters into the trace.
+    fn finish_counters(&mut self) {
+        self.trace
+            .count("des_messages", self.timing.messages as u64);
+        self.trace.count("des_losses", self.timing.losses as u64);
+        self.trace.count("des_retries", self.retries as u64);
+        self.trace.count("des_gave_up", self.gave_up as u64);
+        self.trace
+            .record("des_queue_peak", self.queue.high_water() as u64);
     }
 
     /// The peer hosting a KT node (via its planted virtual server).
@@ -333,6 +348,7 @@ impl<'a> FaultRun<'a> {
     ) -> Option<SimTime> {
         let timeout = self.retry.timeout_after(attempt);
         if attempt < self.retry.max_retries {
+            self.trace.record("des_backoff_delay", timeout);
             self.queue.schedule(
                 t + timeout,
                 FEvent::Send {
@@ -376,8 +392,39 @@ pub fn simulate_aggregation_faulty(
     crashes: &[(SimTime, PeerId)],
     scratch: &mut ProtocolScratch,
 ) -> Result<FaultPhaseOutcome, ProtocolError> {
+    let mut trace = Trace::disabled();
+    simulate_aggregation_faulty_traced(
+        net,
+        tree,
+        oracle,
+        contributors,
+        plan,
+        retry,
+        crashes,
+        scratch,
+        &mut trace,
+    )
+}
+
+/// [`simulate_aggregation_faulty`] with trace collection: records
+/// `des_messages` / `des_losses` / `des_retries` / `des_gave_up` counters,
+/// the `des_backoff_delay` histogram (one sample per scheduled retry), and
+/// `des_queue_depth` / `des_queue_peak`. Spans are the caller's job — only
+/// the caller knows where this phase sits on the virtual timeline.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_aggregation_faulty_traced(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    contributors: &[KtNodeId],
+    plan: &mut FaultPlan,
+    retry: RetryPolicy,
+    crashes: &[(SimTime, PeerId)],
+    scratch: &mut ProtocolScratch,
+    trace: &mut Trace,
+) -> Result<FaultPhaseOutcome, ProtocolError> {
     scratch.bind(tree);
-    let mut run = FaultRun::new(net, tree, oracle, plan, retry, crashes);
+    let mut run = FaultRun::new(net, tree, oracle, plan, retry, crashes, trace);
 
     // Active nodes: contributors and all their ancestors.
     let mut any_active = false;
@@ -398,6 +445,7 @@ pub fn simulate_aggregation_faulty(
     distinct.dedup();
     let expected = distinct.len();
     if !any_active {
+        run.finish_counters();
         return Ok(FaultPhaseOutcome {
             timing: run.timing,
             delivered: 0,
@@ -490,6 +538,7 @@ pub fn simulate_aggregation_faulty(
     }
 
     while let Some((t, ev)) = run.queue.pop() {
+        run.trace.record("des_queue_depth", run.queue.len() as u64);
         match ev {
             FEvent::Send { from, to, attempt } => {
                 if let Some(fail_t) = run.transmit(scratch, t, from, to, attempt)? {
@@ -516,6 +565,7 @@ pub fn simulate_aggregation_faulty(
     }
     debug_assert!(root_done, "every waiting chain resolves by construction");
     run.timing.completion = completion;
+    run.finish_counters();
 
     // A contributor's LBI reached the root iff every edge on its root path
     // delivered (crash-stop losses show up as missing edges: a node that
@@ -556,8 +606,27 @@ pub fn simulate_dissemination_faulty(
     crashes: &[(SimTime, PeerId)],
     scratch: &mut ProtocolScratch,
 ) -> Result<FaultPhaseOutcome, ProtocolError> {
+    let mut trace = Trace::disabled();
+    simulate_dissemination_faulty_traced(
+        net, tree, oracle, plan, retry, crashes, scratch, &mut trace,
+    )
+}
+
+/// [`simulate_dissemination_faulty`] with trace collection; same counters
+/// and histograms as [`simulate_aggregation_faulty_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_dissemination_faulty_traced(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    plan: &mut FaultPlan,
+    retry: RetryPolicy,
+    crashes: &[(SimTime, PeerId)],
+    scratch: &mut ProtocolScratch,
+    trace: &mut Trace,
+) -> Result<FaultPhaseOutcome, ProtocolError> {
     scratch.bind(tree);
-    let mut run = FaultRun::new(net, tree, oracle, plan, retry, crashes);
+    let mut run = FaultRun::new(net, tree, oracle, plan, retry, crashes, trace);
     let mut reached = 0usize;
 
     let fanout = |run: &mut FaultRun<'_>, node: KtNodeId, t: SimTime| {
@@ -579,6 +648,7 @@ pub fn simulate_dissemination_faulty(
     fanout(&mut run, tree.root(), 0);
 
     while let Some((t, ev)) = run.queue.pop() {
+        run.trace.record("des_queue_depth", run.queue.len() as u64);
         match ev {
             FEvent::Send { from, to, attempt } => {
                 // A failed edge orphans `to`'s subtree; nothing to notify.
@@ -599,6 +669,7 @@ pub fn simulate_dissemination_faulty(
             }
         }
     }
+    run.finish_counters();
 
     Ok(FaultPhaseOutcome {
         timing: run.timing,

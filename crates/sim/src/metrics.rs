@@ -219,6 +219,45 @@ mod tests {
     }
 
     #[test]
+    fn histogram_zero_total_never_divides() {
+        // Bins may exist with zero total (only zero-load transfers were
+        // recorded): every ratio must still come back 0/empty, not NaN.
+        let mut h = DistanceHistogram::new();
+        h.add(5, 0.0);
+        h.add(9, 0.0);
+        assert!(h.is_empty());
+        assert_eq!(h.fraction_within(0), 0.0);
+        assert_eq!(h.fraction_within(u32::MAX), 0.0);
+        assert_eq!(h.mean_distance(), 0.0);
+        assert!(h.distribution().is_empty());
+        assert!(h.cdf().is_empty());
+        assert!(!h.fraction_within(5).is_nan());
+        assert!(!h.mean_distance().is_nan());
+    }
+
+    #[test]
+    fn histogram_merge_handles_empty_sides() {
+        let mut empty = DistanceHistogram::new();
+        let mut full = DistanceHistogram::new();
+        full.add(2, 70.0);
+        full.add(12, 30.0);
+
+        // empty ← full keeps full's stats; full ← empty changes nothing.
+        empty.merge(&full);
+        assert_eq!(empty.total(), 100.0);
+        assert!((empty.fraction_within(2) - 0.7).abs() < 1e-12);
+        let before = full.cdf();
+        full.merge(&DistanceHistogram::new());
+        assert_eq!(full.cdf(), before);
+
+        // empty ← empty stays fully guarded.
+        let mut e2 = DistanceHistogram::new();
+        e2.merge(&DistanceHistogram::new());
+        assert!(e2.is_empty());
+        assert_eq!(e2.mean_distance(), 0.0);
+    }
+
+    #[test]
     fn histogram_accumulates_same_bin() {
         let mut h = DistanceHistogram::new();
         h.add(3, 1.0);

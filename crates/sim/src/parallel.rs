@@ -75,6 +75,54 @@ where
     map_indexed(items.len(), threads, |i| job(i, &items[i]))
 }
 
+/// [`map_indexed`] with tracing: each job records into its own child
+/// [`Trace`] (enabled iff `parent` is), and the children are absorbed into
+/// `parent` **in index order** after the sweep — so the merged event
+/// stream, like the results, is bit-identical at any thread count.
+///
+/// Jobs should [`Trace::relabel`] their child to a name derived from the
+/// index so tracks stay distinguishable.
+pub fn map_indexed_traced<T, F>(
+    count: usize,
+    threads: usize,
+    parent: &mut proxbal_trace::Trace,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut proxbal_trace::Trace) -> T + Sync,
+{
+    let on = parent.is_enabled();
+    let pairs = map_indexed(count, threads, |i| {
+        let mut child = proxbal_trace::Trace::new(on, "");
+        let out = job(i, &mut child);
+        (out, child)
+    });
+    let mut outs = Vec::with_capacity(count);
+    for (out, child) in pairs {
+        parent.absorb(child);
+        outs.push(out);
+    }
+    outs
+}
+
+/// [`map_items`] with per-job child traces; see [`map_indexed_traced`].
+pub fn map_items_traced<I, T, F>(
+    items: &[I],
+    threads: usize,
+    parent: &mut proxbal_trace::Trace,
+    job: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I, &mut proxbal_trace::Trace) -> T + Sync,
+{
+    map_indexed_traced(items.len(), threads, parent, |i, trace| {
+        job(i, &items[i], trace)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +150,42 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn traced_sweep_is_thread_count_invariant() {
+        use proxbal_trace::Trace;
+        let run = |threads: usize| {
+            let mut parent = Trace::enabled("sweep");
+            let out = map_indexed_traced(12, threads, &mut parent, |i, trace| {
+                trace.relabel(&format!("job{i}"));
+                trace.span("work", 0, i as u64);
+                trace.count("jobs", 1);
+                trace.record("index", i as u64);
+                i * 3
+            });
+            (out, parent.to_ndjson(), parent.to_chrome_json())
+        };
+        let (out1, nd1, ch1) = run(1);
+        for threads in [2, 8] {
+            let (out, nd, ch) = run(threads);
+            assert_eq!(out, out1, "{threads} threads");
+            assert_eq!(nd, nd1, "{threads} threads");
+            assert_eq!(ch, ch1, "{threads} threads");
+        }
+        assert_eq!(out1, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_sweep_with_disabled_parent_records_nothing() {
+        let mut parent = proxbal_trace::Trace::disabled();
+        let out = map_indexed_traced(4, 2, &mut parent, |i, trace| {
+            trace.span("work", 0, 1);
+            assert!(!trace.is_enabled());
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(parent.event_count(), 0);
     }
 
     #[test]

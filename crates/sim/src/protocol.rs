@@ -248,6 +248,34 @@ pub fn simulate_aggregation_in<R: Rng>(
     rng: &mut R,
     scratch: &mut ProtocolScratch,
 ) -> Result<PhaseTiming, ProtocolError> {
+    simulate_aggregation_traced_in(
+        net,
+        tree,
+        oracle,
+        contributors,
+        loss,
+        rng,
+        scratch,
+        &mut proxbal_trace::Trace::disabled(),
+    )
+}
+
+/// [`simulate_aggregation_in`] recording DES metrics into `trace`:
+/// `des_messages` / `des_losses` counters, the `des_queue_depth` histogram
+/// (pending events sampled at every pop) and one `des_queue_peak`
+/// observation. The simulation itself is bit-identical with tracing on or
+/// off; spans are the caller's job (it owns the virtual-time offset).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_aggregation_traced_in<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    contributors: &[KtNodeId],
+    loss: &LossModel,
+    rng: &mut R,
+    scratch: &mut ProtocolScratch,
+    trace: &mut proxbal_trace::Trace,
+) -> Result<PhaseTiming, ProtocolError> {
     check_loss(loss)?;
     scratch.bind(tree);
     // Active nodes: contributors and all their ancestors.
@@ -332,6 +360,7 @@ pub fn simulate_aggregation_in<R: Rng>(
     }
 
     while let Some((t, Event::Deliver { from: _, to })) = scratch.queue.pop() {
+        trace.record("des_queue_depth", scratch.queue.len() as u64);
         let slot = &mut scratch.pending[to.0 as usize];
         *slot -= 1;
         if *slot > 0 {
@@ -355,6 +384,9 @@ pub fn simulate_aggregation_in<R: Rng>(
             expected: 1,
         });
     }
+    trace.count("des_messages", timing.messages as u64);
+    trace.count("des_losses", timing.losses as u64);
+    trace.record("des_queue_peak", scratch.queue.high_water() as u64);
     Ok(timing)
 }
 
@@ -378,6 +410,28 @@ pub fn simulate_dissemination_in<R: Rng>(
     loss: &LossModel,
     rng: &mut R,
     scratch: &mut ProtocolScratch,
+) -> Result<PhaseTiming, ProtocolError> {
+    simulate_dissemination_traced_in(
+        net,
+        tree,
+        oracle,
+        loss,
+        rng,
+        scratch,
+        &mut proxbal_trace::Trace::disabled(),
+    )
+}
+
+/// [`simulate_dissemination_in`] recording DES metrics into `trace` (same
+/// scheme as [`simulate_aggregation_traced_in`]).
+pub fn simulate_dissemination_traced_in<R: Rng>(
+    net: &ChordNetwork,
+    tree: &KTree,
+    oracle: &DistanceOracle,
+    loss: &LossModel,
+    rng: &mut R,
+    scratch: &mut ProtocolScratch,
+    trace: &mut proxbal_trace::Trace,
 ) -> Result<PhaseTiming, ProtocolError> {
     check_loss(loss)?;
     scratch.bind(tree);
@@ -436,6 +490,7 @@ pub fn simulate_dissemination_in<R: Rng>(
         tree.root(),
     )?;
     while let Some((t, Event::Deliver { to, .. })) = scratch.queue.pop() {
+        trace.record("des_queue_depth", scratch.queue.len() as u64);
         if std::mem::replace(&mut scratch.delivered[to.0 as usize], true) {
             continue;
         }
@@ -450,6 +505,9 @@ pub fn simulate_dissemination_in<R: Rng>(
             expected: tree.len(),
         });
     }
+    trace.count("des_messages", timing.messages as u64);
+    trace.count("des_losses", timing.losses as u64);
+    trace.record("des_queue_peak", scratch.queue.high_water() as u64);
     Ok(timing)
 }
 

@@ -24,7 +24,7 @@ mod transit_stub;
 
 pub use graph::{DijkstraScratch, Graph, NodeId, INFINITE_DISTANCE};
 pub use landmarks::select_landmarks;
-pub use oracle::DistanceOracle;
+pub use oracle::{CacheStats, DistanceOracle};
 pub use transit_stub::{DomainKind, TransitStubConfig, TransitStubTopology};
 
 #[cfg(test)]

@@ -2,7 +2,7 @@ use crate::graph::{DijkstraScratch, Graph, NodeId};
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 thread_local! {
@@ -50,6 +50,37 @@ pub struct DistanceOracle {
     resident: AtomicUsize,
     /// Second-chance queue of resident unpinned row ids, oldest first.
     clock: Mutex<VecDeque<NodeId>>,
+    /// Lifetime cache accounting (relaxed counters; see [`CacheStats`]).
+    hits: AtomicU64,
+    computes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Snapshot of an oracle's cache accounting.
+///
+/// `hits` counts queries answered from a resident row; `computes` counts
+/// Dijkstra row fills; `evictions` counts rows discarded by the
+/// second-chance sweep. With an **unbounded** cache the totals are a pure
+/// function of the query sequence. With a bounded cache, eviction order —
+/// and therefore hit/eviction totals — depends on thread interleaving, so
+/// these numbers belong in diagnostics output, never in deterministic trace
+/// files.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub computes: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Component-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            computes: self.computes - earlier.computes,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
 }
 
 impl DistanceOracle {
@@ -69,6 +100,9 @@ impl DistanceOracle {
             capacity,
             resident: AtomicUsize::new(0),
             clock: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -88,6 +122,7 @@ impl DistanceOracle {
         if row.is_some() {
             // Second chance: a touched row survives one clock pass.
             self.meta[src as usize].fetch_or(REF_BIT, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
         row
     }
@@ -107,6 +142,7 @@ impl DistanceOracle {
             let mut scratch = scratch.borrow_mut();
             Arc::new(self.graph.dijkstra_into(src, &mut scratch).to_vec())
         });
+        self.computes.fetch_add(1, Ordering::Relaxed);
         {
             let mut slot = self.rows[src as usize].write();
             // Another thread may have raced us; keep whichever is present.
@@ -164,6 +200,7 @@ impl DistanceOracle {
             }
             if slot.take().is_some() {
                 self.resident.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
         }
@@ -253,5 +290,15 @@ impl DistanceOracle {
     /// Number of cached rows (for tests / diagnostics).
     pub fn cached_rows(&self) -> usize {
         self.rows.iter().filter(|r| r.read().is_some()).count()
+    }
+
+    /// Snapshot of the lifetime cache accounting. See [`CacheStats`] for
+    /// the determinism caveat on bounded caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            computes: self.computes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }

@@ -1,0 +1,191 @@
+//! Weighted power-of-two histogram.
+//!
+//! Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+//! `[2^(i-1), 2^i)`. Weights are `f64` and accumulate in observation /
+//! merge order, which is deterministic because all recording happens on a
+//! single thread per [`crate::Trace`] and merges happen in absorb order.
+
+/// A fixed-shape histogram over `u64` values with `f64` weights.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    weight: f64,
+    min: u64,
+    max: u64,
+    weighted_sum: f64,
+    buckets: Vec<f64>,
+}
+
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Smallest value that lands in bucket `index`.
+pub(crate) fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+impl Histogram {
+    /// Record `value` with weight 1.
+    pub fn observe(&mut self, value: u64) {
+        self.observe_weighted(value, 1.0);
+    }
+
+    /// Record `value` carrying `weight`.
+    pub fn observe_weighted(&mut self, value: u64, weight: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.weight += weight;
+        self.weighted_sum += value as f64 * weight;
+        let b = bucket_index(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0.0);
+        }
+        self.buckets[b] += weight;
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.weight += other.weight;
+        self.weighted_sum += other.weighted_sum;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0.0);
+        }
+        for (i, w) in other.buckets.iter().enumerate() {
+            self.buckets[i] += w;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total weight across observations (equals `count` when unweighted).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Smallest observed value; 0 on an empty histogram.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observed value; 0 on an empty histogram.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Weighted mean of observed values; 0.0 on an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            self.weighted_sum / self.weight
+        }
+    }
+
+    /// Non-empty buckets as `(lower bound, weight)` in ascending value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0.0)
+            .map(|(i, w)| (bucket_lower_bound(i), *w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(4), 8);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn weighted_mean_and_extremes() {
+        let mut h = Histogram::default();
+        h.observe_weighted(10, 1.0);
+        h.observe_weighted(20, 3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 20);
+        assert!((h.mean() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_empty_and_nonempty() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        b.observe(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 5);
+        let empty = Histogram::default();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.max(), 5);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let mut whole = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for v in [0u64, 1, 3, 9, 200, 4096] {
+            whole.observe_weighted(v, 0.5 + v as f64);
+            if v < 9 {
+                left.observe_weighted(v, 0.5 + v as f64);
+            } else {
+                right.observe_weighted(v, 0.5 + v as f64);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+}

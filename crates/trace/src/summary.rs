@@ -1,0 +1,175 @@
+//! End-of-run summary table: per-span-name virtual-time totals plus counter
+//! and histogram roll-ups, aggregated across every track of a [`Trace`].
+
+use crate::{EventKind, Histogram, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate of all spans sharing a name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanTotal {
+    pub name: String,
+    pub spans: u64,
+    /// Sum of span durations, in virtual-time units.
+    pub virtual_time: u64,
+}
+
+/// One counter row (integer counters render without a decimal point).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CounterTotal {
+    Int(String, u64),
+    Float(String, f64),
+}
+
+/// One histogram row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramRow {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub max: u64,
+}
+
+/// A renderable roll-up of a [`Trace`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    pub spans: Vec<SpanTotal>,
+    pub counters: Vec<CounterTotal>,
+    pub histograms: Vec<HistogramRow>,
+    pub tracks: usize,
+    pub events: usize,
+}
+
+impl TraceSummary {
+    pub fn of(trace: &Trace) -> Self {
+        let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for (_, events) in trace.tracks() {
+            for ev in events {
+                if ev.kind == EventKind::Span {
+                    let slot = by_name.entry(&ev.name).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += ev.dur;
+                }
+            }
+        }
+        let spans = by_name
+            .into_iter()
+            .map(|(name, (spans, virtual_time))| SpanTotal {
+                name: name.to_owned(),
+                spans,
+                virtual_time,
+            })
+            .collect();
+        let mut counters: Vec<CounterTotal> = trace
+            .counters()
+            .map(|(n, v)| CounterTotal::Int(n.to_owned(), v))
+            .collect();
+        counters.extend(
+            trace
+                .fcounters()
+                .map(|(n, v)| CounterTotal::Float(n.to_owned(), v)),
+        );
+        let histograms = trace
+            .histograms()
+            .map(|(n, h): (&str, &Histogram)| HistogramRow {
+                name: n.to_owned(),
+                count: h.count(),
+                mean: h.mean(),
+                max: h.max(),
+            })
+            .collect();
+        TraceSummary {
+            spans,
+            counters,
+            histograms,
+            tracks: trace.tracks().count(),
+            events: trace.event_count(),
+        }
+    }
+
+    /// Total virtual time attributed to spans whose name starts with `prefix`.
+    pub fn virtual_time_for(&self, prefix: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.virtual_time)
+            .sum()
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "── trace summary: {} events on {} tracks ──",
+            self.events, self.tracks
+        )?;
+        if !self.spans.is_empty() {
+            writeln!(f, "{:<28} {:>8} {:>14}", "span", "count", "virtual time")?;
+            for s in &self.spans {
+                writeln!(f, "{:<28} {:>8} {:>14}", s.name, s.spans, s.virtual_time)?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "{:<28} {:>23}", "counter", "total")?;
+            for c in &self.counters {
+                match c {
+                    CounterTotal::Int(name, v) => writeln!(f, "{name:<28} {v:>23}")?,
+                    CounterTotal::Float(name, v) => writeln!(f, "{name:<28} {v:>23.3}")?,
+                }
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "{:<28} {:>8} {:>12} {:>10}",
+                "histogram", "count", "mean", "max"
+            )?;
+            for h in &self.histograms {
+                writeln!(
+                    f,
+                    "{:<28} {:>8} {:>12.2} {:>10}",
+                    h.name, h.count, h.mean, h.max
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_aggregates_spans_across_tracks() {
+        let mut child = Trace::enabled("c");
+        child.span("phase/lbi", 0, 7);
+        child.span("phase/vsa", 7, 2);
+        let mut root = Trace::enabled("r");
+        root.span("phase/lbi", 0, 3);
+        root.instant("marker", 1);
+        root.count("messages", 9);
+        root.record("depth", 4);
+        root.absorb(child);
+        let s = TraceSummary::of(&root);
+        assert_eq!(s.tracks, 2);
+        assert_eq!(s.events, 4);
+        let lbi = s.spans.iter().find(|x| x.name == "phase/lbi").unwrap();
+        assert_eq!(lbi.spans, 2);
+        assert_eq!(lbi.virtual_time, 10);
+        assert_eq!(s.virtual_time_for("phase/"), 12);
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.histograms.len(), 1);
+        let rendered = s.to_string();
+        assert!(rendered.contains("phase/lbi"));
+        assert!(rendered.contains("messages"));
+    }
+
+    #[test]
+    fn empty_trace_summary_renders() {
+        let s = TraceSummary::of(&Trace::disabled());
+        assert_eq!(s.events, 0);
+        assert!(s.to_string().contains("0 events"));
+    }
+}

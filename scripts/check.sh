@@ -8,6 +8,9 @@
 #   2. the full workspace test suite
 #   3. formatting check (no diffs allowed)
 #   4. clippy over every target, warnings denied
+#   5. trace smoke: `repro --fig 7 --scale small --trace` at 1 and 8
+#      threads; the chrome trace and the ndjson event log must be
+#      byte-identical across thread counts
 #
 # --xl-smoke additionally runs the 65k-peer / ts50k scale pass
 # (`repro --scale xl --fig 7`) under a generous timeout. It takes a few
@@ -46,6 +49,23 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+REPRO="$PWD/target/release/repro"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+echo "==> trace smoke: repro --fig 7 --scale small --trace (threads 1 vs 8)"
+(cd "$SMOKE_DIR" && timeout 600 "$REPRO" --fig 7 --scale small --threads 1 --trace t1.json > trace1.txt \
+                 && timeout 600 "$REPRO" --fig 7 --scale small --threads 8 --trace t8.json > trace8.txt)
+cmp "$SMOKE_DIR/t1.json" "$SMOKE_DIR/t8.json" || {
+  echo "chrome trace differs across thread counts" >&2; exit 1; }
+cmp "$SMOKE_DIR/t1.ndjson" "$SMOKE_DIR/t8.ndjson" || {
+  echo "trace event log differs across thread counts" >&2; exit 1; }
+# Stdout (summary table included) is deterministic too; only the
+# wall-clock line and the wrote-filename line may differ.
+diff <(grep -v -e "wall" -e "^wrote " "$SMOKE_DIR/trace1.txt") \
+     <(grep -v -e "wall" -e "^wrote " "$SMOKE_DIR/trace8.txt") || {
+  echo "traced repro output differs across thread counts" >&2; exit 1; }
+
 if [[ "$XL_SMOKE" == "1" ]]; then
   echo "==> xl smoke: repro --scale xl --fig 7"
   timeout 1800 ./target/release/repro --scale xl --fig 7
@@ -53,9 +73,6 @@ fi
 
 if [[ "$FAULTS_SMOKE" == "1" ]]; then
   echo "==> faults smoke: repro --faults 0.1 --scale small (threads 1 vs 8)"
-  REPRO="$PWD/target/release/repro"
-  SMOKE_DIR="$(mktemp -d)"
-  trap 'rm -rf "$SMOKE_DIR"' EXIT
   (cd "$SMOKE_DIR" && timeout 600 "$REPRO" --faults 0.1 --scale small --threads 1 > t1.txt \
                    && mv BENCH_repro.json bench_t1.json \
                    && timeout 600 "$REPRO" --faults 0.1 --scale small --threads 8 > t8.txt \
