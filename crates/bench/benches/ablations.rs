@@ -8,7 +8,7 @@ use proxbal_core::{BalancerConfig, LoadBalancer, ProximityMode, ProximityParams}
 use proxbal_sim::{Prepared, Scenario, TopologyKind};
 
 fn prepared() -> Prepared {
-    let mut scenario = Scenario::small(17);
+    let mut scenario = Scenario::builder().small().seed(17).build();
     scenario.peers = 256;
     scenario.landmarks = 8;
     scenario.topology = TopologyKind::Tiny;

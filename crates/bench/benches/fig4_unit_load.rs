@@ -12,7 +12,7 @@ fn bench_fig4(c: &mut Criterion) {
     group.sample_size(10);
     for peers in [256usize, 1024] {
         group.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &peers| {
-            let mut scenario = Scenario::small(7);
+            let mut scenario = Scenario::builder().small().seed(7).build();
             scenario.peers = peers;
             scenario.topology = TopologyKind::None;
             let prepared = scenario.prepare();

@@ -9,7 +9,7 @@ use proxbal_core::{BalancerConfig, LoadBalancer, ProximityMode, ProximityParams}
 use proxbal_sim::{Scenario, TopologyKind};
 
 fn bench_modes(c: &mut Criterion) {
-    let mut scenario = Scenario::small(11);
+    let mut scenario = Scenario::builder().small().seed(11).build();
     scenario.peers = 512;
     scenario.landmarks = 15;
     scenario.topology = TopologyKind::Ts5kLarge;

@@ -10,7 +10,7 @@ use proxbal_sim::{Scenario, TopologyKind};
 use std::collections::HashMap;
 
 fn bench_phases(c: &mut Criterion) {
-    let mut scenario = Scenario::small(13);
+    let mut scenario = Scenario::builder().small().seed(13).build();
     scenario.peers = 1024;
     scenario.topology = TopologyKind::None;
     let prepared = scenario.prepare();

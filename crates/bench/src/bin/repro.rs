@@ -1,5 +1,20 @@
 //! Regenerates every figure and claim of the paper's evaluation (§5).
 //!
+//! The verb-first form groups the phases into subcommands:
+//!
+//! ```text
+//! repro figs [4 5 6 7 8]   # the figure grid (all five when none given)
+//! repro claims [names...]  # the claim grid (all seven when none given)
+//! repro faults [rate]      # fault-injection sweep at losses {0,1%,5%,rate}
+//! repro xl                 # 65,536 peers on a ts50k underlay (bounded RAM)
+//! repro engine             # continuous operation: churn + drift + loss
+//! repro all                # the full figure + claim grid
+//! ```
+//!
+//! Shared flags may follow any subcommand (and the legacy flag-only
+//! spelling below keeps working — `repro --all` is an alias of
+//! `repro all`):
+//!
 //! ```text
 //! repro --fig 4            # Figure 4: unit-load scatter before/after
 //! repro --fig 5            # Figure 5: load by capacity class (Gaussian)
@@ -17,6 +32,7 @@
 //! repro ... --timing       # per-phase wall-clock -> BENCH_repro.json
 //! repro --faults 0.1       # fault-injection sweep at loss rates {0,1%,5%,10%}
 //! repro ... --trace t.json # chrome://tracing trace + t.ndjson event log
+//! repro engine --epochs 50 # epoch count of the continuous-operation run
 //! ```
 //!
 //! Every phase derives its state from the master seed alone, so the output
@@ -83,6 +99,10 @@ struct Args {
     /// chrome://tracing output path; also derives the `.ndjson` event-log
     /// path. `None` disables the collector entirely.
     trace: Option<String>,
+    /// `repro engine` — run the continuous-operation engine phase.
+    engine: bool,
+    /// `--epochs` override for the engine phase.
+    epochs: Option<usize>,
 }
 
 const ALL_CLAIMS: [&str; 7] = [
@@ -95,6 +115,67 @@ const ALL_CLAIMS: [&str; 7] = [
     "drift",
 ];
 
+/// Applies a verb-first subcommand (`repro figs 4 7`, `repro claims drift`,
+/// `repro faults 0.1`, `repro xl`, `repro engine`, `repro all`) to `args`,
+/// consuming the verb's positional operands. Returns the remaining argv —
+/// shared flags — for the common flag loop.
+fn apply_subcommand<'a>(cmd: &str, operands: &'a [String], args: &mut Args) -> &'a [String] {
+    let split = operands
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(operands.len());
+    let (pos, rest) = operands.split_at(split);
+    let no_operands = |cmd: &str| {
+        if !pos.is_empty() {
+            eprintln!("repro {cmd} takes no positional operands (got {pos:?})");
+            std::process::exit(2);
+        }
+    };
+    match cmd {
+        "figs" => {
+            args.figs = if pos.is_empty() {
+                vec![4, 5, 6, 7, 8]
+            } else {
+                pos.iter()
+                    .map(|v| v.parse().expect("figure number"))
+                    .collect()
+            };
+        }
+        "claims" => {
+            args.claims = if pos.is_empty() {
+                ALL_CLAIMS.iter().map(|s| s.to_string()).collect()
+            } else {
+                pos.to_vec()
+            };
+        }
+        "faults" => {
+            if pos.len() > 1 {
+                eprintln!("repro faults takes at most one loss rate");
+                std::process::exit(2);
+            }
+            args.faults = Some(pos.first().map_or(0.1, |v| v.parse().expect("loss rate")));
+        }
+        "xl" => {
+            no_operands("xl");
+            args.scale = Scale::Xl;
+        }
+        "engine" => {
+            no_operands("engine");
+            args.engine = true;
+        }
+        "all" => {
+            no_operands("all");
+            args.figs = vec![4, 5, 6, 7, 8];
+            args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
+        }
+        other => {
+            eprintln!("unknown subcommand {other} (expected figs|claims|faults|xl|engine|all)");
+            std::process::exit(2);
+        }
+    }
+    rest
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         figs: Vec::new(),
@@ -106,8 +187,15 @@ fn parse_args() -> Args {
         timing: false,
         faults: None,
         trace: None,
+        engine: false,
+        epochs: None,
     };
-    let mut it = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flags: &[String] = match argv.first() {
+        Some(first) if !first.starts_with("--") => apply_subcommand(first, &argv[1..], &mut args),
+        _ => &argv,
+    };
+    let mut it = flags.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fig" => {
@@ -141,6 +229,14 @@ fn parse_args() -> Args {
                         .expect("loss rate"),
                 );
             }
+            "--epochs" => {
+                args.epochs = Some(
+                    it.next()
+                        .expect("--epochs needs a count")
+                        .parse()
+                        .expect("epoch count"),
+                );
+            }
             "--all" => {
                 args.figs = vec![4, 5, 6, 7, 8];
                 args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
@@ -152,6 +248,7 @@ fn parse_args() -> Args {
         }
     }
     if args.scale != Scale::Xl
+        && !args.engine
         && args.faults.is_none()
         && args.figs.is_empty()
         && args.claims.is_empty()
@@ -164,13 +261,13 @@ fn parse_args() -> Args {
 
 fn scenario(args: &Args, topology: TopologyKind) -> Scenario {
     let mut s = match args.scale {
-        Scale::Full => Scenario::paper(args.seed),
-        Scale::Small => {
-            let mut s = Scenario::small(args.seed);
-            s.peers = 512;
-            s.landmarks = 15;
-            s
-        }
+        Scale::Full => Scenario::builder().seed(args.seed).build(),
+        Scale::Small => Scenario::builder()
+            .small()
+            .peers(512)
+            .landmarks(15)
+            .seed(args.seed)
+            .build(),
         Scale::Xl => unreachable!("xl runs its own phase"),
     };
     s.topology = topology;
@@ -417,6 +514,133 @@ fn run_faults(args: &Args, rate: f64, trace: &mut Trace) {
     merge_bench_json("faults", entry);
 }
 
+/// The `repro engine` phase: continuous operation — Poisson churn,
+/// geometric load drift and 1% message loss playing against periodic +
+/// emergency balancing on one virtual clock (DESIGN.md §6). Prints the
+/// per-epoch time series and merges an `engine` entry into
+/// BENCH_repro.json; every merged field except the wall-clock and thread
+/// count is a pure function of the seed, so the entry is byte-stable
+/// across machines and `--threads` settings.
+fn run_engine_cmd(args: &Args, trace: &mut Trace) {
+    assert!(
+        args.figs.is_empty() && args.claims.is_empty(),
+        "repro engine runs its own phase (figures/claims not supported)"
+    );
+    assert!(
+        args.scale != Scale::Xl,
+        "repro engine runs at full or small scale"
+    );
+    let cfg = proxbal_sim::EngineConfig {
+        epochs: args.epochs.unwrap_or(50),
+        ..proxbal_sim::EngineConfig::default()
+    };
+    let mut builder = Scenario::builder().seed(args.seed);
+    if args.scale == Scale::Small {
+        builder = builder.small().peers(512).landmarks(15);
+    }
+    let scenario = builder
+        // Repeated balancing concentrates big virtual servers on the few
+        // high-capacity peers; once one drifts heavy its servers fit no
+        // light node — the case VS-splitting exists for (claim `drift`).
+        .balancer(proxbal_core::BalancerConfig {
+            max_splits: 256,
+            ..proxbal_core::BalancerConfig::default()
+        })
+        .churn(proxbal_sim::churn::ChurnConfig::default())
+        .drift(proxbal_sim::drift::DriftConfig::default())
+        .faults(proxbal_sim::faults::FaultConfig::with_loss(
+            0.01,
+            args.seed ^ 0xE961_4E,
+        ))
+        .build();
+
+    println!(
+        "── engine: continuous operation, {} peers, {} epochs (seed {}) ──",
+        scenario.peers, cfg.epochs, args.seed
+    );
+    let total = Instant::now();
+    let mut prepared = scenario.prepare();
+    let report = proxbal_sim::run_engine_traced(&mut prepared, &cfg, trace).expect("engine run");
+    let total_wall = total.elapsed().as_secs_f64();
+
+    println!(
+        "{:>5} {:>6} {:>6} {:>5} | {:>4} {:>5} {:>5} {:>5} | {:>3} {:>6} {:>10} {:>5} {:>7} | {:>7} {:>5}",
+        "epoch", "alive", "gini", "heavy", "join", "crash", "stale", "reatt", "bal", "passes",
+        "moved", "xfers", "msgs", "desmsg", "retry"
+    );
+    for s in &report.samples {
+        let bal = match (s.balanced, s.emergency) {
+            (true, true) => "E",
+            (true, false) => "*",
+            _ => "-",
+        };
+        println!(
+            "{:>5} {:>6} {:>6.3} {:>5} | {:>4} {:>5} {:>5} {:>5} | {:>3} {:>6} {:>10.3e} {:>5} {:>7} | {:>7} {:>5}",
+            s.epoch,
+            s.alive_peers,
+            s.gini,
+            s.heavy,
+            s.joins,
+            s.crashes,
+            s.stale_links,
+            s.repair_reattached,
+            bal,
+            s.balance_passes,
+            s.moved,
+            s.transfers,
+            s.messages,
+            s.des_messages,
+            s.des_retries,
+        );
+    }
+    println!(
+        "joins {}   crashes {}   stale links {}   balances {} ({} emergency)",
+        report.joins, report.crashes, report.stale_links, report.balances, report.emergencies
+    );
+    println!(
+        "moved {:.3e}   transfers {}   messages {}   mean gini {:.4}   final heavy {}",
+        report.total_moved,
+        report.total_transfers,
+        report.total_messages,
+        report.mean_gini(),
+        report.final_heavy()
+    );
+    println!("engine wall: {total_wall:.2}s");
+
+    let entry = serde_json::json!({
+        "seed": args.seed,
+        "scale": args.scale.name(),
+        "peers": scenario.peers,
+        "epochs": cfg.epochs,
+        "threads": args.threads,
+        "total_wall_s": total_wall,
+        "joins": report.joins,
+        "crashes": report.crashes,
+        "stale_links": report.stale_links,
+        "balances": report.balances,
+        "emergencies": report.emergencies,
+        "total_moved": report.total_moved,
+        "total_transfers": report.total_transfers,
+        "total_messages": report.total_messages,
+        "mean_gini": report.mean_gini(),
+        "final_heavy": report.final_heavy(),
+        "final_alive": report.samples.last().map_or(0, |s| s.alive_peers),
+    });
+    merge_bench_json("engine", entry);
+
+    if let Some(path) = &args.json {
+        let doc = serde_json::json!({
+            "paper": "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)",
+            "seed": args.seed,
+            "scale": args.scale.name(),
+            "results": serde_json::to_value(&report).expect("serialize engine report"),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+}
+
 /// Writes the collected trace (chrome://tracing JSON at the `--trace` path,
 /// newline-JSON event log next to it) and prints the summary table. A no-op
 /// when `--trace` was not given, so plain runs stay byte-identical.
@@ -437,6 +661,11 @@ fn finish_trace(args: &Args, trace: &Trace) {
 fn main() {
     let args = parse_args();
     let mut trace = Trace::new(args.trace.is_some(), "repro");
+    if args.engine {
+        run_engine_cmd(&args, &mut trace);
+        finish_trace(&args, &trace);
+        return;
+    }
     if args.scale == Scale::Xl {
         run_xl(&args, &mut trace);
         finish_trace(&args, &trace);

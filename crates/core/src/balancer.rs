@@ -1,12 +1,10 @@
-use crate::classify::{ClassifyParams, NodeClass};
+use crate::classify::NodeClass;
 use crate::lbi::{Lbi, LoadState};
-use crate::reports::{
-    ignorant_inputs, light_slots, proximity_inputs, shed_candidates, Classification,
-    ProximityParams,
-};
-use crate::transfer::{execute_transfers_traced, TransferRecord};
-use crate::vsa::{run_vsa_traced, VsaOutcome, VsaParams};
-use proxbal_chord::{ChordNetwork, PeerId};
+use crate::reports::ProximityParams;
+use crate::round::{DirtySet, RoundCache};
+use crate::transfer::TransferRecord;
+use crate::vsa::VsaOutcome;
+use proxbal_chord::ChordNetwork;
 use proxbal_ktree::KTree;
 use proxbal_topology::{DistanceOracle, NodeId};
 use proxbal_trace::Trace;
@@ -176,7 +174,7 @@ impl LoadBalancer {
         loads: &mut LoadState,
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
-    ) -> Result<BalanceReport, crate::BalanceError> {
+    ) -> Result<BalanceReport, crate::Error> {
         self.run_traced(net, loads, underlay, rng, &mut Trace::disabled())
     }
 
@@ -191,7 +189,7 @@ impl LoadBalancer {
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
         trace: &mut Trace,
-    ) -> Result<BalanceReport, crate::BalanceError> {
+    ) -> Result<BalanceReport, crate::Error> {
         let mut tree = KTree::build(net, self.cfg.k);
         self.run_with_tree_traced(net, loads, &mut tree, underlay, rng, trace)
     }
@@ -213,18 +211,18 @@ impl LoadBalancer {
         tree: &mut KTree,
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
-    ) -> Result<BalanceReport, crate::BalanceError> {
+    ) -> Result<BalanceReport, crate::Error> {
         self.run_with_tree_traced(net, loads, tree, underlay, rng, &mut Trace::disabled())
     }
 
     /// Like [`LoadBalancer::run_with_tree`], recording per-phase spans and
     /// counters into `trace`.
     ///
-    /// The four phases are laid out sequentially on a virtual timeline whose
-    /// unit is one message round: tree maintenance, then `phase/lbi`
-    /// (duration = aggregation rounds), `phase/classify` (dissemination
-    /// rounds), `phase/vsa` (sweep rounds) and `phase/vst` (the maximum
-    /// physical transfer distance, since transfers run in parallel).
+    /// Delegates to [`LoadBalancer::run_round_traced`] with
+    /// [`DirtySet::All`] and a throwaway [`RoundCache`]: a one-shot run is
+    /// exactly one incremental round in which every peer is dirty, so both
+    /// entry points share a single four-phase code path (and the same
+    /// randomness consumption order).
     pub fn run_with_tree_traced<R: Rng>(
         &self,
         net: &mut ChordNetwork,
@@ -233,207 +231,16 @@ impl LoadBalancer {
         underlay: Option<Underlay<'_>>,
         rng: &mut R,
         trace: &mut Trace,
-    ) -> Result<BalanceReport, crate::BalanceError> {
-        assert_eq!(tree.k(), self.cfg.k, "tree degree must match the config");
-        let mut clock = tree.maintain_until_stable_traced(net, 256, 0, trace) as u64;
-        let params = ClassifyParams {
-            epsilon: self.cfg.epsilon,
-        };
-        let tree = &*tree;
-
-        // Phase 1: LBI aggregation. Each peer reports through the KT leaf of
-        // one randomly chosen virtual server (§3.2). A peer that currently
-        // hosts no virtual servers (it shed everything in an earlier pass)
-        // reports through the root directly — in a real deployment it would
-        // retain an empty virtual-server registration; losing its capacity
-        // from the aggregate would silently inflate every target.
-        let mut lbi_inputs = proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
-        for p in net.alive_peers() {
-            use proxbal_ktree::Merge;
-            let target = random_report_target(net, tree, p, rng).unwrap_or_else(|| tree.root());
-            let lbi = loads.node_lbi(net, p);
-            match lbi_inputs.get_mut(target) {
-                Some(acc) => Merge::merge(acc, lbi),
-                None => {
-                    lbi_inputs.insert(target, lbi);
-                }
-            }
-        }
-        // Count inter-peer tree edges on the contributing paths (each edge
-        // carries exactly one aggregated LBI message).
-        let lbi_messages = count_active_edges(net, tree, lbi_inputs.keys());
-        let agg = tree.aggregate(lbi_inputs);
-        let system = agg.root_value.expect("at least one peer reported");
-        let lbi_rounds = agg.rounds;
-        trace.span_args(
-            "phase/lbi",
-            clock,
-            u64::from(lbi_rounds),
-            &[
-                ("messages", lbi_messages.into()),
-                ("merges", agg.merges.into()),
-            ],
-        );
-        trace.count("lbi_messages", lbi_messages as u64);
-        trace.count("kt_aggregate_merges", agg.merges as u64);
-        clock += u64::from(lbi_rounds);
-
-        // Phase 2: dissemination + classification (§3.3).
-        let (_, dissemination_rounds) = tree.disseminate(system);
-        let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
-        let classification = Classification::compute(net, loads, &params, system);
-        let before = class_counts(&classification);
-        let heavy_before = before.get(&NodeClass::Heavy).copied().unwrap_or(0);
-        trace.span_args(
-            "phase/classify",
-            clock,
-            u64::from(dissemination_rounds),
-            &[
-                ("messages", dissemination_messages.into()),
-                ("heavy", heavy_before.into()),
-            ],
-        );
-        trace.count("dissemination_messages", dissemination_messages as u64);
-        trace.count("heavy_before", heavy_before as u64);
-        clock += u64::from(dissemination_rounds);
-
-        // Phase 3: VSA (§3.4 / §4.3).
-        let shed = shed_candidates(net, loads, &params, &classification);
-        let light = light_slots(net, loads, &params, &classification);
-        let inputs = match self.cfg.mode {
-            ProximityMode::Ignorant => ignorant_inputs(net, tree, &shed, &light, rng),
-            ProximityMode::Aware(ref prox) => {
-                let u = underlay.expect("proximity-aware balancing requires an underlay topology");
-                proximity_inputs(net, tree, &shed, &light, prox, u.latency(), u.landmarks)
-            }
-        };
-        let vsa_params = VsaParams {
-            rendezvous_threshold: self.cfg.rendezvous_threshold,
-            l_min: system.min_vs_load,
-        };
-        let mut vsa = run_vsa_traced(tree, inputs, &vsa_params, trace);
-
-        // Optional extension: split unplaceable virtual servers and place
-        // the halves (off unless `max_splits > 0`).
-        if self.cfg.max_splits > 0 && !vsa.unassigned.shed().is_empty() {
-            let extra = crate::split_and_place(
-                net,
-                loads,
-                &mut vsa.unassigned,
-                system.min_vs_load,
-                self.cfg.max_splits,
-            );
-            trace.count("vsa_split_placed", extra.len() as u64);
-            vsa.assignments.extend(extra);
-        }
-        trace.span_args(
-            "phase/vsa",
-            clock,
-            u64::from(vsa.rounds),
-            &[
-                ("pairings", vsa.assignments.len().into()),
-                ("record_hops", vsa.record_hops.into()),
-                ("rendezvous_points", vsa.rendezvous_points.into()),
-            ],
-        );
-        trace.count("vsa_record_hops", vsa.record_hops as u64);
-        trace.count("vsa_notifications", 2 * vsa.assignments.len() as u64);
-        clock += u64::from(vsa.rounds);
-
-        // Phase 4: VST (§3.5).
-        let transfers = execute_transfers_traced(
+    ) -> Result<BalanceReport, crate::Error> {
+        self.run_round_traced(
             net,
             loads,
-            &vsa.assignments,
-            underlay.map(|u| u.oracle),
+            tree,
+            underlay,
+            &mut RoundCache::new(),
+            &DirtySet::All,
+            rng,
             trace,
-        )?;
-        let vst_dur = transfers
-            .iter()
-            .filter_map(|t| t.distance)
-            .max()
-            .map_or(0, u64::from);
-        trace.span_args(
-            "phase/vst",
-            clock,
-            vst_dur,
-            &[
-                ("transfers", transfers.len().into()),
-                ("moved_load", crate::total_moved_load(&transfers).into()),
-            ],
-        );
-
-        // Re-classify against the same system LBI for the after picture.
-        let after_cls = Classification::compute(net, loads, &params, system);
-        let after = class_counts(&after_cls);
-        trace.count(
-            "heavy_after",
-            after.get(&NodeClass::Heavy).copied().unwrap_or(0) as u64,
-        );
-
-        let messages = MessageStats {
-            lbi_messages,
-            dissemination_messages,
-            vsa_record_hops: vsa.record_hops,
-            vsa_notifications: 2 * vsa.assignments.len(),
-            vst_weighted_cost: crate::weighted_cost(&transfers),
-        };
-
-        Ok(BalanceReport {
-            system,
-            lbi_rounds,
-            dissemination_rounds,
-            before,
-            vsa,
-            transfers,
-            after,
-            messages,
-        })
+        )
     }
-}
-
-/// Counts tree edges between KT nodes planted on *different peers* along
-/// the root paths of `seeds` (each edge counted once).
-fn count_active_edges(
-    net: &ChordNetwork,
-    tree: &KTree,
-    seeds: impl Iterator<Item = proxbal_ktree::KtNodeId>,
-) -> usize {
-    let mut visited = vec![false; tree.slot_bound()];
-    let mut edges = 0;
-    for seed in seeds {
-        let mut cur = seed;
-        while let Some(parent) = tree.node(cur).parent {
-            let slot = cur.0 as usize;
-            if std::mem::replace(&mut visited[slot], true) {
-                break; // shared suffix already counted
-            }
-            let a = net.vs(tree.node(cur).host).host;
-            let b = net.vs(tree.node(parent).host).host;
-            if a != b {
-                edges += 1;
-            }
-            cur = parent;
-        }
-    }
-    edges
-}
-
-fn random_report_target<R: Rng>(
-    net: &ChordNetwork,
-    tree: &KTree,
-    p: PeerId,
-    rng: &mut R,
-) -> Option<proxbal_ktree::KtNodeId> {
-    use rand::seq::SliceRandom;
-    let vs = net.vss_of(p).choose(rng)?;
-    Some(tree.report_target(net, *vs))
-}
-
-fn class_counts(c: &Classification) -> HashMap<NodeClass, usize> {
-    let mut out = HashMap::new();
-    for class in c.classes.values() {
-        *out.entry(*class).or_insert(0) += 1;
-    }
-    out
 }

@@ -51,9 +51,11 @@
 mod balancer;
 pub mod baselines;
 mod classify;
+mod error;
 mod lbi;
 mod pairing;
 pub mod reports;
+mod round;
 mod selection;
 mod split;
 mod transfer;
@@ -63,15 +65,19 @@ pub use balancer::{
     BalanceReport, BalancerConfig, LoadBalancer, MessageStats, ProximityMode, Underlay,
 };
 pub use classify::{ClassifyParams, NodeClass};
+#[allow(deprecated)]
+pub use error::BalanceError;
+pub use error::Error;
 pub use lbi::{Lbi, LoadState};
 pub use pairing::{Assignment, LightSlot, RendezvousLists, ShedCandidate};
 pub use reports::{Classification, ProximityParams};
+pub use round::{DirtySet, RoundCache};
 pub use selection::{choose_shed_set, EXACT_LIMIT};
 pub use split::split_and_place;
 pub use transfer::{
     absorb_join, execute_transfers, execute_transfers_traced, execute_transfers_with_requeue,
     execute_transfers_with_requeue_traced, graceful_leave, total_moved_load, weighted_cost,
-    BalanceError, RequeueOutcome, TransferRecord,
+    RequeueOutcome, TransferRecord,
 };
 pub use vsa::{run_vsa, run_vsa_traced, VsaOutcome, VsaParams};
 

@@ -1,0 +1,359 @@
+//! Incremental balancing rounds for continuous operation.
+//!
+//! A one-shot [`LoadBalancer::run`] treats every peer as brand new: each
+//! one draws a fresh reporting virtual server and pushes its LBI up the
+//! tree. Under continuous operation (§3.2's *periodic* reporting) that is
+//! wasteful — between rounds only a few peers change, and only *their*
+//! reports travel. [`LoadBalancer::run_round`] captures this: a
+//! [`RoundCache`] remembers each peer's report binding across rounds and a
+//! [`DirtySet`] names the peers whose load, capacity, or membership
+//! changed, so unchanged peers neither consume randomness nor generate
+//! upward messages.
+//!
+//! The one-shot entry points delegate here with [`DirtySet::All`] and a
+//! throwaway cache, so there is exactly one four-phase code path and the
+//! legacy output is structurally byte-identical.
+
+use crate::classify::{ClassifyParams, NodeClass};
+use crate::error::Error;
+use crate::lbi::LoadState;
+use crate::reports::{
+    ignorant_inputs, light_slots, proximity_inputs, shed_candidates, Classification,
+};
+use crate::transfer::execute_transfers_traced;
+use crate::vsa::{run_vsa_traced, VsaParams};
+use crate::{BalanceReport, LoadBalancer, MessageStats, ProximityMode, Underlay};
+use proxbal_chord::{ChordNetwork, PeerId, VsId};
+use proxbal_ktree::KTree;
+use proxbal_trace::Trace;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Which peers changed since the last balancing round.
+#[derive(Clone, Debug)]
+pub enum DirtySet {
+    /// Every peer re-reports — a cold start, or a one-shot run.
+    All,
+    /// Only these peers changed; everyone else re-uses its cached report
+    /// binding and sends nothing up the tree.
+    Peers(BTreeSet<PeerId>),
+}
+
+impl DirtySet {
+    /// Whether `p` must redraw its reporting virtual server this round.
+    pub fn contains(&self, p: PeerId) -> bool {
+        match self {
+            DirtySet::All => true,
+            DirtySet::Peers(set) => set.contains(&p),
+        }
+    }
+}
+
+/// Per-peer soft state the periodic reporting protocol keeps between
+/// rounds: the virtual server each peer last reported through. A peer
+/// keeps its binding until it goes dirty, its virtual server dies, or the
+/// virtual server moves to another host.
+#[derive(Clone, Debug, Default)]
+pub struct RoundCache {
+    reports: BTreeMap<PeerId, VsId>,
+}
+
+impl RoundCache {
+    /// An empty cache (every peer reports fresh on the first round).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of peers with a live report binding.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether no peer has a report binding yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Drops a peer's binding (e.g. when it leaves the overlay).
+    pub fn forget(&mut self, p: PeerId) {
+        self.reports.remove(&p);
+    }
+}
+
+impl LoadBalancer {
+    /// One incremental balancing round over a long-lived tree: peers in
+    /// `dirty` redraw their reporting virtual server and re-report, all
+    /// others reuse the binding in `cache`. See [`LoadBalancer::run`] for
+    /// the phase structure; `underlay` and `rng` behave identically.
+    ///
+    /// With [`DirtySet::All`] and a fresh cache this is exactly a one-shot
+    /// run — the legacy entry points delegate here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_round<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        tree: &mut KTree,
+        underlay: Option<Underlay<'_>>,
+        cache: &mut RoundCache,
+        dirty: &DirtySet,
+        rng: &mut R,
+    ) -> Result<BalanceReport, Error> {
+        self.run_round_traced(
+            net,
+            loads,
+            tree,
+            underlay,
+            cache,
+            dirty,
+            rng,
+            &mut Trace::disabled(),
+        )
+    }
+
+    /// Like [`LoadBalancer::run_round`], recording per-phase spans and
+    /// counters into `trace`.
+    ///
+    /// The four phases are laid out sequentially on a virtual timeline whose
+    /// unit is one message round: tree maintenance, then `phase/lbi`
+    /// (duration = aggregation rounds), `phase/classify` (dissemination
+    /// rounds), `phase/vsa` (sweep rounds) and `phase/vst` (the maximum
+    /// physical transfer distance, since transfers run in parallel).
+    /// `lbi_messages` counts only the tree edges the *re-reporting* peers'
+    /// LBIs crossed — under a small dirty set most of the tree stays quiet,
+    /// the paper's periodic-report economy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_round_traced<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        tree: &mut KTree,
+        underlay: Option<Underlay<'_>>,
+        cache: &mut RoundCache,
+        dirty: &DirtySet,
+        rng: &mut R,
+        trace: &mut Trace,
+    ) -> Result<BalanceReport, Error> {
+        let cfg = self.config();
+        assert_eq!(tree.k(), cfg.k, "tree degree must match the config");
+        let mut clock = tree.maintain_until_stable_traced(net, 256, 0, trace) as u64;
+        let params = ClassifyParams {
+            epsilon: cfg.epsilon,
+        };
+        let tree = &*tree;
+
+        // Phase 1: LBI aggregation. Each peer reports through the KT leaf of
+        // one chosen virtual server (§3.2) — dirty peers choose at random,
+        // clean peers keep their cached binding. A peer that currently
+        // hosts no virtual servers (it shed everything in an earlier pass)
+        // reports through the root directly — in a real deployment it would
+        // retain an empty virtual-server registration; losing its capacity
+        // from the aggregate would silently inflate every target.
+        let alive = net.alive_peers();
+        {
+            let alive_set: BTreeSet<PeerId> = alive.iter().copied().collect();
+            cache.reports.retain(|p, _| alive_set.contains(p));
+        }
+        let mut lbi_inputs = proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
+        let mut report_seeds: Vec<proxbal_ktree::KtNodeId> = Vec::new();
+        for p in alive {
+            use rand::seq::SliceRandom;
+            let cached = cache.reports.get(&p).copied().filter(|&v| {
+                let vs = net.vs(v);
+                vs.alive && vs.host == p
+            });
+            let (vs, re_reported) = if dirty.contains(p) || cached.is_none() {
+                (net.vss_of(p).choose(rng).copied(), true)
+            } else {
+                (cached, false)
+            };
+            let target = match vs {
+                Some(v) => {
+                    cache.reports.insert(p, v);
+                    tree.report_target(net, v)
+                }
+                None => {
+                    cache.reports.remove(&p);
+                    tree.root()
+                }
+            };
+            if re_reported {
+                report_seeds.push(target);
+            }
+            let lbi = loads.node_lbi(net, p);
+            use proxbal_ktree::Merge;
+            match lbi_inputs.get_mut(target) {
+                Some(acc) => Merge::merge(acc, lbi),
+                None => {
+                    lbi_inputs.insert(target, lbi);
+                }
+            }
+        }
+        // Count inter-peer tree edges on the re-reporting paths (each edge
+        // carries exactly one aggregated LBI message; quiet peers' cached
+        // contributions cost nothing).
+        let lbi_messages = count_active_edges(net, tree, report_seeds.iter().copied());
+        let agg = tree.aggregate(lbi_inputs);
+        let system = agg.root_value.ok_or(Error::EmptyNetwork)?;
+        let lbi_rounds = agg.rounds;
+        trace.span_args(
+            "phase/lbi",
+            clock,
+            u64::from(lbi_rounds),
+            &[
+                ("messages", lbi_messages.into()),
+                ("merges", agg.merges.into()),
+            ],
+        );
+        trace.count("lbi_messages", lbi_messages as u64);
+        trace.count("kt_aggregate_merges", agg.merges as u64);
+        clock += u64::from(lbi_rounds);
+
+        // Phase 2: dissemination + classification (§3.3).
+        let (_, dissemination_rounds) = tree.disseminate(system);
+        let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
+        let classification = Classification::compute(net, loads, &params, system);
+        let before = class_counts(&classification);
+        let heavy_before = before.get(&NodeClass::Heavy).copied().unwrap_or(0);
+        trace.span_args(
+            "phase/classify",
+            clock,
+            u64::from(dissemination_rounds),
+            &[
+                ("messages", dissemination_messages.into()),
+                ("heavy", heavy_before.into()),
+            ],
+        );
+        trace.count("dissemination_messages", dissemination_messages as u64);
+        trace.count("heavy_before", heavy_before as u64);
+        clock += u64::from(dissemination_rounds);
+
+        // Phase 3: VSA (§3.4 / §4.3).
+        let shed = shed_candidates(net, loads, &params, &classification);
+        let light = light_slots(net, loads, &params, &classification);
+        let inputs = match cfg.mode {
+            ProximityMode::Ignorant => ignorant_inputs(net, tree, &shed, &light, rng),
+            ProximityMode::Aware(ref prox) => {
+                let u = underlay.ok_or(Error::MissingUnderlay)?;
+                proximity_inputs(net, tree, &shed, &light, prox, u.latency(), u.landmarks)
+            }
+        };
+        let vsa_params = VsaParams {
+            rendezvous_threshold: cfg.rendezvous_threshold,
+            l_min: system.min_vs_load,
+        };
+        let mut vsa = run_vsa_traced(tree, inputs, &vsa_params, trace);
+
+        // Optional extension: split unplaceable virtual servers and place
+        // the halves (off unless `max_splits > 0`).
+        if cfg.max_splits > 0 && !vsa.unassigned.shed().is_empty() {
+            let extra = crate::split_and_place(
+                net,
+                loads,
+                &mut vsa.unassigned,
+                system.min_vs_load,
+                cfg.max_splits,
+            );
+            trace.count("vsa_split_placed", extra.len() as u64);
+            vsa.assignments.extend(extra);
+        }
+        trace.span_args(
+            "phase/vsa",
+            clock,
+            u64::from(vsa.rounds),
+            &[
+                ("pairings", vsa.assignments.len().into()),
+                ("record_hops", vsa.record_hops.into()),
+                ("rendezvous_points", vsa.rendezvous_points.into()),
+            ],
+        );
+        trace.count("vsa_record_hops", vsa.record_hops as u64);
+        trace.count("vsa_notifications", 2 * vsa.assignments.len() as u64);
+        clock += u64::from(vsa.rounds);
+
+        // Phase 4: VST (§3.5).
+        let transfers = execute_transfers_traced(
+            net,
+            loads,
+            &vsa.assignments,
+            underlay.map(|u| u.oracle),
+            trace,
+        )?;
+        let vst_dur = transfers
+            .iter()
+            .filter_map(|t| t.distance)
+            .max()
+            .map_or(0, u64::from);
+        trace.span_args(
+            "phase/vst",
+            clock,
+            vst_dur,
+            &[
+                ("transfers", transfers.len().into()),
+                ("moved_load", crate::total_moved_load(&transfers).into()),
+            ],
+        );
+
+        // Re-classify against the same system LBI for the after picture.
+        let after_cls = Classification::compute(net, loads, &params, system);
+        let after = class_counts(&after_cls);
+        trace.count(
+            "heavy_after",
+            after.get(&NodeClass::Heavy).copied().unwrap_or(0) as u64,
+        );
+
+        let messages = MessageStats {
+            lbi_messages,
+            dissemination_messages,
+            vsa_record_hops: vsa.record_hops,
+            vsa_notifications: 2 * vsa.assignments.len(),
+            vst_weighted_cost: crate::weighted_cost(&transfers),
+        };
+
+        Ok(BalanceReport {
+            system,
+            lbi_rounds,
+            dissemination_rounds,
+            before,
+            vsa,
+            transfers,
+            after,
+            messages,
+        })
+    }
+}
+
+/// Counts tree edges between KT nodes planted on *different peers* along
+/// the root paths of `seeds` (each edge counted once).
+pub(crate) fn count_active_edges(
+    net: &ChordNetwork,
+    tree: &KTree,
+    seeds: impl Iterator<Item = proxbal_ktree::KtNodeId>,
+) -> usize {
+    let mut visited = vec![false; tree.slot_bound()];
+    let mut edges = 0;
+    for seed in seeds {
+        let mut cur = seed;
+        while let Some(parent) = tree.node(cur).parent {
+            let slot = cur.0 as usize;
+            if std::mem::replace(&mut visited[slot], true) {
+                break; // shared suffix already counted
+            }
+            let a = net.vs(tree.node(cur).host).host;
+            let b = net.vs(tree.node(parent).host).host;
+            if a != b {
+                edges += 1;
+            }
+            cur = parent;
+        }
+    }
+    edges
+}
+
+pub(crate) fn class_counts(c: &Classification) -> HashMap<NodeClass, usize> {
+    let mut out = HashMap::new();
+    for class in c.classes.values() {
+        *out.entry(*class).or_insert(0) += 1;
+    }
+    out
+}

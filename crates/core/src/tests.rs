@@ -617,7 +617,7 @@ fn execute_transfers_unattached_peer_is_typed_error() {
     let topo = TransitStubTopology::generate(TransitStubConfig::tiny(), &mut rng);
     let oracle = DistanceOracle::new(Arc::new(topo.graph));
     let err = execute_transfers(&mut net, &mut loads, &assignments, Some(&oracle)).unwrap_err();
-    assert!(matches!(err, BalanceError::UnattachedPeer(_)));
+    assert!(matches!(err, Error::UnattachedPeer(_)));
 }
 
 #[test]

@@ -1,32 +1,10 @@
+use crate::error::Error;
 use crate::lbi::LoadState;
 use crate::pairing::{Assignment, RendezvousLists, ShedCandidate};
 use proxbal_chord::{ChordNetwork, PeerId, PeerState, VsId};
 use proxbal_topology::DistanceOracle;
 use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
-
-/// Why a balancing run could not proceed — protocol-level conditions a
-/// caller can hit with a half-configured network (in contrast to the
-/// programmer-error `assert!`s on [`crate::BalancerConfig`] values).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BalanceError {
-    /// A transfer endpoint has no underlay attachment, so its physical
-    /// distance is undefined. Attach every peer
-    /// (`ChordNetwork::attach`) before running with an oracle.
-    UnattachedPeer(PeerId),
-}
-
-impl std::fmt::Display for BalanceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BalanceError::UnattachedPeer(p) => {
-                write!(f, "peer {p:?} has no underlay attachment")
-            }
-        }
-    }
-}
-
-impl std::error::Error for BalanceError {}
 
 /// One executed virtual-server transfer (VST, §3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -47,14 +25,14 @@ pub struct TransferRecord {
 /// Assignments whose source peer no longer hosts the virtual server (e.g.
 /// it crashed between VSA and VST) are skipped, mirroring the soft-state
 /// tolerance of the protocol. Fails with
-/// [`BalanceError::UnattachedPeer`] when a distance is requested for a
+/// [`Error::UnattachedPeer`] when a distance is requested for a
 /// peer that was never attached to the underlay.
 pub fn execute_transfers(
     net: &mut ChordNetwork,
     loads: &mut LoadState,
     assignments: &[Assignment],
     oracle: Option<&DistanceOracle>,
-) -> Result<Vec<TransferRecord>, BalanceError> {
+) -> Result<Vec<TransferRecord>, Error> {
     // With an unbounded oracle cache, warm whole rows and query per
     // transfer. With a bounded cache, precompute every pair distance up
     // front in capacity-sized batches instead: peer attachments are
@@ -84,10 +62,10 @@ pub fn execute_transfers(
                 let from = net.peer(a.from).underlay;
                 let to = net.peer(a.to).underlay;
                 if from == u32::MAX {
-                    return Err(BalanceError::UnattachedPeer(a.from));
+                    return Err(Error::UnattachedPeer(a.from));
                 }
                 if to == u32::MAX {
-                    return Err(BalanceError::UnattachedPeer(a.to));
+                    return Err(Error::UnattachedPeer(a.to));
                 }
                 Some(
                     memo.as_ref()
@@ -118,7 +96,7 @@ pub fn execute_transfers_traced(
     assignments: &[Assignment],
     oracle: Option<&DistanceOracle>,
     trace: &mut Trace,
-) -> Result<Vec<TransferRecord>, BalanceError> {
+) -> Result<Vec<TransferRecord>, Error> {
     let out = execute_transfers(net, loads, assignments, oracle)?;
     if trace.is_enabled() {
         trace.count("vst_transfers", out.len() as u64);
@@ -168,7 +146,7 @@ pub fn execute_transfers_with_requeue(
     oracle: Option<&DistanceOracle>,
     spare: &mut RendezvousLists,
     l_min: f64,
-) -> Result<RequeueOutcome, BalanceError> {
+) -> Result<RequeueOutcome, Error> {
     execute_transfers_with_requeue_traced(
         net,
         loads,
@@ -191,7 +169,7 @@ pub fn execute_transfers_with_requeue_traced(
     spare: &mut RendezvousLists,
     l_min: f64,
     trace: &mut Trace,
-) -> Result<RequeueOutcome, BalanceError> {
+) -> Result<RequeueOutcome, Error> {
     let transfers = execute_transfers_traced(net, loads, assignments, oracle, trace)?;
     // Assignments still valid on the shedding side whose receiver died.
     let mut requeued = 0usize;

@@ -85,7 +85,12 @@ fn unit_loads(net: &ChordNetwork, loads: &LoadState) -> Vec<f64> {
         .collect()
 }
 
-fn heavy_count(net: &ChordNetwork, loads: &LoadState, epsilon: f64) -> usize {
+/// Unit-load Gini over the alive peers (shared with the engine's sampler).
+pub(crate) fn gini_of_unit_loads(net: &ChordNetwork, loads: &LoadState) -> f64 {
+    gini(&unit_loads(net, loads))
+}
+
+pub(crate) fn heavy_count(net: &ChordNetwork, loads: &LoadState, epsilon: f64) -> usize {
     let params = proxbal_core::ClassifyParams { epsilon };
     let system = loads.totals(net);
     let cls = proxbal_core::Classification::compute(net, loads, &params, system);
@@ -133,6 +138,53 @@ pub fn run_drift<R: Rng>(
         });
     }
     stats
+}
+
+/// Geometric load drift as a pluggable [`EventSource`]: every epoch, each
+/// virtual server's load is multiplied by `exp(σ·Z)` — the same random
+/// walk [`run_drift`] applies per step. Every alive peer's load changes,
+/// so all of them go dirty.
+///
+/// [`EventSource`]: crate::engine::EventSource
+pub struct DriftSource {
+    cfg: DriftConfig,
+    rng: rand::rngs::StdRng,
+}
+
+impl DriftSource {
+    /// Builds the source; `rng` must be a private stream (e.g.
+    /// `Prepared::derived_rng`) so drift never perturbs other randomness.
+    pub fn new(cfg: DriftConfig, rng: rand::rngs::StdRng) -> Self {
+        DriftSource { cfg, rng }
+    }
+}
+
+impl crate::engine::EventSource for DriftSource {
+    fn name(&self) -> &'static str {
+        "drift"
+    }
+
+    fn on_epoch(
+        &mut self,
+        _epoch: usize,
+        _window: u64,
+        world: &mut crate::engine::World<'_>,
+    ) -> crate::engine::SourceActivity {
+        let vss: Vec<_> = world.net.ring().iter().map(|(_, v)| v).collect();
+        let drifted = vss.len();
+        for vs in vss {
+            let factor = (self.cfg.sigma * sample_gaussian(&mut self.rng)).exp();
+            let new = world.loads.vs_load(vs) * factor;
+            world.loads.set_vs_load(vs, new);
+        }
+        for p in world.net.alive_peers() {
+            world.dirty.insert(p);
+        }
+        crate::engine::SourceActivity {
+            drifted,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,530 @@
+//! The continuous-operation engine: churn, load drift, fault injection,
+//! tree maintenance and *periodic + emergency* balancing composed on one
+//! shared virtual clock.
+//!
+//! The paper describes periodic LBI reporting and an emergency re-balancing
+//! trigger (§3.2) but evaluates only one-shot passes; the dynamics live in
+//! three disjoint experiment drivers ([`crate::churn`], [`crate::drift`],
+//! [`crate::faults`]). This module composes them: time is divided into
+//! **epochs** of [`EngineConfig::epoch_len`] virtual-time units, every
+//! epoch each pluggable [`EventSource`] perturbs the [`World`] (joins,
+//! crashes, load drift, stale tree links), the K-nary tree is repaired on a
+//! maintenance cadence, and the four-phase balancer runs **incrementally**
+//! ([`proxbal_core::LoadBalancer::run_round`]) on the balancing cadence —
+//! or immediately, when any node's unit load crosses the emergency
+//! threshold between rounds.
+//!
+//! # Determinism contract
+//!
+//! Every random choice derives from the scenario's master seed through a
+//! labelled stream: each event source owns a private RNG
+//! (`derived_rng(label)`), the balancer draws from a per-run engine stream,
+//! and fault fates come from the plan's own stream. Nothing depends on
+//! wall-clock time or thread identity, so a run's per-epoch time series —
+//! and its trace — are byte-identical across repeats and `--threads`
+//! settings, and a traced run never perturbs an untraced one.
+
+use crate::churn::ChurnSource;
+use crate::des::RetryPolicy;
+use crate::drift::{gini_of_unit_loads, heavy_count, DriftSource};
+use crate::faults::{
+    simulate_aggregation_faulty_traced, simulate_dissemination_faulty_traced, FaultPlan,
+    FaultSource,
+};
+use crate::protocol::{ProtocolError, ProtocolScratch};
+use crate::Prepared;
+use proxbal_chord::{ChordNetwork, PeerId};
+use proxbal_core::{
+    total_moved_load, DirtySet, Error, LoadBalancer, LoadState, RoundCache, Underlay,
+};
+use proxbal_ktree::{KTree, KtNodeId, RepairStats};
+use proxbal_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// RNG stream label of the churn source (see [`Prepared::derived_rng`]).
+pub const CHURN_LABEL: u64 = 0xC4A1_0001;
+/// RNG stream label of the drift source (see [`Prepared::derived_rng`]).
+pub const DRIFT_LABEL: u64 = 0xD21F_0002;
+/// RNG stream label of the engine's balancer (see
+/// [`Prepared::derived_rng`]) — public so equivalence tests can replay the
+/// exact stream against a one-shot [`LoadBalancer::run_with_tree`].
+pub const BALANCE_LABEL: u64 = 0xE791_E003;
+
+/// Scheduling knobs of the continuous-operation engine. Epoch counts and
+/// intervals are in epochs; one epoch spans `epoch_len` virtual-time units
+/// (the window the Poisson churn clocks against).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of epochs to run.
+    pub epochs: usize,
+    /// Virtual-time units per epoch.
+    pub epoch_len: u64,
+    /// Run the balancer every this many epochs (plus emergencies, plus a
+    /// forced final pass on the last epoch).
+    pub balance_interval: usize,
+    /// Repair the K-nary tree every this many epochs. Balancing rounds
+    /// also bring the tree up to date, so this only matters between them.
+    pub maintenance_interval: usize,
+    /// Emergency trigger: balance immediately when any node's unit load
+    /// `L_i/C_i` exceeds this multiple of the system target `L/C` —
+    /// the paper's "emergency load balancing … invoked on demand" (§3.2).
+    pub emergency_threshold: f64,
+    /// Extra same-epoch passes while heavy nodes remain (each pass marks
+    /// its transfer participants dirty and re-runs). `0` = single pass.
+    pub max_emergency_passes: usize,
+    /// Inject the fault plan's stale tree links every this many epochs
+    /// (`0` = only once, before the first epoch). Ignored without faults.
+    pub stale_link_interval: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            epochs: 50,
+            epoch_len: 10,
+            balance_interval: 5,
+            maintenance_interval: 1,
+            emergency_threshold: 4.0,
+            max_emergency_passes: 4,
+            stale_link_interval: 10,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), Error> {
+        if self.epochs == 0 {
+            return Err(Error::InvalidEngineConfig("epochs must be >= 1"));
+        }
+        if self.epoch_len == 0 {
+            return Err(Error::InvalidEngineConfig("epoch_len must be >= 1"));
+        }
+        if self.balance_interval == 0 {
+            return Err(Error::InvalidEngineConfig("balance_interval must be >= 1"));
+        }
+        if self.maintenance_interval == 0 {
+            return Err(Error::InvalidEngineConfig(
+                "maintenance_interval must be >= 1",
+            ));
+        }
+        if !(self.emergency_threshold > 0.0) {
+            return Err(Error::InvalidEngineConfig(
+                "emergency_threshold must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The mutable simulation state an [`EventSource`] perturbs.
+pub struct World<'a> {
+    /// The Chord overlay.
+    pub net: &'a mut ChordNetwork,
+    /// Per-VS loads and per-peer capacities.
+    pub loads: &'a mut LoadState,
+    /// The long-lived K-nary aggregation tree.
+    pub tree: &'a mut KTree,
+    /// Peers whose load, capacity, or membership changed since the last
+    /// balancing round — they re-report at the next one
+    /// ([`proxbal_core::DirtySet`]).
+    pub dirty: &'a mut BTreeSet<PeerId>,
+}
+
+/// What one event source did during one epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceActivity {
+    /// Peers that joined.
+    pub joins: usize,
+    /// Peers that crashed.
+    pub crashes: usize,
+    /// Virtual servers whose load drifted.
+    pub drifted: usize,
+    /// Tree links rewired to a stale parent.
+    pub stale_links: usize,
+}
+
+impl SourceActivity {
+    fn merge(&mut self, other: SourceActivity) {
+        self.joins += other.joins;
+        self.crashes += other.crashes;
+        self.drifted += other.drifted;
+        self.stale_links += other.stale_links;
+    }
+}
+
+/// A pluggable perturbation: called once per epoch, in registration order,
+/// before maintenance and balancing. Implementations own their RNG stream
+/// so sources never perturb each other's randomness.
+pub trait EventSource {
+    /// Stable name for traces and logs.
+    fn name(&self) -> &'static str;
+    /// Perturbs the world for one epoch spanning `window` virtual-time
+    /// units, reporting what happened.
+    fn on_epoch(&mut self, epoch: usize, window: u64, world: &mut World<'_>) -> SourceActivity;
+}
+
+/// One row of the engine's per-epoch time series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochSample {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Alive peers at epoch end.
+    pub alive_peers: usize,
+    /// Unit-load Gini at epoch end.
+    pub gini: f64,
+    /// Heavy-node count at epoch end (against fresh system totals).
+    pub heavy: usize,
+    /// Peers that joined this epoch.
+    pub joins: usize,
+    /// Peers that crashed this epoch.
+    pub crashes: usize,
+    /// Stale tree links injected this epoch.
+    pub stale_links: usize,
+    /// Orphaned subtrees re-attached by maintenance this epoch.
+    pub repair_reattached: usize,
+    /// Tree nodes pruned by maintenance this epoch.
+    pub repair_pruned: usize,
+    /// Maintenance rounds run this epoch.
+    pub maintenance_rounds: usize,
+    /// Whether a balancing round ran this epoch.
+    pub balanced: bool,
+    /// Whether the emergency threshold (not the schedule) triggered it.
+    pub emergency: bool,
+    /// Balancing passes executed this epoch (> 1 when emergency re-passes
+    /// chased residual heavy nodes).
+    pub balance_passes: usize,
+    /// Load moved by this epoch's balancing.
+    pub moved: f64,
+    /// Transfers executed by this epoch's balancing.
+    pub transfers: usize,
+    /// Protocol messages of this epoch's balancing (LBI + dissemination +
+    /// VSA record·hops + notifications).
+    pub messages: usize,
+    /// Messages of the fault-injected DES shadow run (0 without faults).
+    pub des_messages: usize,
+    /// Retransmissions of the DES shadow run.
+    pub des_retries: usize,
+}
+
+/// The engine's output: the full time series plus run totals.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// The engine configuration that produced this report.
+    pub config: EngineConfig,
+    /// One row per epoch.
+    pub samples: Vec<EpochSample>,
+    /// Total peers joined.
+    pub joins: usize,
+    /// Total peers crashed.
+    pub crashes: usize,
+    /// Total stale links injected.
+    pub stale_links: usize,
+    /// Epochs on which balancing ran.
+    pub balances: usize,
+    /// Of those, how many were emergency-triggered.
+    pub emergencies: usize,
+    /// Total load moved.
+    pub total_moved: f64,
+    /// Total transfers executed.
+    pub total_transfers: usize,
+    /// Total protocol messages.
+    pub total_messages: usize,
+}
+
+impl EngineReport {
+    /// Heavy-node count at the final epoch.
+    pub fn final_heavy(&self) -> usize {
+        self.samples.last().map_or(0, |s| s.heavy)
+    }
+
+    /// Mean unit-load Gini across the timeline.
+    pub fn mean_gini(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.gini).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+fn to_core(e: ProtocolError) -> Error {
+    match e {
+        ProtocolError::UnattachedPeer(p) => Error::UnattachedPeer(p),
+        // The faulty drivers report partial coverage through their outcome,
+        // and the engine never constructs a loss model — these cannot
+        // reach here; map them conservatively anyway.
+        _ => Error::EmptyNetwork,
+    }
+}
+
+/// Runs the continuous-operation engine over a prepared scenario. Event
+/// sources come from the scenario itself (`churn`, `drift`, `faults`); the
+/// engine composes them with tree maintenance and periodic + emergency
+/// balancing per `cfg`. The prepared network and loads are mutated in
+/// place.
+pub fn run_engine(prepared: &mut Prepared, cfg: &EngineConfig) -> Result<EngineReport, Error> {
+    run_engine_traced(prepared, cfg, &mut Trace::disabled())
+}
+
+/// Like [`run_engine`], recording one relabelled child trace per epoch
+/// (`epoch0`, `epoch1`, …) absorbed in order — the same idiom as
+/// [`crate::parallel::map_indexed_traced`], so traces stay deterministic.
+pub fn run_engine_traced(
+    prepared: &mut Prepared,
+    cfg: &EngineConfig,
+    trace: &mut Trace,
+) -> Result<EngineReport, Error> {
+    cfg.validate()?;
+    let scenario = prepared.scenario.clone();
+    let derived = |label: u64| prepared.derived_rng(label);
+
+    let balancer = LoadBalancer::new(scenario.balancer);
+    let mut tree = KTree::build(&prepared.net, scenario.balancer.k);
+
+    let mut sources: Vec<Box<dyn EventSource>> = Vec::new();
+    if let Some(churn) = scenario.churn {
+        // Joining peers attach to underlay stub nodes like the initial
+        // population did, so proximity queries work for them too.
+        let attach_pool = prepared
+            .topo
+            .as_ref()
+            .map(|t| t.stub_nodes())
+            .unwrap_or_default();
+        sources.push(Box::new(ChurnSource::new(
+            churn,
+            scenario.capacity.clone(),
+            scenario.load.clone(),
+            attach_pool,
+            derived(CHURN_LABEL),
+        )));
+    }
+    if let Some(drift) = scenario.drift {
+        sources.push(Box::new(DriftSource::new(drift, derived(DRIFT_LABEL))));
+    }
+    if let Some(faults) = scenario.faults {
+        sources.push(Box::new(FaultSource::new(faults, cfg.stale_link_interval)));
+    }
+
+    // The DES shadow: on balancing epochs the LBI aggregation and
+    // dissemination also run through the fault-injected message simulator,
+    // which supplies the loss/retry metrics while the actual balancing
+    // operates on ground truth (the same split `fault_sweep` uses — the
+    // protocol *state* stays exact, the *transport* statistics degrade).
+    let mut des = scenario
+        .faults
+        .map(|f| (FaultPlan::new(f), ProtocolScratch::new()));
+
+    let mut bal_rng = derived(BALANCE_LABEL);
+    let mut cache = RoundCache::new();
+    let mut dirty: BTreeSet<PeerId> = BTreeSet::new();
+
+    let mut report = EngineReport {
+        config: *cfg,
+        samples: Vec::with_capacity(cfg.epochs),
+        joins: 0,
+        crashes: 0,
+        stale_links: 0,
+        balances: 0,
+        emergencies: 0,
+        total_moved: 0.0,
+        total_transfers: 0,
+        total_messages: 0,
+    };
+
+    for epoch in 0..cfg.epochs {
+        let mut tr = Trace::new(trace.is_enabled(), "");
+        tr.relabel(&format!("epoch{epoch}"));
+        let clock = epoch as u64 * cfg.epoch_len;
+
+        // 1. Event sources, in registration order.
+        let mut activity = SourceActivity::default();
+        {
+            let mut world = World {
+                net: &mut prepared.net,
+                loads: &mut prepared.loads,
+                tree: &mut tree,
+                dirty: &mut dirty,
+            };
+            for s in &mut sources {
+                activity.merge(s.on_epoch(epoch, cfg.epoch_len, &mut world));
+            }
+        }
+
+        // 2. Tree maintenance on its own cadence (balancing rounds also
+        // repair, so this covers the quiet epochs in between).
+        let mut repair = RepairStats {
+            reattached: 0,
+            pruned: 0,
+            rounds: 0,
+        };
+        if (epoch + 1) % cfg.maintenance_interval == 0 {
+            repair = tree.repair_traced(&prepared.net, 256, clock, &mut tr);
+        }
+
+        // 3. Emergency check against ground truth — the engine's stand-in
+        // for each node comparing its own L_i/C_i against the last
+        // disseminated target.
+        let totals = prepared.loads.totals(&prepared.net);
+        let target_unit = if totals.capacity > 0.0 {
+            totals.load / totals.capacity
+        } else {
+            0.0
+        };
+        let alive = prepared.net.alive_peers();
+        let max_unit = alive
+            .iter()
+            .map(|&p| prepared.loads.unit_load(&prepared.net, p))
+            .fold(0.0_f64, f64::max);
+        let emergency = target_unit > 0.0 && max_unit > cfg.emergency_threshold * target_unit;
+        let scheduled = (epoch + 1) % cfg.balance_interval == 0;
+        let last = epoch + 1 == cfg.epochs;
+        let do_balance = scheduled || emergency || last;
+
+        // 4. Balancing: one incremental round, plus emergency re-passes
+        // while heavy nodes remain and transfers still happen.
+        let mut moved = 0.0;
+        let mut transfers = 0usize;
+        let mut messages = 0usize;
+        let mut passes = 0usize;
+        let mut des_messages = 0usize;
+        let mut des_retries = 0usize;
+        if do_balance {
+            if let (Some((plan, scratch)), Some(oracle)) = (des.as_mut(), prepared.oracle.as_ref())
+            {
+                let mut contributors: Vec<KtNodeId> = prepared
+                    .net
+                    .ring()
+                    .iter()
+                    .map(|(_, vs)| tree.report_target(&prepared.net, vs))
+                    .collect();
+                contributors.sort_unstable();
+                contributors.dedup();
+                let agg = simulate_aggregation_faulty_traced(
+                    &prepared.net,
+                    &tree,
+                    oracle,
+                    &contributors,
+                    plan,
+                    RetryPolicy::protocol_default(),
+                    &[],
+                    scratch,
+                    &mut tr,
+                )
+                .map_err(to_core)?;
+                let dis = simulate_dissemination_faulty_traced(
+                    &prepared.net,
+                    &tree,
+                    oracle,
+                    plan,
+                    RetryPolicy::protocol_default(),
+                    &[],
+                    scratch,
+                    &mut tr,
+                )
+                .map_err(to_core)?;
+                des_messages = agg.timing.messages + dis.timing.messages;
+                des_retries = agg.retries + dis.retries;
+            }
+
+            let underlay = prepared.oracle.as_ref().map(|oracle| Underlay {
+                oracle,
+                latency_oracle: prepared.latency_oracle.as_ref(),
+                landmarks: &prepared.landmarks,
+            });
+            // A cold cache means every peer reports fresh regardless of the
+            // dirty set; say so explicitly so the message accounting matches
+            // a one-shot run.
+            let mut round_dirty = if cache.is_empty() {
+                dirty.clear();
+                DirtySet::All
+            } else {
+                DirtySet::Peers(std::mem::take(&mut dirty))
+            };
+            loop {
+                passes += 1;
+                let round = balancer.run_round_traced(
+                    &mut prepared.net,
+                    &mut prepared.loads,
+                    &mut tree,
+                    underlay,
+                    &mut cache,
+                    &round_dirty,
+                    &mut bal_rng,
+                    &mut tr,
+                )?;
+                moved += total_moved_load(&round.transfers);
+                transfers += round.transfers.len();
+                messages += round.messages.lbi_messages
+                    + round.messages.dissemination_messages
+                    + round.messages.vsa_record_hops
+                    + round.messages.vsa_notifications;
+                let heavy_after = round.heavy_after();
+                let mut participants: BTreeSet<PeerId> = BTreeSet::new();
+                for t in &round.transfers {
+                    participants.insert(t.assignment.from);
+                    participants.insert(t.assignment.to);
+                }
+                let done = heavy_after == 0
+                    || participants.is_empty()
+                    || passes > cfg.max_emergency_passes;
+                // Transfer participants changed load: they re-report at the
+                // next pass (or the next epoch's round).
+                dirty = participants.clone();
+                if done {
+                    break;
+                }
+                round_dirty = DirtySet::Peers(participants);
+            }
+            report.balances += 1;
+            if emergency && !scheduled && !last {
+                report.emergencies += 1;
+            }
+        }
+
+        // 5. Sample the epoch.
+        let heavy = heavy_count(&prepared.net, &prepared.loads, scenario.balancer.epsilon);
+        let gini = gini_of_unit_loads(&prepared.net, &prepared.loads);
+        let alive_peers = prepared.net.alive_peers().len();
+        tr.span_args(
+            "engine/epoch",
+            clock,
+            cfg.epoch_len,
+            &[
+                ("joins", activity.joins.into()),
+                ("crashes", activity.crashes.into()),
+                ("heavy", heavy.into()),
+                ("passes", passes.into()),
+            ],
+        );
+        report.samples.push(EpochSample {
+            epoch,
+            alive_peers,
+            gini,
+            heavy,
+            joins: activity.joins,
+            crashes: activity.crashes,
+            stale_links: activity.stale_links,
+            repair_reattached: repair.reattached,
+            repair_pruned: repair.pruned,
+            maintenance_rounds: repair.rounds,
+            balanced: do_balance,
+            emergency: emergency && do_balance,
+            balance_passes: passes,
+            moved,
+            transfers,
+            messages,
+            des_messages,
+            des_retries,
+        });
+        report.joins += activity.joins;
+        report.crashes += activity.crashes;
+        report.stale_links += activity.stale_links;
+        report.total_moved += moved;
+        report.total_transfers += transfers;
+        report.total_messages += messages;
+
+        trace.absorb(tr);
+    }
+
+    Ok(report)
+}

@@ -248,7 +248,10 @@ pub fn rounds_scaling_traced(
         .collect();
     crate::parallel::map_items_traced(&cells, threads, trace, |_, &(peers, k), trace| {
         trace.relabel(&format!("n{peers}_k{k}"));
-        let mut scenario = Scenario::small(seed ^ (peers as u64) ^ ((k as u64) << 32));
+        let mut scenario = Scenario::builder()
+            .small()
+            .seed(seed ^ (peers as u64) ^ ((k as u64) << 32))
+            .build();
         scenario.peers = peers;
         scenario.topology = crate::TopologyKind::None;
         scenario.balancer = BalancerConfig {
@@ -315,7 +318,7 @@ pub fn repair_after_crash_traced(
     seed: u64,
     trace: &mut Trace,
 ) -> RepairRow {
-    let mut scenario = Scenario::small(seed);
+    let mut scenario = Scenario::builder().small().seed(seed).build();
     scenario.peers = peers;
     scenario.topology = crate::TopologyKind::None;
     let mut prepared = scenario.prepare();
@@ -653,7 +656,7 @@ pub fn protocol_latency_traced(
     };
     let mut rows = Vec::new();
     for &peers in sizes {
-        let mut scenario = Scenario::paper(seed ^ peers as u64);
+        let mut scenario = Scenario::builder().seed(seed ^ peers as u64).build();
         scenario.peers = peers;
         scenario.topology = crate::TopologyKind::Ts5kLarge;
         let prepared = scenario.prepare();
@@ -801,7 +804,7 @@ pub struct XlScaleOutput {
     pub ignorant: XlRunSummary,
 }
 
-/// The xl-scale pass: prepares [`Scenario::xl`] (65,536 peers over a ~50k
+/// The xl-scale pass: prepares the xl preset (65,536 peers over a ~50k
 /// underlay) with a bounded oracle cache, then runs the full four-phase
 /// balancer twice from identical initial state — proximity-aware and
 /// proximity-ignorant, the Figure-7 comparison shape. Deterministic for a
@@ -813,9 +816,9 @@ pub fn xl_scale(seed: u64) -> XlScaleOutput {
 /// [`xl_scale`] recording each mode's four-phase run on its own child
 /// track (`aware` / `ignorant`) of `trace`.
 pub fn xl_scale_traced(seed: u64, trace: &mut Trace) -> XlScaleOutput {
-    let scenario = Scenario::xl(seed);
+    let scenario = Scenario::builder().xl().seed(seed).build();
     let t0 = std::time::Instant::now();
-    let prepared = scenario.prepare_bounded(crate::XL_ORACLE_CAPACITY);
+    let prepared = scenario.prepare();
     let prepare_wall_s = t0.elapsed().as_secs_f64();
     let underlay = prepared.underlay().expect("xl runs over a topology");
 
@@ -1148,7 +1151,7 @@ mod tests {
     use crate::scenario::TopologyKind;
 
     fn sweep_scenario() -> Scenario {
-        let mut s = Scenario::small(60);
+        let mut s = Scenario::builder().small().seed(60).build();
         s.peers = 96;
         s.topology = TopologyKind::Tiny;
         s

@@ -680,6 +680,59 @@ pub fn simulate_dissemination_faulty_traced(
     })
 }
 
+/// Stale-link injection as a pluggable [`EventSource`]: on a fixed epoch
+/// cadence, `stale_parents` KT links are rewired to dangle at the root —
+/// the pointer damage a pruned parent leaves behind — for the maintenance
+/// machinery to repair. The plan is seeded independently of the engine's
+/// DES shadow plan (label `0x57A1E`), so link damage and message fates
+/// draw from disjoint streams.
+///
+/// [`EventSource`]: crate::engine::EventSource
+pub struct FaultSource {
+    plan: FaultPlan,
+    interval: usize,
+}
+
+impl FaultSource {
+    /// Builds the source: stale links are injected on epochs where
+    /// `epoch % interval == 0` (`interval = 0` means only at epoch 0).
+    pub fn new(cfg: FaultConfig, interval: usize) -> Self {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: cfg.seed ^ 0x57A1E,
+            ..cfg
+        });
+        FaultSource { plan, interval }
+    }
+}
+
+impl crate::engine::EventSource for FaultSource {
+    fn name(&self) -> &'static str {
+        "faults"
+    }
+
+    fn on_epoch(
+        &mut self,
+        epoch: usize,
+        _window: u64,
+        world: &mut crate::engine::World<'_>,
+    ) -> crate::engine::SourceActivity {
+        let due = if self.interval == 0 {
+            epoch == 0
+        } else {
+            epoch % self.interval == 0
+        };
+        let mut activity = crate::engine::SourceActivity::default();
+        if due {
+            let root = world.tree.root();
+            for child in self.plan.pick_stale_links(world.tree) {
+                world.tree.inject_stale_parent(child, root);
+                activity.stale_links += 1;
+            }
+        }
+        activity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,7 +740,7 @@ mod tests {
     use crate::{Scenario, TopologyKind};
 
     fn setup() -> (crate::Prepared, KTree) {
-        let mut scenario = Scenario::small(60);
+        let mut scenario = Scenario::builder().small().seed(60).build();
         scenario.peers = 96;
         scenario.topology = TopologyKind::Tiny;
         let prepared = scenario.prepare();

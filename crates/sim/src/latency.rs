@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn latencies_monotone_down_the_tree() {
-        let mut scenario = Scenario::small(5);
+        let mut scenario = Scenario::builder().small().seed(5).build();
         scenario.topology = TopologyKind::Tiny;
         let prepared = scenario.prepare();
         let tree = KTree::build(&prepared.net, 2);

@@ -11,12 +11,16 @@
 //! * [`des`] — a minimal discrete-event engine (time-ordered queue).
 //! * [`churn`] — Poisson join/crash churn driving K-nary-tree maintenance,
 //!   for the self-repair claims of §3.1.
+//! * [`engine`] — the continuous-operation engine: churn, drift, faults,
+//!   tree maintenance and periodic + emergency balancing composed on one
+//!   virtual clock.
 //! * [`experiments`] — one driver per paper figure/claim; the `repro`
 //!   binary and the Criterion benches call these.
 
 pub mod churn;
 pub mod des;
 pub mod drift;
+pub mod engine;
 pub mod experiments;
 pub mod faults;
 pub mod latency;
@@ -25,4 +29,5 @@ pub mod parallel;
 pub mod protocol;
 mod scenario;
 
-pub use scenario::{Prepared, Scenario, TopologyKind, XL_ORACLE_CAPACITY};
+pub use engine::{run_engine, run_engine_traced, EngineConfig, EngineReport, EpochSample};
+pub use scenario::{Prepared, Scenario, ScenarioBuilder, TopologyKind, XL_ORACLE_CAPACITY};

@@ -520,7 +520,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (crate::Prepared, KTree) {
-        let mut scenario = Scenario::small(60);
+        let mut scenario = Scenario::builder().small().seed(60).build();
         scenario.peers = 96;
         scenario.topology = TopologyKind::Tiny;
         let prepared = scenario.prepare();

@@ -49,6 +49,17 @@ pub struct Scenario {
     /// scenario shares its network/loads/topology bit-for-bit with the
     /// fault-free one.
     pub faults: Option<crate::faults::FaultConfig>,
+    /// Churn regime for continuous operation (`None` = static membership).
+    /// Like `faults`, never consulted by `prepare`.
+    pub churn: Option<crate::churn::ChurnConfig>,
+    /// Load-drift regime for continuous operation (`None` = static loads).
+    /// Like `faults`, never consulted by `prepare`.
+    pub drift: Option<crate::drift::DriftConfig>,
+    /// Bound on both distance oracles' row caches, in resident rows
+    /// (`0` = unbounded). [`Scenario::prepare`] honors this directly, so
+    /// the old `prepare` vs `prepare_bounded` split is gone: memory policy
+    /// is part of the scenario, set once at build time.
+    pub oracle_capacity: usize,
     /// Master seed: every random choice derives from it.
     pub seed: u64,
 }
@@ -59,56 +70,63 @@ pub struct Scenario {
 pub const XL_ORACLE_CAPACITY: usize = 4096;
 
 impl Scenario {
-    /// The paper's full-scale setup (§5.2): 4096 peers × 5 virtual servers,
-    /// Gaussian loads, Gnutella capacities, ts5k-large, 15 landmarks, K = 2.
+    /// Starts a fluent builder preloaded with the paper's full-scale setup
+    /// (§5.2): 4096 peers × 5 virtual servers, Gaussian loads, Gnutella
+    /// capacities, ts5k-large, 15 landmarks, K = 2, seed 0.
+    ///
+    /// ```
+    /// use proxbal_sim::{Scenario, TopologyKind};
+    ///
+    /// let scenario = Scenario::builder()
+    ///     .peers(256)
+    ///     .topology(TopologyKind::Tiny)
+    ///     .landmarks(4)
+    ///     .seed(7)
+    ///     .build();
+    /// let prepared = scenario.prepare();
+    /// assert_eq!(prepared.net.alive_peers().len(), 256);
+    /// ```
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// The paper's full-scale setup (§5.2).
+    #[deprecated(note = "use Scenario::builder()")]
     pub fn paper(seed: u64) -> Self {
-        Scenario {
-            peers: 4096,
-            vs_per_peer: 5,
-            load: LoadModel::gaussian(1_000_000.0, 10_000.0),
-            capacity: CapacityProfile::gnutella(),
-            topology: TopologyKind::Ts5kLarge,
-            landmarks: 15,
-            balancer: BalancerConfig::default(),
-            faults: None,
-            seed,
-        }
+        Self::builder().seed(seed).build()
     }
 
     /// A scaled-down variant for unit/integration tests (fast, same shape).
+    #[deprecated(note = "use Scenario::builder().small()")]
     pub fn small(seed: u64) -> Self {
-        Scenario {
-            peers: 128,
-            vs_per_peer: 5,
-            topology: TopologyKind::Tiny,
-            landmarks: 4,
-            ..Self::paper(seed)
-        }
+        Self::builder().small().seed(seed).build()
     }
 
     /// The xl-scale setup: 65,536 peers over a ~50k-node transit-stub
-    /// underlay. Prepare it with
-    /// `prepare_bounded(`[`XL_ORACLE_CAPACITY`]`)` — an unbounded oracle
-    /// cache can grow past 100 GB at this scale.
+    /// underlay with a bounded oracle cache.
+    #[deprecated(note = "use Scenario::builder().xl()")]
     pub fn xl(seed: u64) -> Self {
-        Scenario {
-            peers: 65_536,
-            topology: TopologyKind::Ts50k,
-            ..Self::paper(seed)
-        }
+        Self::builder().xl().seed(seed).build()
     }
 
-    /// Builds the network, loads, topology, oracle and landmarks.
+    /// Builds the network, loads, topology, oracle and landmarks. The
+    /// oracle row caches are bounded to [`Scenario::oracle_capacity`]
+    /// resident rows (`0` = unbounded), with landmark rows pinned so they
+    /// survive eviction pressure. Every result is bit-identical across
+    /// capacity settings — eviction only discards memoized pure functions
+    /// of the graph.
     pub fn prepare(&self) -> Prepared {
-        self.prepare_bounded(0)
+        self.prepare_with(self.oracle_capacity)
     }
 
-    /// Like [`Scenario::prepare`], but bounds both distance oracles' row
-    /// caches to `oracle_capacity` resident rows (`0` = unbounded) and pins
-    /// the landmark rows so they survive eviction pressure. Every result is
-    /// bit-identical to the unbounded preparation — eviction only discards
-    /// memoized pure functions of the graph.
+    /// Like [`Scenario::prepare`] with an explicit cache bound, overriding
+    /// [`Scenario::oracle_capacity`].
+    #[deprecated(note = "set oracle_capacity on the builder and use Scenario::prepare()")]
     pub fn prepare_bounded(&self, oracle_capacity: usize) -> Prepared {
+        self.prepare_with(oracle_capacity)
+    }
+
+    fn prepare_with(&self, oracle_capacity: usize) -> Prepared {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let topo = match self.topology {
@@ -183,6 +201,146 @@ impl Scenario {
             landmarks,
             rng,
         }
+    }
+}
+
+/// Fluent construction of a [`Scenario`] — the one front door for every
+/// experiment configuration (one-shot figures, fault sweeps, xl-scale runs
+/// and the continuous-operation engine alike).
+///
+/// A fresh builder carries the paper's full-scale defaults; the
+/// [`ScenarioBuilder::small`] and [`ScenarioBuilder::xl`] presets rescale
+/// them wholesale, and every knob has an individual setter. `build` is
+/// infallible: all invariants are enforced by types and the few numeric
+/// ones (`peers >= 1`, …) by the same asserts `prepare` always had.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// A builder with the paper's full-scale defaults (see
+    /// [`Scenario::builder`]).
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            scenario: Scenario {
+                peers: 4096,
+                vs_per_peer: 5,
+                load: LoadModel::gaussian(1_000_000.0, 10_000.0),
+                capacity: CapacityProfile::gnutella(),
+                topology: TopologyKind::Ts5kLarge,
+                landmarks: 15,
+                balancer: BalancerConfig::default(),
+                faults: None,
+                churn: None,
+                drift: None,
+                oracle_capacity: 0,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Rescales to the test-sized preset: 128 peers on the tiny topology
+    /// with 4 landmarks (fast, same shape as the paper setup).
+    pub fn small(mut self) -> Self {
+        self.scenario.peers = 128;
+        self.scenario.topology = TopologyKind::Tiny;
+        self.scenario.landmarks = 4;
+        self
+    }
+
+    /// Rescales to the xl preset: 65,536 peers over a ~50k-node
+    /// transit-stub underlay, with the oracle cache bounded to
+    /// [`XL_ORACLE_CAPACITY`] rows (unbounded, it can grow past 100 GB at
+    /// this scale).
+    pub fn xl(mut self) -> Self {
+        self.scenario.peers = 65_536;
+        self.scenario.topology = TopologyKind::Ts50k;
+        self.scenario.oracle_capacity = XL_ORACLE_CAPACITY;
+        self
+    }
+
+    /// Number of DHT peers (paper: 4096).
+    pub fn peers(mut self, peers: usize) -> Self {
+        self.scenario.peers = peers;
+        self
+    }
+
+    /// Virtual servers per peer at start (paper: 5).
+    pub fn vs_per_peer(mut self, vs_per_peer: usize) -> Self {
+        self.scenario.vs_per_peer = vs_per_peer;
+        self
+    }
+
+    /// Virtual-server load distribution.
+    pub fn load(mut self, load: LoadModel) -> Self {
+        self.scenario.load = load;
+        self
+    }
+
+    /// Node capacity profile.
+    pub fn capacity(mut self, capacity: CapacityProfile) -> Self {
+        self.scenario.capacity = capacity;
+        self
+    }
+
+    /// Physical topology.
+    pub fn topology(mut self, topology: TopologyKind) -> Self {
+        self.scenario.topology = topology;
+        self
+    }
+
+    /// Number of landmarks (paper: 15).
+    pub fn landmarks(mut self, landmarks: usize) -> Self {
+        self.scenario.landmarks = landmarks;
+        self
+    }
+
+    /// Balancer configuration.
+    pub fn balancer(mut self, balancer: BalancerConfig) -> Self {
+        self.scenario.balancer = balancer;
+        self
+    }
+
+    /// Fault regime (message loss, delay, crashes, stale links).
+    pub fn faults(mut self, faults: crate::faults::FaultConfig) -> Self {
+        self.scenario.faults = Some(faults);
+        self
+    }
+
+    /// Churn regime for continuous operation.
+    pub fn churn(mut self, churn: crate::churn::ChurnConfig) -> Self {
+        self.scenario.churn = Some(churn);
+        self
+    }
+
+    /// Load-drift regime for continuous operation.
+    pub fn drift(mut self, drift: crate::drift::DriftConfig) -> Self {
+        self.scenario.drift = Some(drift);
+        self
+    }
+
+    /// Oracle row-cache bound in resident rows (`0` = unbounded).
+    pub fn oracle_capacity(mut self, oracle_capacity: usize) -> Self {
+        self.scenario.oracle_capacity = oracle_capacity;
+        self
+    }
+
+    /// Master seed: every random choice derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Finalizes the scenario.
+    pub fn build(self) -> Scenario {
+        self.scenario
     }
 }
 

@@ -8,7 +8,7 @@ use proxbal_sim::{Scenario, TopologyKind};
 use proxbal_workload::LoadModel;
 
 fn small(seed: u64, topology: TopologyKind) -> Scenario {
-    let mut s = Scenario::paper(seed);
+    let mut s = Scenario::builder().seed(seed).build();
     s.peers = 256;
     s.topology = topology;
     s
@@ -174,8 +174,9 @@ fn parallel_drivers_are_thread_count_invariant() {
 fn bounded_oracle_cache_is_bit_identical() {
     let mut base = small(7, TopologyKind::Ts5kLarge);
     base.peers = 512;
-    let unbounded = serde_json::to_string(&fig78_moved_load(&base.prepare_bounded(0))).unwrap();
-    let bounded = serde_json::to_string(&fig78_moved_load(&base.prepare_bounded(16))).unwrap();
+    let unbounded = serde_json::to_string(&fig78_moved_load(&base.prepare())).unwrap();
+    base.oracle_capacity = 16;
+    let bounded = serde_json::to_string(&fig78_moved_load(&base.prepare())).unwrap();
     assert_eq!(unbounded, bounded);
 }
 
@@ -194,7 +195,7 @@ fn balancer_config_in_scenario_is_respected() {
 
 #[test]
 fn scenario_serde_round_trip() {
-    let scenario = Scenario::paper(99);
+    let scenario = Scenario::builder().seed(99).build();
     let json = serde_json::to_string(&scenario).unwrap();
     let back: Scenario = serde_json::from_str(&json).unwrap();
     assert_eq!(back.peers, scenario.peers);

@@ -12,14 +12,14 @@ use proxbal_sim::{Scenario, TopologyKind};
 use proxbal_trace::Trace;
 
 fn sweep_scenario() -> Scenario {
-    let mut s = Scenario::small(60);
+    let mut s = Scenario::builder().small().seed(60).build();
     s.peers = 96;
     s.topology = TopologyKind::Tiny;
     s
 }
 
 fn fig78_scenario() -> Scenario {
-    let mut s = Scenario::small(7);
+    let mut s = Scenario::builder().small().seed(7).build();
     s.peers = 96;
     s.topology = TopologyKind::Tiny;
     s

@@ -19,7 +19,7 @@ fn main() {
         ("Gaussian", LoadModel::gaussian(1_000_000.0, 10_000.0)),
         ("Pareto(alpha=1.5)", LoadModel::pareto(1_000_000.0)),
     ] {
-        let mut scenario = Scenario::paper(7);
+        let mut scenario = Scenario::builder().seed(7).build();
         scenario.peers = 1024; // example-sized; repro --fig 5/6 runs 4096
         scenario.topology = TopologyKind::None;
         scenario.load = model;

@@ -11,7 +11,7 @@ use proxbal::sim::experiments::fig78_moved_load;
 use proxbal::sim::{Scenario, TopologyKind};
 
 fn main() {
-    let mut scenario = Scenario::paper(3);
+    let mut scenario = Scenario::builder().seed(3).build();
     scenario.peers = 1024; // example-sized; `repro --fig 7` runs 4096
     scenario.topology = TopologyKind::Ts5kLarge;
     let prepared = scenario.prepare();

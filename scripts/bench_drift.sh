@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench-drift gate: re-derives the deterministic metrics of the committed
-# BENCH_repro.json (small-scale timing run + fault-injection sweep) and
-# fails if any of them changed. Wall-clock and throughput fields are
+# BENCH_repro.json (small-scale timing run + fault-injection sweep +
+# continuous-operation engine) and fails if any of them changed. Wall-clock and throughput fields are
 # machine-dependent and are filtered out before the comparison — the gate
 # guards *results* (message counts, completion rates, imbalance, repair
 # work), not speed.
@@ -26,7 +26,8 @@ trap 'rm -rf "$WORK"' EXIT
 # directory so the committed file is never touched.
 (cd "$WORK" \
   && timeout 900 "$REPRO" --timing --scale small > /dev/null \
-  && timeout 900 "$REPRO" --faults 0.1 --scale small > /dev/null)
+  && timeout 900 "$REPRO" --faults 0.1 --scale small > /dev/null \
+  && timeout 900 "$REPRO" engine --scale small > /dev/null)
 
 # Strip fields that legitimately vary run-to-run or machine-to-machine.
 VOLATILE='"(wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s)"'
@@ -51,7 +52,7 @@ pick() {
   python3 -c '
 import json, sys
 doc = json.load(open(sys.argv[1]))
-sub = {k: doc[k] for k in ("small", "faults") if k in doc}
+sub = {k: doc[k] for k in ("small", "faults", "engine") if k in doc}
 json.dump(sub, open(sys.argv[2], "w"), indent=2)
 ' "$1" "$2"
 }
@@ -67,6 +68,7 @@ if ! diff -u "$WORK/committed.txt" "$WORK/fresh.txt"; then
   echo "If the change is intentional, regenerate the entries with:" >&2
   echo "  ./target/release/repro --timing --scale small" >&2
   echo "  ./target/release/repro --faults 0.1 --scale small" >&2
+  echo "  ./target/release/repro engine --scale small" >&2
   echo "and commit the updated BENCH_repro.json." >&2
   exit 1
 fi

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything that must be green before a change ships.
 #
-#   scripts/check.sh [--xl-smoke] [--faults-smoke]
+#   scripts/check.sh [--xl-smoke] [--faults-smoke] [--engine-smoke]
 #
 # Runs, in order:
 #   1. tier-1 verify (ROADMAP.md): release build + root test suite
@@ -21,15 +21,22 @@
 # scale twice (1 thread and 8 threads) and fails if the two runs don't
 # produce byte-identical sweep tables — the determinism contract of the
 # fault layer.
+#
+# --engine-smoke additionally runs the continuous-operation engine
+# (`repro engine --scale small`) traced at 1 and 8 threads and fails
+# unless the per-epoch time series, the BENCH entry and both trace files
+# are byte-identical — the determinism contract of the engine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 XL_SMOKE=0
 FAULTS_SMOKE=0
+ENGINE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --xl-smoke) XL_SMOKE=1 ;;
     --faults-smoke) FAULTS_SMOKE=1 ;;
+    --engine-smoke) ENGINE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -82,6 +89,25 @@ if [[ "$FAULTS_SMOKE" == "1" ]]; then
     echo "fault sweep output differs across thread counts" >&2; exit 1; }
   diff "$SMOKE_DIR/bench_t1.json" "$SMOKE_DIR/bench_t8.json" || {
     echo "fault sweep JSON differs across thread counts" >&2; exit 1; }
+fi
+
+if [[ "$ENGINE_SMOKE" == "1" ]]; then
+  echo "==> engine smoke: repro engine --scale small (threads 1 vs 8)"
+  (cd "$SMOKE_DIR" && timeout 600 "$REPRO" engine --scale small --epochs 12 --threads 1 --trace e1.json > e1.txt \
+                   && mv BENCH_repro.json bench_e1.json \
+                   && timeout 600 "$REPRO" engine --scale small --epochs 12 --threads 8 --trace e8.json > e8.txt \
+                   && mv BENCH_repro.json bench_e8.json)
+  # The per-epoch series is deterministic; only the wall-clock line (and
+  # the volatile wall/threads fields of the BENCH entry) may differ.
+  diff <(grep -v "wall" "$SMOKE_DIR/e1.txt") <(grep -v "wall" "$SMOKE_DIR/e8.txt") || {
+    echo "engine time series differs across thread counts" >&2; exit 1; }
+  diff <(grep -v -E '"(total_wall_s|threads)"' "$SMOKE_DIR/bench_e1.json") \
+       <(grep -v -E '"(total_wall_s|threads)"' "$SMOKE_DIR/bench_e8.json") || {
+    echo "engine BENCH entry differs across thread counts" >&2; exit 1; }
+  cmp "$SMOKE_DIR/e1.json" "$SMOKE_DIR/e8.json" || {
+    echo "engine chrome trace differs across thread counts" >&2; exit 1; }
+  cmp "$SMOKE_DIR/e1.ndjson" "$SMOKE_DIR/e8.ndjson" || {
+    echo "engine trace event log differs across thread counts" >&2; exit 1; }
 fi
 
 echo "==> all checks passed"

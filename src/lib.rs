@@ -18,8 +18,10 @@
 //! * [`core`] — the four-phase load balancer itself (LBI aggregation,
 //!   classification, VSA, VST) and baselines (CFS shedding, random
 //!   matching);
-//! * [`sim`] — scenarios, metrics, a discrete-event engine, churn and the
-//!   drivers regenerating every figure of the paper.
+//! * [`sim`] — scenarios (via [`sim::ScenarioBuilder`]), metrics, a
+//!   discrete-event engine, churn, the continuous-operation engine
+//!   ([`sim::run_engine`]) and the drivers regenerating every figure of
+//!   the paper.
 //!
 //! This facade crate re-exports the workspace so `use proxbal::…` works
 //! from examples and downstream code.

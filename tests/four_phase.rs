@@ -20,7 +20,7 @@ fn unit_loads(net: &ChordNetwork, loads: &LoadState) -> Vec<f64> {
 
 #[test]
 fn full_run_balances_and_preserves_invariants() {
-    let mut scenario = Scenario::small(100);
+    let mut scenario = Scenario::builder().small().seed(100).build();
     scenario.peers = 256;
     scenario.topology = TopologyKind::None;
     let mut prepared = scenario.prepare();
@@ -87,7 +87,7 @@ fn epsilon_trades_movement_for_balance() {
     // trade-off §3.3 describes.
     let mut moved = Vec::new();
     for eps in [0.0, 0.2, 0.5] {
-        let mut scenario = Scenario::small(200);
+        let mut scenario = Scenario::builder().small().seed(200).build();
         scenario.peers = 256;
         scenario.topology = TopologyKind::None;
         scenario.balancer = BalancerConfig {
@@ -122,7 +122,7 @@ fn epsilon_trades_movement_for_balance() {
 
 #[test]
 fn higher_capacity_nodes_carry_more_after_balancing() {
-    let mut scenario = Scenario::small(300);
+    let mut scenario = Scenario::builder().small().seed(300).build();
     scenario.peers = 512;
     scenario.topology = TopologyKind::None;
     let mut prepared = scenario.prepare();

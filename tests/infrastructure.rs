@@ -83,7 +83,7 @@ fn sustained_churn_with_lookups() {
 
 #[test]
 fn aggregation_latency_reflects_topology() {
-    let mut scenario = Scenario::small(3);
+    let mut scenario = Scenario::builder().small().seed(3).build();
     scenario.peers = 96;
     scenario.topology = TopologyKind::Tiny;
     let prepared = scenario.prepare();
@@ -121,7 +121,7 @@ fn aggregation_latency_reflects_topology() {
 fn balance_runs_back_to_back_converge() {
     // Running the balancer repeatedly must be stable: after the first pass
     // removes all heavy nodes, further passes move (almost) nothing.
-    let mut scenario = Scenario::small(5);
+    let mut scenario = Scenario::builder().small().seed(5).build();
     scenario.peers = 192;
     scenario.topology = TopologyKind::None;
     let mut prepared = scenario.prepare();

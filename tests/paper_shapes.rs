@@ -10,7 +10,7 @@ use proxbal::sim::{Scenario, TopologyKind};
 use proxbal::workload::LoadModel;
 
 fn scenario(seed: u64, peers: usize, topology: TopologyKind) -> Scenario {
-    let mut s = Scenario::paper(seed);
+    let mut s = Scenario::builder().seed(seed).build();
     s.peers = peers;
     s.topology = topology;
     s

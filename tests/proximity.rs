@@ -5,7 +5,7 @@ use proxbal::sim::experiments::fig78_moved_load;
 use proxbal::sim::{Scenario, TopologyKind};
 
 fn moved_load_scenario(topology: TopologyKind, peers: usize, seed: u64) -> Scenario {
-    let mut s = Scenario::paper(seed);
+    let mut s = Scenario::builder().seed(seed).build();
     s.peers = peers;
     s.topology = topology;
     s
