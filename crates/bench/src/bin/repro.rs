@@ -7,6 +7,7 @@
 //! repro claims [names...]  # the claim grid (all seven when none given)
 //! repro faults [rate]      # fault-injection sweep at losses {0,1%,5%,rate}
 //! repro xl                 # 65,536 peers on a ts50k underlay (bounded RAM)
+//! repro xl2                # 1,048,576 peers: sharded prepare + landmark distances
 //! repro engine             # continuous operation: churn + drift + loss
 //! repro all                # the full figure + claim grid
 //! ```
@@ -27,6 +28,8 @@
 //! repro --all              # everything
 //! repro --scale xl         # 65,536 peers on a ts50k underlay (bounded RAM)
 //! repro ... --scale small  # reduced size for quick runs
+//! repro xl2 --peers 65536  # xl2 machinery at a reduced peer count (smoke)
+//! repro xl2 ... --exact   # same pipeline, exact distances (sensitivity)
 //! repro ... --seed 42      # change the master seed
 //! repro ... --threads 4    # worker threads for the sweep engine
 //! repro ... --timing       # per-phase wall-clock -> BENCH_repro.json
@@ -75,6 +78,10 @@ enum Scale {
     /// Runs its own phase (four balancer phases + the fig-7-shaped
     /// proximity sweep) instead of the figure/claim grid.
     Xl,
+    /// 1,048,576 peers: sharded preparation, sharded KT-tree build and
+    /// landmark-approximate transfer distances. One proximity-aware pass,
+    /// in place. `--peers` rescales it for smoke runs.
+    Xl2,
 }
 
 impl Scale {
@@ -83,6 +90,7 @@ impl Scale {
             Scale::Full => "full",
             Scale::Small => "small",
             Scale::Xl => "xl",
+            Scale::Xl2 => "xl2",
         }
     }
 }
@@ -103,6 +111,11 @@ struct Args {
     engine: bool,
     /// `--epochs` override for the engine phase.
     epochs: Option<usize>,
+    /// `--peers` override for the xl2 phase (reduced-scale smoke runs).
+    peers: Option<usize>,
+    /// `--exact` forces exact distances in the xl2 phase (sensitivity runs
+    /// comparing the landmark-approximate scheme against ground truth).
+    exact: bool,
 }
 
 const ALL_CLAIMS: [&str; 7] = [
@@ -159,6 +172,10 @@ fn apply_subcommand<'a>(cmd: &str, operands: &'a [String], args: &mut Args) -> &
             no_operands("xl");
             args.scale = Scale::Xl;
         }
+        "xl2" => {
+            no_operands("xl2");
+            args.scale = Scale::Xl2;
+        }
         "engine" => {
             no_operands("engine");
             args.engine = true;
@@ -169,7 +186,7 @@ fn apply_subcommand<'a>(cmd: &str, operands: &'a [String], args: &mut Args) -> &
             args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
         }
         other => {
-            eprintln!("unknown subcommand {other} (expected figs|claims|faults|xl|engine|all)");
+            eprintln!("unknown subcommand {other} (expected figs|claims|faults|xl|xl2|engine|all)");
             std::process::exit(2);
         }
     }
@@ -189,6 +206,8 @@ fn parse_args() -> Args {
         trace: None,
         engine: false,
         epochs: None,
+        peers: None,
+        exact: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let flags: &[String] = match argv.first() {
@@ -204,9 +223,10 @@ fn parse_args() -> Args {
             }
             "--claim" => args.claims.push(it.next().expect("--claim needs a name")),
             "--scale" => {
-                args.scale = match it.next().expect("--scale needs full|small|xl").as_str() {
+                args.scale = match it.next().expect("--scale needs full|small|xl|xl2").as_str() {
                     "small" => Scale::Small,
                     "xl" => Scale::Xl,
+                    "xl2" => Scale::Xl2,
                     _ => Scale::Full,
                 }
             }
@@ -237,6 +257,15 @@ fn parse_args() -> Args {
                         .expect("epoch count"),
                 );
             }
+            "--peers" => {
+                args.peers = Some(
+                    it.next()
+                        .expect("--peers needs a count")
+                        .parse()
+                        .expect("peer count"),
+                );
+            }
+            "--exact" => args.exact = true,
             "--all" => {
                 args.figs = vec![4, 5, 6, 7, 8];
                 args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
@@ -248,6 +277,7 @@ fn parse_args() -> Args {
         }
     }
     if args.scale != Scale::Xl
+        && args.scale != Scale::Xl2
         && !args.engine
         && args.faults.is_none()
         && args.figs.is_empty()
@@ -268,7 +298,7 @@ fn scenario(args: &Args, topology: TopologyKind) -> Scenario {
             .landmarks(15)
             .seed(args.seed)
             .build(),
-        Scale::Xl => unreachable!("xl runs its own phase"),
+        Scale::Xl | Scale::Xl2 => unreachable!("xl runs its own phase"),
     };
     s.topology = topology;
     s
@@ -452,6 +482,106 @@ fn run_xl(args: &Args, trace: &mut Trace) {
     }
 }
 
+/// The xl2 phase: the million-peer run — sharded preparation, sharded
+/// KT-tree build, landmark-approximate transfer distances — through one
+/// proximity-aware four-phase pass executed in place. Appends an `xl2`
+/// entry to BENCH_repro.json unless `--peers` rescaled the run (smoke runs
+/// must not clobber the committed full-scale entry).
+fn run_xl2(args: &Args, trace: &mut Trace) {
+    assert!(
+        args.figs.is_empty() && args.claims.is_empty(),
+        "repro xl2 runs its own phase (figures/claims not supported)"
+    );
+    let mut scenario = Scenario::builder().xl2().seed(args.seed).build();
+    if let Some(p) = args.peers {
+        scenario.peers = p;
+    }
+    if args.exact {
+        scenario.distance_mode = proxbal_sim::DistanceMode::Exact;
+    }
+    println!(
+        "── xl2 scale: sharded prepare + landmark distances at {} peers on ts50k (seed {}) ──",
+        scenario.peers, args.seed
+    );
+    let total = Instant::now();
+    let out = proxbal_sim::experiments::xl2_scale_with(scenario, args.threads, trace);
+    let total_wall = total.elapsed().as_secs_f64();
+    let peak_rss = proxbal_bench::peak_rss_bytes();
+
+    println!(
+        "underlay: {} nodes   peers: {}   virtual servers: {}   oracle cache: {} rows   shards: {}   refine: {} rows",
+        out.underlay_nodes,
+        out.peers,
+        out.virtual_servers,
+        out.oracle_capacity,
+        out.shards,
+        out.refine_sources
+    );
+    println!(
+        "prepare: {:.1}s   tree build: {:.1}s",
+        out.prepare_wall_s, out.tree_wall_s
+    );
+    let run = &out.aware;
+    println!(
+        "{:<18}: {}   heavy {} -> {}   transfers {}   {:.1}s",
+        format!("proximity-{}", run.label),
+        headline(&run.histogram),
+        run.heavy_before,
+        run.heavy_after,
+        run.transfers,
+        run.wall_s
+    );
+    println!("\n  CDF of moved load (distance: aware)");
+    for d in [0u32, 1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50] {
+        println!(
+            "  <={d:>3} hops: {:6.1}%",
+            (100.0 * run.histogram.fraction_within(d)).max(0.0)
+        );
+    }
+    match peak_rss {
+        Some(b) => println!(
+            "total: {total_wall:.1}s   peak RSS: {:.2} GiB",
+            b as f64 / (1u64 << 30) as f64
+        ),
+        None => println!("total: {total_wall:.1}s   peak RSS: unavailable"),
+    }
+
+    if args.peers.is_none() && !args.exact {
+        let entry = serde_json::json!({
+            "seed": args.seed,
+            "peers": out.peers,
+            "underlay_nodes": out.underlay_nodes,
+            "virtual_servers": out.virtual_servers,
+            "oracle_capacity": out.oracle_capacity,
+            "shards": out.shards,
+            "refine_sources": out.refine_sources,
+            "total_wall_s": total_wall,
+            "prepare_wall_s": out.prepare_wall_s,
+            "tree_wall_s": out.tree_wall_s,
+            "aware_wall_s": run.wall_s,
+            "peak_rss_bytes": peak_rss.unwrap_or(0),
+            "lbi_messages": run.lbi_messages,
+            "vsa_record_hops": run.vsa_record_hops,
+            "aware_frac2": run.frac2,
+            "aware_frac10": run.frac10,
+            "heavy_after": run.heavy_after,
+        });
+        merge_bench_json("xl2", entry);
+    }
+
+    if let Some(path) = &args.json {
+        let doc = serde_json::json!({
+            "paper": "Zhu & Hu, Towards Efficient Load Balancing in Structured P2P Systems (IPDPS 2004)",
+            "seed": args.seed,
+            "scale": "xl2",
+            "results": serde_json::to_value(&out).expect("serialize xl2 output"),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        println!("wrote {path}");
+    }
+}
+
 /// The `--faults <rate>` phase: the four-phase protocol driven through a
 /// seeded fault plan at loss rates {0, 1%, 5%, `<rate>`}, reporting phase
 /// completion, repair work, convergence rounds and residual imbalance per
@@ -527,7 +657,7 @@ fn run_engine_cmd(args: &Args, trace: &mut Trace) {
         "repro engine runs its own phase (figures/claims not supported)"
     );
     assert!(
-        args.scale != Scale::Xl,
+        args.scale != Scale::Xl && args.scale != Scale::Xl2,
         "repro engine runs at full or small scale"
     );
     let cfg = proxbal_sim::EngineConfig {
@@ -550,7 +680,7 @@ fn run_engine_cmd(args: &Args, trace: &mut Trace) {
         .drift(proxbal_sim::drift::DriftConfig::default())
         .faults(proxbal_sim::faults::FaultConfig::with_loss(
             0.01,
-            args.seed ^ 0xE961_4E,
+            args.seed ^ 0xE9_614E,
         ))
         .build();
 
@@ -668,6 +798,11 @@ fn main() {
     }
     if args.scale == Scale::Xl {
         run_xl(&args, &mut trace);
+        finish_trace(&args, &trace);
+        return;
+    }
+    if args.scale == Scale::Xl2 {
+        run_xl2(&args, &mut trace);
         finish_trace(&args, &trace);
         return;
     }
@@ -900,7 +1035,7 @@ fn fig78(
     let graphs = match args.scale {
         Scale::Full => 10,
         Scale::Small => 3,
-        Scale::Xl => unreachable!("xl runs its own phase"),
+        Scale::Xl | Scale::Xl2 => unreachable!("xl runs its own phase"),
     };
     say!(
         o,
@@ -984,7 +1119,7 @@ fn claim_rounds(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let sizes: Vec<usize> = match args.scale {
         Scale::Full => vec![256, 512, 1024, 2048, 4096],
         Scale::Small => vec![64, 128, 256, 512],
-        Scale::Xl => unreachable!("xl runs its own phase"),
+        Scale::Xl | Scale::Xl2 => unreachable!("xl runs its own phase"),
     };
     let rows = rounds_scaling_traced(&sizes, &[2, 8], args.seed, args.threads, trace);
     let json = serde_json::to_value(&rows).expect("serialize rows");
@@ -1025,7 +1160,7 @@ fn claim_repair(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let peers = match args.scale {
         Scale::Full => 2048,
         Scale::Small => 256,
-        Scale::Xl => unreachable!("xl runs its own phase"),
+        Scale::Xl | Scale::Xl2 => unreachable!("xl runs its own phase"),
     };
     say!(
         o,
@@ -1161,7 +1296,7 @@ fn claim_drift(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {
     let peers = match args.scale {
         Scale::Full => 1024,
         Scale::Small => 256,
-        Scale::Xl => unreachable!("xl runs its own phase"),
+        Scale::Xl | Scale::Xl2 => unreachable!("xl runs its own phase"),
     };
     let mut s = scenario(args, TopologyKind::None);
     s.peers = peers;
@@ -1234,7 +1369,7 @@ fn claim_latency(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) 
     let sizes: Vec<usize> = match args.scale {
         Scale::Full => vec![1024, 4096],
         Scale::Small => vec![256],
-        Scale::Xl => unreachable!("xl runs its own phase"),
+        Scale::Xl | Scale::Xl2 => unreachable!("xl runs its own phase"),
     };
     let rows = proxbal_sim::experiments::protocol_latency_traced(
         &sizes,

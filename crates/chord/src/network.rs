@@ -137,6 +137,28 @@ impl ChordNetwork {
         pid
     }
 
+    /// Joins a new peer whose virtual servers sit at the given precomputed
+    /// ring positions. Positions that collide with an already-occupied slot
+    /// fall back to a fresh draw from `rng`, exactly as [`Self::spawn_vs`]
+    /// resamples. Sharded preparation generates position batches per worker
+    /// and replays them here in peer order, so the resulting ring is
+    /// independent of how the batches were produced.
+    pub fn join_peer_at<R: Rng>(&mut self, positions: &[Id], rng: &mut R) -> PeerId {
+        let pid = PeerId(self.peers.len() as u32);
+        self.peers.push(Peer {
+            id: pid,
+            state: PeerState::Alive,
+            virtual_servers: Vec::with_capacity(positions.len()),
+            underlay: u32::MAX,
+        });
+        for &position in positions {
+            if self.spawn_vs_at(pid, position).is_none() {
+                self.spawn_vs(pid, rng);
+            }
+        }
+        pid
+    }
+
     /// Adds one more virtual server to an alive peer at a random position
     /// (CFS-style capacity provisioning). Returns its id.
     pub fn spawn_vs<R: Rng>(&mut self, host: PeerId, rng: &mut R) -> VsId {

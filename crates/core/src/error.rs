@@ -49,8 +49,3 @@ impl std::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
-
-/// The pre-unification name of [`Error`], kept for one release so
-/// downstream `match`es keep compiling.
-#[deprecated(note = "renamed to proxbal_core::Error")]
-pub type BalanceError = Error;

@@ -3,7 +3,6 @@ use proxbal_ktree::Merge;
 use proxbal_workload::{CapacityClass, CapacityProfile, LoadModel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Load-balancing information, the `<L, C, L_min>` triple of §3.2.
 ///
@@ -36,11 +35,26 @@ impl Merge for Lbi {
 ///
 /// Loads ride with virtual servers: transferring a VS moves its load to the
 /// receiving peer (the defining property of virtual-server-based balancing).
+///
+/// [`VsId`] and [`PeerId`] are dense indices, so the state is three flat
+/// vectors rather than hash maps — at million-peer scale the map overhead
+/// (control bytes, load-factor headroom, rehash transients) dominates the
+/// payload, while a `Vec<f64>` is exactly 8 bytes per virtual server.
+/// Absent entries are encoded in-band: loads default to `0.0`, capacities
+/// to `NaN` ("never assigned", [`Self::capacity`] panics on it).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LoadState {
-    vs_load: HashMap<VsId, f64>,
-    capacity: HashMap<PeerId, f64>,
-    class: HashMap<PeerId, CapacityClass>,
+    vs_load: Vec<f64>,
+    capacity: Vec<f64>,
+    class: Vec<Option<CapacityClass>>,
+}
+
+/// Grows `v` with `fill` so that `idx` is addressable, then returns the slot.
+fn slot<T: Copy>(v: &mut Vec<T>, idx: usize, fill: T) -> &mut T {
+    if idx >= v.len() {
+        v.resize(idx + 1, fill);
+    }
+    &mut v[idx]
 }
 
 impl LoadState {
@@ -59,14 +73,15 @@ impl LoadState {
         rng: &mut R,
     ) -> Self {
         let mut state = LoadState::new();
+        state.vs_load.reserve(net.ring().len());
         for p in net.alive_peers() {
             let class = profile.sample_class(rng);
-            state.class.insert(p, class);
-            state.capacity.insert(p, profile.capacity_of(class));
+            state.set_class(p, class);
+            state.set_capacity(p, profile.capacity_of(class));
         }
         for (pos, vs) in net.ring().iter() {
             let f = net.ring().region(pos).fraction();
-            state.vs_load.insert(vs, model.sample_vs_load(f, rng));
+            state.set_vs_load(vs, model.sample_vs_load(f, rng));
         }
         state
     }
@@ -74,43 +89,43 @@ impl LoadState {
     /// Sets a virtual server's load explicitly.
     pub fn set_vs_load(&mut self, vs: VsId, load: f64) {
         assert!(load >= 0.0 && load.is_finite());
-        self.vs_load.insert(vs, load);
+        *slot(&mut self.vs_load, vs.0 as usize, 0.0) = load;
     }
 
     /// Sets a peer's capacity explicitly.
     pub fn set_capacity(&mut self, p: PeerId, capacity: f64) {
         assert!(capacity > 0.0 && capacity.is_finite());
-        self.capacity.insert(p, capacity);
+        *slot(&mut self.capacity, p.0 as usize, f64::NAN) = capacity;
     }
 
     /// Sets a peer's capacity class label (for per-class reporting).
     pub fn set_class(&mut self, p: PeerId, class: CapacityClass) {
-        self.class.insert(p, class);
+        *slot(&mut self.class, p.0 as usize, None) = Some(class);
     }
 
     /// A virtual server's load (0 if never assigned).
     pub fn vs_load(&self, vs: VsId) -> f64 {
-        self.vs_load.get(&vs).copied().unwrap_or(0.0)
+        self.vs_load.get(vs.0 as usize).copied().unwrap_or(0.0)
     }
 
     /// Adds `delta` to a virtual server's load (used when a dropped VS's
     /// region is absorbed by its successor in the CFS baseline).
     pub fn add_vs_load(&mut self, vs: VsId, delta: f64) {
-        let slot = self.vs_load.entry(vs).or_insert(0.0);
+        let slot = slot(&mut self.vs_load, vs.0 as usize, 0.0);
         *slot = (*slot + delta).max(0.0);
     }
 
     /// A peer's capacity (panics if the peer has no capacity assigned).
     pub fn capacity(&self, p: PeerId) -> f64 {
-        *self
-            .capacity
-            .get(&p)
-            .unwrap_or_else(|| panic!("peer {p:?} has no capacity"))
+        match self.capacity.get(p.0 as usize) {
+            Some(&c) if !c.is_nan() => c,
+            _ => panic!("peer {p:?} has no capacity"),
+        }
     }
 
     /// A peer's capacity class, if recorded.
     pub fn class(&self, p: PeerId) -> Option<CapacityClass> {
-        self.class.get(&p).copied()
+        self.class.get(p.0 as usize).copied().flatten()
     }
 
     /// Total load currently hosted by a peer.
@@ -172,19 +187,19 @@ impl LoadState {
         let mut state = LoadState::new();
         for p in net.alive_peers() {
             let class = profile.sample_class(rng);
-            state.class.insert(p, class);
-            state.capacity.insert(p, profile.capacity_of(class));
+            state.set_class(p, class);
+            state.set_capacity(p, profile.capacity_of(class));
         }
         // Every alive VS starts at zero so min_vs_load is well defined.
         for (_, vs) in net.ring().iter() {
-            state.vs_load.insert(vs, 0.0);
+            state.set_vs_load(vs, 0.0);
         }
         for obj in objects {
             let owner = net
                 .ring()
                 .owner(proxbal_id::Id::new(obj.key))
                 .expect("non-empty ring");
-            *state.vs_load.entry(owner).or_insert(0.0) += obj.load;
+            *slot(&mut state.vs_load, owner.0 as usize, 0.0) += obj.load;
         }
         state
     }

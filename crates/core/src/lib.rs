@@ -62,11 +62,10 @@ mod transfer;
 mod vsa;
 
 pub use balancer::{
-    BalanceReport, BalancerConfig, LoadBalancer, MessageStats, ProximityMode, Underlay,
+    ApproxTransfer, BalanceReport, BalancerConfig, LoadBalancer, MessageStats, ProximityMode,
+    Underlay,
 };
 pub use classify::{ClassifyParams, NodeClass};
-#[allow(deprecated)]
-pub use error::BalanceError;
 pub use error::Error;
 pub use lbi::{Lbi, LoadState};
 pub use pairing::{Assignment, LightSlot, RendezvousLists, ShedCandidate};
@@ -77,7 +76,7 @@ pub use split::split_and_place;
 pub use transfer::{
     absorb_join, execute_transfers, execute_transfers_traced, execute_transfers_with_requeue,
     execute_transfers_with_requeue_traced, graceful_leave, total_moved_load, weighted_cost,
-    RequeueOutcome, TransferRecord,
+    RequeueOutcome, TransferDistances, TransferRecord,
 };
 pub use vsa::{run_vsa, run_vsa_traced, VsaOutcome, VsaParams};
 

@@ -116,8 +116,8 @@ pub fn ignorant_inputs<R: Rng>(
     shed: &BTreeMap<PeerId, Vec<ShedCandidate>>,
     light: &BTreeMap<PeerId, LightSlot>,
     rng: &mut R,
-) -> KtNodeMap<RendezvousLists> {
-    let mut inputs: KtNodeMap<RendezvousLists> = KtNodeMap::with_slot_bound(tree.slot_bound());
+) -> KtNodeMap<Box<RendezvousLists>> {
+    let mut inputs: KtNodeMap<Box<RendezvousLists>> = KtNodeMap::with_slot_bound(tree.slot_bound());
     // A peer with no virtual servers (possible for light peers that shed
     // everything in an earlier pass) enters at the root.
     let entry_for = |p: PeerId, rng: &mut R| -> KtNodeId {
@@ -196,7 +196,7 @@ pub fn proximity_inputs(
     params: &ProximityParams,
     oracle: &DistanceOracle,
     landmarks: &[NodeId],
-) -> KtNodeMap<RendezvousLists> {
+) -> KtNodeMap<Box<RendezvousLists>> {
     assert!(!landmarks.is_empty(), "need at least one landmark");
     // Landmark vectors of every participating node, projected onto the
     // key dimensions.
@@ -248,7 +248,7 @@ pub fn proximity_inputs(
     }
     .with_curve(params.curve);
 
-    let mut inputs: KtNodeMap<RendezvousLists> = KtNodeMap::with_slot_bound(tree.slot_bound());
+    let mut inputs: KtNodeMap<Box<RendezvousLists>> = KtNodeMap::with_slot_bound(tree.slot_bound());
     let target_for = |p: PeerId| -> KtNodeId {
         let v = &vectors[&p];
         let v: Vec<u32> = if params.center_vectors {

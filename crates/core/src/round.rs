@@ -154,7 +154,11 @@ impl LoadBalancer {
             let alive_set: BTreeSet<PeerId> = alive.iter().copied().collect();
             cache.reports.retain(|p, _| alive_set.contains(p));
         }
-        let mut lbi_inputs = proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
+        // LBIs are boxed so the dense per-node map costs one pointer per
+        // arena slot — at million-peer scale the tree has tens of millions
+        // of slots and the unboxed map alone would dwarf the arena.
+        let mut lbi_inputs: proxbal_ktree::KtNodeMap<Box<crate::Lbi>> =
+            proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
         let mut report_seeds: Vec<proxbal_ktree::KtNodeId> = Vec::new();
         for p in alive {
             use rand::seq::SliceRandom;
@@ -183,9 +187,9 @@ impl LoadBalancer {
             let lbi = loads.node_lbi(net, p);
             use proxbal_ktree::Merge;
             match lbi_inputs.get_mut(target) {
-                Some(acc) => Merge::merge(acc, lbi),
+                Some(acc) => Merge::merge(&mut **acc, lbi),
                 None => {
-                    lbi_inputs.insert(target, lbi);
+                    lbi_inputs.insert(target, Box::new(lbi));
                 }
             }
         }
@@ -193,24 +197,33 @@ impl LoadBalancer {
         // carries exactly one aggregated LBI message; quiet peers' cached
         // contributions cost nothing).
         let lbi_messages = count_active_edges(net, tree, report_seeds.iter().copied());
-        let agg = tree.aggregate(lbi_inputs);
-        let system = agg.root_value.ok_or(Error::EmptyNetwork)?;
-        let lbi_rounds = agg.rounds;
+        let proxbal_ktree::AggregateOutcome {
+            root_value,
+            rounds: lbi_rounds,
+            merges: lbi_merges,
+            per_node,
+        } = tree.aggregate(lbi_inputs);
+        drop(per_node); // free the per-node LBI views before phase 2 allocates
+        let system = *root_value.ok_or(Error::EmptyNetwork)?;
         trace.span_args(
             "phase/lbi",
             clock,
             u64::from(lbi_rounds),
             &[
                 ("messages", lbi_messages.into()),
-                ("merges", agg.merges.into()),
+                ("merges", lbi_merges.into()),
             ],
         );
         trace.count("lbi_messages", lbi_messages as u64);
-        trace.count("kt_aggregate_merges", agg.merges as u64);
+        trace.count("kt_aggregate_merges", lbi_merges as u64);
         clock += u64::from(lbi_rounds);
 
-        // Phase 2: dissemination + classification (§3.3).
-        let (_, dissemination_rounds) = tree.disseminate(system);
+        // Phase 2: dissemination + classification (§3.3). Disseminating the
+        // system LBI reaches every node in `max_message_depth` downward
+        // rounds; materializing the per-node copies (what
+        // `KTree::disseminate` returns) would be pure waste here, so only
+        // the round count is computed.
+        let dissemination_rounds = tree.max_message_depth();
         let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
         let classification = Classification::compute(net, loads, &params, system);
         let before = class_counts(&classification);
@@ -276,7 +289,7 @@ impl LoadBalancer {
             net,
             loads,
             &vsa.assignments,
-            underlay.map(|u| u.oracle),
+            underlay.map(|u| u.transfer_distances()),
             trace,
         )?;
         let vst_dur = transfers

@@ -616,7 +616,13 @@ fn execute_transfers_unattached_peer_is_typed_error() {
     // asserting.
     let topo = TransitStubTopology::generate(TransitStubConfig::tiny(), &mut rng);
     let oracle = DistanceOracle::new(Arc::new(topo.graph));
-    let err = execute_transfers(&mut net, &mut loads, &assignments, Some(&oracle)).unwrap_err();
+    let err = execute_transfers(
+        &mut net,
+        &mut loads,
+        &assignments,
+        Some(crate::transfer::TransferDistances::Exact(&oracle)),
+    )
+    .unwrap_err();
     assert!(matches!(err, Error::UnattachedPeer(_)));
 }
 

@@ -2,9 +2,36 @@ use crate::error::Error;
 use crate::lbi::LoadState;
 use crate::pairing::{Assignment, RendezvousLists, ShedCandidate};
 use proxbal_chord::{ChordNetwork, PeerId, PeerState, VsId};
-use proxbal_topology::DistanceOracle;
+use proxbal_topology::{DistanceOracle, LandmarkOracle};
 use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
+
+/// How VST accounts the physical distance of each transfer.
+///
+/// The exact scheme runs one bucket-queue Dijkstra per distinct endpoint —
+/// the scale ceiling at millions of virtual servers. The hierarchical
+/// scheme answers most pairs from landmark triangle-inequality bounds and
+/// spends exact Dijkstra only where the bounds disagree *and* the source
+/// covers enough uncertain pairs to be worth a full row (filter-then-
+/// refine). Both are pure functions of their inputs, so either mode is
+/// byte-identical at any thread count.
+#[derive(Clone, Copy)]
+pub enum TransferDistances<'a> {
+    /// Every pair measured by exact Dijkstra rows (the default — existing
+    /// outputs stay byte-identical).
+    Exact(&'a DistanceOracle),
+    /// Landmark bounds first, exact rows only for the
+    /// highest-coverage uncertain sources.
+    Approx {
+        /// Exact oracle for the refinement rows.
+        oracle: &'a DistanceOracle,
+        /// Precomputed landmark vectors answering the filter stage.
+        landmarks: &'a LandmarkOracle,
+        /// How many distinct sources (on the cheaper endpoint side) get an
+        /// exact Dijkstra row; the rest keep the landmark upper bound.
+        refine_sources: usize,
+    },
+}
 
 /// One executed virtual-server transfer (VST, §3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -31,20 +58,34 @@ pub fn execute_transfers(
     net: &mut ChordNetwork,
     loads: &mut LoadState,
     assignments: &[Assignment],
-    oracle: Option<&DistanceOracle>,
+    distances: Option<TransferDistances<'_>>,
 ) -> Result<Vec<TransferRecord>, Error> {
     // With an unbounded oracle cache, warm whole rows and query per
     // transfer. With a bounded cache, precompute every pair distance up
     // front in capacity-sized batches instead: peer attachments are
     // immutable, so the values are identical, and the per-transfer query
     // order (which interleaves both endpoints) can no longer thrash the
-    // cache into recomputing rows.
-    let memo: Option<DistanceMemo> = match oracle {
-        Some(o) if o.capacity() > 0 => Some(pair_distances_chunked(net, assignments, o)),
-        Some(o) => {
+    // cache into recomputing rows. The approximate scheme always memoizes
+    // up front (landmark filter, then exact refinement rows).
+    let memo: Option<DistanceMemo> = match distances {
+        Some(TransferDistances::Exact(o)) if o.capacity() > 0 => {
+            Some(pair_distances_chunked(net, assignments, o))
+        }
+        Some(TransferDistances::Exact(o)) => {
             precompute_endpoint_rows(net, assignments, o);
             None
         }
+        Some(TransferDistances::Approx {
+            oracle,
+            landmarks,
+            refine_sources,
+        }) => Some(pair_distances_approx(
+            net,
+            assignments,
+            oracle,
+            landmarks,
+            refine_sources,
+        )),
         None => None,
     };
     let mut out = Vec::with_capacity(assignments.len());
@@ -57,8 +98,8 @@ pub fn execute_transfers(
             continue;
         }
         net.transfer_vs(a.vs, a.to);
-        let distance = match oracle {
-            Some(o) => {
+        let distance = match distances {
+            Some(d) => {
                 let from = net.peer(a.from).underlay;
                 let to = net.peer(a.to).underlay;
                 if from == u32::MAX {
@@ -67,11 +108,11 @@ pub fn execute_transfers(
                 if to == u32::MAX {
                     return Err(Error::UnattachedPeer(a.to));
                 }
-                Some(
-                    memo.as_ref()
-                        .and_then(|m| m.get(&(from, to)).copied())
-                        .unwrap_or_else(|| o.distance(from, to)),
-                )
+                let memoized = memo.as_ref().and_then(|m| m.get(&(from, to)).copied());
+                Some(memoized.unwrap_or_else(|| match d {
+                    TransferDistances::Exact(o) => o.distance(from, to),
+                    TransferDistances::Approx { landmarks, .. } => landmarks.estimate(from, to),
+                }))
             }
             None => None,
         };
@@ -94,10 +135,10 @@ pub fn execute_transfers_traced(
     net: &mut ChordNetwork,
     loads: &mut LoadState,
     assignments: &[Assignment],
-    oracle: Option<&DistanceOracle>,
+    distances: Option<TransferDistances<'_>>,
     trace: &mut Trace,
 ) -> Result<Vec<TransferRecord>, Error> {
-    let out = execute_transfers(net, loads, assignments, oracle)?;
+    let out = execute_transfers(net, loads, assignments, distances)?;
     if trace.is_enabled() {
         trace.count("vst_transfers", out.len() as u64);
         trace.count("vst_skipped", (assignments.len() - out.len()) as u64);
@@ -143,7 +184,7 @@ pub fn execute_transfers_with_requeue(
     net: &mut ChordNetwork,
     loads: &mut LoadState,
     assignments: &[Assignment],
-    oracle: Option<&DistanceOracle>,
+    distances: Option<TransferDistances<'_>>,
     spare: &mut RendezvousLists,
     l_min: f64,
 ) -> Result<RequeueOutcome, Error> {
@@ -151,7 +192,7 @@ pub fn execute_transfers_with_requeue(
         net,
         loads,
         assignments,
-        oracle,
+        distances,
         spare,
         l_min,
         &mut Trace::disabled(),
@@ -165,12 +206,12 @@ pub fn execute_transfers_with_requeue_traced(
     net: &mut ChordNetwork,
     loads: &mut LoadState,
     assignments: &[Assignment],
-    oracle: Option<&DistanceOracle>,
+    distances: Option<TransferDistances<'_>>,
     spare: &mut RendezvousLists,
     l_min: f64,
     trace: &mut Trace,
 ) -> Result<RequeueOutcome, Error> {
-    let transfers = execute_transfers_traced(net, loads, assignments, oracle, trace)?;
+    let transfers = execute_transfers_traced(net, loads, assignments, distances, trace)?;
     // Assignments still valid on the shedding side whose receiver died.
     let mut requeued = 0usize;
     for a in assignments {
@@ -197,7 +238,7 @@ pub fn execute_transfers_with_requeue_traced(
     spare.pair_into_traced(l_min, &mut extra, trace);
     // Dead light peers may linger in `spare` too; the executor's liveness
     // filter drops those pairings, leaving the candidate for next round.
-    let executed = execute_transfers_traced(net, loads, &extra, oracle, trace)?;
+    let executed = execute_transfers_traced(net, loads, &extra, distances, trace)?;
     outcome.reassigned = executed.len();
     outcome.abandoned = requeued - outcome.reassigned;
     outcome.transfers.extend(executed);
@@ -268,9 +309,85 @@ fn pair_distances_chunked(
             let row = oracle.row(src);
             for &other in &by_src[&src] {
                 let (f, t) = if by_to { (other, src) } else { (src, other) };
-                memo.insert((f, t), row[other as usize]);
+                memo.insert((f, t), row.get(other as usize));
             }
         }
+    }
+    memo
+}
+
+/// Filter-then-refine pair distances for [`TransferDistances::Approx`].
+///
+/// **Filter**: every endpoint pair gets landmark triangle-inequality
+/// bounds; pairs whose lower and upper bounds meet are exact for free.
+/// **Refine**: the remaining uncertain pairs are grouped by their cheaper
+/// endpoint side (fewer distinct sources), sources are ranked by how many
+/// uncertain pairs a full row would settle (ties by ascending id), and only
+/// the top `refine_sources` of them get exact Dijkstra rows — chunked
+/// through the bounded cache like the exact path. Pairs left over keep the
+/// landmark upper bound. Every step is a pure function of the assignment
+/// set and the oracles, so the memo is identical at any thread count.
+fn pair_distances_approx(
+    net: &ChordNetwork,
+    assignments: &[Assignment],
+    oracle: &DistanceOracle,
+    landmarks: &LandmarkOracle,
+    refine_sources: usize,
+) -> DistanceMemo {
+    let pairs = endpoint_pairs(net, assignments);
+    let mut memo = DistanceMemo::with_capacity(pairs.len());
+    let mut uncertain: Vec<(u32, u32)> = Vec::new();
+    for &(f, t) in &pairs {
+        let (lo, hi) = landmarks.bounds(f, t);
+        if lo == hi {
+            memo.insert((f, t), hi);
+        } else {
+            uncertain.push((f, t));
+        }
+    }
+    if !uncertain.is_empty() && refine_sources > 0 {
+        let mut froms: Vec<u32> = uncertain.iter().map(|&(f, _)| f).collect();
+        let mut tos: Vec<u32> = uncertain.iter().map(|&(_, t)| t).collect();
+        froms.sort_unstable();
+        froms.dedup();
+        tos.sort_unstable();
+        tos.dedup();
+        let by_to = tos.len() <= froms.len();
+        let mut by_src: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for &(f, t) in &uncertain {
+            let (src, other) = if by_to { (t, f) } else { (f, t) };
+            by_src.entry(src).or_default().push(other);
+        }
+        let mut ranked: Vec<(u32, usize)> = by_src.iter().map(|(&s, v)| (s, v.len())).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut chosen: Vec<u32> = ranked
+            .iter()
+            .take(refine_sources)
+            .map(|&(s, _)| s)
+            .collect();
+        chosen.sort_unstable();
+        let batch = match oracle.capacity() {
+            0 => chosen.len().max(1),
+            cap => (cap / 2).max(1),
+        };
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for chunk in chosen.chunks(batch) {
+            oracle.precompute(chunk, threads);
+            for &src in chunk {
+                let row = oracle.row(src);
+                for &other in &by_src[&src] {
+                    let (f, t) = if by_to { (other, src) } else { (src, other) };
+                    memo.insert((f, t), row.get(other as usize));
+                }
+            }
+        }
+    }
+    for (f, t) in uncertain {
+        memo.entry((f, t))
+            .or_insert_with(|| landmarks.bounds(f, t).1);
     }
     memo
 }

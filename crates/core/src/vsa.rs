@@ -51,13 +51,14 @@ pub struct VsaOutcome {
 /// Runs the bottom-up VSA sweep of §3.4 over the tree.
 ///
 /// `inputs` maps KT nodes (report targets) to the VSA records entering the
-/// sweep there. Each KT node merges what its children pushed up with its
+/// sweep there (boxed, so the dense per-slot map stays one pointer wide at
+/// million-node tree scale). Each KT node merges what its children pushed up with its
 /// local input; once its combined lists reach the rendezvous threshold it
 /// pairs greedily and forwards only the leftovers; the root pairs
 /// unconditionally.
 pub fn run_vsa(
     tree: &KTree,
-    inputs: impl Into<KtNodeMap<RendezvousLists>>,
+    inputs: impl Into<KtNodeMap<Box<RendezvousLists>>>,
     params: &VsaParams,
 ) -> VsaOutcome {
     run_vsa_traced(tree, inputs, params, &mut Trace::disabled())
@@ -70,11 +71,11 @@ pub fn run_vsa(
 /// the sweep itself is bit-identical with tracing on or off.
 pub fn run_vsa_traced(
     tree: &KTree,
-    inputs: impl Into<KtNodeMap<RendezvousLists>>,
+    inputs: impl Into<KtNodeMap<Box<RendezvousLists>>>,
     params: &VsaParams,
     trace: &mut Trace,
 ) -> VsaOutcome {
-    let mut inputs: KtNodeMap<RendezvousLists> = inputs.into();
+    let mut inputs: KtNodeMap<Box<RendezvousLists>> = inputs.into();
     let mut outcome = VsaOutcome::default();
     let depths = tree.message_depths();
     outcome.rounds = inputs
@@ -127,7 +128,7 @@ pub fn run_vsa_traced(
                         }
                     }
                 }
-                None => outcome.unassigned = lists, // root leftovers
+                None => outcome.unassigned = *lists, // root leftovers
             }
         }
     }

@@ -9,6 +9,15 @@ pub trait Merge {
     fn merge(&mut self, other: Self);
 }
 
+/// Boxed values merge by delegating to the inner value. Large per-node
+/// aggregates (VSA rendezvous lists, million-node LBI maps) are boxed so
+/// the dense [`KtNodeMap`] slots stay one pointer wide.
+impl<T: Merge> Merge for Box<T> {
+    fn merge(&mut self, other: Self) {
+        (**self).merge(*other);
+    }
+}
+
 /// Result of a bottom-up aggregation.
 #[derive(Clone, Debug)]
 pub struct AggregateOutcome<A> {

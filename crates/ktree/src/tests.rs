@@ -512,3 +512,93 @@ proptest! {
         prop_assert_eq!(key(&tree), key(&fresh));
     }
 }
+
+/// Multiset of (region, host, depth) — the identity of a tree irrespective
+/// of arena slot numbering.
+fn shape_key(t: &KTree) -> Vec<(u32, u64, proxbal_chord::VsId, u32)> {
+    let mut v: Vec<_> = t
+        .iter_ids()
+        .map(|id| {
+            let n = t.node(id);
+            (n.region.start().raw(), n.region.len(), n.host, n.depth)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn prefix_fragment_graft_matches_serial_build() {
+    let (net, _) = net_with(96, 4, 7);
+    for k in [2usize, 3, 8] {
+        let serial = KTree::build(&net, k);
+        for split_depth in [0u32, 1, 2, 3, 6] {
+            let (mut tree, frontier) = KTree::build_prefix(&net, k, split_depth);
+            // Frontier handles come back in ascending slot order.
+            assert!(frontier.windows(2).all(|w| w[0] < w[1]));
+            for &at in &frontier {
+                let (region, depth) = {
+                    let stub = tree.node(at);
+                    (stub.region, stub.depth)
+                };
+                let fragment = KTree::build_fragment(&net, k, region, depth);
+                tree.graft(at, fragment);
+            }
+            tree.check_invariants(&net)
+                .unwrap_or_else(|e| panic!("k={k} split={split_depth}: {e}"));
+            assert_eq!(tree.len(), serial.len(), "k={k} split={split_depth}");
+            assert_eq!(shape_key(&tree), shape_key(&serial));
+            // The composed tree is stable: maintenance has nothing to do.
+            let mut composed = tree.clone();
+            assert_eq!(composed.maintain_round(&net), 0);
+        }
+    }
+}
+
+#[test]
+fn build_prefix_past_leaves_has_empty_frontier() {
+    let (net, _) = net_with(8, 2, 11);
+    let serial = KTree::build(&net, 2);
+    let (tree, frontier) = KTree::build_prefix(&net, 2, serial.height() + 4);
+    assert!(frontier.is_empty());
+    assert_eq!(shape_key(&tree), shape_key(&serial));
+}
+
+#[test]
+fn kt_node_stays_compact() {
+    // The 1M-peer run materializes tens of millions of arena slots; the
+    // inline child representation must keep each slot within 64 bytes and
+    // leave a niche for the arena's Option wrapper.
+    assert!(std::mem::size_of::<KtNode>() <= 64);
+    assert_eq!(
+        std::mem::size_of::<Option<KtNode>>(),
+        std::mem::size_of::<KtNode>()
+    );
+}
+
+#[test]
+fn kt_children_serde_roundtrip() {
+    let (net, _) = net_with(24, 3, 13);
+    for k in [2usize, 5] {
+        let tree = KTree::build(&net, k);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: KTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(shape_key(&back), shape_key(&tree));
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        back.check_invariants(&net).unwrap();
+    }
+}
+
+#[test]
+fn boxed_merge_delegates() {
+    #[derive(Clone, Debug, PartialEq)]
+    struct Sum(u64);
+    impl Merge for Sum {
+        fn merge(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+    }
+    let mut a = Box::new(Sum(3));
+    a.merge(Box::new(Sum(4)));
+    assert_eq!(*a, Sum(7));
+}

@@ -7,6 +7,73 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct KtNodeId(pub u32);
 
+/// Child-pointer storage for a [`KtNode`].
+///
+/// Binary trees (`k == 2`, the paper's default degree and the only one used
+/// at million-peer scale) keep both slots inline in the node; higher degrees
+/// fall back to one boxed slice per node. Dereferences to
+/// `[Option<KtNodeId>]` either way, so call sites index and iterate it like
+/// the plain vector it replaces — without the per-node heap allocation that
+/// dominated arena memory at tens of millions of nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KtChildren {
+    /// Both child slots of a binary node, stored inline.
+    Inline([Option<KtNodeId>; 2]),
+    /// `k` child slots for `k != 2`.
+    Heap(Box<[Option<KtNodeId>]>),
+}
+
+impl KtChildren {
+    /// `k` empty child slots, inline when `k == 2`.
+    pub fn none(k: usize) -> Self {
+        if k == 2 {
+            KtChildren::Inline([None, None])
+        } else {
+            KtChildren::Heap(vec![None; k].into_boxed_slice())
+        }
+    }
+}
+
+impl std::ops::Deref for KtChildren {
+    type Target = [Option<KtNodeId>];
+    #[inline]
+    fn deref(&self) -> &[Option<KtNodeId>] {
+        match self {
+            KtChildren::Inline(slots) => slots,
+            KtChildren::Heap(slots) => slots,
+        }
+    }
+}
+
+impl std::ops::DerefMut for KtChildren {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [Option<KtNodeId>] {
+        match self {
+            KtChildren::Inline(slots) => slots,
+            KtChildren::Heap(slots) => slots,
+        }
+    }
+}
+
+// Serialized as the plain sequence of child slots, indistinguishable from
+// the `Vec<Option<KtNodeId>>` representation it replaced.
+impl Serialize for KtChildren {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Deserialize for KtChildren {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let slots = Vec::<Option<KtNodeId>>::from_content(content)?;
+        Ok(if let [a, b] = slots[..] {
+            KtChildren::Inline([a, b])
+        } else {
+            KtChildren::Heap(slots.into_boxed_slice())
+        })
+    }
+}
+
 /// One node of the K-nary tree.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct KtNode {
@@ -18,7 +85,7 @@ pub struct KtNode {
     /// cover. `None` where the part needs no subtree (it holds at most one
     /// virtual-server position that the node itself already represents, or
     /// none at all).
-    pub children: Vec<Option<KtNodeId>>,
+    pub children: KtChildren,
     /// Parent (`None` for the root).
     pub parent: Option<KtNodeId>,
     /// Distance from the root.
@@ -100,9 +167,111 @@ impl KTree {
             net.alive_vs_count() > 0,
             "cannot build a tree over an empty DHT"
         );
+        let mut tree = Self::with_root(net, k, Self::arena_estimate(net.ring().len()));
+        tree.grow_capped(net, tree.root, None);
+        tree
+    }
+
+    /// Builds only the top of the tree: growth stops at `split_depth`, and
+    /// the handles of the still-unexpanded nodes *at* that depth (the
+    /// frontier) are returned in ascending slot order. Sharded preparation
+    /// expands each frontier region independently via
+    /// [`Self::build_fragment`] and splices the results back with
+    /// [`Self::graft`]. Slot numbering of the composed arena depends only on
+    /// `(net, k, split_depth)` and the graft sequence — never on which
+    /// worker built a fragment — and the composed tree is node-for-node the
+    /// tree [`Self::build`] produces (same `(region, host, depth)` set, same
+    /// structure; only slot numbering differs).
+    pub fn build_prefix(net: &ChordNetwork, k: usize, split_depth: u32) -> (Self, Vec<KtNodeId>) {
+        let mut tree = Self::with_root(net, k, Self::arena_estimate(net.ring().len()));
+        tree.grow_capped(net, tree.root, Some(split_depth));
+        let frontier = tree
+            .iter_ids()
+            .filter(|&id| {
+                let node = tree.node(id);
+                node.depth == split_depth && !Self::is_leaf_region(net, &node.region)
+            })
+            .collect();
+        (tree, frontier)
+    }
+
+    /// Builds a standalone subtree over `region`, rooted at `depth`, grown
+    /// exactly as a full [`Self::build`] would have grown it in place. The
+    /// fragment's root is always slot 0; splice it into a prefix tree with
+    /// [`Self::graft`].
+    pub fn build_fragment(net: &ChordNetwork, k: usize, region: Arc, depth: u32) -> Self {
+        assert!(k >= 2, "tree degree must be at least 2");
         let mut tree = KTree {
             k,
             nodes: Vec::new(),
+            free: Vec::new(),
+            root: KtNodeId(0),
+        };
+        let root = tree.alloc(KtNode {
+            region,
+            host: Self::host_for(net, &region),
+            children: KtChildren::none(k),
+            parent: None,
+            depth,
+        });
+        tree.root = root;
+        tree.grow_capped(net, root, None);
+        tree
+    }
+
+    /// Splices a [`Self::build_fragment`] result into this tree at the
+    /// unexpanded frontier node `at` (same region, host and depth). The
+    /// fragment's non-root nodes are appended to the arena in fragment-slot
+    /// order, so the composed layout is a pure function of the graft
+    /// sequence — independent of which worker built each fragment.
+    pub fn graft(&mut self, at: KtNodeId, fragment: KTree) {
+        assert_eq!(self.k, fragment.k, "tree degree mismatch");
+        assert!(
+            fragment.free.is_empty(),
+            "fragment arena must be freshly built"
+        );
+        assert_eq!(fragment.root.0, 0, "fragment root must be slot 0");
+        {
+            let stub = self.node(at);
+            assert!(stub.is_leaf(), "graft target already has children");
+            let froot = fragment.node(fragment.root);
+            assert_eq!(froot.region, stub.region, "fragment region mismatch");
+            assert_eq!(froot.depth, stub.depth, "fragment depth mismatch");
+            assert_eq!(froot.host, stub.host, "fragment host mismatch");
+        }
+        let base = self.nodes.len() as u32;
+        let remap = |id: KtNodeId| {
+            if id.0 == 0 {
+                at
+            } else {
+                KtNodeId(base + id.0 - 1)
+            }
+        };
+        for (i, slot) in fragment.nodes.into_iter().enumerate() {
+            let mut node = slot.expect("fragment arena is dense");
+            for child in node.children.iter_mut() {
+                *child = child.map(remap);
+            }
+            if i == 0 {
+                self.nodes[at.0 as usize].as_mut().unwrap().children = node.children;
+            } else {
+                node.parent = node.parent.map(remap);
+                self.nodes.push(Some(node));
+            }
+        }
+    }
+
+    /// Shared constructor: an arena with capacity for `reserve` slots
+    /// holding just the root node.
+    fn with_root(net: &ChordNetwork, k: usize, reserve: usize) -> Self {
+        assert!(k >= 2, "tree degree must be at least 2");
+        assert!(
+            net.alive_vs_count() > 0,
+            "cannot build a tree over an empty DHT"
+        );
+        let mut tree = KTree {
+            k,
+            nodes: Vec::with_capacity(reserve),
             free: Vec::new(),
             root: KtNodeId(0),
         };
@@ -110,13 +279,21 @@ impl KTree {
         let root = tree.alloc(KtNode {
             region: root_region,
             host: Self::host_for(net, &root_region),
-            children: vec![None; k],
+            children: KtChildren::none(k),
             parent: None,
             depth: 0,
         });
         tree.root = root;
-        tree.grow_fully(net, root);
         tree
+    }
+
+    /// Expected arena slots for a tree over `positions` ring positions
+    /// (leaves ≈ positions, inner nodes ≈ positions/ln 2 for the binary
+    /// case, plus headroom) — reserving up front avoids the transient
+    /// doubling reallocation that would briefly hold two multi-hundred-MB
+    /// arenas at million-peer scale.
+    fn arena_estimate(positions: usize) -> usize {
+        positions * 11 / 4 + 16
     }
 
     /// The virtual server a KT node with `region` is planted in: the sole
@@ -281,7 +458,7 @@ impl KTree {
                         let child = self.alloc(KtNode {
                             region: part,
                             host: Self::host_for(net, &part),
-                            children: vec![None; self.k],
+                            children: KtChildren::none(self.k),
                             parent: Some(id),
                             depth,
                         });
@@ -557,14 +734,19 @@ impl KTree {
         self.message_depths().values().copied().max().unwrap_or(0)
     }
 
-    /// Full recursive growth (used by `build`; maintenance grows one level
-    /// per round instead).
-    fn grow_fully(&mut self, net: &ChordNetwork, id: KtNodeId) {
+    /// Full recursive growth (used by `build` and `build_fragment`;
+    /// maintenance grows one level per round instead). With
+    /// `cap = Some(d)`, nodes at depth `d` are left unexpanded — the
+    /// frontier [`Self::build_prefix`] hands to fragment workers.
+    fn grow_capped(&mut self, net: &ChordNetwork, id: KtNodeId, cap: Option<u32>) {
         let region = self.node(id).region;
         if Self::is_leaf_region(net, &region) {
             return;
         }
         let depth = self.node(id).depth + 1;
+        if cap.is_some_and(|limit| depth > limit) {
+            return;
+        }
         for i in 0..self.k {
             let part = region.child(i, self.k);
             if part.is_empty() || net.ring().count_in_at_most(&part, 1) == 0 {
@@ -573,12 +755,12 @@ impl KTree {
             let child = self.alloc(KtNode {
                 region: part,
                 host: Self::host_for(net, &part),
-                children: vec![None; self.k],
+                children: KtChildren::none(self.k),
                 parent: Some(id),
                 depth,
             });
             self.nodes[id.0 as usize].as_mut().unwrap().children[i] = Some(child);
-            self.grow_fully(net, child);
+            self.grow_capped(net, child, cap);
         }
     }
 

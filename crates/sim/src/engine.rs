@@ -108,7 +108,7 @@ impl EngineConfig {
                 "maintenance_interval must be >= 1",
             ));
         }
-        if !(self.emergency_threshold > 0.0) {
+        if self.emergency_threshold.is_nan() || self.emergency_threshold <= 0.0 {
             return Err(Error::InvalidEngineConfig(
                 "emergency_threshold must be positive",
             ));
@@ -293,7 +293,7 @@ pub fn run_engine_traced(
         sources.push(Box::new(ChurnSource::new(
             churn,
             scenario.capacity.clone(),
-            scenario.load.clone(),
+            scenario.load,
             attach_pool,
             derived(CHURN_LABEL),
         )));
@@ -430,6 +430,12 @@ pub fn run_engine_traced(
                 oracle,
                 latency_oracle: prepared.latency_oracle.as_ref(),
                 landmarks: &prepared.landmarks,
+                approx: prepared.hop_landmarks.as_ref().map(|landmarks| {
+                    proxbal_core::ApproxTransfer {
+                        landmarks,
+                        refine_sources: prepared.scenario.refine_sources,
+                    }
+                }),
             });
             // A cold cache means every peer reports fresh regardless of the
             // dirty set; say so explicitly so the message accounting matches

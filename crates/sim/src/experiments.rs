@@ -46,6 +46,13 @@ pub fn fig4_unit_load_traced(prepared: &mut Prepared, trace: &mut Trace) -> Fig4
             oracle,
             latency_oracle: prepared.latency_oracle.as_ref(),
             landmarks: &prepared.landmarks,
+            approx: prepared
+                .hop_landmarks
+                .as_ref()
+                .map(|landmarks| proxbal_core::ApproxTransfer {
+                    landmarks,
+                    refine_sources: prepared.scenario.refine_sources,
+                }),
         });
     let mut rng = prepared.derived_rng(4);
     let report = balancer
@@ -120,6 +127,13 @@ pub fn fig56_class_loads_traced(prepared: &mut Prepared, trace: &mut Trace) -> C
             oracle,
             latency_oracle: prepared.latency_oracle.as_ref(),
             landmarks: &prepared.landmarks,
+            approx: prepared
+                .hop_landmarks
+                .as_ref()
+                .map(|landmarks| proxbal_core::ApproxTransfer {
+                    landmarks,
+                    refine_sources: prepared.scenario.refine_sources,
+                }),
         });
     let mut rng = prepared.derived_rng(56);
     let report = balancer
@@ -519,6 +533,7 @@ pub fn ablation_sweep_traced(
         oracle,
         latency_oracle: prepared.latency_oracle.as_ref(),
         landmarks: &prepared.landmarks,
+        approx: None,
     };
 
     let base = BalancerConfig {
@@ -880,6 +895,151 @@ pub fn xl_scale_traced(seed: u64, trace: &mut Trace) -> XlScaleOutput {
         prepare_wall_s,
         aware,
         ignorant,
+    }
+}
+
+/// KT-tree split depth for the sharded xl2 build: the top 8 levels (≤ 256
+/// frontier regions at K = 2) grow serially, everything below in parallel
+/// fragments.
+pub const XL2_SPLIT_DEPTH: u32 = 8;
+
+/// Result of the xl2 (million-peer) pass.
+///
+/// Unlike [`XlScaleOutput`] this carries a single (proximity-aware) run:
+/// at 1M peers × 5 virtual servers, cloning the overlay and load state for
+/// a second from-identical-state run would double the peak footprint, and
+/// the aware run is the one the approximate distance scheme exists for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Xl2ScaleOutput {
+    /// Peers in the overlay.
+    pub peers: usize,
+    /// Nodes in the ts50k underlay graph.
+    pub underlay_nodes: usize,
+    /// Virtual servers on the ring.
+    pub virtual_servers: usize,
+    /// Oracle row-cache bound used (rows).
+    pub oracle_capacity: usize,
+    /// Preparation shards.
+    pub shards: usize,
+    /// Exact-refinement budget (Dijkstra source rows per pass).
+    pub refine_sources: usize,
+    /// Wall-clock seconds for sharded preparation (topology, overlay,
+    /// oracles, landmark vectors).
+    pub prepare_wall_s: f64,
+    /// Wall-clock seconds for the sharded KT-tree build.
+    pub tree_wall_s: f64,
+    /// Proximity-aware four-phase run with landmark-approximate transfer
+    /// distances.
+    pub aware: XlRunSummary,
+}
+
+/// The xl2 pass: the [`ScenarioBuilder::xl2`](crate::ScenarioBuilder::xl2)
+/// preset (1,048,576 peers, sharded preparation, landmark-approximate
+/// transfer distances) through one proximity-aware four-phase run, executed
+/// **in place** — no overlay/load clone — so the peak footprint stays within
+/// the xl budget.
+pub fn xl2_scale(seed: u64) -> Xl2ScaleOutput {
+    xl2_scale_traced(seed, &mut Trace::disabled())
+}
+
+/// [`xl2_scale`] recording the run on an `aware` child track of `trace`.
+pub fn xl2_scale_traced(seed: u64, trace: &mut Trace) -> Xl2ScaleOutput {
+    xl2_scale_with(
+        Scenario::builder().xl2().seed(seed).build(),
+        crate::parallel::default_threads(),
+        trace,
+    )
+}
+
+/// The xl2 shape over an explicit scenario and worker-thread count — the
+/// entry point the reduced-scale smoke and determinism runs share with the
+/// full-scale pass. Everything except the `*_wall_s` fields is a pure
+/// function of `scenario`: sharded preparation, the sharded tree build and
+/// the single-threaded balancing pass are all independent of `threads`.
+pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> Xl2ScaleOutput {
+    let t0 = std::time::Instant::now();
+    let mut prepared = scenario.prepare_threads(threads);
+    let prepare_wall_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let mut tree = crate::shard::build_tree_sharded(
+        &prepared.net,
+        prepared.scenario.balancer.k,
+        XL2_SPLIT_DEPTH,
+        threads,
+    );
+    let tree_wall_s = t1.elapsed().as_secs_f64();
+
+    // Field-level borrows: the underlay reads oracle/landmark state while
+    // the balancer mutates the (disjoint) overlay and load state in place.
+    let underlay = proxbal_core::Underlay {
+        oracle: prepared.oracle.as_ref().expect("xl2 runs over a topology"),
+        latency_oracle: prepared.latency_oracle.as_ref(),
+        landmarks: &prepared.landmarks,
+        approx: prepared
+            .hop_landmarks
+            .as_ref()
+            .map(|landmarks| proxbal_core::ApproxTransfer {
+                landmarks,
+                refine_sources: prepared.scenario.refine_sources,
+            }),
+    };
+
+    let t = std::time::Instant::now();
+    let mut child = Trace::new(trace.is_enabled(), "aware");
+    let cfg = BalancerConfig {
+        mode: ProximityMode::Aware(proxbal_core::ProximityParams::default()),
+        ..prepared.scenario.balancer
+    };
+    // Label 78 = aware, matching the xl / Figure-7 RNG stream naming.
+    let mut rng = prepared.derived_rng(78);
+    let report = LoadBalancer::new(cfg)
+        .run_with_tree_traced(
+            &mut prepared.net,
+            &mut prepared.loads,
+            &mut tree,
+            Some(underlay),
+            &mut rng,
+            &mut child,
+        )
+        .expect("attached network");
+    trace.absorb(child);
+
+    let mut histogram = DistanceHistogram::new();
+    for tr in &report.transfers {
+        histogram.add(tr.distance.expect("underlay present"), tr.assignment.load);
+    }
+    let aware = XlRunSummary {
+        label: "aware".to_string(),
+        heavy_before: report.before.get(&NodeClass::Heavy).copied().unwrap_or(0),
+        heavy_after: report.heavy_after(),
+        transfers: report.transfers.len(),
+        moved_load: proxbal_core::total_moved_load(&report.transfers),
+        frac2: histogram.fraction_within(2),
+        frac10: histogram.fraction_within(10),
+        mean_distance: histogram.mean_distance(),
+        lbi_rounds: report.lbi_rounds,
+        vsa_rounds: report.vsa.rounds,
+        lbi_messages: report.messages.lbi_messages,
+        vsa_record_hops: report.messages.vsa_record_hops,
+        wall_s: t.elapsed().as_secs_f64(),
+        histogram,
+    };
+
+    Xl2ScaleOutput {
+        peers: prepared.net.alive_peers().len(),
+        underlay_nodes: prepared
+            .topo
+            .as_ref()
+            .map(|t| t.graph.node_count())
+            .unwrap_or(0),
+        virtual_servers: prepared.net.ring().len(),
+        oracle_capacity: prepared.scenario.oracle_capacity,
+        shards: prepared.scenario.shards,
+        refine_sources: prepared.scenario.refine_sources,
+        prepare_wall_s,
+        tree_wall_s,
+        aware,
     }
 }
 

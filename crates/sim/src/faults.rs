@@ -719,7 +719,7 @@ impl crate::engine::EventSource for FaultSource {
         let due = if self.interval == 0 {
             epoch == 0
         } else {
-            epoch % self.interval == 0
+            epoch.is_multiple_of(self.interval)
         };
         let mut activity = crate::engine::SourceActivity::default();
         if due {

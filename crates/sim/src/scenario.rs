@@ -1,7 +1,8 @@
 use proxbal_chord::ChordNetwork;
-use proxbal_core::{BalancerConfig, LoadState, Underlay};
+use proxbal_core::{ApproxTransfer, BalancerConfig, LoadState, Underlay};
 use proxbal_topology::{
-    select_landmarks, DistanceOracle, NodeId, TransitStubConfig, TransitStubTopology,
+    select_landmarks, DistanceOracle, LandmarkOracle, NodeId, TransitStubConfig,
+    TransitStubTopology,
 };
 use proxbal_workload::{CapacityProfile, LoadModel};
 use rand::rngs::StdRng;
@@ -24,6 +25,22 @@ pub enum TopologyKind {
     Tiny,
     /// No underlay (proximity-ignorant experiments only).
     None,
+}
+
+/// How transfer-phase distances are answered.
+///
+/// `Exact` runs a bucket-queue Dijkstra (memoized per row) for every query —
+/// the default, and what every pre-existing experiment uses. `Approximate`
+/// answers from precomputed landmark vectors (triangle-inequality bounds)
+/// and falls back to exact rows only for the candidate transfer pairs whose
+/// bounds do not pin the distance — the filter-then-refine scheme that makes
+/// the million-peer runs affordable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMode {
+    /// Exact shortest-path distances for every query.
+    Exact,
+    /// Landmark bounds first, exact refinement for uncertain pairs only.
+    Approximate,
 }
 
 /// Declarative description of one experiment, fully determined by `seed`.
@@ -56,18 +73,38 @@ pub struct Scenario {
     /// Like `faults`, never consulted by `prepare`.
     pub drift: Option<crate::drift::DriftConfig>,
     /// Bound on both distance oracles' row caches, in resident rows
-    /// (`0` = unbounded). [`Scenario::prepare`] honors this directly, so
-    /// the old `prepare` vs `prepare_bounded` split is gone: memory policy
-    /// is part of the scenario, set once at build time.
+    /// (`0` = unbounded). [`Scenario::prepare`] honors this directly:
+    /// memory policy is part of the scenario, set once at build time.
     pub oracle_capacity: usize,
+    /// How transfer-phase distances are answered (see [`DistanceMode`]).
+    /// `Exact` (the default) reproduces every historical output
+    /// byte-for-byte; `Approximate` builds a hop-metric [`LandmarkOracle`]
+    /// during preparation and routes phase-4 distance queries through it.
+    pub distance_mode: DistanceMode,
+    /// With [`DistanceMode::Approximate`]: how many exact Dijkstra source
+    /// rows the refine step may spend per balancing pass on candidate
+    /// transfer pairs whose landmark bounds do not pin the distance.
+    pub refine_sources: usize,
+    /// Number of preparation shards (`0` = the serial preparation path).
+    /// With `shards > 0`, ring-position generation and landmark-vector
+    /// construction are partitioned across this many independent workers
+    /// and merged deterministically — the result depends on `shards` but
+    /// never on `--threads`.
+    pub shards: usize,
     /// Master seed: every random choice derives from it.
     pub seed: u64,
 }
 
 /// Oracle row-cache bound used by the xl-scale runs: 4096 rows ≈ 800 MB at
 /// ts50k graph size, which keeps the whole four-phase run in a few GiB of
-/// RSS. Pass to [`Scenario::prepare_bounded`].
+/// RSS.
 pub const XL_ORACLE_CAPACITY: usize = 4096;
+
+/// Oracle row-cache bound for the xl2 (million-peer) runs. Rows are
+/// delta-compressed, but at 1M peers the budget is the 65k run's footprint,
+/// so the cache is kept an order of magnitude smaller and the landmark
+/// oracle absorbs the bulk of the queries.
+pub const XL2_ORACLE_CAPACITY: usize = 1024;
 
 impl Scenario {
     /// Starts a fluent builder preloaded with the paper's full-scale setup
@@ -90,43 +127,34 @@ impl Scenario {
         ScenarioBuilder::new()
     }
 
-    /// The paper's full-scale setup (§5.2).
-    #[deprecated(note = "use Scenario::builder()")]
-    pub fn paper(seed: u64) -> Self {
-        Self::builder().seed(seed).build()
-    }
-
-    /// A scaled-down variant for unit/integration tests (fast, same shape).
-    #[deprecated(note = "use Scenario::builder().small()")]
-    pub fn small(seed: u64) -> Self {
-        Self::builder().small().seed(seed).build()
-    }
-
-    /// The xl-scale setup: 65,536 peers over a ~50k-node transit-stub
-    /// underlay with a bounded oracle cache.
-    #[deprecated(note = "use Scenario::builder().xl()")]
-    pub fn xl(seed: u64) -> Self {
-        Self::builder().xl().seed(seed).build()
-    }
-
     /// Builds the network, loads, topology, oracle and landmarks. The
     /// oracle row caches are bounded to [`Scenario::oracle_capacity`]
     /// resident rows (`0` = unbounded), with landmark rows pinned so they
     /// survive eviction pressure. Every result is bit-identical across
     /// capacity settings — eviction only discards memoized pure functions
     /// of the graph.
+    ///
+    /// With [`Scenario::shards`] `> 0` this dispatches to the sharded
+    /// preparation path ([`crate::shard::prepare_sharded`]); the result is
+    /// deterministic in the scenario (including `shards`) and independent
+    /// of the worker-thread count.
     pub fn prepare(&self) -> Prepared {
-        self.prepare_with(self.oracle_capacity)
+        self.prepare_threads(crate::parallel::default_threads())
     }
 
-    /// Like [`Scenario::prepare`] with an explicit cache bound, overriding
-    /// [`Scenario::oracle_capacity`].
-    #[deprecated(note = "set oracle_capacity on the builder and use Scenario::prepare()")]
-    pub fn prepare_bounded(&self, oracle_capacity: usize) -> Prepared {
-        self.prepare_with(oracle_capacity)
+    /// Like [`Scenario::prepare`] with an explicit worker-thread count.
+    /// Thread count never changes the result — it only bounds parallelism —
+    /// so this exists for benchmarks and determinism tests that pin it.
+    pub fn prepare_threads(&self, threads: usize) -> Prepared {
+        if self.shards > 0 {
+            crate::shard::prepare_sharded(self, threads)
+        } else {
+            self.prepare_serial(threads)
+        }
     }
 
-    fn prepare_with(&self, oracle_capacity: usize) -> Prepared {
+    fn prepare_serial(&self, threads: usize) -> Prepared {
+        let oracle_capacity = self.oracle_capacity;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         let topo = match self.topology {
@@ -171,7 +199,6 @@ impl Scenario {
             // Landmark vectors need the distance row *from* each landmark in
             // the latency metric; batch-fill them up front so no balancing
             // run (aware or ignorant, any mode ordering) computes one twice.
-            let threads = crate::parallel::default_threads();
             latency_oracle.precompute(&landmarks, threads);
             // Landmark rows back every proximity query; with a bounded
             // cache they must survive arbitrary eviction pressure.
@@ -191,6 +218,15 @@ impl Scenario {
             Some((a, b)) => (Some(a), Some(b)),
             None => (None, None),
         };
+        // Hop-metric landmark vectors back the approximate transfer
+        // distances; built after everything else so the exact path's RNG
+        // consumption (and therefore every historical output) is untouched.
+        let hop_landmarks = match (self.distance_mode, oracle.as_ref()) {
+            (DistanceMode::Approximate, Some(oracle)) if !landmarks.is_empty() => {
+                Some(LandmarkOracle::build(oracle, &landmarks, threads))
+            }
+            _ => None,
+        };
         Prepared {
             scenario: self.clone(),
             net,
@@ -199,6 +235,7 @@ impl Scenario {
             oracle,
             latency_oracle,
             landmarks,
+            hop_landmarks,
             rng,
         }
     }
@@ -241,6 +278,9 @@ impl ScenarioBuilder {
                 churn: None,
                 drift: None,
                 oracle_capacity: 0,
+                distance_mode: DistanceMode::Exact,
+                refine_sources: 4096,
+                shards: 0,
                 seed: 0,
             },
         }
@@ -263,6 +303,22 @@ impl ScenarioBuilder {
         self.scenario.peers = 65_536;
         self.scenario.topology = TopologyKind::Ts50k;
         self.scenario.oracle_capacity = XL_ORACLE_CAPACITY;
+        self
+    }
+
+    /// Rescales to the xl2 (million-peer) preset: 1,048,576 peers × 5
+    /// virtual servers over the ~50k-node transit-stub underlay, prepared
+    /// across 8 shards with landmark-approximate transfer distances
+    /// ([`DistanceMode::Approximate`]) and the oracle cache bounded to
+    /// [`XL2_ORACLE_CAPACITY`] rows. Sharding is always on for this preset,
+    /// so the run is identical at any `--threads`.
+    pub fn xl2(mut self) -> Self {
+        self.scenario.peers = 1_048_576;
+        self.scenario.topology = TopologyKind::Ts50k;
+        self.scenario.oracle_capacity = XL2_ORACLE_CAPACITY;
+        self.scenario.distance_mode = DistanceMode::Approximate;
+        self.scenario.refine_sources = 4096;
+        self.scenario.shards = 8;
         self
     }
 
@@ -332,6 +388,25 @@ impl ScenarioBuilder {
         self
     }
 
+    /// How transfer-phase distances are answered (see [`DistanceMode`]).
+    pub fn distance_mode(mut self, distance_mode: DistanceMode) -> Self {
+        self.scenario.distance_mode = distance_mode;
+        self
+    }
+
+    /// Exact-refinement budget for [`DistanceMode::Approximate`], in
+    /// Dijkstra source rows per balancing pass.
+    pub fn refine_sources(mut self, refine_sources: usize) -> Self {
+        self.scenario.refine_sources = refine_sources;
+        self
+    }
+
+    /// Number of preparation shards (`0` = serial preparation).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.scenario.shards = shards;
+        self
+    }
+
     /// Master seed: every random choice derives from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.scenario.seed = seed;
@@ -360,18 +435,28 @@ pub struct Prepared {
     pub latency_oracle: Option<DistanceOracle>,
     /// Landmark nodes.
     pub landmarks: Vec<NodeId>,
+    /// Hop-metric landmark vectors for approximate transfer distances —
+    /// present exactly when the scenario asked for
+    /// [`DistanceMode::Approximate`] and has a topology.
+    pub hop_landmarks: Option<LandmarkOracle>,
     /// The scenario RNG, positioned after setup (use for the run itself).
     pub rng: StdRng,
 }
 
 impl Prepared {
     /// The [`Underlay`] view required by proximity-aware balancing, if this
-    /// scenario has a topology.
+    /// scenario has a topology. Carries the approximate-distance scheme
+    /// whenever the scenario was prepared with
+    /// [`DistanceMode::Approximate`].
     pub fn underlay(&self) -> Option<Underlay<'_>> {
         self.oracle.as_ref().map(|oracle| Underlay {
             oracle,
             latency_oracle: self.latency_oracle.as_ref(),
             landmarks: &self.landmarks,
+            approx: self.hop_landmarks.as_ref().map(|landmarks| ApproxTransfer {
+                landmarks,
+                refine_sources: self.scenario.refine_sources,
+            }),
         })
     }
 

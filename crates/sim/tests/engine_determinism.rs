@@ -2,9 +2,9 @@
 //! `trace_determinism.rs`: for a fixed scenario the per-epoch time series —
 //! and its trace — are **byte-identical** across repeats, a traced run
 //! never perturbs an untraced one, and with every event source disabled the
-//! engine degenerates to the one-shot balancer. Plus the builder-equivalence
-//! contract of the `ScenarioBuilder` redesign: every deprecated preset
-//! constructor produces the exact scenario its builder spelling does.
+//! engine degenerates to the one-shot balancer. Plus the builder contract
+//! of the `ScenarioBuilder` redesign: presets are deterministic field
+//! rewrites over the paper defaults.
 
 use proxbal_core::{DirtySet, Error, LoadBalancer, RoundCache};
 use proxbal_ktree::KTree;
@@ -12,7 +12,7 @@ use proxbal_sim::churn::ChurnConfig;
 use proxbal_sim::drift::DriftConfig;
 use proxbal_sim::engine::BALANCE_LABEL;
 use proxbal_sim::faults::FaultConfig;
-use proxbal_sim::{run_engine, run_engine_traced, EngineConfig, Scenario};
+use proxbal_sim::{run_engine, run_engine_traced, EngineConfig, Scenario, TopologyKind};
 use proxbal_trace::Trace;
 
 /// A small scenario with every event source on — churn, drift and a lossy
@@ -122,6 +122,7 @@ fn quiescent_single_epoch_matches_one_shot_round() {
             oracle,
             latency_oracle: prepared.latency_oracle.as_ref(),
             landmarks: &prepared.landmarks,
+            approx: None,
         });
     let one_shot = balancer
         .run_round(
@@ -238,35 +239,53 @@ fn engine_rejects_invalid_configs() {
     }
 }
 
-/// The API-redesign contract: every deprecated preset constructor is a thin
-/// wrapper over its builder spelling — byte-identical scenarios.
+/// The builder contract that replaced the removed preset constructors:
+/// every preset is a plain field rewrite, serializable and reproducible —
+/// two builders with the same spelling yield byte-identical scenarios, and
+/// each preset pins the documented knobs.
 #[test]
-#[allow(deprecated)]
-fn builder_matches_every_deprecated_preset() {
+fn builder_presets_are_deterministic_field_rewrites() {
     let json = |s: &Scenario| serde_json::to_string(s).unwrap();
+    // Same spelling → byte-identical scenario (presets are pure).
     assert_eq!(
-        json(&Scenario::paper(5)),
+        json(&Scenario::builder().seed(5).build()),
         json(&Scenario::builder().seed(5).build())
     );
     assert_eq!(
-        json(&Scenario::small(6)),
+        json(&Scenario::builder().small().seed(6).build()),
         json(&Scenario::builder().small().seed(6).build())
     );
     assert_eq!(
-        json(&Scenario::xl(7)),
+        json(&Scenario::builder().xl().seed(7).build()),
         json(&Scenario::builder().xl().seed(7).build())
     );
-    // prepare_bounded(cap) ≡ builder's oracle_capacity knob.
-    let bounded = Scenario::small(8).prepare_bounded(16);
-    let via_builder = Scenario::builder()
+    assert_eq!(
+        json(&Scenario::builder().xl2().seed(7).build()),
+        json(&Scenario::builder().xl2().seed(7).build())
+    );
+    // Presets only rewrite their documented knobs on top of the defaults.
+    let default = Scenario::builder().seed(9).build();
+    let xl = Scenario::builder().xl().seed(9).build();
+    assert_eq!(xl.peers, 65_536);
+    assert_eq!(xl.topology, TopologyKind::Ts50k);
+    assert_eq!(xl.oracle_capacity, proxbal_sim::XL_ORACLE_CAPACITY);
+    assert_eq!(xl.distance_mode, default.distance_mode);
+    assert_eq!(xl.shards, 0);
+    let xl2 = Scenario::builder().xl2().seed(9).build();
+    assert_eq!(xl2.peers, 1_048_576);
+    assert_eq!(xl2.topology, TopologyKind::Ts50k);
+    assert_eq!(xl2.oracle_capacity, proxbal_sim::XL2_ORACLE_CAPACITY);
+    assert_eq!(xl2.distance_mode, proxbal_sim::DistanceMode::Approximate);
+    assert_eq!(xl2.shards, 8);
+    // The oracle_capacity knob flows through prepare(): bounded and
+    // unbounded caches build the identical network and landmarks.
+    let bounded = Scenario::builder()
         .small()
         .seed(8)
         .oracle_capacity(16)
         .build()
         .prepare();
-    assert_eq!(
-        bounded.net.alive_vs_count(),
-        via_builder.net.alive_vs_count()
-    );
-    assert_eq!(bounded.landmarks, via_builder.landmarks);
+    let unbounded = Scenario::builder().small().seed(8).build().prepare();
+    assert_eq!(bounded.net.alive_vs_count(), unbounded.net.alive_vs_count());
+    assert_eq!(bounded.landmarks, unbounded.landmarks);
 }

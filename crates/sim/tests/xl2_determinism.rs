@@ -1,0 +1,121 @@
+//! The xl2 pipeline's determinism contract at a reduced scale: sharded
+//! preparation, the sharded KT-tree build and the landmark-approximate
+//! balancing pass are pure functions of the scenario — the worker-thread
+//! count only bounds parallelism. The full-scale guarantee (`repro xl2`
+//! byte-identical at any `--threads`) is exactly this property at 1M peers.
+
+use proxbal_sim::experiments::{xl2_scale_with, Xl2ScaleOutput, XL2_SPLIT_DEPTH};
+use proxbal_sim::shard::build_tree_sharded;
+use proxbal_sim::{DistanceMode, Scenario, TopologyKind};
+use proxbal_trace::Trace;
+
+/// The xl2 preset scaled down ~1000×: same sharded machinery (8 shards,
+/// approximate distances, bounded caches), test-sized everything else.
+fn tiny_xl2(seed: u64) -> Scenario {
+    Scenario::builder()
+        .xl2()
+        .peers(1024)
+        .topology(TopologyKind::Tiny)
+        .landmarks(4)
+        .oracle_capacity(16)
+        .refine_sources(32)
+        .seed(seed)
+        .build()
+}
+
+/// Serializes the output with every wall-clock zeroed — the only fields
+/// allowed to differ between runs.
+fn stable_json(mut out: Xl2ScaleOutput) -> String {
+    out.prepare_wall_s = 0.0;
+    out.tree_wall_s = 0.0;
+    out.aware.wall_s = 0.0;
+    serde_json::to_string(&out).expect("serialize xl2 output")
+}
+
+#[test]
+fn xl2_output_is_byte_identical_across_thread_counts() {
+    let base = stable_json(xl2_scale_with(tiny_xl2(3), 1, &mut Trace::disabled()));
+    for threads in [2, 8] {
+        let run = stable_json(xl2_scale_with(tiny_xl2(3), threads, &mut Trace::disabled()));
+        assert_eq!(run, base, "{threads} threads");
+    }
+}
+
+#[test]
+fn xl2_trace_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let mut trace = Trace::enabled("xl2");
+        let out = stable_json(xl2_scale_with(tiny_xl2(5), threads, &mut trace));
+        (out, trace.to_ndjson())
+    };
+    let (out1, nd1) = run(1);
+    let (out8, nd8) = run(8);
+    assert_eq!(out1, out8);
+    assert_eq!(nd1, nd8, "trace event stream must not depend on threads");
+}
+
+#[test]
+fn sharded_prepare_is_thread_count_invariant() {
+    let scenario = tiny_xl2(7);
+    let a = scenario.prepare_threads(1);
+    let b = scenario.prepare_threads(8);
+    assert_eq!(a.net.ring().len(), b.net.ring().len());
+    assert_eq!(a.net.alive_peers(), b.net.alive_peers());
+    for ((pos_a, vs_a), (pos_b, vs_b)) in a.net.ring().iter().zip(b.net.ring().iter()) {
+        assert_eq!(pos_a, pos_b);
+        assert_eq!(vs_a, vs_b);
+    }
+    assert_eq!(a.landmarks, b.landmarks);
+    let (la, lb) = (
+        a.hop_landmarks.as_ref().expect("approximate mode"),
+        b.hop_landmarks.as_ref().expect("approximate mode"),
+    );
+    assert_eq!(la.nodes(), lb.nodes());
+    for node in 0..la.nodes() as u32 {
+        assert_eq!(la.vector(node), lb.vector(node));
+    }
+}
+
+#[test]
+fn sharded_tree_matches_serial_build_shape() {
+    let prepared = tiny_xl2(9).prepare();
+    let serial = proxbal_ktree::KTree::build(&prepared.net, 2);
+    let sharded = build_tree_sharded(&prepared.net, 2, XL2_SPLIT_DEPTH, 4);
+    sharded.check_invariants(&prepared.net).unwrap();
+    assert_eq!(sharded.len(), serial.len());
+    let key = |t: &proxbal_ktree::KTree| {
+        let mut v: Vec<_> = t
+            .iter_ids()
+            .map(|id| {
+                let n = t.node(id);
+                (n.region.start().raw(), n.region.len(), n.host, n.depth)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(key(&sharded), key(&serial));
+}
+
+#[test]
+fn approximate_mode_still_resolves_heavy_peers() {
+    // The scheme trades distance exactness for scale, never correctness of
+    // the balancing itself: the approximate run must shed heavy peers just
+    // like an exact run does.
+    let out = xl2_scale_with(tiny_xl2(11), 2, &mut Trace::disabled());
+    assert!(out.aware.heavy_before > 0);
+    assert!(
+        (out.aware.heavy_after as f64) < 0.2 * out.aware.heavy_before as f64,
+        "heavy {} -> {} (expected at least 5x reduction)",
+        out.aware.heavy_before,
+        out.aware.heavy_after
+    );
+    assert!(out.aware.transfers > 0);
+    // Exact mode from the same scenario differs only in distance_mode; its
+    // transfer count and heavy resolution are in the same regime.
+    let mut exact = tiny_xl2(11);
+    exact.distance_mode = DistanceMode::Exact;
+    let exact_out = xl2_scale_with(exact, 2, &mut Trace::disabled());
+    assert_eq!(out.aware.heavy_before, exact_out.aware.heavy_before);
+    assert!(exact_out.aware.transfers > 0);
+}

@@ -15,16 +15,23 @@
 //! * [`select_landmarks`] — spread landmark nodes across transit domains
 //!   (the paper uses 15 landmarks).
 //! * [`DistanceOracle`] — caching multi-source shortest-path oracle used to
-//!   derive landmark vectors and per-transfer hop costs.
+//!   derive landmark vectors and per-transfer hop costs. Rows are stored
+//!   block-compressed ([`CompactRow`]) so bounded caches hold several times
+//!   more rows per byte.
+//! * [`LandmarkOracle`] — the hierarchical approximate tier: O(m) triangle-
+//!   inequality distance bounds from precomputed landmark vectors, behind
+//!   the same [`DistanceQuery`] trait as the exact oracle.
 
 mod graph;
+mod landmark_oracle;
 mod landmarks;
 mod oracle;
 mod transit_stub;
 
 pub use graph::{DijkstraScratch, Graph, NodeId, INFINITE_DISTANCE};
+pub use landmark_oracle::LandmarkOracle;
 pub use landmarks::select_landmarks;
-pub use oracle::{CacheStats, DistanceOracle};
+pub use oracle::{CacheStats, CompactRow, DistanceOracle, DistanceQuery};
 pub use transit_stub::{DomainKind, TransitStubConfig, TransitStubTopology};
 
 #[cfg(test)]

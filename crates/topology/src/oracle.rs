@@ -5,6 +5,143 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Entries per [`CompactRow`] block. Each block stores its minimum and a
+/// fixed byte width for the deltas, so runs of equal or nearby distances
+/// (the common case: whole stub domains share a distance to the source)
+/// cost 0–1 bytes per entry instead of 4.
+const BLOCK: usize = 256;
+
+/// A losslessly compressed distance row.
+///
+/// The row is cut into [`BLOCK`]-entry blocks; each block stores its
+/// minimum plus per-entry deltas quantized to the narrowest of
+/// {0, 1, 2, 4} bytes that holds the block's largest delta. Decoding is a
+/// two-array lookup and an add, so point queries stay O(1). Compression is
+/// exact — `get` returns precisely the `u32` that went in — which is what
+/// lets the bounded oracle keep its bit-identical-results contract while
+/// holding several times more rows per byte of residency.
+#[derive(Clone, Debug)]
+pub struct CompactRow {
+    len: usize,
+    /// Per-block minimum value.
+    mins: Vec<u32>,
+    /// Per-block payload byte offset; `widths` is recoverable from the
+    /// offset deltas but kept separate for branch-free decoding.
+    offsets: Vec<u32>,
+    /// Per-block delta width in bytes (0, 1, 2 or 4).
+    widths: Vec<u8>,
+    /// Delta payload, little-endian, `widths[b]` bytes per entry.
+    payload: Vec<u8>,
+}
+
+impl CompactRow {
+    /// Compresses `values` (lossless).
+    pub fn compress(values: &[u32]) -> Self {
+        let blocks = values.len().div_ceil(BLOCK);
+        let mut mins = Vec::with_capacity(blocks);
+        let mut offsets = Vec::with_capacity(blocks);
+        let mut widths = Vec::with_capacity(blocks);
+        let mut payload = Vec::new();
+        for chunk in values.chunks(BLOCK) {
+            let min = chunk.iter().copied().min().unwrap_or(0);
+            let spread = chunk.iter().copied().max().unwrap_or(0) - min;
+            let width: u8 = match spread {
+                0 => 0,
+                1..=0xFF => 1,
+                0x100..=0xFFFF => 2,
+                _ => 4,
+            };
+            mins.push(min);
+            offsets.push(payload.len() as u32);
+            widths.push(width);
+            match width {
+                0 => {}
+                1 => payload.extend(chunk.iter().map(|&v| (v - min) as u8)),
+                2 => {
+                    for &v in chunk {
+                        payload.extend_from_slice(&((v - min) as u16).to_le_bytes());
+                    }
+                }
+                _ => {
+                    for &v in chunk {
+                        payload.extend_from_slice(&(v - min).to_le_bytes());
+                    }
+                }
+            }
+        }
+        payload.shrink_to_fit();
+        CompactRow {
+            len: values.len(),
+            mins,
+            offsets,
+            widths,
+            payload,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the row has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entry at `i` (exactly the value passed to `compress`).
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len);
+        let b = i / BLOCK;
+        let r = i % BLOCK;
+        let min = self.mins[b];
+        match self.widths[b] {
+            0 => min,
+            1 => min + u32::from(self.payload[self.offsets[b] as usize + r]),
+            2 => {
+                let at = self.offsets[b] as usize + 2 * r;
+                min + u32::from(u16::from_le_bytes([self.payload[at], self.payload[at + 1]]))
+            }
+            _ => {
+                let at = self.offsets[b] as usize + 4 * r;
+                min + u32::from_le_bytes([
+                    self.payload[at],
+                    self.payload[at + 1],
+                    self.payload[at + 2],
+                    self.payload[at + 3],
+                ])
+            }
+        }
+    }
+
+    /// Decompresses the full row.
+    pub fn to_vec(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Heap + inline bytes this row occupies (the measured-residency
+    /// figure the cache accounts with).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.mins.capacity() * 4
+            + self.offsets.capacity() * 4
+            + self.widths.capacity()
+            + self.payload.capacity()
+    }
+}
+
+/// Distance queries answered the same way by the exact and the approximate
+/// oracle: the filter-then-refine transfer path is generic over this, and
+/// swapping one implementation for the other is what `distance_mode`
+/// selects.
+pub trait DistanceQuery {
+    /// A distance estimate for the pair `(u, v)`. Exact implementations
+    /// return the true shortest-path distance; approximate ones an upper
+    /// bound.
+    fn distance(&self, u: NodeId, v: NodeId) -> u32;
+}
+
 thread_local! {
     /// Per-thread Dijkstra working memory: row fills from any oracle on
     /// this thread reuse one scratch, so steady-state row computation
@@ -30,9 +167,11 @@ const PIN_BIT: u8 = 2;
 ///
 /// # Bounded memory
 ///
-/// At 50k-node scale a row is ~200 KB, so an unbounded cache can grow to
-/// gigabytes. [`DistanceOracle::with_capacity`] bounds the number of
-/// resident *unpinned* rows: once the bound is reached, inserting a new
+/// At 50k-node scale a raw row is ~200 KB, so an unbounded cache can grow
+/// to gigabytes. Rows are therefore stored as [`CompactRow`] blocks
+/// (lossless, typically ~1 byte per entry for the hop metric) and
+/// [`DistanceOracle::with_capacity`] bounds the number of resident
+/// *unpinned* rows: once the bound is reached, inserting a new
 /// row evicts an old one by second-chance (clock) replacement. Rows that
 /// back repeated queries — the landmark rows — can be
 /// [pinned](DistanceOracle::pin) so they never leave the cache and never
@@ -41,13 +180,15 @@ const PIN_BIT: u8 = 2;
 /// capacity, including unbounded.
 pub struct DistanceOracle {
     graph: Arc<Graph>,
-    rows: Vec<RwLock<Option<Arc<Vec<u32>>>>>,
+    rows: Vec<RwLock<Option<Arc<CompactRow>>>>,
     /// Per-row `REF_BIT`/`PIN_BIT` flags (addressed by source id).
     meta: Vec<AtomicU8>,
     /// Maximum resident unpinned rows; `0` means unbounded.
     capacity: usize,
     /// Number of resident unpinned rows.
     resident: AtomicUsize,
+    /// Measured bytes of all resident rows (pinned included).
+    resident_bytes: AtomicUsize,
     /// Second-chance queue of resident unpinned row ids, oldest first.
     clock: Mutex<VecDeque<NodeId>>,
     /// Lifetime cache accounting (relaxed counters; see [`CacheStats`]).
@@ -99,6 +240,7 @@ impl DistanceOracle {
             meta: (0..n).map(|_| AtomicU8::new(0)).collect(),
             capacity,
             resident: AtomicUsize::new(0),
+            resident_bytes: AtomicUsize::new(0),
             clock: Mutex::new(VecDeque::new()),
             hits: AtomicU64::new(0),
             computes: AtomicU64::new(0),
@@ -117,7 +259,7 @@ impl DistanceOracle {
     }
 
     /// The cached row from `src`, if one exists.
-    fn cached(&self, src: NodeId) -> Option<Arc<Vec<u32>>> {
+    fn cached(&self, src: NodeId) -> Option<Arc<CompactRow>> {
         let row = self.rows[src as usize].read().clone();
         if row.is_some() {
             // Second chance: a touched row survives one clock pass.
@@ -133,14 +275,17 @@ impl DistanceOracle {
     }
 
     /// Shortest-path distance row from `src` (computing and caching it if
-    /// needed).
-    pub fn row(&self, src: NodeId) -> Arc<Vec<u32>> {
+    /// needed). Rows are stored block-compressed; point lookups go through
+    /// [`CompactRow::get`].
+    pub fn row(&self, src: NodeId) -> Arc<CompactRow> {
         if let Some(row) = self.cached(src) {
             return row;
         }
         let computed = SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();
-            Arc::new(self.graph.dijkstra_into(src, &mut scratch).to_vec())
+            Arc::new(CompactRow::compress(
+                self.graph.dijkstra_into(src, &mut scratch),
+            ))
         });
         self.computes.fetch_add(1, Ordering::Relaxed);
         {
@@ -149,6 +294,8 @@ impl DistanceOracle {
             if let Some(existing) = slot.clone() {
                 return existing;
             }
+            self.resident_bytes
+                .fetch_add(computed.size_bytes(), Ordering::Relaxed);
             *slot = Some(computed.clone());
             self.meta[src as usize].fetch_or(REF_BIT, Ordering::Relaxed);
         }
@@ -198,8 +345,10 @@ impl DistanceOracle {
                 self.resident.fetch_sub(1, Ordering::Relaxed);
                 continue;
             }
-            if slot.take().is_some() {
+            if let Some(evicted) = slot.take() {
                 self.resident.fetch_sub(1, Ordering::Relaxed);
+                self.resident_bytes
+                    .fetch_sub(evicted.size_bytes(), Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
@@ -228,12 +377,12 @@ impl DistanceOracle {
             return 0;
         }
         if let Some(row) = self.cached(u) {
-            return row[v as usize];
+            return row.get(v as usize);
         }
         if let Some(row) = self.cached(v) {
-            return row[u as usize];
+            return row.get(u as usize);
         }
-        self.row(u)[v as usize]
+        self.row(u).get(v as usize)
     }
 
     /// Landmark vector of `node`: distances to each of `landmarks`, in order.
@@ -242,7 +391,7 @@ impl DistanceOracle {
         // node (many sources): the cache makes repeated calls cheap.
         landmarks
             .iter()
-            .map(|&l| self.row(l)[node as usize])
+            .map(|&l| self.row(l).get(node as usize))
             .collect()
     }
 
@@ -292,6 +441,14 @@ impl DistanceOracle {
         self.rows.iter().filter(|r| r.read().is_some()).count()
     }
 
+    /// Measured bytes of all resident rows, pinned included. This is what
+    /// "sized by measured residency" means for capacity planning: the
+    /// `xl2` preset picks its row budget against this number, not against
+    /// a `rows × 4 bytes × n` estimate that compression makes obsolete.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of the lifetime cache accounting. See [`CacheStats`] for
     /// the determinism caveat on bounded caches.
     pub fn cache_stats(&self) -> CacheStats {
@@ -300,5 +457,11 @@ impl DistanceOracle {
             computes: self.computes.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl DistanceQuery for DistanceOracle {
+    fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        DistanceOracle::distance(self, u, v)
     }
 }

@@ -233,8 +233,8 @@ fn oracle_precompute_cursor_any_thread_count() {
         assert_eq!(oracle.cached_rows(), sources.len(), "threads={threads}");
         for &src in &sources {
             assert_eq!(
-                oracle.row(src).as_slice(),
-                baseline.row(src).as_slice(),
+                oracle.row(src).to_vec(),
+                baseline.row(src).to_vec(),
                 "row {src} differs at threads={threads}"
             );
         }
@@ -353,7 +353,61 @@ proptest! {
         for &src in &sources {
             let seq_row = sequential.row(src);
             let thr_row = threaded.row(src);
-            prop_assert_eq!(seq_row.as_slice(), thr_row.as_slice());
+            prop_assert_eq!(seq_row.to_vec(), thr_row.to_vec());
+        }
+    }
+
+    #[test]
+    fn prop_compact_row_roundtrip(seed in 0u64..200) {
+        // Block compression is lossless for arbitrary u32 rows, including
+        // INFINITE_DISTANCE entries and spreads needing every width class.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rand::Rng::gen_range(&mut rng, 0usize..2000);
+        let values: Vec<u32> = (0..len)
+            .map(|_| match rand::Rng::gen_range(&mut rng, 0u8..5) {
+                0 => rand::Rng::gen_range(&mut rng, 0u32..4),
+                1 => rand::Rng::gen_range(&mut rng, 0u32..300),
+                2 => rand::Rng::gen_range(&mut rng, 0u32..100_000),
+                3 => rand::Rng::gen(&mut rng),
+                _ => INFINITE_DISTANCE,
+            })
+            .collect();
+        let row = CompactRow::compress(&values);
+        prop_assert_eq!(row.len(), values.len());
+        prop_assert_eq!(row.to_vec(), values.clone());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(row.get(i), v);
+        }
+    }
+
+    #[test]
+    fn prop_landmark_bounds_bracket_exact_distance(seed in 0u64..50) {
+        // The LandmarkOracle's triangle-inequality bounds must always
+        // bracket the exact shortest-path distance, and the approximate
+        // DistanceQuery answer (the upper bound) must never undershoot.
+        let topo = small_topo(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let lms = select_landmarks(&topo, 6, &mut rng);
+        let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
+        let lm = LandmarkOracle::build(&oracle, &lms, 2);
+        let n = topo.node_count() as NodeId;
+        for u in (0..n).step_by(5) {
+            for v in (0..n).step_by(7) {
+                let exact = oracle.distance(u, v);
+                let (lo, hi) = lm.bounds(u, v);
+                prop_assert!(lo <= exact, "lower {lo} > exact {exact} for ({u},{v})");
+                prop_assert!(exact <= hi, "upper {hi} < exact {exact} for ({u},{v})");
+                prop_assert!(DistanceQuery::distance(&lm, u, v) >= exact);
+            }
+        }
+        // A landmark's own distances are recovered exactly.
+        for &l in &lms {
+            for v in (0..n).step_by(11) {
+                let (lo, hi) = lm.bounds(l, v);
+                let exact = oracle.distance(l, v);
+                prop_assert_eq!(lo, exact);
+                prop_assert_eq!(hi, exact);
+            }
         }
     }
 
@@ -373,6 +427,55 @@ proptest! {
             }
         }
     }
+}
+
+#[test]
+fn oracle_accounts_resident_bytes() {
+    let topo = small_topo(12);
+    let graph = StdArc::new(topo.graph.clone());
+    let oracle = DistanceOracle::with_capacity(StdArc::clone(&graph), 2);
+    assert_eq!(oracle.resident_bytes(), 0);
+    let r0 = oracle.row(0).size_bytes();
+    assert_eq!(oracle.resident_bytes(), r0);
+    // Compression on the hop metric beats the raw 4 B/entry row by a wide
+    // margin: stub domains share distances, so most blocks are 0–1 B/entry.
+    // (Allow for the fixed struct + block-directory overhead, which
+    // dominates on the tiny test topology.)
+    let overhead = std::mem::size_of::<CompactRow>() + 64;
+    assert!(
+        r0 < overhead + graph.node_count() * 2,
+        "row bytes {r0} too large for {} nodes",
+        graph.node_count()
+    );
+    // Evictions release their bytes: residency stays bounded.
+    for src in 0..graph.node_count() as NodeId {
+        let _ = oracle.row(src);
+    }
+    let bound = 3 * (oracle.capacity() + 1) * r0;
+    assert!(oracle.resident_bytes() <= bound);
+}
+
+#[test]
+fn landmark_oracle_from_parts_matches_build() {
+    let topo = small_topo(13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let lms = select_landmarks(&topo, 5, &mut rng);
+    let oracle = DistanceOracle::new(StdArc::new(topo.graph.clone()));
+    let built = LandmarkOracle::build(&oracle, &lms, 1);
+    // Reassemble node-major vectors by hand (what the sharded prepare does
+    // per shard) and check the two oracles agree everywhere.
+    let n = topo.node_count();
+    let mut vectors = Vec::with_capacity(n * lms.len());
+    for node in 0..n as NodeId {
+        vectors.extend(oracle.landmark_vector(node, &lms));
+    }
+    let parts = LandmarkOracle::from_parts(lms.clone(), n, vectors);
+    for u in (0..n as NodeId).step_by(17) {
+        for v in (0..n as NodeId).step_by(13) {
+            assert_eq!(built.bounds(u, v), parts.bounds(u, v));
+        }
+    }
+    assert_eq!(built.landmarks(), parts.landmarks());
 }
 
 #[test]

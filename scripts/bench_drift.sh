@@ -30,7 +30,7 @@ trap 'rm -rf "$WORK"' EXIT
   && timeout 900 "$REPRO" engine --scale small > /dev/null)
 
 # Strip fields that legitimately vary run-to-run or machine-to-machine.
-VOLATILE='"(wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s)"'
+VOLATILE='"(wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s|tree_wall_s)"'
 filter() {
   python3 -c '
 import json, re, sys
@@ -43,11 +43,12 @@ def scrub(v):
     return v
 doc = scrub(json.load(open(sys.argv[1])))
 json.dump(doc, sys.stdout, indent=2, sort_keys=True)
-' "$1" 'wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s'
+' "$1" 'wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s|tree_wall_s'
 }
 
 # Compare only the entries the scratch run regenerated (small + faults):
-# full and xl are too slow for a per-PR gate and are covered by nightly.
+# full, xl and xl2 are too slow for a per-PR gate and are covered by nightly
+# (scripts/check.sh --xl-smoke re-derives the xl2 pipeline at reduced peers).
 pick() {
   python3 -c '
 import json, sys
@@ -56,6 +57,26 @@ sub = {k: doc[k] for k in ("small", "faults", "engine") if k in doc}
 json.dump(sub, open(sys.argv[2], "w"), indent=2)
 ' "$1" "$2"
 }
+
+# The xl and xl2 entries are not re-derived here, but their presence and
+# shape are still gated: a PR that drops the million-peer entry or strips
+# a deterministic field from it fails fast instead of silently un-gating
+# the nightly comparison.
+python3 -c '
+import json, sys
+doc = json.load(open("BENCH_repro.json"))
+entry = doc.get("xl2")
+if entry is None:
+    sys.exit("BENCH_repro.json: missing the xl2 (million-peer) entry")
+required = ("seed", "peers", "underlay_nodes", "virtual_servers",
+            "oracle_capacity", "shards", "refine_sources", "lbi_messages",
+            "vsa_record_hops", "aware_frac2", "aware_frac10", "heavy_after")
+missing = [k for k in required if k not in entry]
+if missing:
+    sys.exit(f"BENCH_repro.json: xl2 entry lacks deterministic fields: {missing}")
+if entry["peers"] != 1048576:
+    sys.exit("BENCH_repro.json: xl2 entry is not the 1M-peer run (%s peers)" % entry["peers"])
+'
 
 pick BENCH_repro.json "$WORK/committed_sub.json"
 pick "$WORK/BENCH_repro.json" "$WORK/fresh_sub.json"

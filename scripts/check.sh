@@ -76,6 +76,15 @@ diff <(grep -v -e "wall" -e "^wrote " "$SMOKE_DIR/trace1.txt") \
 if [[ "$XL_SMOKE" == "1" ]]; then
   echo "==> xl smoke: repro --scale xl --fig 7"
   timeout 1800 ./target/release/repro --scale xl --fig 7
+  # xl2 at reduced peers: the full sharded + landmark-approximate pipeline,
+  # byte-identical across thread counts. A --peers override never writes a
+  # BENCH entry, so stdout is the whole contract (minus walls and RSS).
+  echo "==> xl2 smoke: repro xl2 --peers 65536 (threads 1 vs 8)"
+  (cd "$SMOKE_DIR" && timeout 1800 "$REPRO" xl2 --peers 65536 --threads 1 > xl2_t1.txt \
+                   && timeout 1800 "$REPRO" xl2 --peers 65536 --threads 8 > xl2_t8.txt)
+  scrub_xl2() { sed -E 's/ +[0-9.]+s$//' "$1" | grep -v -e "^prepare:" -e "^total:"; }
+  diff <(scrub_xl2 "$SMOKE_DIR/xl2_t1.txt") <(scrub_xl2 "$SMOKE_DIR/xl2_t8.txt") || {
+    echo "xl2 output differs across thread counts" >&2; exit 1; }
 fi
 
 if [[ "$FAULTS_SMOKE" == "1" ]]; then

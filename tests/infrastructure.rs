@@ -93,16 +93,10 @@ fn aggregation_latency_reflects_topology() {
     let lat = aggregation_latency(&prepared.net, oracle, &tree);
     assert!(lat > 0);
     // Bounded by (max message depth) × (graph diameter).
+    let row0 = oracle.row(0);
+    let row0_max = (0..row0.len()).map(|i| row0.get(i)).max().unwrap();
     let diameter = (0..prepared.topo.as_ref().unwrap().node_count() as u32)
-        .map(|n| {
-            *oracle
-                .row(0)
-                .iter()
-                .max()
-                .unwrap()
-                .min(&u32::MAX)
-                .max(&oracle.distance(0, n))
-        })
+        .map(|n| row0_max.max(oracle.distance(0, n)))
         .max()
         .unwrap();
     let bound = u64::from(tree.max_message_depth()) * u64::from(2 * diameter);
