@@ -1,0 +1,116 @@
+//! Benchmarks the parallel kernels *inside* a balancing round — the hot
+//! per-peer loops the `--threads` knob accelerates: node classification,
+//! shed-candidate/light-slot extraction, and the complete proximity-aware
+//! four-phase round. Each kernel runs at 1 and 8 worker threads so the
+//! scaling (and the fixed-chunk merge overhead at 1 thread) is visible in
+//! one report. Outputs are byte-identical across thread counts — the
+//! determinism tests pin that — so these benches measure pure wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proxbal_core::reports::{light_slots_with, shed_candidates_with};
+use proxbal_core::{
+    BalancerConfig, Classification, ClassifyParams, LoadBalancer, ProximityMode, ProximityParams,
+    RoundWalls, Underlay,
+};
+use proxbal_ktree::KTree;
+use proxbal_sim::{Scenario, TopologyKind};
+use proxbal_trace::Trace;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn bench_round_kernels(c: &mut Criterion) {
+    let mut scenario = Scenario::builder().small().seed(7).build();
+    scenario.peers = 4096;
+    scenario.topology = TopologyKind::Ts5kSmall;
+    let prepared = scenario.prepare();
+    let params = ClassifyParams {
+        epsilon: prepared.scenario.balancer.epsilon,
+    };
+    let system = prepared.loads.totals(&prepared.net);
+
+    let mut group = c.benchmark_group("round_kernels");
+    group.sample_size(20);
+
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("classify_t{threads}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(Classification::compute_with(
+                    &prepared.net,
+                    &prepared.loads,
+                    &params,
+                    system,
+                    threads,
+                ))
+            });
+        });
+    }
+
+    let classification =
+        Classification::compute_with(&prepared.net, &prepared.loads, &params, system, 1);
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("shed_and_light_t{threads}"), |b| {
+            b.iter(|| {
+                let shed = shed_candidates_with(
+                    &prepared.net,
+                    &prepared.loads,
+                    &params,
+                    &classification,
+                    threads,
+                );
+                let light = light_slots_with(
+                    &prepared.net,
+                    &prepared.loads,
+                    &params,
+                    &classification,
+                    threads,
+                );
+                std::hint::black_box((shed, light))
+            });
+        });
+    }
+
+    // The complete proximity-aware round (all four phases, exact transfer
+    // distances — the refinement path) from a cloned initial state. One
+    // untimed warm-up round first: the prepared oracle caches distance rows
+    // across calls, so without it the first thread count measured would pay
+    // every Dijkstra fill and the later ones would ride its warm cache.
+    let aware_round = |threads: usize| {
+        let mut net = prepared.net.clone();
+        let mut loads = prepared.loads.clone();
+        let underlay = Underlay {
+            oracle: prepared.oracle.as_ref().expect("topology present"),
+            latency_oracle: prepared.latency_oracle.as_ref(),
+            landmarks: &prepared.landmarks,
+            approx: None,
+        };
+        let cfg = BalancerConfig {
+            mode: ProximityMode::Aware(ProximityParams::default()),
+            ..prepared.scenario.balancer
+        };
+        let mut tree = KTree::build(&net, cfg.k);
+        let mut rng = prepared.derived_rng(78);
+        let mut walls = RoundWalls::default();
+        LoadBalancer::new(cfg)
+            .with_threads(threads)
+            .run_with_tree_walls(
+                &mut net,
+                &mut loads,
+                &mut tree,
+                Some(underlay),
+                &mut rng,
+                &mut Trace::disabled(),
+                &mut walls,
+            )
+            .expect("attached network")
+    };
+    std::hint::black_box(aware_round(1));
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("aware_round_t{threads}"), |b| {
+            b.iter(|| std::hint::black_box(aware_round(threads)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_kernels);
+criterion_main!(benches);

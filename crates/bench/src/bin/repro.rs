@@ -413,7 +413,7 @@ fn run_xl(args: &Args, trace: &mut Trace) {
         args.seed
     );
     let total = Instant::now();
-    let out = proxbal_sim::experiments::xl_scale_traced(args.seed, trace);
+    let out = proxbal_sim::experiments::xl_scale_traced(args.seed, args.threads, trace);
     let total_wall = total.elapsed().as_secs_f64();
     let peak_rss = proxbal_bench::peak_rss_bytes();
 
@@ -455,6 +455,7 @@ fn run_xl(args: &Args, trace: &mut Trace) {
         "underlay_nodes": out.underlay_nodes,
         "virtual_servers": out.virtual_servers,
         "oracle_capacity": out.oracle_capacity,
+        "threads": args.threads,
         "total_wall_s": total_wall,
         "prepare_wall_s": out.prepare_wall_s,
         "aware_wall_s": out.aware.wall_s,
@@ -531,6 +532,12 @@ fn run_xl2(args: &Args, trace: &mut Trace) {
         run.transfers,
         run.wall_s
     );
+    // One wall per line with the seconds last, so the thread-invariance
+    // smoke (scripts/check.sh scrub_xl2) strips them like every other wall.
+    println!("  lbi wall: {:.2}s", run.lbi_wall_s);
+    println!("  aggregate wall: {:.2}s", run.aggregate_wall_s);
+    println!("  vsa wall: {:.2}s", run.vsa_wall_s);
+    println!("  transfer wall: {:.2}s", run.transfer_wall_s);
     println!("\n  CDF of moved load (distance: aware)");
     for d in [0u32, 1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50] {
         println!(
@@ -555,10 +562,15 @@ fn run_xl2(args: &Args, trace: &mut Trace) {
             "oracle_capacity": out.oracle_capacity,
             "shards": out.shards,
             "refine_sources": out.refine_sources,
+            "threads": args.threads,
             "total_wall_s": total_wall,
             "prepare_wall_s": out.prepare_wall_s,
             "tree_wall_s": out.tree_wall_s,
             "aware_wall_s": run.wall_s,
+            "lbi_wall_s": run.lbi_wall_s,
+            "aggregate_wall_s": run.aggregate_wall_s,
+            "vsa_wall_s": run.vsa_wall_s,
+            "transfer_wall_s": run.transfer_wall_s,
             "peak_rss_bytes": peak_rss.unwrap_or(0),
             "lbi_messages": run.lbi_messages,
             "vsa_record_hops": run.vsa_record_hops,

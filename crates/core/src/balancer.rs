@@ -176,14 +176,32 @@ impl BalanceReport {
 #[derive(Clone, Debug)]
 pub struct LoadBalancer {
     cfg: BalancerConfig,
+    threads: usize,
 }
 
 impl LoadBalancer {
-    /// Creates a balancer with the given configuration.
+    /// Creates a balancer with the given configuration (single-threaded
+    /// rounds; see [`LoadBalancer::with_threads`]).
     pub fn new(cfg: BalancerConfig) -> Self {
         assert!(cfg.k >= 2, "tree degree must be >= 2");
         assert!(cfg.epsilon >= 0.0, "epsilon must be non-negative");
-        LoadBalancer { cfg }
+        LoadBalancer { cfg, threads: 1 }
+    }
+
+    /// Sets the worker-thread count for the parallel sections *inside* a
+    /// balancing round (LBI generation, aggregation, classification, shed
+    /// extraction, transfer-distance refinement). Purely a performance
+    /// knob: every output is byte-identical at any thread count — parallel
+    /// work is chunked deterministically and merged in index order, and
+    /// all randomness is drawn on the caller's thread.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The intra-round worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configuration.
@@ -260,7 +278,34 @@ impl LoadBalancer {
         rng: &mut R,
         trace: &mut Trace,
     ) -> Result<BalanceReport, crate::Error> {
-        self.run_round_traced(
+        self.run_with_tree_walls(
+            net,
+            loads,
+            tree,
+            underlay,
+            rng,
+            trace,
+            &mut crate::RoundWalls::default(),
+        )
+    }
+
+    /// Like [`LoadBalancer::run_with_tree_traced`], additionally measuring
+    /// the wall-clock seconds each intra-round phase took into `walls`.
+    /// The walls are an out-parameter (not part of [`BalanceReport`])
+    /// because they are inherently nondeterministic — everything inside
+    /// the report stays byte-identical at any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_tree_walls<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        tree: &mut KTree,
+        underlay: Option<Underlay<'_>>,
+        rng: &mut R,
+        trace: &mut Trace,
+        walls: &mut crate::RoundWalls,
+    ) -> Result<BalanceReport, crate::Error> {
+        self.run_round_walls(
             net,
             loads,
             tree,
@@ -269,6 +314,7 @@ impl LoadBalancer {
             &DirtySet::All,
             rng,
             trace,
+            walls,
         )
     }
 }

@@ -11,6 +11,11 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
+/// Fixed chunk size of the parallel per-peer sweeps in this module. A
+/// compile-time constant — never derived from the thread count — so chunk
+/// boundaries, and with them every drain order, are thread-invariant.
+const CLASSIFY_CHUNK: usize = 8192;
+
 /// The per-node classification computed after LBI dissemination.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Classification {
@@ -29,11 +34,35 @@ impl Classification {
         params: &ClassifyParams,
         system: Lbi,
     ) -> Self {
-        let classes = net
-            .alive_peers()
-            .into_iter()
-            .map(|p| (p, params.classify(&loads.node_lbi(net, p), &system)))
-            .collect();
+        Self::compute_with(net, loads, params, system, 1)
+    }
+
+    /// [`Classification::compute`] on `threads` workers: per-peer classes
+    /// are computed over fixed-size chunks in parallel and inserted into
+    /// the map serially in original peer order — identical at any thread
+    /// count.
+    pub fn compute_with(
+        net: &ChordNetwork,
+        loads: &LoadState,
+        params: &ClassifyParams,
+        system: Lbi,
+        threads: usize,
+    ) -> Self {
+        let alive = net.alive_peers();
+        let chunks = proxbal_parallel::map_chunked(alive.len(), CLASSIFY_CHUNK, threads, |range| {
+            range
+                .map(|i| {
+                    let p = alive[i];
+                    (p, params.classify(&loads.node_lbi(net, p), &system))
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut classes = HashMap::with_capacity(alive.len());
+        for chunk in chunks {
+            for (p, class) in chunk {
+                classes.insert(p, class);
+            }
+        }
         Classification { system, classes }
     }
 
@@ -63,8 +92,22 @@ pub fn shed_candidates(
     params: &ClassifyParams,
     classification: &Classification,
 ) -> BTreeMap<PeerId, Vec<ShedCandidate>> {
-    let mut out = BTreeMap::new();
-    for p in classification.peers_of(NodeClass::Heavy) {
+    shed_candidates_with(net, loads, params, classification, 1)
+}
+
+/// [`shed_candidates`] on `threads` workers: the minimum-load shed subset
+/// of each heavy peer is an independent knapsack-style selection, computed
+/// in parallel and drained into the sorted map in original (ascending
+/// peer) order — identical at any thread count.
+pub fn shed_candidates_with(
+    net: &ChordNetwork,
+    loads: &LoadState,
+    params: &ClassifyParams,
+    classification: &Classification,
+    threads: usize,
+) -> BTreeMap<PeerId, Vec<ShedCandidate>> {
+    let heavy = classification.peers_of(NodeClass::Heavy);
+    let per_peer = proxbal_parallel::map_items(&heavy, threads, |_, &p| {
         let node = loads.node_lbi(net, p);
         let excess = params.excess(&node, &classification.system);
         let vss: Vec<(VsId, f64)> = net
@@ -73,14 +116,17 @@ pub fn shed_candidates(
             .map(|&v| (v, loads.vs_load(v)))
             .collect();
         let chosen = choose_shed_set(&vss, excess);
-        let cands: Vec<ShedCandidate> = chosen
+        chosen
             .into_iter()
             .map(|v| ShedCandidate {
                 load: loads.vs_load(v),
                 vs: v,
                 from: p,
             })
-            .collect();
+            .collect::<Vec<ShedCandidate>>()
+    });
+    let mut out = BTreeMap::new();
+    for (&p, cands) in heavy.iter().zip(per_peer) {
         if !cands.is_empty() {
             out.insert(p, cands);
         }
@@ -95,10 +141,25 @@ pub fn light_slots(
     params: &ClassifyParams,
     classification: &Classification,
 ) -> BTreeMap<PeerId, LightSlot> {
-    let mut out = BTreeMap::new();
-    for p in classification.peers_of(NodeClass::Light) {
+    light_slots_with(net, loads, params, classification, 1)
+}
+
+/// [`light_slots`] on `threads` workers (same structure as
+/// [`shed_candidates_with`]).
+pub fn light_slots_with(
+    net: &ChordNetwork,
+    loads: &LoadState,
+    params: &ClassifyParams,
+    classification: &Classification,
+    threads: usize,
+) -> BTreeMap<PeerId, LightSlot> {
+    let light = classification.peers_of(NodeClass::Light);
+    let spares = proxbal_parallel::map_items(&light, threads, |_, &p| {
         let node = loads.node_lbi(net, p);
-        let spare = params.spare(&node, &classification.system);
+        params.spare(&node, &classification.system)
+    });
+    let mut out = BTreeMap::new();
+    for (&p, spare) in light.iter().zip(spares) {
         if spare > 0.0 {
             out.insert(p, LightSlot { spare, peer: p });
         }
@@ -197,6 +258,26 @@ pub fn proximity_inputs(
     oracle: &DistanceOracle,
     landmarks: &[NodeId],
 ) -> KtNodeMap<Box<RendezvousLists>> {
+    proximity_inputs_with(net, tree, shed, light, params, oracle, landmarks, 1)
+}
+
+/// [`proximity_inputs`] on `threads` workers: landmark vectors and
+/// per-participant DHT targets (key mapping, ring ownership, root descent)
+/// are pure functions of immutable state, computed in parallel; the
+/// rendezvous lists are then filled serially in original (sorted-map)
+/// order, so record order inside every list is identical at any thread
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn proximity_inputs_with(
+    net: &ChordNetwork,
+    tree: &KTree,
+    shed: &BTreeMap<PeerId, Vec<ShedCandidate>>,
+    light: &BTreeMap<PeerId, LightSlot>,
+    params: &ProximityParams,
+    oracle: &DistanceOracle,
+    landmarks: &[NodeId],
+    threads: usize,
+) -> KtNodeMap<Box<RendezvousLists>> {
     assert!(!landmarks.is_empty(), "need at least one landmark");
     // Landmark vectors of every participating node, projected onto the
     // key dimensions.
@@ -208,16 +289,18 @@ pub fn proximity_inputs(
     // The Hilbert index is carried as u128: clamp bits so dims·bits ≤ 128.
     let bits = params.bits_per_dim.clamp(1, (128 / dims as u32).min(32));
     let participants: Vec<PeerId> = shed.keys().chain(light.keys()).copied().collect();
-    let mut vectors: HashMap<PeerId, Vec<u32>> = HashMap::with_capacity(participants.len());
-    let mut scale_max = 1u32;
-    for &p in &participants {
+    let measured = proxbal_parallel::map_items(&participants, threads, |_, &p| {
         let attach = net.peer(p).underlay;
         assert!(
             attach != u32::MAX,
             "peer {p:?} has no underlay attachment; proximity-aware mode \
              requires ChordNetwork::attach"
         );
-        let v = oracle.landmark_vector(attach, landmarks);
+        oracle.landmark_vector(attach, landmarks)
+    });
+    let mut vectors: HashMap<PeerId, Vec<u32>> = HashMap::with_capacity(participants.len());
+    let mut scale_max = 1u32;
+    for (&p, v) in participants.iter().zip(measured) {
         scale_max = scale_max.max(v.iter().copied().max().unwrap_or(0));
         vectors.insert(p, v);
     }
@@ -261,15 +344,20 @@ pub fn proximity_inputs(
         let owner = net.ring().owner(key).expect("non-empty ring");
         tree.report_target(net, owner)
     };
-    for (&p, cands) in shed {
-        let target = target_for(p);
+    // `participants` lists shed keys then light keys, each ascending — the
+    // same order the two fill loops below walk, so zipping targets back is
+    // positional.
+    let targets = proxbal_parallel::map_items(&participants, threads, |_, &p| target_for(p));
+    let mut targets = targets.into_iter();
+    for cands in shed.values() {
+        let target = targets.next().expect("one target per shed peer");
         let lists = inputs.or_default(target);
         for c in cands {
             lists.push_shed(*c);
         }
     }
-    for (&p, slot) in light {
-        let target = target_for(p);
+    for slot in light.values() {
+        let target = targets.next().expect("one target per light peer");
         inputs.or_default(target).push_light(*slot);
     }
     inputs

@@ -18,9 +18,9 @@ use crate::classify::{ClassifyParams, NodeClass};
 use crate::error::Error;
 use crate::lbi::LoadState;
 use crate::reports::{
-    ignorant_inputs, light_slots, proximity_inputs, shed_candidates, Classification,
+    ignorant_inputs, light_slots_with, proximity_inputs_with, shed_candidates_with, Classification,
 };
-use crate::transfer::execute_transfers_traced;
+use crate::transfer::execute_transfers_traced_threaded;
 use crate::vsa::{run_vsa_traced, VsaParams};
 use crate::{BalanceReport, LoadBalancer, MessageStats, ProximityMode, Underlay};
 use proxbal_chord::{ChordNetwork, PeerId, VsId};
@@ -28,6 +28,31 @@ use proxbal_ktree::KTree;
 use proxbal_trace::Trace;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+
+/// Wall-clock seconds of each intra-round phase, measured by
+/// [`LoadBalancer::run_round_walls`]. Walls travel as an out-parameter —
+/// never inside [`BalanceReport`] or the trace — because they are
+/// inherently nondeterministic, while everything the round *returns* must
+/// stay byte-identical at any thread count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundWalls {
+    /// Report rebinding + per-peer LBI generation (phase 1 up to the tree).
+    pub lbi_wall_s: f64,
+    /// The bottom-up tree aggregation of the LBIs.
+    pub aggregate_wall_s: f64,
+    /// Classification, shed/light extraction, VSA input publication and
+    /// the rendezvous sweep (phases 2–3).
+    pub vsa_wall_s: f64,
+    /// Transfer execution including distance accounting (phase 4).
+    pub transfer_wall_s: f64,
+}
+
+/// Fixed per-peer chunk size of the intra-round parallel sweeps. A chunk is
+/// the unit a worker claims; results are drained in chunk order, so the
+/// size must **never** depend on the thread count (that would change the
+/// drain order and with it f64 associations).
+const PEER_CHUNK: usize = 8192;
 
 /// Which peers changed since the last balancing round.
 #[derive(Clone, Debug)]
@@ -134,7 +159,49 @@ impl LoadBalancer {
         rng: &mut R,
         trace: &mut Trace,
     ) -> Result<BalanceReport, Error> {
+        self.run_round_walls(
+            net,
+            loads,
+            tree,
+            underlay,
+            cache,
+            dirty,
+            rng,
+            trace,
+            &mut RoundWalls::default(),
+        )
+    }
+
+    /// Like [`LoadBalancer::run_round_traced`], additionally measuring the
+    /// wall-clock seconds of each phase into `walls` (see [`RoundWalls`]).
+    ///
+    /// # Intra-round parallelism
+    ///
+    /// The per-peer sweeps (LBI generation, classification, shed/light
+    /// extraction) and the tree aggregation run on
+    /// [`LoadBalancer::threads`] workers. Determinism is preserved by a
+    /// three-pass structure: a serial pass performs every RNG draw and
+    /// cache mutation in original peer order; a parallel pass computes
+    /// pure per-peer values over fixed-size chunks; a serial drain merges
+    /// the chunk buffers in chunk order — reproducing the serial loop's
+    /// exact iteration order, including every f64 association and map
+    /// insertion sequence. Chunk sizes are compile-time constants, never
+    /// derived from the thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_round_walls<R: Rng>(
+        &self,
+        net: &mut ChordNetwork,
+        loads: &mut LoadState,
+        tree: &mut KTree,
+        underlay: Option<Underlay<'_>>,
+        cache: &mut RoundCache,
+        dirty: &DirtySet,
+        rng: &mut R,
+        trace: &mut Trace,
+        walls: &mut RoundWalls,
+    ) -> Result<BalanceReport, Error> {
         let cfg = self.config();
+        let threads = self.threads();
         assert_eq!(tree.k(), cfg.k, "tree degree must match the config");
         let mut clock = tree.maintain_until_stable_traced(net, 256, 0, trace) as u64;
         let params = ClassifyParams {
@@ -154,12 +221,10 @@ impl LoadBalancer {
             let alive_set: BTreeSet<PeerId> = alive.iter().copied().collect();
             cache.reports.retain(|p, _| alive_set.contains(p));
         }
-        // LBIs are boxed so the dense per-node map costs one pointer per
-        // arena slot — at million-peer scale the tree has tens of millions
-        // of slots and the unboxed map alone would dwarf the arena.
-        let mut lbi_inputs: proxbal_ktree::KtNodeMap<Box<crate::Lbi>> =
-            proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
-        let mut report_seeds: Vec<proxbal_ktree::KtNodeId> = Vec::new();
+        // Pass A (serial): every RNG draw and cache mutation, in original
+        // peer order — redraw decisions are exactly the serial loop's.
+        let wall = Instant::now();
+        let mut decisions: Vec<(PeerId, Option<VsId>, bool)> = Vec::with_capacity(alive.len());
         for p in alive {
             use rand::seq::SliceRandom;
             let cached = cache.reports.get(&p).copied().filter(|&v| {
@@ -171,39 +236,76 @@ impl LoadBalancer {
             } else {
                 (cached, false)
             };
-            let target = match vs {
+            match vs {
                 Some(v) => {
                     cache.reports.insert(p, v);
-                    tree.report_target(net, v)
                 }
                 None => {
                     cache.reports.remove(&p);
-                    tree.root()
                 }
-            };
-            if re_reported {
-                report_seeds.push(target);
             }
-            let lbi = loads.node_lbi(net, p);
+            decisions.push((p, vs, re_reported));
+        }
+        // Pass B (parallel): report target (a root descent) and LBI triple
+        // per peer — pure reads over fixed-size chunks.
+        let lbi_chunks =
+            proxbal_parallel::map_chunked(decisions.len(), PEER_CHUNK, threads, |range| {
+                range
+                    .map(|i| {
+                        let (p, vs, _) = decisions[i];
+                        let target = match vs {
+                            Some(v) => tree.report_target(net, v),
+                            None => tree.root(),
+                        };
+                        (target, loads.node_lbi(net, p))
+                    })
+                    .collect::<Vec<_>>()
+            });
+        // Pass C (serial drain in chunk order): merges happen in original
+        // peer order, so per-target f64 associations are byte-identical to
+        // the serial loop.
+        //
+        // LBIs are boxed so the dense per-node map costs one pointer per
+        // arena slot — at million-peer scale the tree has tens of millions
+        // of slots and the unboxed map alone would dwarf the arena.
+        let mut lbi_inputs: proxbal_ktree::KtNodeMap<Box<crate::Lbi>> =
+            proxbal_ktree::KtNodeMap::with_slot_bound(tree.slot_bound());
+        let mut report_seeds: Vec<proxbal_ktree::KtNodeId> = Vec::new();
+        {
             use proxbal_ktree::Merge;
-            match lbi_inputs.get_mut(target) {
-                Some(acc) => Merge::merge(&mut **acc, lbi),
-                None => {
-                    lbi_inputs.insert(target, Box::new(lbi));
+            let mut i = 0usize;
+            for chunk in lbi_chunks {
+                for (target, lbi) in chunk {
+                    if decisions[i].2 {
+                        report_seeds.push(target);
+                    }
+                    i += 1;
+                    match lbi_inputs.get_mut(target) {
+                        Some(acc) => Merge::merge(&mut **acc, lbi),
+                        None => {
+                            lbi_inputs.insert(target, Box::new(lbi));
+                        }
+                    }
                 }
             }
         }
+        let peers = decisions.len();
+        drop(decisions);
         // Count inter-peer tree edges on the re-reporting paths (each edge
         // carries exactly one aggregated LBI message; quiet peers' cached
         // contributions cost nothing).
         let lbi_messages = count_active_edges(net, tree, report_seeds.iter().copied());
+        walls.lbi_wall_s = wall.elapsed().as_secs_f64();
+        let lbi_input_count = lbi_inputs.len();
+        let wall = Instant::now();
         let proxbal_ktree::AggregateOutcome {
             root_value,
             rounds: lbi_rounds,
             merges: lbi_merges,
             per_node,
-        } = tree.aggregate(lbi_inputs);
+        } = tree.aggregate_with(lbi_inputs, threads);
         drop(per_node); // free the per-node LBI views before phase 2 allocates
+        walls.aggregate_wall_s = wall.elapsed().as_secs_f64();
         let system = *root_value.ok_or(Error::EmptyNetwork)?;
         trace.span_args(
             "phase/lbi",
@@ -211,6 +313,33 @@ impl LoadBalancer {
             u64::from(lbi_rounds),
             &[
                 ("messages", lbi_messages.into()),
+                ("merges", lbi_merges.into()),
+            ],
+        );
+        // Parallel-section spans: args are pure functions of the workload
+        // (peer count, fixed chunking, merge count) — never of the thread
+        // count or wall time — so traces stay byte-identical at any
+        // `--threads`.
+        trace.span_args(
+            "round/lbi",
+            clock,
+            u64::from(lbi_rounds),
+            &[
+                ("peers", peers.into()),
+                (
+                    "chunks",
+                    proxbal_parallel::chunk_ranges(peers, PEER_CHUNK)
+                        .len()
+                        .into(),
+                ),
+            ],
+        );
+        trace.span_args(
+            "round/aggregate",
+            clock,
+            u64::from(lbi_rounds),
+            &[
+                ("inputs", lbi_input_count.into()),
                 ("merges", lbi_merges.into()),
             ],
         );
@@ -223,9 +352,10 @@ impl LoadBalancer {
         // rounds; materializing the per-node copies (what
         // `KTree::disseminate` returns) would be pure waste here, so only
         // the round count is computed.
+        let wall = Instant::now();
         let dissemination_rounds = tree.max_message_depth();
         let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
-        let classification = Classification::compute(net, loads, &params, system);
+        let classification = Classification::compute_with(net, loads, &params, system, threads);
         let before = class_counts(&classification);
         let heavy_before = before.get(&NodeClass::Heavy).copied().unwrap_or(0);
         trace.span_args(
@@ -242,13 +372,22 @@ impl LoadBalancer {
         clock += u64::from(dissemination_rounds);
 
         // Phase 3: VSA (§3.4 / §4.3).
-        let shed = shed_candidates(net, loads, &params, &classification);
-        let light = light_slots(net, loads, &params, &classification);
+        let shed = shed_candidates_with(net, loads, &params, &classification, threads);
+        let light = light_slots_with(net, loads, &params, &classification, threads);
         let inputs = match cfg.mode {
             ProximityMode::Ignorant => ignorant_inputs(net, tree, &shed, &light, rng),
             ProximityMode::Aware(ref prox) => {
                 let u = underlay.ok_or(Error::MissingUnderlay)?;
-                proximity_inputs(net, tree, &shed, &light, prox, u.latency(), u.landmarks)
+                proximity_inputs_with(
+                    net,
+                    tree,
+                    &shed,
+                    &light,
+                    prox,
+                    u.latency(),
+                    u.landmarks,
+                    threads,
+                )
             }
         };
         let vsa_params = VsaParams {
@@ -280,16 +419,29 @@ impl LoadBalancer {
                 ("rendezvous_points", vsa.rendezvous_points.into()),
             ],
         );
+        trace.span_args(
+            "round/vsa",
+            clock,
+            u64::from(vsa.rounds),
+            &[
+                ("shed_peers", shed.len().into()),
+                ("light_peers", light.len().into()),
+                ("pairings", vsa.assignments.len().into()),
+            ],
+        );
         trace.count("vsa_record_hops", vsa.record_hops as u64);
         trace.count("vsa_notifications", 2 * vsa.assignments.len() as u64);
         clock += u64::from(vsa.rounds);
+        walls.vsa_wall_s = wall.elapsed().as_secs_f64();
 
         // Phase 4: VST (§3.5).
-        let transfers = execute_transfers_traced(
+        let wall = Instant::now();
+        let transfers = execute_transfers_traced_threaded(
             net,
             loads,
             &vsa.assignments,
             underlay.map(|u| u.transfer_distances()),
+            threads,
             trace,
         )?;
         let vst_dur = transfers
@@ -306,10 +458,20 @@ impl LoadBalancer {
                 ("moved_load", crate::total_moved_load(&transfers).into()),
             ],
         );
+        trace.span_args(
+            "round/transfer",
+            clock,
+            vst_dur,
+            &[
+                ("assignments", vsa.assignments.len().into()),
+                ("transfers", transfers.len().into()),
+            ],
+        );
 
         // Re-classify against the same system LBI for the after picture.
-        let after_cls = Classification::compute(net, loads, &params, system);
+        let after_cls = Classification::compute_with(net, loads, &params, system, threads);
         let after = class_counts(&after_cls);
+        walls.transfer_wall_s = wall.elapsed().as_secs_f64();
         trace.count(
             "heavy_after",
             after.get(&NodeClass::Heavy).copied().unwrap_or(0) as u64,

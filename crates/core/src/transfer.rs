@@ -60,6 +60,21 @@ pub fn execute_transfers(
     assignments: &[Assignment],
     distances: Option<TransferDistances<'_>>,
 ) -> Result<Vec<TransferRecord>, Error> {
+    execute_transfers_threaded(net, loads, assignments, distances, auto_threads())
+}
+
+/// [`execute_transfers`] with an explicit worker-thread count for the
+/// Dijkstra row batches of the distance memo. The memo is a pure function
+/// of the assignment set and the oracles — its values (and therefore every
+/// record) are identical at any `threads`; only the row-fill wall time
+/// changes.
+pub fn execute_transfers_threaded(
+    net: &mut ChordNetwork,
+    loads: &mut LoadState,
+    assignments: &[Assignment],
+    distances: Option<TransferDistances<'_>>,
+    threads: usize,
+) -> Result<Vec<TransferRecord>, Error> {
     // With an unbounded oracle cache, warm whole rows and query per
     // transfer. With a bounded cache, precompute every pair distance up
     // front in capacity-sized batches instead: peer attachments are
@@ -69,10 +84,10 @@ pub fn execute_transfers(
     // up front (landmark filter, then exact refinement rows).
     let memo: Option<DistanceMemo> = match distances {
         Some(TransferDistances::Exact(o)) if o.capacity() > 0 => {
-            Some(pair_distances_chunked(net, assignments, o))
+            Some(pair_distances_chunked(net, assignments, o, threads))
         }
         Some(TransferDistances::Exact(o)) => {
-            precompute_endpoint_rows(net, assignments, o);
+            precompute_endpoint_rows(net, assignments, o, threads);
             None
         }
         Some(TransferDistances::Approx {
@@ -85,6 +100,7 @@ pub fn execute_transfers(
             oracle,
             landmarks,
             refine_sources,
+            threads,
         )),
         None => None,
     };
@@ -138,7 +154,20 @@ pub fn execute_transfers_traced(
     distances: Option<TransferDistances<'_>>,
     trace: &mut Trace,
 ) -> Result<Vec<TransferRecord>, Error> {
-    let out = execute_transfers(net, loads, assignments, distances)?;
+    execute_transfers_traced_threaded(net, loads, assignments, distances, auto_threads(), trace)
+}
+
+/// [`execute_transfers_traced`] with an explicit worker-thread count (see
+/// [`execute_transfers_threaded`]).
+pub fn execute_transfers_traced_threaded(
+    net: &mut ChordNetwork,
+    loads: &mut LoadState,
+    assignments: &[Assignment],
+    distances: Option<TransferDistances<'_>>,
+    threads: usize,
+    trace: &mut Trace,
+) -> Result<Vec<TransferRecord>, Error> {
+    let out = execute_transfers_threaded(net, loads, assignments, distances, threads)?;
     if trace.is_enabled() {
         trace.count("vst_transfers", out.len() as u64);
         trace.count("vst_skipped", (assignments.len() - out.len()) as u64);
@@ -250,6 +279,14 @@ pub fn execute_transfers_with_requeue_traced(
 
 type DistanceMemo = std::collections::HashMap<(u32, u32), u32>;
 
+/// Worker count used by the legacy (thread-agnostic) entry points: all
+/// available cores, as before the explicit `threads` plumbing.
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Collects the `(from, to)` attachment pairs of the assignments that look
 /// executable right now (same filter [`execute_transfers`] applies).
 fn endpoint_pairs(net: &ChordNetwork, assignments: &[Assignment]) -> Vec<(u32, u32)> {
@@ -282,6 +319,7 @@ fn pair_distances_chunked(
     net: &ChordNetwork,
     assignments: &[Assignment],
     oracle: &DistanceOracle,
+    threads: usize,
 ) -> DistanceMemo {
     let pairs = endpoint_pairs(net, assignments);
     let mut froms: Vec<u32> = pairs.iter().map(|&(f, _)| f).collect();
@@ -299,9 +337,6 @@ fn pair_distances_chunked(
     }
     let sources: Vec<u32> = by_src.keys().copied().collect();
     let batch = (oracle.capacity() / 2).max(1);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let mut memo = DistanceMemo::with_capacity(pairs.len());
     for chunk in sources.chunks(batch) {
         oracle.precompute(chunk, threads);
@@ -333,6 +368,7 @@ fn pair_distances_approx(
     oracle: &DistanceOracle,
     landmarks: &LandmarkOracle,
     refine_sources: usize,
+    threads: usize,
 ) -> DistanceMemo {
     let pairs = endpoint_pairs(net, assignments);
     let mut memo = DistanceMemo::with_capacity(pairs.len());
@@ -371,9 +407,6 @@ fn pair_distances_approx(
             0 => chosen.len().max(1),
             cap => (cap / 2).max(1),
         };
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         for chunk in chosen.chunks(batch) {
             oracle.precompute(chunk, threads);
             for &src in chunk {
@@ -403,6 +436,7 @@ fn precompute_endpoint_rows(
     net: &ChordNetwork,
     assignments: &[Assignment],
     oracle: &DistanceOracle,
+    threads: usize,
 ) {
     let mut froms: Vec<u32> = Vec::with_capacity(assignments.len());
     let mut tos: Vec<u32> = Vec::with_capacity(assignments.len());
@@ -430,9 +464,6 @@ fn precompute_endpoint_rows(
     } else {
         &froms
     };
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     oracle.precompute(smaller, threads);
 }
 

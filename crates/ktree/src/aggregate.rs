@@ -1,5 +1,5 @@
 use crate::node_map::KtNodeMap;
-use crate::tree::KTree;
+use crate::tree::{KTree, KtNodeId};
 
 /// A commutative, associative combine operation — the shape of every
 /// bottom-up aggregation the tree performs (LBI sums/minima, VSA list
@@ -37,49 +37,210 @@ pub struct AggregateOutcome<A> {
     pub merges: usize,
 }
 
+/// Subtree roots are farmed out to workers once the frontier at the chosen
+/// depth is at least this many times the worker count — below that the
+/// spawn overhead outweighs the subtrees.
+const MIN_SUBTREES_PER_WORKER: usize = 2;
+
 impl KTree {
     /// Bottom-up aggregation: `inputs` maps KT nodes (typically report
     /// targets of virtual servers) to locally contributed values; parents
-    /// merge children level by level until the root.
+    /// merge children until the root.
+    ///
+    /// # Determinism
+    ///
+    /// Every node's value is the fold of its own input followed by its
+    /// contributing children **in ascending arena-slot order** — the exact
+    /// association the original level-by-level sweep produced, so outputs
+    /// (including floating-point sums) are byte-identical to it. The fold
+    /// of a subtree depends only on the subtree, which is what lets
+    /// [`KTree::aggregate_with`] evaluate disjoint subtrees on worker
+    /// threads and still merge bit-identically.
     pub fn aggregate<A: Merge + Clone>(
         &self,
         inputs: impl Into<KtNodeMap<A>>,
     ) -> AggregateOutcome<A> {
-        let mut inputs: KtNodeMap<A> = inputs.into();
-        let levels = self.levels();
-        // Message rounds: deepest contributing node by inter-VS hop count.
-        let depths = self.message_depths();
-        let rounds = inputs
-            .keys()
-            .map(|id| depths.get(id).copied().unwrap_or(0))
-            .max()
-            .unwrap_or(0);
+        let inputs: KtNodeMap<A> = inputs.into();
+        let rounds = self.aggregate_rounds(&inputs);
+        let mut per_node: KtNodeMap<A> = KtNodeMap::with_slot_bound(self.slot_bound());
         let mut merges = 0usize;
-        for level in levels.iter().skip(1).rev() {
-            for &id in level {
-                if let Some(value) = inputs.remove(id) {
-                    let parent = self.node(id).parent.expect("non-root has parent");
-                    match inputs.get_mut(parent) {
-                        Some(acc) => {
-                            acc.merge(value.clone());
-                            merges += 1;
-                        }
-                        None => {
-                            inputs.insert(parent, value.clone());
-                        }
-                    }
-                    // Keep this node's own aggregated view.
-                    inputs.insert(id, value);
-                }
-            }
-        }
-        let root_value = inputs.get(self.root()).cloned();
+        let root_value = self.fold_subtree(self.root(), &inputs, None, &mut per_node, &mut merges);
+        Self::keep_stale_inputs(inputs, &mut per_node);
         AggregateOutcome {
             root_value,
             rounds,
-            per_node: inputs,
+            per_node,
             merges,
         }
+    }
+
+    /// [`KTree::aggregate`] with an explicit worker-thread count: disjoint
+    /// subtrees hanging below a frontier depth are folded in parallel and
+    /// their values merged above the frontier in deterministic child-slot
+    /// order. The outcome — root value, per-node views, merge count,
+    /// rounds — is bit-identical at any `threads`.
+    pub fn aggregate_with<A: Merge + Clone + Send + Sync>(
+        &self,
+        inputs: impl Into<KtNodeMap<A>>,
+        threads: usize,
+    ) -> AggregateOutcome<A> {
+        let inputs: KtNodeMap<A> = inputs.into();
+        let frontier = self.parallel_frontier(threads);
+        if frontier.is_empty() {
+            return self.aggregate(inputs);
+        }
+        let rounds = self.aggregate_rounds(&inputs);
+        let mut per_node: KtNodeMap<A> = KtNodeMap::with_slot_bound(self.slot_bound());
+        let mut merges = 0usize;
+
+        // Evaluate each frontier subtree on a worker: pure function of the
+        // (read-only) inputs and the subtree, results slotted in frontier
+        // order. Each worker's per-node views land in disjoint slots.
+        let results = proxbal_parallel::map_items(&frontier, threads, |_, &sub| {
+            let mut local: KtNodeMap<A> = KtNodeMap::new();
+            let mut local_merges = 0usize;
+            let value = self.fold_subtree(sub, &inputs, None, &mut local, &mut local_merges);
+            (value, local, local_merges)
+        });
+        let mut frontier_values: KtNodeMap<A> = KtNodeMap::with_slot_bound(self.slot_bound());
+        for (sub, (value, local, local_merges)) in frontier.iter().zip(results) {
+            merges += local_merges;
+            for (id, v) in local.into_entries() {
+                per_node.insert(id, v);
+            }
+            if let Some(v) = value {
+                frontier_values.insert(*sub, v);
+            }
+        }
+        // Finish the top of the tree serially, treating frontier nodes as
+        // precomputed leaves.
+        let root_value = self.fold_subtree(
+            self.root(),
+            &inputs,
+            Some(&frontier_values),
+            &mut per_node,
+            &mut merges,
+        );
+        Self::keep_stale_inputs(inputs, &mut per_node);
+        AggregateOutcome {
+            root_value,
+            rounds,
+            per_node,
+            merges,
+        }
+    }
+
+    /// Message rounds: deepest contributing node by inter-VS hop count.
+    fn aggregate_rounds<A>(&self, inputs: &KtNodeMap<A>) -> u32 {
+        let depths = self.message_depths();
+        inputs
+            .keys()
+            .map(|id| depths.get(id).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Inputs offered under stale handles sit outside the sweep; the level
+    /// sweep left them untouched in the per-node view, so the fold keeps
+    /// doing the same. (Every *live* node with an input is reachable from
+    /// the root and therefore already present in `per_node`.)
+    fn keep_stale_inputs<A>(inputs: KtNodeMap<A>, per_node: &mut KtNodeMap<A>) {
+        for (id, v) in inputs.into_entries() {
+            if !per_node.contains(id) {
+                per_node.insert(id, v);
+            }
+        }
+    }
+
+    /// The subtree roots handed to workers: the shallowest level whose
+    /// width can keep `threads` workers busy. Empty (= run serially) for a
+    /// single worker or a tree too flat to split.
+    fn parallel_frontier(&self, threads: usize) -> Vec<KtNodeId> {
+        if threads <= 1 {
+            return Vec::new();
+        }
+        let want = threads * MIN_SUBTREES_PER_WORKER;
+        let mut level: Vec<KtNodeId> = vec![self.root()];
+        for _ in 0..16 {
+            let next: Vec<KtNodeId> = level
+                .iter()
+                .flat_map(|&id| self.sorted_children(id))
+                .collect();
+            if next.is_empty() {
+                return Vec::new(); // tree exhausted before it got wide
+            }
+            if next.len() >= want {
+                return next;
+            }
+            level = next;
+        }
+        level
+    }
+
+    /// A node's children in ascending arena-slot order — the merge order
+    /// the level-by-level sweep established (within a level, nodes are
+    /// visited in slot order), kept as the canonical association.
+    fn sorted_children(&self, id: KtNodeId) -> Vec<KtNodeId> {
+        let mut kids: Vec<KtNodeId> = self.node(id).children.iter().flatten().copied().collect();
+        kids.sort_unstable();
+        kids
+    }
+
+    /// Folds the subtree at `id`: value = own input, then contributing
+    /// children in ascending slot order. Each contributing node's view is
+    /// recorded in `per_node`; `merges` counts the merge operations. When
+    /// `stop_at` is given, nodes present in it are treated as precomputed
+    /// leaves (their subtrees were folded by workers).
+    fn fold_subtree<A: Merge + Clone>(
+        &self,
+        id: KtNodeId,
+        inputs: &KtNodeMap<A>,
+        stop_at: Option<&KtNodeMap<A>>,
+        per_node: &mut KtNodeMap<A>,
+        merges: &mut usize,
+    ) -> Option<A> {
+        if let Some(precomputed) = stop_at {
+            if let Some(v) = precomputed.get(id) {
+                // The worker already recorded the subtree's per-node views.
+                return Some(v.clone());
+            }
+        }
+        let mut acc: Option<A> = inputs.get(id).cloned();
+        // Children in ascending slot order; binary nodes (the only degree
+        // used at scale) order their two slots with one compare instead of
+        // a per-node sort allocation.
+        let children: &[Option<KtNodeId>] = &self.node(id).children;
+        let pair;
+        let heap;
+        let ordered: &[Option<KtNodeId>] = if let [a, b] = *children {
+            pair = match (a, b) {
+                (Some(x), Some(y)) if y < x => [Some(y), Some(x)],
+                _ => [a, b],
+            };
+            &pair
+        } else {
+            heap = self
+                .sorted_children(id)
+                .into_iter()
+                .map(Some)
+                .collect::<Vec<_>>();
+            heap.as_slice()
+        };
+        for child in ordered.iter().flatten().copied() {
+            if let Some(value) = self.fold_subtree(child, inputs, stop_at, per_node, merges) {
+                match acc.as_mut() {
+                    Some(a) => {
+                        a.merge(value);
+                        *merges += 1;
+                    }
+                    None => acc = Some(value),
+                }
+            }
+        }
+        if let Some(v) = acc.as_ref() {
+            per_node.insert(id, v.clone());
+        }
+        acc
     }
 
     /// Top-down dissemination of a value from the root to every node;
@@ -89,6 +250,38 @@ impl KTree {
         let mut out = KtNodeMap::with_slot_bound(self.slot_bound());
         for id in self.iter_ids() {
             out.insert(id, value.clone());
+        }
+        (out, self.max_message_depth())
+    }
+
+    /// [`KTree::disseminate`] with an explicit worker-thread count: the
+    /// per-node copies are cloned in fixed-size slot chunks on workers.
+    /// Identical output at any `threads` — the map is dense and
+    /// slot-indexed, so fill order is invisible.
+    pub fn disseminate_with<A: Clone + Send + Sync>(
+        &self,
+        value: A,
+        threads: usize,
+    ) -> (KtNodeMap<A>, u32) {
+        if threads <= 1 {
+            return self.disseminate(value);
+        }
+        let bound = self.slot_bound();
+        let mut out = KtNodeMap::with_slot_bound(bound);
+        const CHUNK: usize = 1 << 14;
+        let live: Vec<bool> = (0..bound)
+            .map(|i| self.contains(KtNodeId(i as u32)))
+            .collect();
+        let chunks = proxbal_parallel::map_chunked(bound, CHUNK, threads, |range| {
+            range
+                .filter(|&i| live[i])
+                .map(|i| (KtNodeId(i as u32), value.clone()))
+                .collect::<Vec<_>>()
+        });
+        for chunk in chunks {
+            for (id, v) in chunk {
+                out.insert(id, v);
+            }
         }
         (out, self.max_message_depth())
     }

@@ -134,6 +134,15 @@ impl<A> KtNodeMap<A> {
         self.slots.iter().filter_map(Option::as_ref)
     }
 
+    /// Consumes the map, yielding `(key, value)` pairs in ascending key
+    /// (slot) order.
+    pub fn into_entries(self) -> impl Iterator<Item = (KtNodeId, A)> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (KtNodeId(i as u32), v)))
+    }
+
     /// `(key, value)` pairs in ascending key (slot) order.
     pub fn iter(&self) -> impl Iterator<Item = (KtNodeId, &A)> {
         self.slots

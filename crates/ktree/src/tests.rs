@@ -267,6 +267,166 @@ fn disseminate_reaches_every_node() {
     assert!(copies.values().all(|&v| v == 7));
 }
 
+/// Concatenation under a separator — associative but **not** commutative,
+/// so any deviation from the canonical child-slot merge order shows up.
+#[derive(Clone, Debug, PartialEq)]
+struct Concat(String);
+impl Merge for Concat {
+    fn merge(&mut self, other: Self) {
+        self.0.push('|');
+        self.0.push_str(&other.0);
+    }
+}
+
+/// The original level-by-level sweep, kept verbatim as the reference the
+/// subtree fold must reproduce byte-for-byte (values, per-node views,
+/// merge count, rounds).
+fn level_sweep_reference<A: Merge + Clone>(
+    tree: &KTree,
+    inputs: HashMap<KtNodeId, A>,
+) -> AggregateOutcome<A> {
+    let mut inputs: KtNodeMap<A> = inputs.into();
+    let levels = tree.levels();
+    let depths = tree.message_depths();
+    let rounds = inputs
+        .keys()
+        .map(|id| depths.get(id).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let mut merges = 0usize;
+    for level in levels.iter().skip(1).rev() {
+        for &id in level {
+            if let Some(value) = inputs.remove(id) {
+                let parent = tree.node(id).parent.expect("non-root has parent");
+                match inputs.get_mut(parent) {
+                    Some(acc) => {
+                        acc.merge(value.clone());
+                        merges += 1;
+                    }
+                    None => {
+                        inputs.insert(parent, value.clone());
+                    }
+                }
+                inputs.insert(id, value);
+            }
+        }
+    }
+    let root_value = inputs.get(tree.root()).cloned();
+    AggregateOutcome {
+        root_value,
+        rounds,
+        per_node: inputs,
+        merges,
+    }
+}
+
+/// A churned tree whose arena slots were recycled, so child-slot order no
+/// longer coincides with creation order — the case where the fold's
+/// explicit per-parent child sort is load-bearing.
+fn churned_tree(seed: u64) -> (ChordNetwork, KTree) {
+    let (mut net, mut rng) = net_with(48, 3, seed);
+    let mut tree = KTree::build(&net, 2);
+    for p in net.alive_peers().into_iter().take(12) {
+        net.crash_peer(p);
+    }
+    for _ in 0..8 {
+        net.join_peer(2, &mut rng);
+    }
+    tree.maintain_until_stable(&net, 256);
+    tree.check_invariants(&net).unwrap();
+    (net, tree)
+}
+
+#[test]
+fn aggregate_matches_level_sweep_reference_and_is_thread_invariant() {
+    for seed in [21u64, 22, 23] {
+        let (net, tree) = churned_tree(seed);
+        let inputs: HashMap<KtNodeId, Concat> = net
+            .ring()
+            .iter()
+            .enumerate()
+            .map(|(i, (_, vs))| (tree.report_target(&net, vs), Concat(format!("v{i}"))))
+            .collect();
+        let reference = level_sweep_reference(&tree, inputs.clone());
+        for threads in [1usize, 2, 3, 8] {
+            let out = tree.aggregate_with(inputs.clone(), threads);
+            assert_eq!(out.root_value, reference.root_value, "{threads} threads");
+            assert_eq!(out.merges, reference.merges, "{threads} threads");
+            assert_eq!(out.rounds, reference.rounds, "{threads} threads");
+            let got: Vec<_> = out.per_node.iter().map(|(id, v)| (id, v.clone())).collect();
+            let want: Vec<_> = reference
+                .per_node
+                .iter()
+                .map(|(id, v)| (id, v.clone()))
+                .collect();
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn aggregate_with_keeps_stale_inputs_like_the_sweep() {
+    let (net, tree) = churned_tree(24);
+    let mut inputs: HashMap<KtNodeId, Concat> = net
+        .ring()
+        .iter()
+        .take(6)
+        .map(|(_, vs)| (tree.report_target(&net, vs), Concat("x".into())))
+        .collect();
+    // An input under a handle the tree does not contain survives untouched
+    // in the per-node view, exactly as the level sweep left it.
+    let stale = KtNodeId(tree.slot_bound() as u32 + 7);
+    inputs.insert(stale, Concat("stale".into()));
+    let reference = level_sweep_reference(&tree, inputs.clone());
+    for threads in [1usize, 4] {
+        let out = tree.aggregate_with(inputs.clone(), threads);
+        assert_eq!(out.per_node.get(stale), Some(&Concat("stale".into())));
+        assert_eq!(out.root_value, reference.root_value);
+        assert_eq!(out.per_node.len(), reference.per_node.len());
+    }
+}
+
+#[test]
+fn disseminate_with_matches_serial_at_any_thread_count() {
+    let (_, tree) = churned_tree(25);
+    let (serial, serial_rounds) = tree.disseminate(string_payload());
+    for threads in [2usize, 3, 8] {
+        let (par, rounds) = tree.disseminate_with(string_payload(), threads);
+        assert_eq!(rounds, serial_rounds);
+        assert_eq!(par.len(), serial.len());
+        let got: Vec<_> = par.iter().map(|(id, v)| (id, v.clone())).collect();
+        let want: Vec<_> = serial.iter().map(|(id, v)| (id, v.clone())).collect();
+        assert_eq!(got, want, "{threads} threads");
+    }
+}
+
+fn string_payload() -> String {
+    "broadcast-payload".to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_parallel_aggregate_equals_reference(seed in 0u64..2000, threads in 1usize..9) {
+        let (net, tree) = churned_tree(seed);
+        let inputs: HashMap<KtNodeId, Concat> = net
+            .ring()
+            .iter()
+            .enumerate()
+            .map(|(i, (_, vs))| (tree.report_target(&net, vs), Concat(format!("p{i}"))))
+            .collect();
+        let reference = level_sweep_reference(&tree, inputs.clone());
+        let out = tree.aggregate_with(inputs, threads);
+        prop_assert_eq!(out.root_value, reference.root_value);
+        prop_assert_eq!(out.merges, reference.merges);
+        prop_assert_eq!(out.rounds, reference.rounds);
+        let got: Vec<_> = out.per_node.iter().map(|(id, v)| (id, v.clone())).collect();
+        let want: Vec<_> = reference.per_node.iter().map(|(id, v)| (id, v.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -341,6 +341,13 @@ impl KTree {
         self.len() == 0
     }
 
+    /// True iff `id` names a live node (slots are recycled after pruning).
+    pub fn contains(&self, id: KtNodeId) -> bool {
+        self.nodes
+            .get(id.0 as usize)
+            .is_some_and(|slot| slot.is_some())
+    }
+
     /// Access a node. Panics on a stale handle.
     pub fn node(&self, id: KtNodeId) -> &KtNode {
         self.nodes[id.0 as usize]

@@ -1,0 +1,323 @@
+//! Deterministic parallel execution engine.
+//!
+//! Everything in this crate obeys one contract: **the output is a pure
+//! function of the inputs, never of the thread count or the claim order.**
+//! Jobs are claimed dynamically from a shared counter, but each job is a
+//! pure function of its *index* (seeds derive from the index, never from
+//! thread identity) and every result lands in its own slot. The returned
+//! vector — and anything folded from it in index order — is therefore
+//! bit-identical regardless of `threads`.
+//!
+//! Two families of helpers build on that:
+//!
+//! - [`map_indexed`] / [`map_items`] (and their `_traced` variants): the
+//!   sweep engine the experiment drivers run on. One job per item, results
+//!   in index order, child traces absorbed in index order.
+//! - [`map_chunked`] / [`fold_chunked`]: the intra-round engine. Work is
+//!   split into **fixed-size chunks whose size is chosen by the caller,
+//!   never derived from `threads`** — so the chunk boundaries, the per-chunk
+//!   results and the chunk-order fold are all identical at any thread
+//!   count. [`fold_chunked`] additionally requires only *associativity*
+//!   from its merge (not commutativity): partials fold left-to-right within
+//!   a chunk and chunks fold left-to-right across, so the result equals the
+//!   serial left fold for any chunk size.
+//!
+//! The crate is dependency-free apart from the in-repo `proxbal-trace`
+//! (itself zero-dep), so every layer — `core`, `ktree`, `topology`, `sim` —
+//! can parallelize without a dependency cycle through the simulator.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs `job(i)` for every `i in 0..count` on up to `threads` workers and
+/// returns the results in index order.
+///
+/// `job` must derive all randomness from its index; under that contract
+/// the output is independent of `threads`. Panics in a job propagate.
+pub fn map_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count);
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    let next = &next;
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index processed"))
+        .collect()
+}
+
+/// Maps `job(index, item)` over `items` in parallel, preserving order.
+pub fn map_items<I, T, F>(items: &[I], threads: usize, job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    map_indexed(items.len(), threads, |i| job(i, &items[i]))
+}
+
+/// The index ranges a `count`-item workload splits into at `chunk` items
+/// per chunk (the last chunk may be short). Pure function of
+/// `(count, chunk)` — **never** of the thread count — which is what keeps
+/// every chunked helper thread-count-invariant.
+pub fn chunk_ranges(count: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..count.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(count))
+        .collect()
+}
+
+/// Runs `job` over the fixed-size [`chunk_ranges`] of `0..count` on up to
+/// `threads` workers, returning the per-chunk results in chunk order.
+///
+/// This is the workhorse of intra-round parallelism: each chunk computes a
+/// buffer of per-item results, and the caller drains the returned buffers
+/// serially in chunk order — reproducing the exact serial iteration order,
+/// including the association of any floating-point folds.
+pub fn map_chunked<T, F>(count: usize, chunk: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(count, chunk);
+    map_indexed(ranges.len(), threads, |c| job(ranges[c].clone()))
+}
+
+/// Parallel left fold with deterministic association: `map(i)` values fold
+/// left-to-right *within* each fixed-size chunk, and the chunk partials
+/// fold left-to-right *across* chunks. For any **associative** `merge`
+/// (commutativity not required) the result equals the serial fold
+/// `map(0) ⊕ map(1) ⊕ …` — for every chunk size and every thread count.
+///
+/// Returns `None` when `count == 0`.
+pub fn fold_chunked<T, M, F>(
+    count: usize,
+    chunk: usize,
+    threads: usize,
+    map: M,
+    merge: F,
+) -> Option<T>
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    F: Fn(&mut T, T) + Sync,
+{
+    let mut partials = map_chunked(count, chunk, threads, |range| {
+        let mut acc = map(range.start);
+        for i in range.start + 1..range.end {
+            merge(&mut acc, map(i));
+        }
+        acc
+    })
+    .into_iter();
+    let mut acc = partials.next()?;
+    for partial in partials {
+        merge(&mut acc, partial);
+    }
+    Some(acc)
+}
+
+/// [`map_indexed`] with tracing: each job records into its own child
+/// [`Trace`](proxbal_trace::Trace) (enabled iff `parent` is), and the
+/// children are absorbed into `parent` **in index order** after the sweep —
+/// so the merged event stream, like the results, is bit-identical at any
+/// thread count.
+///
+/// Jobs should [`Trace::relabel`](proxbal_trace::Trace::relabel) their
+/// child to a name derived from the index so tracks stay distinguishable.
+pub fn map_indexed_traced<T, F>(
+    count: usize,
+    threads: usize,
+    parent: &mut proxbal_trace::Trace,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut proxbal_trace::Trace) -> T + Sync,
+{
+    let on = parent.is_enabled();
+    let pairs = map_indexed(count, threads, |i| {
+        let mut child = proxbal_trace::Trace::new(on, "");
+        let out = job(i, &mut child);
+        (out, child)
+    });
+    let mut outs = Vec::with_capacity(count);
+    for (out, child) in pairs {
+        parent.absorb(child);
+        outs.push(out);
+    }
+    outs
+}
+
+/// [`map_items`] with per-job child traces; see [`map_indexed_traced`].
+pub fn map_items_traced<I, T, F>(
+    items: &[I],
+    threads: usize,
+    parent: &mut proxbal_trace::Trace,
+    job: F,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I, &mut proxbal_trace::Trace) -> T + Sync,
+{
+    map_indexed_traced(items.len(), threads, parent, |i, trace| {
+        job(i, &items[i], trace)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // A job whose output depends only on its index: any thread count
+        // must produce the identical vector.
+        let job = |i: usize| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(i as u64);
+            (0..50).fold(0u64, |acc, _| acc.wrapping_add(rng.gen::<u64>()))
+        };
+        let sequential = map_indexed(32, 1, job);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(
+                map_indexed(32, threads, job),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(3, 0), vec![0..1, 1..2, 2..3]); // chunk clamps to 1
+    }
+
+    #[test]
+    fn map_chunked_matches_serial_for_any_chunk_and_threads() {
+        let serial: Vec<usize> = (0..37).map(|i| i * 7).collect();
+        for chunk in [1, 2, 5, 16, 64] {
+            for threads in [1, 2, 8] {
+                let chunks =
+                    map_chunked(37, chunk, threads, |r| r.map(|i| i * 7).collect::<Vec<_>>());
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(flat, serial, "chunk {chunk}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_chunked_preserves_noncommutative_association() {
+        // String concatenation: associative but not commutative. Any chunk
+        // size and thread count must reproduce the serial left fold.
+        let serial: String = (0..23).map(|i| format!("<{i}>")).collect();
+        for chunk in [1, 2, 3, 7, 100] {
+            for threads in [1, 2, 8] {
+                let folded = fold_chunked(
+                    23,
+                    chunk,
+                    threads,
+                    |i| format!("<{i}>"),
+                    |acc: &mut String, s| acc.push_str(&s),
+                )
+                .unwrap();
+                assert_eq!(folded, serial, "chunk {chunk}, {threads} threads");
+            }
+        }
+        assert_eq!(
+            fold_chunked(0, 4, 2, |i| i, |a: &mut usize, b| *a += b),
+            None
+        );
+    }
+
+    #[test]
+    fn traced_sweep_is_thread_count_invariant() {
+        use proxbal_trace::Trace;
+        let run = |threads: usize| {
+            let mut parent = Trace::enabled("sweep");
+            let out = map_indexed_traced(12, threads, &mut parent, |i, trace| {
+                trace.relabel(&format!("job{i}"));
+                trace.span("work", 0, i as u64);
+                trace.count("jobs", 1);
+                trace.record("index", i as u64);
+                i * 3
+            });
+            (out, parent.to_ndjson(), parent.to_chrome_json())
+        };
+        let (out1, nd1, ch1) = run(1);
+        for threads in [2, 8] {
+            let (out, nd, ch) = run(threads);
+            assert_eq!(out, out1, "{threads} threads");
+            assert_eq!(nd, nd1, "{threads} threads");
+            assert_eq!(ch, ch1, "{threads} threads");
+        }
+        assert_eq!(out1, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_sweep_with_disabled_parent_records_nothing() {
+        let mut parent = proxbal_trace::Trace::disabled();
+        let out = map_indexed_traced(4, 2, &mut parent, |i, trace| {
+            trace.span("work", 0, 1);
+            assert!(!trace.is_enabled());
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(parent.event_count(), 0);
+    }
+
+    #[test]
+    fn zero_and_one_item_edge_cases() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 1), vec![1]);
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(map_items(&items, 4, |i, s| s.len() + i), vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the deterministic chunked fold: for *any*
+//! associative (not necessarily commutative) merge, the result must be
+//! invariant to both the chunk size and the thread count — it always
+//! equals the serial left fold.
+
+use proptest::prelude::*;
+use proxbal_parallel::{chunk_ranges, fold_chunked, map_chunked, map_indexed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2×2 matrix over wrapping u64 arithmetic: multiplication is
+/// associative but **not** commutative, so any reassociation or reordering
+/// the engine sneaks in shows up as a different product.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Mat([u64; 4]);
+
+impl Mat {
+    fn mul(self, o: Mat) -> Mat {
+        let a = self.0;
+        let b = o.0;
+        Mat([
+            a[0].wrapping_mul(b[0])
+                .wrapping_add(a[1].wrapping_mul(b[2])),
+            a[0].wrapping_mul(b[1])
+                .wrapping_add(a[1].wrapping_mul(b[3])),
+            a[2].wrapping_mul(b[0])
+                .wrapping_add(a[3].wrapping_mul(b[2])),
+            a[2].wrapping_mul(b[1])
+                .wrapping_add(a[3].wrapping_mul(b[3])),
+        ])
+    }
+}
+
+fn mat_for(seed: u64, i: usize) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+    Mat([rng.gen(), rng.gen(), rng.gen(), rng.gen()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_fold_invariant_to_chunking_and_threads(seed in 0u64..1000, len in 1usize..80) {
+        let serial = (1..len).fold(mat_for(seed, 0), |acc, i| acc.mul(mat_for(seed, i)));
+        // Chunk sizes derived from the seed, including degenerate ones.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            let chunk = 1 + rng.gen::<usize>() % (len + 8);
+            for threads in [1usize, 2, 3, 8] {
+                let folded = fold_chunked(
+                    len,
+                    chunk,
+                    threads,
+                    |i| mat_for(seed, i),
+                    |acc: &mut Mat, m| *acc = acc.mul(m),
+                )
+                .unwrap();
+                prop_assert_eq!(folded, serial, "chunk {}, {} threads", chunk, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_noncommutative_string_fold_matches_serial(seed in 0u64..500, len in 0usize..60) {
+        let piece = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 17);
+            format!("{:x}.", rng.gen::<u32>() & 0xfff)
+        };
+        let serial: String = (0..len).map(piece).collect();
+        for (chunk, threads) in [(1, 8), (2, 2), (7, 3), (64, 8)] {
+            let folded = fold_chunked(
+                len,
+                chunk,
+                threads,
+                piece,
+                |acc: &mut String, s| acc.push_str(&s),
+            );
+            match folded {
+                Some(s) => prop_assert_eq!(&s, &serial, "chunk {}, {} threads", chunk, threads),
+                None => prop_assert_eq!(len, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn prop_chunk_ranges_partition(len in 0usize..200, chunk in 1usize..40) {
+        let ranges = chunk_ranges(len, chunk);
+        let mut covered = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, covered, "contiguous");
+            prop_assert!(r.end > r.start, "non-empty");
+            prop_assert!(r.end - r.start <= chunk, "bounded");
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, len, "exhaustive");
+    }
+
+    #[test]
+    fn prop_map_chunked_flattens_to_serial(seed in 0u64..500, len in 0usize..120) {
+        let item = |i: usize| (seed ^ i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let serial: Vec<u64> = (0..len).map(item).collect();
+        for (chunk, threads) in [(1, 2), (3, 8), (17, 3), (256, 8)] {
+            let flat: Vec<u64> =
+                map_chunked(len, chunk, threads, |r| r.map(item).collect::<Vec<_>>())
+                    .into_iter()
+                    .flatten()
+                    .collect();
+            prop_assert_eq!(&flat, &serial, "chunk {}, {} threads", chunk, threads);
+        }
+    }
+
+    #[test]
+    fn prop_map_indexed_rng_jobs_thread_invariant(seed in 0u64..200) {
+        let job = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(seed ^ i as u64);
+            (0..8).fold(0u64, |acc, _| acc.wrapping_add(rng.gen::<u64>()))
+        };
+        let serial = map_indexed(24, 1, job);
+        for threads in [2, 5, 16] {
+            prop_assert_eq!(map_indexed(24, threads, job), serial.clone(), "{} threads", threads);
+        }
+    }
+}

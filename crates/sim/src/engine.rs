@@ -278,7 +278,7 @@ pub fn run_engine_traced(
     let scenario = prepared.scenario.clone();
     let derived = |label: u64| prepared.derived_rng(label);
 
-    let balancer = LoadBalancer::new(scenario.balancer);
+    let balancer = LoadBalancer::new(scenario.balancer).with_threads(prepared.threads);
     let mut tree = KTree::build(&prepared.net, scenario.balancer.k);
 
     let mut sources: Vec<Box<dyn EventSource>> = Vec::new();

@@ -796,6 +796,16 @@ pub struct XlRunSummary {
     pub vsa_record_hops: usize,
     /// Wall-clock seconds for this run (clone + four phases).
     pub wall_s: f64,
+    /// Wall-clock seconds of phase 1a: LBI generation + report rebinding.
+    pub lbi_wall_s: f64,
+    /// Wall-clock seconds of phase 1b: tree aggregation of the LBIs.
+    pub aggregate_wall_s: f64,
+    /// Wall-clock seconds of phases 2–3: dissemination, classification and
+    /// the VSA sweep (including shed/light extraction).
+    pub vsa_wall_s: f64,
+    /// Wall-clock seconds of phase 4: transfer execution, including
+    /// distance accounting/refinement.
+    pub transfer_wall_s: f64,
     /// Moved-load-vs-distance histogram (the Figure-7 curve).
     pub histogram: DistanceHistogram,
 }
@@ -825,15 +835,21 @@ pub struct XlScaleOutput {
 /// proximity-ignorant, the Figure-7 comparison shape. Deterministic for a
 /// given seed; the cache bound changes memory behaviour only.
 pub fn xl_scale(seed: u64) -> XlScaleOutput {
-    xl_scale_traced(seed, &mut Trace::disabled())
+    xl_scale_traced(
+        seed,
+        crate::parallel::default_threads(),
+        &mut Trace::disabled(),
+    )
 }
 
 /// [`xl_scale`] recording each mode's four-phase run on its own child
-/// track (`aware` / `ignorant`) of `trace`.
-pub fn xl_scale_traced(seed: u64, trace: &mut Trace) -> XlScaleOutput {
+/// track (`aware` / `ignorant`) of `trace`, with `threads` worker threads
+/// inside each balancing round (purely a performance knob — the output is
+/// byte-identical at any count).
+pub fn xl_scale_traced(seed: u64, threads: usize, trace: &mut Trace) -> XlScaleOutput {
     let scenario = Scenario::builder().xl().seed(seed).build();
     let t0 = std::time::Instant::now();
-    let prepared = scenario.prepare();
+    let prepared = scenario.prepare_threads(threads);
     let prepare_wall_s = t0.elapsed().as_secs_f64();
     let underlay = prepared.underlay().expect("xl runs over a topology");
 
@@ -847,8 +863,19 @@ pub fn xl_scale_traced(seed: u64, trace: &mut Trace) -> XlScaleOutput {
             ..prepared.scenario.balancer
         };
         let mut rng = prepared.derived_rng(label);
+        let mut tree = KTree::build(&net, cfg.k);
+        let mut walls = proxbal_core::RoundWalls::default();
         let report = LoadBalancer::new(cfg)
-            .run_traced(&mut net, &mut loads, Some(underlay), &mut rng, &mut child)
+            .with_threads(threads)
+            .run_with_tree_walls(
+                &mut net,
+                &mut loads,
+                &mut tree,
+                Some(underlay),
+                &mut rng,
+                &mut child,
+                &mut walls,
+            )
             .expect("attached network");
         trace.absorb(child);
         let mut histogram = DistanceHistogram::new();
@@ -869,6 +896,10 @@ pub fn xl_scale_traced(seed: u64, trace: &mut Trace) -> XlScaleOutput {
             lbi_messages: report.messages.lbi_messages,
             vsa_record_hops: report.messages.vsa_record_hops,
             wall_s: t.elapsed().as_secs_f64(),
+            lbi_wall_s: walls.lbi_wall_s,
+            aggregate_wall_s: walls.aggregate_wall_s,
+            vsa_wall_s: walls.vsa_wall_s,
+            transfer_wall_s: walls.transfer_wall_s,
             histogram,
         }
     };
@@ -955,7 +986,9 @@ pub fn xl2_scale_traced(seed: u64, trace: &mut Trace) -> Xl2ScaleOutput {
 /// entry point the reduced-scale smoke and determinism runs share with the
 /// full-scale pass. Everything except the `*_wall_s` fields is a pure
 /// function of `scenario`: sharded preparation, the sharded tree build and
-/// the single-threaded balancing pass are all independent of `threads`.
+/// the intra-round parallel sections of the balancing pass all chunk
+/// deterministically and merge in index order, so the result is
+/// independent of `threads`.
 pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> Xl2ScaleOutput {
     let t0 = std::time::Instant::now();
     let mut prepared = scenario.prepare_threads(threads);
@@ -993,14 +1026,17 @@ pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> 
     };
     // Label 78 = aware, matching the xl / Figure-7 RNG stream naming.
     let mut rng = prepared.derived_rng(78);
+    let mut walls = proxbal_core::RoundWalls::default();
     let report = LoadBalancer::new(cfg)
-        .run_with_tree_traced(
+        .with_threads(threads)
+        .run_with_tree_walls(
             &mut prepared.net,
             &mut prepared.loads,
             &mut tree,
             Some(underlay),
             &mut rng,
             &mut child,
+            &mut walls,
         )
         .expect("attached network");
     trace.absorb(child);
@@ -1023,6 +1059,10 @@ pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> 
         lbi_messages: report.messages.lbi_messages,
         vsa_record_hops: report.messages.vsa_record_hops,
         wall_s: t.elapsed().as_secs_f64(),
+        lbi_wall_s: walls.lbi_wall_s,
+        aggregate_wall_s: walls.aggregate_wall_s,
+        vsa_wall_s: walls.vsa_wall_s,
+        transfer_wall_s: walls.transfer_wall_s,
         histogram,
     };
 

@@ -1,198 +1,14 @@
-//! Deterministic parallel sweep engine.
+//! Deterministic parallel sweep engine — re-exported from
+//! [`proxbal_parallel`].
 //!
-//! Every multi-run experiment driver (Figure 7/8 graph replication, the
-//! ablation sweep, round/latency scaling grids, the `repro` binary's
-//! figure/claim phases) funnels through [`map_indexed`]: jobs are claimed
-//! dynamically from a shared counter, but each job is a pure function of
-//! its *index* (seeds are derived from the index, never from thread
-//! identity or claim order) and every result lands in its own slot. The
-//! returned vector — and anything folded from it in index order — is
-//! therefore bit-identical regardless of `threads`.
+//! The engine started life here, driving the multi-run experiment sweeps
+//! (Figure 7/8 graph replication, the ablation sweep, scaling grids, the
+//! `repro` phases). It now lives in its own zero-dep crate so the inner
+//! layers (`core`, `ktree`, `topology`) can parallelize *inside* a
+//! balancing round without depending on the simulator; this module keeps
+//! the historical `proxbal_sim::parallel::…` paths working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads to use by default.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-}
-
-/// Runs `job(i)` for every `i in 0..count` on up to `threads` workers and
-/// returns the results in index order.
-///
-/// `job` must derive all randomness from its index; under that contract
-/// the output is independent of `threads`. Panics in a job propagate.
-pub fn map_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.max(1).min(count);
-    if threads <= 1 {
-        return (0..count).map(job).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let job = &job;
-    let next = &next;
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        local.push((i, job(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("sweep worker panicked") {
-                slots[i] = Some(value);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index processed"))
-        .collect()
-}
-
-/// Maps `job(index, item)` over `items` in parallel, preserving order.
-pub fn map_items<I, T, F>(items: &[I], threads: usize, job: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync,
-{
-    map_indexed(items.len(), threads, |i| job(i, &items[i]))
-}
-
-/// [`map_indexed`] with tracing: each job records into its own child
-/// [`Trace`] (enabled iff `parent` is), and the children are absorbed into
-/// `parent` **in index order** after the sweep — so the merged event
-/// stream, like the results, is bit-identical at any thread count.
-///
-/// Jobs should [`Trace::relabel`] their child to a name derived from the
-/// index so tracks stay distinguishable.
-pub fn map_indexed_traced<T, F>(
-    count: usize,
-    threads: usize,
-    parent: &mut proxbal_trace::Trace,
-    job: F,
-) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize, &mut proxbal_trace::Trace) -> T + Sync,
-{
-    let on = parent.is_enabled();
-    let pairs = map_indexed(count, threads, |i| {
-        let mut child = proxbal_trace::Trace::new(on, "");
-        let out = job(i, &mut child);
-        (out, child)
-    });
-    let mut outs = Vec::with_capacity(count);
-    for (out, child) in pairs {
-        parent.absorb(child);
-        outs.push(out);
-    }
-    outs
-}
-
-/// [`map_items`] with per-job child traces; see [`map_indexed_traced`].
-pub fn map_items_traced<I, T, F>(
-    items: &[I],
-    threads: usize,
-    parent: &mut proxbal_trace::Trace,
-    job: F,
-) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I, &mut proxbal_trace::Trace) -> T + Sync,
-{
-    map_indexed_traced(items.len(), threads, parent, |i, trace| {
-        job(i, &items[i], trace)
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_in_index_order() {
-        let out = map_indexed(100, 8, |i| i * i);
-        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn thread_count_does_not_change_results() {
-        // A job whose output depends only on its index: any thread count
-        // must produce the identical vector.
-        let job = |i: usize| {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(i as u64);
-            (0..50).fold(0u64, |acc, _| acc.wrapping_add(rng.gen::<u64>()))
-        };
-        let sequential = map_indexed(32, 1, job);
-        for threads in [2, 3, 8, 16] {
-            assert_eq!(
-                map_indexed(32, threads, job),
-                sequential,
-                "{threads} threads"
-            );
-        }
-    }
-
-    #[test]
-    fn traced_sweep_is_thread_count_invariant() {
-        use proxbal_trace::Trace;
-        let run = |threads: usize| {
-            let mut parent = Trace::enabled("sweep");
-            let out = map_indexed_traced(12, threads, &mut parent, |i, trace| {
-                trace.relabel(&format!("job{i}"));
-                trace.span("work", 0, i as u64);
-                trace.count("jobs", 1);
-                trace.record("index", i as u64);
-                i * 3
-            });
-            (out, parent.to_ndjson(), parent.to_chrome_json())
-        };
-        let (out1, nd1, ch1) = run(1);
-        for threads in [2, 8] {
-            let (out, nd, ch) = run(threads);
-            assert_eq!(out, out1, "{threads} threads");
-            assert_eq!(nd, nd1, "{threads} threads");
-            assert_eq!(ch, ch1, "{threads} threads");
-        }
-        assert_eq!(out1, (0..12).map(|i| i * 3).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn traced_sweep_with_disabled_parent_records_nothing() {
-        let mut parent = proxbal_trace::Trace::disabled();
-        let out = map_indexed_traced(4, 2, &mut parent, |i, trace| {
-            trace.span("work", 0, 1);
-            assert!(!trace.is_enabled());
-            i
-        });
-        assert_eq!(out, vec![0, 1, 2, 3]);
-        assert_eq!(parent.event_count(), 0);
-    }
-
-    #[test]
-    fn zero_and_one_item_edge_cases() {
-        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(map_indexed(1, 4, |i| i + 1), vec![1]);
-        let items = ["a", "bb", "ccc"];
-        assert_eq!(map_items(&items, 4, |i, s| s.len() + i), vec![1, 3, 5]);
-    }
-}
+pub use proxbal_parallel::{
+    chunk_ranges, default_threads, fold_chunked, map_chunked, map_indexed, map_indexed_traced,
+    map_items, map_items_traced,
+};

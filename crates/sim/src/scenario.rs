@@ -237,6 +237,7 @@ impl Scenario {
             landmarks,
             hop_landmarks,
             rng,
+            threads,
         }
     }
 }
@@ -441,6 +442,10 @@ pub struct Prepared {
     pub hop_landmarks: Option<LandmarkOracle>,
     /// The scenario RNG, positioned after setup (use for the run itself).
     pub rng: StdRng,
+    /// Worker-thread count the scenario was prepared with; runs over this
+    /// `Prepared` reuse it for the intra-round parallel sections. Purely a
+    /// performance knob — every output is byte-identical at any value.
+    pub threads: usize,
 }
 
 impl Prepared {

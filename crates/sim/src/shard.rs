@@ -149,6 +149,7 @@ pub fn prepare_sharded(scenario: &Scenario, threads: usize) -> Prepared {
         landmarks,
         hop_landmarks,
         rng,
+        threads,
     }
 }
 

@@ -29,6 +29,10 @@ fn stable_json(mut out: Xl2ScaleOutput) -> String {
     out.prepare_wall_s = 0.0;
     out.tree_wall_s = 0.0;
     out.aware.wall_s = 0.0;
+    out.aware.lbi_wall_s = 0.0;
+    out.aware.aggregate_wall_s = 0.0;
+    out.aware.vsa_wall_s = 0.0;
+    out.aware.transfer_wall_s = 0.0;
     serde_json::to_string(&out).expect("serialize xl2 output")
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything that must be green before a change ships.
 #
-#   scripts/check.sh [--xl-smoke] [--faults-smoke] [--engine-smoke]
+#   scripts/check.sh [--xl-smoke] [--faults-smoke] [--engine-smoke] [--round-smoke]
 #
 # Runs, in order:
 #   1. tier-1 verify (ROADMAP.md): release build + root test suite
@@ -26,17 +26,25 @@
 # (`repro engine --scale small`) traced at 1 and 8 threads and fails
 # unless the per-epoch time series, the BENCH entry and both trace files
 # are byte-identical — the determinism contract of the engine.
+#
+# --round-smoke additionally runs a reduced-peers xl2 single round traced
+# at 1 and 8 threads and fails unless stdout (walls scrubbed) and both
+# trace files are byte-identical — the determinism contract of the
+# intra-round parallel sections (LBI generation, aggregation,
+# classification, shed/light extraction, transfer refinement).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 XL_SMOKE=0
 FAULTS_SMOKE=0
 ENGINE_SMOKE=0
+ROUND_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --xl-smoke) XL_SMOKE=1 ;;
     --faults-smoke) FAULTS_SMOKE=1 ;;
     --engine-smoke) ENGINE_SMOKE=1 ;;
+    --round-smoke) ROUND_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -60,6 +68,11 @@ REPRO="$PWD/target/release/repro"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 
+# Drops everything that may legitimately differ between two xl2 runs:
+# trailing per-line wall-clocks, the prepare/total summary lines, and the
+# wrote-filename lines (trace paths differ between the compared runs).
+scrub_xl2() { sed -E 's/ +[0-9.]+s$//' "$1" | grep -v -e "^prepare:" -e "^total:" -e "^wrote "; }
+
 echo "==> trace smoke: repro --fig 7 --scale small --trace (threads 1 vs 8)"
 (cd "$SMOKE_DIR" && timeout 600 "$REPRO" --fig 7 --scale small --threads 1 --trace t1.json > trace1.txt \
                  && timeout 600 "$REPRO" --fig 7 --scale small --threads 8 --trace t8.json > trace8.txt)
@@ -82,7 +95,6 @@ if [[ "$XL_SMOKE" == "1" ]]; then
   echo "==> xl2 smoke: repro xl2 --peers 65536 (threads 1 vs 8)"
   (cd "$SMOKE_DIR" && timeout 1800 "$REPRO" xl2 --peers 65536 --threads 1 > xl2_t1.txt \
                    && timeout 1800 "$REPRO" xl2 --peers 65536 --threads 8 > xl2_t8.txt)
-  scrub_xl2() { sed -E 's/ +[0-9.]+s$//' "$1" | grep -v -e "^prepare:" -e "^total:"; }
   diff <(scrub_xl2 "$SMOKE_DIR/xl2_t1.txt") <(scrub_xl2 "$SMOKE_DIR/xl2_t8.txt") || {
     echo "xl2 output differs across thread counts" >&2; exit 1; }
 fi
@@ -98,6 +110,23 @@ if [[ "$FAULTS_SMOKE" == "1" ]]; then
     echo "fault sweep output differs across thread counts" >&2; exit 1; }
   diff "$SMOKE_DIR/bench_t1.json" "$SMOKE_DIR/bench_t8.json" || {
     echo "fault sweep JSON differs across thread counts" >&2; exit 1; }
+fi
+
+if [[ "$ROUND_SMOKE" == "1" ]]; then
+  echo "==> round smoke: repro xl2 --peers 16384 --trace (threads 1 vs 8)"
+  (cd "$SMOKE_DIR" && timeout 900 "$REPRO" xl2 --peers 16384 --threads 1 --trace r1.json > round_t1.txt \
+                   && timeout 900 "$REPRO" xl2 --peers 16384 --threads 8 --trace r8.json > round_t8.txt)
+  cmp "$SMOKE_DIR/r1.json" "$SMOKE_DIR/r8.json" || {
+    echo "round chrome trace differs across thread counts" >&2; exit 1; }
+  cmp "$SMOKE_DIR/r1.ndjson" "$SMOKE_DIR/r8.ndjson" || {
+    echo "round trace event log differs across thread counts" >&2; exit 1; }
+  diff <(scrub_xl2 "$SMOKE_DIR/round_t1.txt") <(scrub_xl2 "$SMOKE_DIR/round_t8.txt") || {
+    echo "round output differs across thread counts" >&2; exit 1; }
+  # The intra-round spans actually landed in the event log.
+  for span in round/lbi round/aggregate round/vsa round/transfer; do
+    grep -q "$span" "$SMOKE_DIR/r1.ndjson" || {
+      echo "round smoke: span $span missing from the trace" >&2; exit 1; }
+  done
 fi
 
 if [[ "$ENGINE_SMOKE" == "1" ]]; then
