@@ -1,0 +1,218 @@
+//! Columnar views over run artifacts: the engine's per-epoch series, a
+//! trace's event stream, and a trace's counter set — each exposed as a
+//! [`Table`] the expression language evaluates against.
+
+use crate::expr::{Table, Val};
+use proxbal_sim::engine::{EngineReport, EpochSample};
+use proxbal_trace::{ArgValue, EventKind, ParsedEvent, ParsedTrace};
+
+/// The engine's epoch series as a table: one row per epoch, one column per
+/// [`EpochSample`] field. The row timestamp for funnels/sequences is the
+/// epoch index.
+pub struct EpochTable<'a> {
+    samples: &'a [EpochSample],
+}
+
+impl<'a> EpochTable<'a> {
+    pub fn of(report: &'a EngineReport) -> Self {
+        EpochTable {
+            samples: &report.samples,
+        }
+    }
+
+    /// Row timestamps: epoch indices.
+    pub fn timestamps(&self) -> Vec<u64> {
+        self.samples.iter().map(|s| s.epoch as u64).collect()
+    }
+
+    /// The column names this table resolves (for error messages and docs).
+    pub const COLUMNS: &'static [&'static str] = &[
+        "epoch",
+        "alive_peers",
+        "gini",
+        "heavy",
+        "joins",
+        "crashes",
+        "stale_links",
+        "repair_reattached",
+        "repair_pruned",
+        "maintenance_rounds",
+        "balanced",
+        "emergency",
+        "balance_passes",
+        "moved",
+        "transfers",
+        "messages",
+        "des_messages",
+        "des_retries",
+    ];
+}
+
+impl Table for EpochTable<'_> {
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn lookup(&self, row: usize, name: &str) -> Option<Val> {
+        let s = &self.samples[row];
+        Some(match name {
+            "epoch" => Val::Num(s.epoch as f64),
+            "alive_peers" => Val::Num(s.alive_peers as f64),
+            "gini" => Val::Num(s.gini),
+            "heavy" => Val::Num(s.heavy as f64),
+            "joins" => Val::Num(s.joins as f64),
+            "crashes" => Val::Num(s.crashes as f64),
+            "stale_links" => Val::Num(s.stale_links as f64),
+            "repair_reattached" => Val::Num(s.repair_reattached as f64),
+            "repair_pruned" => Val::Num(s.repair_pruned as f64),
+            "maintenance_rounds" => Val::Num(s.maintenance_rounds as f64),
+            "balanced" => Val::Bool(s.balanced),
+            "emergency" => Val::Bool(s.emergency),
+            "balance_passes" => Val::Num(s.balance_passes as f64),
+            "moved" => Val::Num(s.moved),
+            "transfers" => Val::Num(s.transfers as f64),
+            "messages" => Val::Num(s.messages as f64),
+            "des_messages" => Val::Num(s.des_messages as f64),
+            "des_retries" => Val::Num(s.des_retries as f64),
+            _ => return None,
+        })
+    }
+}
+
+/// A trace's spans/instants as a table: one row per event in file order.
+/// Columns: `track`, `name`, `kind` (`"span"`/`"instant"`), `ts`, `dur`,
+/// plus `args.<key>` for event arguments — an absent argument reads as 0,
+/// because the exporter omits args entirely on lean events and gate
+/// predicates like `args.transfers > 0` must treat those as zero, not fail.
+pub struct EventTable<'a> {
+    events: Vec<&'a ParsedEvent>,
+}
+
+impl<'a> EventTable<'a> {
+    /// All events of the trace, in file order.
+    pub fn of(trace: &'a ParsedTrace) -> Self {
+        EventTable {
+            events: trace.events.iter().collect(),
+        }
+    }
+
+    /// Only the events of one track, in file order.
+    pub fn of_track(trace: &'a ParsedTrace, track: &str) -> Self {
+        EventTable {
+            events: trace.events.iter().filter(|e| e.track == track).collect(),
+        }
+    }
+
+    /// Row timestamps: the events' virtual-time stamps. Within a track
+    /// these are non-decreasing per the trace contract; across tracks the
+    /// caller should group first (see [`EventTable::of_track`]).
+    pub fn timestamps(&self) -> Vec<u64> {
+        self.events.iter().map(|e| e.ts).collect()
+    }
+}
+
+fn arg_val(v: &ArgValue) -> Val {
+    match v {
+        ArgValue::U64(n) => Val::Num(*n as f64),
+        ArgValue::I64(n) => Val::Num(*n as f64),
+        ArgValue::F64(x) => Val::Num(*x),
+        ArgValue::Bool(b) => Val::Bool(*b),
+        ArgValue::Str(s) => Val::Str(s.clone()),
+    }
+}
+
+impl Table for EventTable<'_> {
+    fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    fn lookup(&self, row: usize, name: &str) -> Option<Val> {
+        let e = self.events[row];
+        if let Some(key) = name.strip_prefix("args.") {
+            return Some(
+                e.args
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(Val::Num(0.0), |(_, v)| arg_val(v)),
+            );
+        }
+        Some(match name {
+            "track" => Val::Str(e.track.clone()),
+            "name" => Val::Str(e.name.clone()),
+            "kind" => Val::Str(
+                match e.kind {
+                    EventKind::Span => "span",
+                    EventKind::Instant => "instant",
+                }
+                .to_owned(),
+            ),
+            "ts" => Val::Num(e.ts as f64),
+            "dur" => Val::Num(e.dur as f64),
+            _ => return None,
+        })
+    }
+}
+
+/// A trace's counters as a single-row table, so scalar gates can assert
+/// directly on totals (`des_gave_up == 0`). Every name resolves — an
+/// absent counter is 0, matching `Trace::counter` — so `kind = "scalar"`
+/// trace gates cannot fail on a missing counter, only on its value.
+pub struct CounterTable<'a> {
+    trace: &'a ParsedTrace,
+}
+
+impl<'a> CounterTable<'a> {
+    pub fn of(trace: &'a ParsedTrace) -> Self {
+        CounterTable { trace }
+    }
+}
+
+impl Table for CounterTable<'_> {
+    fn len(&self) -> usize {
+        1
+    }
+
+    fn lookup(&self, _row: usize, name: &str) -> Option<Val> {
+        Some(Val::Num(self.trace.any_counter(name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use proxbal_trace::Trace;
+
+    #[test]
+    fn event_table_columns_and_absent_args() {
+        let mut t = Trace::enabled("repro");
+        t.span_args("round/vsa", 0, 5, &[("pairings", ArgValue::U64(9))]);
+        t.instant("kt/stale", 7);
+        let parsed = ParsedTrace::of(&t).unwrap();
+        let table = EventTable::of(&parsed);
+        assert_eq!(table.len(), 2);
+        let mask = Expr::parse("name == 'round/vsa' and args.pairings > 0")
+            .unwrap()
+            .eval_mask(&table)
+            .unwrap();
+        assert_eq!(mask, vec![true, false]);
+        // Absent arg reads 0; unknown column errors.
+        let mask = Expr::parse("args.pairings == 0").unwrap().eval_mask(&table);
+        assert_eq!(mask.unwrap(), vec![false, true]);
+        assert!(Expr::parse("bogus > 0").unwrap().eval_mask(&table).is_err());
+        assert_eq!(table.timestamps(), vec![0, 7]);
+    }
+
+    #[test]
+    fn counter_table_reads_both_kinds() {
+        let mut t = Trace::enabled("x");
+        t.count("des_retries", 4);
+        t.count_f64("vst_moved_load", 2.5);
+        let parsed = ParsedTrace::of(&t).unwrap();
+        let table = CounterTable::of(&parsed);
+        let eval = |s: &str| Expr::parse(s).unwrap().eval_scalar(&table).unwrap();
+        assert_eq!(eval("des_retries"), Val::Num(4.0));
+        assert_eq!(eval("vst_moved_load"), Val::Num(2.5));
+        assert_eq!(eval("missing_counter"), Val::Num(0.0));
+    }
+}

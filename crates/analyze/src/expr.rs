@@ -1,0 +1,682 @@
+//! The gate-file expression language: a small, total, deterministic
+//! predicate/metric language over tabular run data.
+//!
+//! Grammar (binding loosest → tightest):
+//!
+//! ```text
+//! or    := and ( "or" and )*
+//! and   := not ( "and" not )*
+//! not   := "not" not | cmp
+//! cmp   := sum ( ("<" | "<=" | ">" | ">=" | "==" | "!=") sum )?
+//! sum   := term ( ("+" | "-") term )*
+//! term  := unary ( ("*" | "/") unary )*
+//! unary := "-" unary | primary
+//! primary := NUMBER | STRING | "true" | "false" | IDENT
+//!          | FUNC "(" or ")" | "(" or ")"
+//! ```
+//!
+//! Identifiers are column names (`heavy`, `repair_reattached`) or, over
+//! trace events, `track` / `name` / `ts` / `dur` / `kind` and `args.<key>`
+//! (an absent argument reads as 0, since the exporter omits empty args).
+//! Strings use single or double quotes.
+//!
+//! Expressions evaluate in two modes:
+//!
+//! - **per-row** ([`eval_row`]): against one row's [`Scope`]; aggregate
+//!   calls are rejected — a predicate is a pure function of one row.
+//! - **scalar** ([`eval_scalar`]): against a whole [`Table`]; aggregate
+//!   calls (`max`, `min`, `sum`, `mean`, `count`, `first`, `last`, `p50`,
+//!   `p90`, `p99`, `any`, `all`) evaluate their argument per row and
+//!   reduce, while a bare column reads the **last** row (end-of-run
+//!   state). Booleans coerce to 0/1 inside numeric aggregates.
+//!
+//! Everything is f64/bool/string — no nulls, no wall-clock, no
+//! environment: the same expression over the same table always yields the
+//! same value, which is what lets gate evaluation run on the worker pool
+//! without threatening byte-identical reports.
+
+/// A value the language computes with.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Val {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Val {
+    /// Numeric view: numbers as-is, booleans as 0/1. Strings refuse.
+    pub fn as_num(&self) -> Result<f64, String> {
+        match self {
+            Val::Num(x) => Ok(*x),
+            Val::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            Val::Str(s) => Err(format!("string {s:?} used as a number")),
+        }
+    }
+
+    /// Truthiness: booleans as-is, numbers ≠ 0, strings refuse.
+    pub fn truthy(&self) -> Result<bool, String> {
+        match self {
+            Val::Bool(b) => Ok(*b),
+            Val::Num(x) => Ok(*x != 0.0),
+            Val::Str(s) => Err(format!("string {s:?} used as a condition")),
+        }
+    }
+}
+
+/// One row's name → value binding.
+pub trait Scope {
+    /// Resolves a column/identifier, or `None` if the name is unknown
+    /// (which makes evaluation fail — typos must not silently pass gates).
+    fn lookup(&self, name: &str) -> Option<Val>;
+}
+
+/// A whole table of rows sharing a column namespace.
+pub trait Table {
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Resolves column `name` at `row`.
+    fn lookup(&self, row: usize, name: &str) -> Option<Val>;
+}
+
+/// Adapter viewing one [`Table`] row as a [`Scope`].
+pub struct RowScope<'a> {
+    pub table: &'a dyn Table,
+    pub row: usize,
+}
+
+impl Scope for RowScope<'_> {
+    fn lookup(&self, name: &str) -> Option<Val> {
+        self.table.lookup(self.row, name)
+    }
+}
+
+/// A parsed expression, ready to evaluate any number of times.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    Ident(String),
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Agg(AggFn, Box<Expr>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate functions available in scalar mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    Max,
+    Min,
+    Sum,
+    Mean,
+    Count,
+    First,
+    Last,
+    P50,
+    P90,
+    P99,
+    Any,
+    All,
+}
+
+impl AggFn {
+    fn from_name(name: &str) -> Option<AggFn> {
+        Some(match name {
+            "max" => AggFn::Max,
+            "min" => AggFn::Min,
+            "sum" => AggFn::Sum,
+            "mean" => AggFn::Mean,
+            "count" => AggFn::Count,
+            "first" => AggFn::First,
+            "last" => AggFn::Last,
+            "p50" => AggFn::P50,
+            "p90" => AggFn::P90,
+            "p99" => AggFn::P99,
+            "any" => AggFn::Any,
+            "all" => AggFn::All,
+            _ => return None,
+        })
+    }
+}
+
+impl Expr {
+    /// Parses `text` into an expression. Errors carry byte offsets into the
+    /// expression string.
+    pub fn parse(text: &str) -> Result<Expr, String> {
+        let mut p = Parser {
+            tokens: lex(text)?,
+            pos: 0,
+        };
+        let e = p.parse_or()?;
+        match p.peek() {
+            None => Ok(e),
+            Some(t) => Err(format!("unexpected {:?} after expression", t.text)),
+        }
+    }
+
+    /// Evaluates against a single row. Aggregate calls are an error here.
+    pub fn eval_row(&self, scope: &dyn Scope) -> Result<Val, String> {
+        match self {
+            Expr::Num(x) => Ok(Val::Num(*x)),
+            Expr::Bool(b) => Ok(Val::Bool(*b)),
+            Expr::Str(s) => Ok(Val::Str(s.clone())),
+            Expr::Ident(name) => scope
+                .lookup(name)
+                .ok_or_else(|| format!("unknown column {name:?}")),
+            Expr::Not(e) => Ok(Val::Bool(!e.eval_row(scope)?.truthy()?)),
+            Expr::Neg(e) => Ok(Val::Num(-e.eval_row(scope)?.as_num()?)),
+            Expr::Bin(op, a, b) => eval_bin(*op, &a.eval_row(scope)?, || b.eval_row(scope)),
+            Expr::Agg(_, _) => {
+                Err("aggregate functions are not allowed in per-row predicates".into())
+            }
+        }
+    }
+
+    /// Evaluates against a whole table: aggregates reduce over all rows, a
+    /// bare column reads the last row.
+    pub fn eval_scalar(&self, table: &dyn Table) -> Result<Val, String> {
+        match self {
+            Expr::Num(x) => Ok(Val::Num(*x)),
+            Expr::Bool(b) => Ok(Val::Bool(*b)),
+            Expr::Str(s) => Ok(Val::Str(s.clone())),
+            Expr::Ident(name) => {
+                if table.is_empty() {
+                    return Err(format!("column {name:?} read from an empty table"));
+                }
+                let last = RowScope {
+                    table,
+                    row: table.len() - 1,
+                };
+                last.lookup(name)
+                    .ok_or_else(|| format!("unknown column {name:?}"))
+            }
+            Expr::Not(e) => Ok(Val::Bool(!e.eval_scalar(table)?.truthy()?)),
+            Expr::Neg(e) => Ok(Val::Num(-e.eval_scalar(table)?.as_num()?)),
+            Expr::Bin(op, a, b) => eval_bin(*op, &a.eval_scalar(table)?, || b.eval_scalar(table)),
+            Expr::Agg(f, arg) => {
+                let mut vals = Vec::with_capacity(table.len());
+                for row in 0..table.len() {
+                    vals.push(arg.eval_row(&RowScope { table, row })?);
+                }
+                aggregate(*f, &vals)
+            }
+        }
+    }
+
+    /// Evaluates a per-row predicate over every row of a table.
+    pub fn eval_mask(&self, table: &dyn Table) -> Result<Vec<bool>, String> {
+        (0..table.len())
+            .map(|row| self.eval_row(&RowScope { table, row })?.truthy())
+            .collect()
+    }
+
+    /// Evaluates a per-row numeric column over every row of a table.
+    pub fn eval_column(&self, table: &dyn Table) -> Result<Vec<f64>, String> {
+        (0..table.len())
+            .map(|row| self.eval_row(&RowScope { table, row })?.as_num())
+            .collect()
+    }
+}
+
+fn eval_bin(op: BinOp, a: &Val, b: impl FnOnce() -> Result<Val, String>) -> Result<Val, String> {
+    match op {
+        // Short-circuiting logic.
+        BinOp::Or => {
+            if a.truthy()? {
+                return Ok(Val::Bool(true));
+            }
+            Ok(Val::Bool(b()?.truthy()?))
+        }
+        BinOp::And => {
+            if !a.truthy()? {
+                return Ok(Val::Bool(false));
+            }
+            Ok(Val::Bool(b()?.truthy()?))
+        }
+        _ => {
+            let b = b()?;
+            match op {
+                BinOp::Eq | BinOp::Ne => {
+                    let eq = match (a, &b) {
+                        (Val::Str(x), Val::Str(y)) => x == y,
+                        (Val::Str(_), _) | (_, Val::Str(_)) => {
+                            return Err("comparing a string with a non-string".into())
+                        }
+                        _ => a.as_num()? == b.as_num()?,
+                    };
+                    Ok(Val::Bool(if op == BinOp::Eq { eq } else { !eq }))
+                }
+                BinOp::Lt => Ok(Val::Bool(a.as_num()? < b.as_num()?)),
+                BinOp::Le => Ok(Val::Bool(a.as_num()? <= b.as_num()?)),
+                BinOp::Gt => Ok(Val::Bool(a.as_num()? > b.as_num()?)),
+                BinOp::Ge => Ok(Val::Bool(a.as_num()? >= b.as_num()?)),
+                BinOp::Add => Ok(Val::Num(a.as_num()? + b.as_num()?)),
+                BinOp::Sub => Ok(Val::Num(a.as_num()? - b.as_num()?)),
+                BinOp::Mul => Ok(Val::Num(a.as_num()? * b.as_num()?)),
+                BinOp::Div => Ok(Val::Num(a.as_num()? / b.as_num()?)),
+                BinOp::Or | BinOp::And => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+fn aggregate(f: AggFn, vals: &[Val]) -> Result<Val, String> {
+    match f {
+        AggFn::Any => {
+            for v in vals {
+                if v.truthy()? {
+                    return Ok(Val::Bool(true));
+                }
+            }
+            Ok(Val::Bool(false))
+        }
+        AggFn::All => {
+            for v in vals {
+                if !v.truthy()? {
+                    return Ok(Val::Bool(false));
+                }
+            }
+            Ok(Val::Bool(true))
+        }
+        AggFn::Count => {
+            let mut n = 0usize;
+            for v in vals {
+                if v.truthy()? {
+                    n += 1;
+                }
+            }
+            Ok(Val::Num(n as f64))
+        }
+        AggFn::First => vals
+            .first()
+            .cloned()
+            .ok_or_else(|| "first() over an empty table".into()),
+        AggFn::Last => vals
+            .last()
+            .cloned()
+            .ok_or_else(|| "last() over an empty table".into()),
+        _ => {
+            let nums: Vec<f64> = vals.iter().map(Val::as_num).collect::<Result<_, _>>()?;
+            if nums.is_empty() {
+                return Err("numeric aggregate over an empty table".into());
+            }
+            let out = match f {
+                AggFn::Max => nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                AggFn::Min => nums.iter().cloned().fold(f64::INFINITY, f64::min),
+                AggFn::Sum => nums.iter().sum(),
+                AggFn::Mean => nums.iter().sum::<f64>() / nums.len() as f64,
+                AggFn::P50 => percentile(&nums, 0.50),
+                AggFn::P90 => percentile(&nums, 0.90),
+                AggFn::P99 => percentile(&nums, 0.99),
+                _ => unreachable!("non-numeric aggregates handled above"),
+            };
+            Ok(Val::Num(out))
+        }
+    }
+}
+
+/// Nearest-rank percentile (ClickHouse/DuckDB "exact" style): sort and take
+/// element `ceil(q·n) - 1`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+// ---- lexer / parser -------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+struct Token {
+    text: String,
+    kind: TokKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TokKind {
+    Num,
+    Str,
+    Ident,
+    Op,
+}
+
+fn lex(text: &str) -> Result<Vec<Token>, String> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' | b')' | b'+' | b'-' | b'*' | b'/' => {
+                tokens.push(Token {
+                    text: (b as char).to_string(),
+                    kind: TokKind::Op,
+                });
+                i += 1;
+            }
+            b'<' | b'>' | b'=' | b'!' => {
+                let two = bytes.get(i + 1) == Some(&b'=');
+                let end = if two { i + 2 } else { i + 1 };
+                let text = &text[i..end];
+                if text == "=" || text == "!" {
+                    return Err(format!("stray {text:?} (did you mean == or !=?)"));
+                }
+                tokens.push(Token {
+                    text: text.to_owned(),
+                    kind: TokKind::Op,
+                });
+                i = end;
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err("unterminated string literal".into());
+                }
+                tokens.push(Token {
+                    text: text[start..j].to_owned(),
+                    kind: TokKind::Str,
+                });
+                i = j + 1;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: text[start..i].replace('_', ""),
+                    kind: TokKind::Num,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    text: text[start..i].to_owned(),
+                    kind: TokKind::Ident,
+                });
+            }
+            other => return Err(format!("unexpected character {:?}", other as char)),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Op && t.text == op {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(t) = self.peek() {
+            if t.kind == TokKind::Ident && t.text == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, String> {
+        let mut e = self.parse_and()?;
+        while self.eat_ident("or") {
+            let rhs = self.parse_and()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, String> {
+        let mut e = self.parse_not()?;
+        while self.eat_ident("and") {
+            let rhs = self.parse_not()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, String> {
+        if self.eat_ident("not") {
+            return Ok(Expr::Not(Box::new(self.parse_not()?)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, String> {
+        let lhs = self.parse_sum()?;
+        for (text, op) in [
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_op(text) {
+                let rhs = self.parse_sum()?;
+                return Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr, String> {
+        let mut e = self.parse_term()?;
+        loop {
+            if self.eat_op("+") {
+                let rhs = self.parse_term()?;
+                e = Expr::Bin(BinOp::Add, Box::new(e), Box::new(rhs));
+            } else if self.eat_op("-") {
+                let rhs = self.parse_term()?;
+                e = Expr::Bin(BinOp::Sub, Box::new(e), Box::new(rhs));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, String> {
+        let mut e = self.parse_unary()?;
+        loop {
+            if self.eat_op("*") {
+                let rhs = self.parse_unary()?;
+                e = Expr::Bin(BinOp::Mul, Box::new(e), Box::new(rhs));
+            } else if self.eat_op("/") {
+                let rhs = self.parse_unary()?;
+                e = Expr::Bin(BinOp::Div, Box::new(e), Box::new(rhs));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, String> {
+        if self.eat_op("-") {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, String> {
+        let Some(tok) = self.peek().cloned() else {
+            return Err("unexpected end of expression".into());
+        };
+        match tok.kind {
+            TokKind::Num => {
+                self.pos += 1;
+                tok.text
+                    .parse::<f64>()
+                    .map(Expr::Num)
+                    .map_err(|e| format!("bad number {:?}: {e}", tok.text))
+            }
+            TokKind::Str => {
+                self.pos += 1;
+                Ok(Expr::Str(tok.text))
+            }
+            TokKind::Ident => {
+                self.pos += 1;
+                match tok.text.as_str() {
+                    "true" => return Ok(Expr::Bool(true)),
+                    "false" => return Ok(Expr::Bool(false)),
+                    _ => {}
+                }
+                if self.eat_op("(") {
+                    let Some(f) = AggFn::from_name(&tok.text) else {
+                        return Err(format!("unknown function {:?}", tok.text));
+                    };
+                    let arg = self.parse_or()?;
+                    if !self.eat_op(")") {
+                        return Err(format!("missing ')' after {}(...)", tok.text));
+                    }
+                    return Ok(Expr::Agg(f, Box::new(arg)));
+                }
+                Ok(Expr::Ident(tok.text))
+            }
+            TokKind::Op if tok.text == "(" => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if !self.eat_op(")") {
+                    return Err("missing closing ')'".into());
+                }
+                Ok(e)
+            }
+            TokKind::Op => Err(format!("unexpected operator {:?}", tok.text)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Cols(Vec<(&'static str, Vec<f64>)>);
+
+    impl Table for Cols {
+        fn len(&self) -> usize {
+            self.0.first().map_or(0, |(_, v)| v.len())
+        }
+        fn lookup(&self, row: usize, name: &str) -> Option<Val> {
+            self.0
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| Val::Num(v[row]))
+        }
+    }
+
+    fn table() -> Cols {
+        Cols(vec![
+            ("heavy", vec![3.0, 1.0, 0.0, 2.0, 0.0]),
+            ("moved", vec![1.5, 0.5, 0.0, 1.0, 0.0]),
+        ])
+    }
+
+    #[test]
+    fn precedence_and_logic() {
+        let t = table();
+        let v = Expr::parse("1 + 2 * 3 == 7 and not (2 < 1)")
+            .unwrap()
+            .eval_scalar(&t)
+            .unwrap();
+        assert_eq!(v, Val::Bool(true));
+        let v = Expr::parse("-2 * 3 + 1").unwrap().eval_scalar(&t).unwrap();
+        assert_eq!(v, Val::Num(-5.0));
+    }
+
+    #[test]
+    fn aggregates_and_last_row_reads() {
+        let t = table();
+        let eval = |s: &str| Expr::parse(s).unwrap().eval_scalar(&t).unwrap();
+        assert_eq!(eval("max(heavy)"), Val::Num(3.0));
+        assert_eq!(eval("sum(moved)"), Val::Num(3.0));
+        assert_eq!(eval("count(heavy > 0)"), Val::Num(3.0));
+        assert_eq!(eval("mean(heavy)"), Val::Num(1.2));
+        assert_eq!(eval("first(heavy)"), Val::Num(3.0));
+        assert_eq!(eval("last(heavy)"), Val::Num(0.0));
+        // Bare column = last row.
+        assert_eq!(eval("heavy"), Val::Num(0.0));
+        assert_eq!(eval("any(heavy > 2)"), Val::Bool(true));
+        assert_eq!(eval("all(heavy >= 0)"), Val::Bool(true));
+        assert_eq!(eval("p50(heavy)"), Val::Num(1.0));
+        assert_eq!(eval("p99(heavy)"), Val::Num(3.0));
+    }
+
+    #[test]
+    fn per_row_mode_rejects_aggregates_and_typos() {
+        let t = table();
+        let e = Expr::parse("max(heavy) > 0").unwrap();
+        assert!(e.eval_row(&RowScope { table: &t, row: 0 }).is_err());
+        let e = Expr::parse("heavyy > 0").unwrap();
+        assert!(e.eval_row(&RowScope { table: &t, row: 0 }).is_err());
+        let mask = Expr::parse("heavy > 0 and moved >= 1")
+            .unwrap()
+            .eval_mask(&t)
+            .unwrap();
+        assert_eq!(mask, vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("foo(1)").is_err());
+        assert!(Expr::parse("(1").is_err());
+        assert!(Expr::parse("1 = 2").is_err());
+        assert!(Expr::parse("'open").is_err());
+        assert!(Expr::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.9), 5.0);
+        assert_eq!(percentile(&v, 0.99), 5.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+}

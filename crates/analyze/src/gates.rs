@@ -1,0 +1,611 @@
+//! Declarative robustness gates: a query (one behavioral primitive or a
+//! scalar expression), a metric, and a thresholded comparison with
+//! tolerance — loaded from `gates/*.toml` and evaluated against a run's
+//! artifacts. A gate violation is how a behavioral regression fails CI,
+//! the same way bench-metric drift does.
+
+use crate::columns::{CounterTable, EpochTable, EventTable};
+use crate::expr::{Expr, Table};
+use crate::primitives::{
+    parse_pattern, sequence_match, sessionize, window_funnel, FunnelOutcome, Session,
+};
+use proxbal_sim::engine::EngineReport;
+use proxbal_trace::ParsedTrace;
+use serde::{Deserialize, Serialize};
+
+/// Which artifact a gate reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// The engine's per-epoch series (`EngineReport` JSON).
+    Report,
+    /// The trace event log (NDJSON): events for the primitives, counters
+    /// for scalar gates.
+    Trace,
+}
+
+/// The query a gate runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Kind {
+    /// Sessionize rows where `active` holds; optional `peak` column.
+    Sessionize { active: Expr, peak: Option<Expr> },
+    /// Ordered steps within a window of row timestamps.
+    Funnel {
+        steps: Vec<Expr>,
+        window: u64,
+        /// `true` → run per trace track and merge (report tables have a
+        /// single stream, so grouping is a no-op there).
+        per_track: bool,
+    },
+    /// Regex-like pattern over per-row conditions.
+    Sequence {
+        conds: Vec<Expr>,
+        pattern_text: String,
+    },
+    /// A scalar expression over the whole table.
+    Scalar(Expr),
+}
+
+/// Threshold comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "==" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Applies the comparison with `tolerance` slack in the passing
+    /// direction: `<`/`<=` allow `threshold + tol`, `>`/`>=` allow
+    /// `threshold - tol`, `==` allows `|actual - threshold| <= tol`, and
+    /// `!=` requires `|actual - threshold| > tol`.
+    pub fn holds(&self, actual: f64, threshold: f64, tolerance: f64) -> bool {
+        match self {
+            CmpOp::Lt => actual < threshold + tolerance,
+            CmpOp::Le => actual <= threshold + tolerance,
+            CmpOp::Gt => actual > threshold - tolerance,
+            CmpOp::Ge => actual >= threshold - tolerance,
+            CmpOp::Eq => (actual - threshold).abs() <= tolerance,
+            CmpOp::Ne => (actual - threshold).abs() > tolerance,
+        }
+    }
+}
+
+/// One fully parsed gate.
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// Gate name, unique across loaded files (enforced at load).
+    pub name: String,
+    /// Which artifact it reads.
+    pub source: Source,
+    /// The query.
+    pub kind: Kind,
+    /// Which number of the query outcome to compare (e.g. `p99_len`,
+    /// `completion`, `matches`; `value` for scalar gates).
+    pub metric: String,
+    pub op: CmpOp,
+    pub threshold: f64,
+    pub tolerance: f64,
+}
+
+/// The run artifacts gates evaluate against.
+#[derive(Clone, Copy, Default)]
+pub struct Artifacts<'a> {
+    pub report: Option<&'a EngineReport>,
+    pub trace: Option<&'a ParsedTrace>,
+}
+
+/// One gate's outcome — serialized into the machine-readable report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GateResult {
+    pub name: String,
+    /// `"report"` or `"trace"`.
+    pub source: String,
+    /// `"sessionize"`, `"funnel"`, `"sequence"`, or `"scalar"`.
+    pub kind: String,
+    pub metric: String,
+    pub actual: f64,
+    pub op: String,
+    pub threshold: f64,
+    pub tolerance: f64,
+    pub pass: bool,
+    /// One-line context: session/instance counts, or the error text when
+    /// evaluation itself failed (which is always a failure).
+    pub detail: String,
+}
+
+impl Gate {
+    /// Parses one `[[gate]]` table. `origin` names the file for errors.
+    pub fn from_table(table: &crate::toml::TomlTable, origin: &str) -> Result<Gate, String> {
+        let name = table
+            .get_str("name")
+            .ok_or_else(|| format!("{origin}: gate without a name"))?
+            .to_owned();
+        let at = |msg: String| format!("{origin}: gate {name:?}: {msg}");
+
+        let source = match table.get_str("source") {
+            Some("report") => Source::Report,
+            Some("trace") => Source::Trace,
+            Some(other) => return Err(at(format!("unknown source {other:?}"))),
+            None => return Err(at("missing source (report|trace)".into())),
+        };
+
+        let parse_expr = |key: &str| -> Result<Option<Expr>, String> {
+            table
+                .get_str(key)
+                .map(|s| Expr::parse(s).map_err(|e| at(format!("{key}: {e}"))))
+                .transpose()
+        };
+
+        let kind_name = table
+            .get_str("kind")
+            .ok_or_else(|| at("missing kind (sessionize|funnel|sequence|scalar)".into()))?;
+        let kind = match kind_name {
+            "sessionize" => Kind::Sessionize {
+                active: parse_expr("where")?
+                    .ok_or_else(|| at("sessionize needs a `where` predicate".into()))?,
+                peak: parse_expr("peak")?,
+            },
+            "funnel" => {
+                let Some(crate::toml::TomlVal::StrArr(step_texts)) = table.get("steps") else {
+                    return Err(at("funnel needs `steps`, an array of predicates".into()));
+                };
+                if step_texts.is_empty() || step_texts.len() > 32 {
+                    return Err(at("funnel needs 1..=32 steps".into()));
+                }
+                let steps = step_texts
+                    .iter()
+                    .map(|s| Expr::parse(s).map_err(|e| at(format!("step {s:?}: {e}"))))
+                    .collect::<Result<_, _>>()?;
+                let window = table
+                    .get_num("window")
+                    .ok_or_else(|| at("funnel needs a `window`".into()))?;
+                if window < 0.0 || window.fract() != 0.0 {
+                    return Err(at("window must be a non-negative integer".into()));
+                }
+                let per_track = match table.get_str("group_by") {
+                    None => false,
+                    Some("track") => true,
+                    Some(other) => return Err(at(format!("unknown group_by {other:?}"))),
+                };
+                if per_track && source != Source::Trace {
+                    return Err(at("group_by = \"track\" requires source = \"trace\"".into()));
+                }
+                Kind::Funnel {
+                    steps,
+                    window: window as u64,
+                    per_track,
+                }
+            }
+            "sequence" => {
+                let Some(crate::toml::TomlVal::StrArr(cond_texts)) = table.get("conds") else {
+                    return Err(at("sequence needs `conds`, an array of predicates".into()));
+                };
+                let conds: Vec<Expr> = cond_texts
+                    .iter()
+                    .map(|s| Expr::parse(s).map_err(|e| at(format!("cond {s:?}: {e}"))))
+                    .collect::<Result<_, _>>()?;
+                let pattern_text = table
+                    .get_str("pattern")
+                    .ok_or_else(|| at("sequence needs a `pattern`".into()))?
+                    .to_owned();
+                // Validate eagerly so malformed patterns fail at load.
+                parse_pattern(&pattern_text, conds.len()).map_err(&at)?;
+                Kind::Sequence {
+                    conds,
+                    pattern_text,
+                }
+            }
+            "scalar" => Kind::Scalar(
+                parse_expr("expr")?.ok_or_else(|| at("scalar needs an `expr`".into()))?,
+            ),
+            other => return Err(at(format!("unknown kind {other:?}"))),
+        };
+
+        let metric = table
+            .get_str("metric")
+            .unwrap_or(match &kind {
+                Kind::Sessionize { .. } => "count",
+                Kind::Funnel { .. } => "completion",
+                Kind::Sequence { .. } => "matches",
+                Kind::Scalar(_) => "value",
+            })
+            .to_owned();
+        let op = table
+            .get_str("op")
+            .and_then(CmpOp::parse)
+            .ok_or_else(|| at("missing/unknown op (< <= > >= == !=)".into()))?;
+        let threshold = table
+            .get_num("threshold")
+            .ok_or_else(|| at("missing numeric threshold".into()))?;
+        let tolerance = table.get_num("tolerance").unwrap_or(0.0);
+        if tolerance < 0.0 {
+            return Err(at("tolerance must be >= 0".into()));
+        }
+
+        Ok(Gate {
+            name,
+            source,
+            kind,
+            metric,
+            op,
+            threshold,
+            tolerance,
+        })
+    }
+
+    /// Evaluates the gate. Evaluation errors (missing artifact, unknown
+    /// column, unknown metric) become failing results, never silent passes.
+    pub fn evaluate(&self, artifacts: &Artifacts<'_>) -> GateResult {
+        let (actual, detail) = match self.compute(artifacts) {
+            Ok(pair) => pair,
+            Err(msg) => return self.result(f64::NAN, false, format!("evaluation failed: {msg}")),
+        };
+        let pass = self.op.holds(actual, self.threshold, self.tolerance);
+        self.result(actual, pass, detail)
+    }
+
+    fn result(&self, actual: f64, pass: bool, detail: String) -> GateResult {
+        GateResult {
+            name: self.name.clone(),
+            source: match self.source {
+                Source::Report => "report",
+                Source::Trace => "trace",
+            }
+            .to_owned(),
+            kind: match self.kind {
+                Kind::Sessionize { .. } => "sessionize",
+                Kind::Funnel { .. } => "funnel",
+                Kind::Sequence { .. } => "sequence",
+                Kind::Scalar(_) => "scalar",
+            }
+            .to_owned(),
+            metric: self.metric.clone(),
+            actual,
+            op: self.op.symbol().to_owned(),
+            threshold: self.threshold,
+            tolerance: self.tolerance,
+            pass,
+            detail,
+        }
+    }
+
+    fn compute(&self, artifacts: &Artifacts<'_>) -> Result<(f64, String), String> {
+        match self.source {
+            Source::Report => {
+                let report = artifacts
+                    .report
+                    .ok_or("gate reads the report, but no report artifact was given")?;
+                let table = EpochTable::of(report);
+                let ts = table.timestamps();
+                self.compute_on(&table, &ts, None)
+            }
+            Source::Trace => {
+                let trace = artifacts
+                    .trace
+                    .ok_or("gate reads the trace, but no trace artifact was given")?;
+                match &self.kind {
+                    // Scalar trace gates read the counter table.
+                    Kind::Scalar(_) => self.compute_on(&CounterTable::of(trace), &[0], None),
+                    _ => {
+                        let table = EventTable::of(trace);
+                        let ts = table.timestamps();
+                        self.compute_on(&table, &ts, Some(trace))
+                    }
+                }
+            }
+        }
+    }
+
+    fn compute_on(
+        &self,
+        table: &dyn Table,
+        ts: &[u64],
+        trace: Option<&ParsedTrace>,
+    ) -> Result<(f64, String), String> {
+        match &self.kind {
+            Kind::Sessionize { active, peak } => {
+                let mask = active.eval_mask(table)?;
+                let peaks = peak.as_ref().map(|p| p.eval_column(table)).transpose()?;
+                let sessions = sessionize(&mask, peaks.as_deref());
+                let actual = session_metric(&self.metric, &sessions)?;
+                Ok((
+                    actual,
+                    format!("{} session(s) over {} row(s)", sessions.len(), mask.len()),
+                ))
+            }
+            Kind::Funnel {
+                steps,
+                window,
+                per_track,
+            } => {
+                let outcome = if *per_track {
+                    let trace = trace.ok_or("group_by = \"track\" requires the trace artifact")?;
+                    let mut merged = FunnelOutcome::default();
+                    for track in trace.track_names() {
+                        let sub = EventTable::of_track(trace, track);
+                        let sub_ts = sub.timestamps();
+                        merged.merge(run_funnel(steps, *window, &sub, &sub_ts)?);
+                    }
+                    merged
+                } else {
+                    run_funnel(steps, *window, table, ts)?
+                };
+                let actual = match self.metric.as_str() {
+                    "completion" => outcome.completion(),
+                    "entered" => outcome.entered as f64,
+                    "completed" => outcome.completed as f64,
+                    "deepest" => outcome.deepest as f64,
+                    other => return Err(format!("unknown funnel metric {other:?}")),
+                };
+                Ok((
+                    actual,
+                    format!(
+                        "{}/{} instance(s) completed, deepest step {}",
+                        outcome.completed, outcome.entered, outcome.deepest
+                    ),
+                ))
+            }
+            Kind::Sequence {
+                conds,
+                pattern_text,
+            } => {
+                let pattern = parse_pattern(pattern_text, conds.len())?;
+                let masks: Vec<Vec<bool>> = conds
+                    .iter()
+                    .map(|c| c.eval_mask(table))
+                    .collect::<Result<_, _>>()?;
+                let matches = sequence_match(&masks, ts, &pattern);
+                if self.metric != "matches" {
+                    return Err(format!("unknown sequence metric {:?}", self.metric));
+                }
+                Ok((
+                    matches as f64,
+                    format!("pattern {pattern_text:?} over {} row(s)", ts.len()),
+                ))
+            }
+            Kind::Scalar(expr) => {
+                if self.metric != "value" {
+                    return Err(format!("unknown scalar metric {:?}", self.metric));
+                }
+                let v = expr.eval_scalar(table)?;
+                Ok((v.as_num()?, format!("over {} row(s)", table.len())))
+            }
+        }
+    }
+}
+
+fn run_funnel(
+    steps: &[Expr],
+    window: u64,
+    table: &dyn Table,
+    ts: &[u64],
+) -> Result<FunnelOutcome, String> {
+    let mut events: Vec<(u64, u32)> = Vec::with_capacity(ts.len());
+    let masks: Vec<Vec<bool>> = steps
+        .iter()
+        .map(|s| s.eval_mask(table))
+        .collect::<Result<_, _>>()?;
+    for (i, &t) in ts.iter().enumerate() {
+        let mut bits = 0u32;
+        for (s, mask) in masks.iter().enumerate() {
+            if mask[i] {
+                bits |= 1 << s;
+            }
+        }
+        events.push((t, bits));
+    }
+    Ok(window_funnel(&events, steps.len(), window))
+}
+
+fn session_metric(metric: &str, sessions: &[Session]) -> Result<f64, String> {
+    let lens: Vec<f64> = sessions.iter().map(|s| s.len as f64).collect();
+    let peaks: Vec<f64> = sessions.iter().map(|s| s.peak).collect();
+    Ok(match metric {
+        "count" => sessions.len() as f64,
+        // Length/peak metrics of zero sessions are 0 — "no heavy episodes"
+        // must pass a `p99_len <= K` gate, not crash it.
+        "max_len" => lens.iter().cloned().fold(0.0, f64::max),
+        "mean_len" => {
+            if lens.is_empty() {
+                0.0
+            } else {
+                lens.iter().sum::<f64>() / lens.len() as f64
+            }
+        }
+        "p99_len" => {
+            if lens.is_empty() {
+                0.0
+            } else {
+                crate::expr::percentile(&lens, 0.99)
+            }
+        }
+        "total_len" => lens.iter().sum(),
+        "max_peak" => peaks.iter().cloned().fold(0.0, f64::max),
+        "mean_peak" => {
+            if peaks.is_empty() {
+                0.0
+            } else {
+                peaks.iter().sum::<f64>() / peaks.len() as f64
+            }
+        }
+        other => return Err(format!("unknown sessionize metric {other:?}")),
+    })
+}
+
+/// Parses every `[[gate]]` in one gate-file text. `origin` names the file
+/// for error messages. Tables not named `gate` are an error.
+pub fn parse_gate_file(text: &str, origin: &str) -> Result<Vec<Gate>, String> {
+    let tables = crate::toml::parse_tables(text).map_err(|e| format!("{origin}: {e}"))?;
+    let mut gates = Vec::new();
+    for (header, table) in &tables {
+        if header != "gate" {
+            return Err(format!(
+                "{origin}: unexpected table [[{header}]] (only [[gate]] is allowed)"
+            ));
+        }
+        gates.push(Gate::from_table(table, origin)?);
+    }
+    if gates.is_empty() {
+        return Err(format!("{origin}: no [[gate]] tables"));
+    }
+    Ok(gates)
+}
+
+/// Evaluates gates on the worker pool (pure jobs, index-order merge — the
+/// result vector is independent of `threads`) and returns results in gate
+/// order.
+pub fn evaluate_gates(
+    gates: &[Gate],
+    artifacts: &Artifacts<'_>,
+    threads: usize,
+) -> Vec<GateResult> {
+    proxbal_parallel::map_items(gates, threads, |_, gate| gate.evaluate(artifacts))
+}
+
+/// Renders results as the human-readable table `repro analyze` prints.
+/// Violations (and only violations) carry a `FAIL` marker plus their
+/// detail line, so a failing CI log names every broken gate.
+pub fn render_table(results: &[GateResult]) -> String {
+    let name_w = results
+        .iter()
+        .map(|r| r.name.len())
+        .chain(["gate".len()])
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:<10}  {:>12}  {:^2}  {:>12}  {:>9}  result\n",
+        "gate", "kind", "actual", "op", "threshold", "tolerance"
+    ));
+    for r in results {
+        let actual = if r.actual.is_nan() {
+            "-".to_owned()
+        } else {
+            format_num(r.actual)
+        };
+        out.push_str(&format!(
+            "{:<name_w$}  {:<10}  {:>12}  {:^2}  {:>12}  {:>9}  {}\n",
+            r.name,
+            r.kind,
+            actual,
+            r.op,
+            format_num(r.threshold),
+            format_num(r.tolerance),
+            if r.pass { "ok" } else { "FAIL" }
+        ));
+        if !r.pass {
+            out.push_str(&format!("{:<name_w$}    ^ {}\n", "", r.detail));
+        }
+    }
+    let failed = results.iter().filter(|r| !r.pass).count();
+    out.push_str(&format!(
+        "{} gate(s): {} passed, {} failed\n",
+        results.len(),
+        results.len() - failed,
+        failed
+    ));
+    out
+}
+
+fn format_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toml::parse_tables;
+
+    fn gate_from(text: &str) -> Result<Vec<Gate>, String> {
+        parse_gate_file(text, "test.toml")
+    }
+
+    #[test]
+    fn tolerance_semantics() {
+        assert!(CmpOp::Le.holds(4.4, 4.0, 0.5));
+        assert!(!CmpOp::Le.holds(4.6, 4.0, 0.5));
+        assert!(CmpOp::Ge.holds(0.96, 1.0, 0.05));
+        assert!(!CmpOp::Ge.holds(0.94, 1.0, 0.05));
+        assert!(CmpOp::Eq.holds(1.01, 1.0, 0.05));
+        assert!(!CmpOp::Eq.holds(1.1, 1.0, 0.05));
+        assert!(CmpOp::Ne.holds(1.1, 1.0, 0.05));
+        assert!(!CmpOp::Ne.holds(1.01, 1.0, 0.05));
+        assert!(CmpOp::Lt.holds(4.4, 4.0, 0.5));
+        assert!(CmpOp::Gt.holds(3.6, 4.0, 0.5));
+    }
+
+    #[test]
+    fn load_errors_name_the_gate() {
+        let err = gate_from(
+            "[[gate]]\nname = \"g\"\nsource = \"report\"\nkind = \"sessionize\"\n\
+             where = \"heavy >\"\nop = \"<=\"\nthreshold = 1\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("test.toml"), "{err}");
+        assert!(err.contains("\"g\""), "{err}");
+        assert!(gate_from("[[other]]\nname = \"x\"\n").is_err());
+        assert!(gate_from("# nothing\n").is_err());
+        // Bad sequence pattern fails at load, not at evaluation.
+        let err = gate_from(
+            "[[gate]]\nname = \"s\"\nsource = \"report\"\nkind = \"sequence\"\n\
+             conds = [\"emergency\"]\npattern = \"(?2)\"\nop = \"==\"\nthreshold = 0\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn missing_artifact_fails_the_gate() {
+        let gates = gate_from(
+            "[[gate]]\nname = \"g\"\nsource = \"report\"\nkind = \"scalar\"\n\
+             expr = \"last(heavy)\"\nop = \"==\"\nthreshold = 0\n",
+        )
+        .unwrap();
+        let results = evaluate_gates(&gates, &Artifacts::default(), 1);
+        assert!(!results[0].pass);
+        assert!(results[0].detail.contains("no report artifact"));
+        assert!(render_table(&results).contains("FAIL"));
+    }
+
+    #[test]
+    fn defaults_for_metric_and_tolerance() {
+        let tables = parse_tables(
+            "[[gate]]\nname = \"g\"\nsource = \"trace\"\nkind = \"scalar\"\n\
+             expr = \"des_gave_up\"\nop = \"==\"\nthreshold = 0\n",
+        )
+        .unwrap();
+        let gate = Gate::from_table(&tables[0].1, "t").unwrap();
+        assert_eq!(gate.metric, "value");
+        assert_eq!(gate.tolerance, 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Behavioral analysis of proxbal runs: columnar views over the engine's
+//! per-epoch [`EngineReport`] series and the trace NDJSON event log, three
+//! behavioral primitives over them ([`sessionize`], [`window_funnel`],
+//! [`sequence_match`]), and declarative threshold **gates** (`gates/*.toml`)
+//! that turn behavioral properties — "heavy-load episodes drain within K
+//! epochs", "every injected stale link is repaired in-epoch", "the
+//! heavy→rebalanced funnel completes" — into CI failures, exactly the way
+//! bench-metric drift already does.
+//!
+//! Everything here is deterministic: the artifacts are pure functions of
+//! `(seed, config)`, the query language has no clocks or randomness, and
+//! gate evaluation parallelizes as pure jobs merged in index order — so
+//! `repro analyze` output is byte-identical at any `--threads` setting.
+//!
+//! The query-layer design follows the `sessionize`/`window_funnel`/
+//! `sequence_match` behavioral-analytics family (ClickHouse/DuckDB);
+//! DESIGN.md §6d specifies the gate-file format.
+
+pub mod columns;
+pub mod expr;
+pub mod gates;
+pub mod primitives;
+pub mod toml;
+
+pub use columns::{CounterTable, EpochTable, EventTable};
+pub use expr::{Expr, Scope, Table, Val};
+pub use gates::{
+    evaluate_gates, parse_gate_file, render_table, Artifacts, CmpOp, Gate, GateResult,
+};
+pub use primitives::{
+    parse_pattern, sequence_match, sessionize, window_funnel, FunnelOutcome, Session,
+};
+
+use proxbal_sim::engine::EngineReport;
+use proxbal_trace::ParsedTrace;
+
+/// The artifacts of one run, owned — what `repro analyze` loads from the
+/// paths on its command line.
+#[derive(Default)]
+pub struct Run {
+    pub report: Option<EngineReport>,
+    pub trace: Option<ParsedTrace>,
+}
+
+impl Run {
+    /// Adds one artifact by file content. `.ndjson` text parses as a trace
+    /// event log; anything else parses as an `EngineReport` JSON document
+    /// (bare or `repro engine --json` wrapper).
+    pub fn load(&mut self, path: &str, text: &str) -> Result<(), String> {
+        if path.ends_with(".ndjson") {
+            if self.trace.is_some() {
+                return Err(format!("{path}: a trace artifact was already loaded"));
+            }
+            self.trace = Some(ParsedTrace::parse(text).map_err(|e| format!("{path}: {e}"))?);
+        } else {
+            if self.report.is_some() {
+                return Err(format!("{path}: a report artifact was already loaded"));
+            }
+            self.report =
+                Some(EngineReport::from_json_str(text).map_err(|e| format!("{path}: {e}"))?);
+        }
+        Ok(())
+    }
+
+    /// Borrowed view for gate evaluation.
+    pub fn artifacts(&self) -> Artifacts<'_> {
+        Artifacts {
+            report: self.report.as_ref(),
+            trace: self.trace.as_ref(),
+        }
+    }
+
+    /// The behavioral summary `repro analyze` prints when run without
+    /// `--gates`: heavy-episode sessions, the emergency timeline, repair
+    /// coverage from the report; track/event/counter shape from the trace.
+    /// Deterministic text — safe to diff across thread counts.
+    pub fn summarize(&self) -> String {
+        let mut out = String::new();
+        if let Some(report) = &self.report {
+            let table = EpochTable::of(report);
+            let epochs = report.samples.len();
+            out.push_str(&format!(
+                "report: {epochs} epoch(s), final heavy {}, mean gini {:.4}\n",
+                report.final_heavy(),
+                report.mean_gini()
+            ));
+            out.push_str(&format!(
+                "  totals: joins {}, crashes {}, stale links {}, balances {} ({} emergency), moved {:.3}, transfers {}\n",
+                report.joins,
+                report.crashes,
+                report.stale_links,
+                report.balances,
+                report.emergencies,
+                report.total_moved,
+                report.total_transfers
+            ));
+            let heavy_mask: Vec<bool> = report.samples.iter().map(|s| s.heavy > 0).collect();
+            let peaks: Vec<f64> = report.samples.iter().map(|s| s.heavy as f64).collect();
+            let sessions = sessionize(&heavy_mask, Some(&peaks));
+            out.push_str(&format!("  heavy episodes: {}\n", sessions.len()));
+            for s in &sessions {
+                out.push_str(&format!(
+                    "    epochs {}..={} (len {}, peak {} heavy)\n",
+                    s.start, s.end, s.len, s.peak as u64
+                ));
+            }
+            let emergencies: Vec<usize> = report
+                .samples
+                .iter()
+                .filter(|s| s.emergency)
+                .map(|s| s.epoch)
+                .collect();
+            out.push_str(&format!(
+                "  emergency epochs: {}\n",
+                if emergencies.is_empty() {
+                    "none".to_owned()
+                } else {
+                    emergencies
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            ));
+            let unrepaired =
+                Expr::parse("count(stale_links > 0 and repair_reattached < stale_links)")
+                    .expect("static expression")
+                    .eval_scalar(&table)
+                    .map(|v| v.as_num().unwrap_or(f64::NAN))
+                    .unwrap_or(f64::NAN);
+            out.push_str(&format!(
+                "  epochs with unrepaired stale links: {unrepaired}\n"
+            ));
+        }
+        if let Some(trace) = &self.trace {
+            out.push_str(&format!(
+                "trace: {} track(s), {} event(s), {} counter(s)\n",
+                trace.track_names().len(),
+                trace.events.len(),
+                trace.counters.len() + trace.fcounters.len()
+            ));
+            for name in [
+                "lbi_messages",
+                "vst_transfers",
+                "vst_moved_load",
+                "kt_reattached",
+                "des_retries",
+                "des_gave_up",
+            ] {
+                out.push_str(&format!("  {name}: {}\n", trace.any_counter(name)));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no artifacts loaded\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_dispatches_on_extension_and_rejects_duplicates() {
+        let mut run = Run::default();
+        assert!(run.load("t.ndjson", "garbage").is_err());
+        let trace_text =
+            "{\"type\":\"meta\",\"format\":\"proxbal-trace\",\"version\":1,\"tracks\":0,\"events\":0}\n";
+        run.load("t.ndjson", trace_text).unwrap();
+        assert!(run.load("t2.ndjson", trace_text).is_err());
+        assert!(run.load("r.json", "{}").is_err());
+        assert!(run.summarize().starts_with("trace:"));
+    }
+}

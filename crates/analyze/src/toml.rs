@@ -1,0 +1,256 @@
+//! A hand-rolled parser for the TOML subset gate files use (the workspace
+//! is offline — no `toml` crate). Supported: comments, `[[gate]]`
+//! array-of-tables headers, and `key = value` pairs where a value is a
+//! basic (`"…"`, with standard escapes) or literal (`'…'`) string, an
+//! integer, a float, a boolean, or a single-line array of strings.
+//! Anything else — nested tables, dotted keys, dates, multiline strings —
+//! is a parse error with a line number, not a silent skip: a gate file
+//! that doesn't parse must fail the gate run loudly.
+
+/// A parsed value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlVal {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    StrArr(Vec<String>),
+}
+
+impl TomlVal {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            TomlVal::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// One `[[gate]]` table: keys in file order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TomlTable {
+    pub entries: Vec<(String, TomlVal)>,
+}
+
+impl TomlTable {
+    pub fn get(&self, key: &str) -> Option<&TomlVal> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(TomlVal::as_str)
+    }
+
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(TomlVal::as_num)
+    }
+}
+
+/// Parses a gate file: a sequence of `[[name]]` tables. Top-level keys
+/// before the first header are rejected (gates are always tables), and
+/// duplicate keys within one table are an error.
+pub fn parse_tables(text: &str) -> Result<Vec<(String, TomlTable)>, String> {
+    let mut tables: Vec<(String, TomlTable)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let at = |msg: String| format!("line {lineno}: {msg}");
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("[[") {
+            let Some(name) = h.strip_suffix("]]") else {
+                return Err(at(format!("malformed table header {line:?}")));
+            };
+            tables.push((name.trim().to_owned(), TomlTable::default()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(at(format!(
+                "plain [table] headers are not supported, use [[...]]: {line:?}"
+            )));
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(at(format!("expected key = value, got {line:?}")));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(at(format!("bad key {key:?} (bare keys only)")));
+        }
+        let value = parse_value(line[eq + 1..].trim()).map_err(&at)?;
+        let Some((_, table)) = tables.last_mut() else {
+            return Err(at("key/value before the first [[table]] header".into()));
+        };
+        if table.get(key).is_some() {
+            return Err(at(format!("duplicate key {key:?}")));
+        }
+        table.entries.push((key.to_owned(), value));
+    }
+    Ok(tables)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut quote: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match quote {
+            Some(q) => {
+                if b == q && (q != b'"' || bytes[..i].last() != Some(&b'\\')) {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'"' | b'\'' => quote = Some(b),
+                b'#' => return &line[..i],
+                _ => {}
+            },
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<TomlVal, String> {
+    if text.is_empty() {
+        return Err("missing value".into());
+    }
+    if text == "true" {
+        return Ok(TomlVal::Bool(true));
+    }
+    if text == "false" {
+        return Ok(TomlVal::Bool(false));
+    }
+    if text.starts_with('"') || text.starts_with('\'') {
+        let (s, rest) = parse_string(text)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing content after string: {rest:?}"));
+        }
+        return Ok(TomlVal::Str(s));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err("arrays must open and close on one line".into());
+        };
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (s, after) = parse_string(rest)?;
+            items.push(s);
+            rest = after.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("expected ',' between array items at {rest:?}"));
+            }
+        }
+        return Ok(TomlVal::StrArr(items));
+    }
+    text.replace('_', "")
+        .parse::<f64>()
+        .map(TomlVal::Num)
+        .map_err(|_| format!("unsupported value {text:?}"))
+}
+
+/// Parses one leading string literal, returning it and the remainder.
+fn parse_string(text: &str) -> Result<(String, &str), String> {
+    let bytes = text.as_bytes();
+    match bytes.first() {
+        Some(b'\'') => {
+            let Some(end) = text[1..].find('\'') else {
+                return Err("unterminated literal string".into());
+            };
+            Ok((text[1..1 + end].to_owned(), &text[end + 2..]))
+        }
+        Some(b'"') => {
+            let mut out = String::new();
+            let mut chars = text[1..].char_indices();
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '"' => return Ok((out, &text[1 + i + 1..])),
+                    '\\' => match chars.next() {
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 't')) => out.push('\t'),
+                        Some((_, 'r')) => out.push('\r'),
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, other)) => return Err(format!("bad escape \\{other}")),
+                        None => return Err("dangling backslash".into()),
+                    },
+                    c => out.push(c),
+                }
+            }
+            Err("unterminated basic string".into())
+        }
+        _ => Err(format!("expected a string at {text:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gate_shaped_files() {
+        let text = r#"
+# Committed robustness gates.
+[[gate]]
+name = "heavy-drain-p99"          # sessionize heavy episodes
+source = "report"
+kind = "sessionize"
+where = "heavy > 0"               # the predicate
+metric = "p99_len"
+op = "<="
+threshold = 4
+tolerance = 0.5
+
+[[gate]]
+name = "funnel"
+steps = ["heavy > 0", "balanced and heavy == 0"]
+window = 5
+enabled = true
+note = 'literal # not a comment'
+"#;
+        let tables = parse_tables(text).unwrap();
+        assert_eq!(tables.len(), 2);
+        let (h, g) = &tables[0];
+        assert_eq!(h, "gate");
+        assert_eq!(g.get_str("name"), Some("heavy-drain-p99"));
+        assert_eq!(g.get_str("where"), Some("heavy > 0"));
+        assert_eq!(g.get_num("threshold"), Some(4.0));
+        assert_eq!(g.get_num("tolerance"), Some(0.5));
+        let (_, g) = &tables[1];
+        assert_eq!(
+            g.get("steps"),
+            Some(&TomlVal::StrArr(vec![
+                "heavy > 0".into(),
+                "balanced and heavy == 0".into()
+            ]))
+        );
+        assert_eq!(g.get_num("window"), Some(5.0));
+        assert_eq!(g.get("enabled"), Some(&TomlVal::Bool(true)));
+        assert_eq!(g.get_str("note"), Some("literal # not a comment"));
+    }
+
+    #[test]
+    fn rejects_what_it_does_not_support() {
+        assert!(parse_tables("key = 1\n").is_err()); // before any header
+        assert!(parse_tables("[table]\n").is_err());
+        assert!(parse_tables("[[g]]\nk = 1999-01-01\n").is_err());
+        assert!(parse_tables("[[g]]\nk = [1, 2]\n").is_err());
+        assert!(parse_tables("[[g]]\nk = \"open\n").is_err());
+        assert!(parse_tables("[[g]]\nk = 1\nk = 2\n").is_err());
+        assert!(parse_tables("[[g]]\nnot a pair\n").is_err());
+        let err = parse_tables("[[g]]\n\nbad!key = 1\n").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+}

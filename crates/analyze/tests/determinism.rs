@@ -1,0 +1,196 @@
+//! The analyzer's determinism contract: gate evaluation is a pure
+//! function of (gates, artifacts) — the rendered table and the
+//! machine-readable report are byte-identical at any thread count.
+
+use proxbal_analyze::{evaluate_gates, parse_gate_file, render_table, Run};
+use proxbal_sim::engine::{EngineConfig, EngineReport, EpochSample};
+use proxbal_trace::{ArgValue, Trace};
+
+/// A small synthetic engine report: a heavy episode that drains, one
+/// emergency, one repaired stale-link burst.
+fn report() -> EngineReport {
+    let base = EpochSample {
+        epoch: 0,
+        alive_peers: 64,
+        gini: 0.2,
+        heavy: 0,
+        joins: 0,
+        crashes: 0,
+        stale_links: 0,
+        repair_reattached: 0,
+        repair_pruned: 0,
+        maintenance_rounds: 1,
+        balanced: false,
+        emergency: false,
+        balance_passes: 0,
+        moved: 0.0,
+        transfers: 0,
+        messages: 10,
+        des_messages: 10,
+        des_retries: 0,
+    };
+    // Epochs: calm, heavy onset, emergency peak (stale links repaired),
+    // rebalanced, a short relapse, rebalanced again.
+    let rows = [
+        (0.2, 0usize, false, false, 0usize, 0usize),
+        (0.4, 5, false, false, 0, 0),
+        (0.5, 8, false, true, 3, 3),
+        (0.3, 0, true, false, 0, 0),
+        (0.4, 2, false, false, 0, 0),
+        (0.3, 0, true, false, 0, 0),
+    ];
+    let samples: Vec<EpochSample> = rows
+        .iter()
+        .enumerate()
+        .map(
+            |(i, &(gini, heavy, balanced, emergency, stale, fixed))| EpochSample {
+                epoch: i,
+                gini,
+                heavy,
+                balanced,
+                emergency,
+                stale_links: stale,
+                repair_reattached: fixed,
+                balance_passes: usize::from(balanced),
+                moved: if balanced { 5.0 } else { 0.0 },
+                transfers: if balanced { 2 } else { 0 },
+                ..base
+            },
+        )
+        .collect();
+    EngineReport {
+        config: EngineConfig::default(),
+        samples,
+        joins: 1,
+        crashes: 1,
+        stale_links: 3,
+        balances: 2,
+        emergencies: 1,
+        total_moved: 10.0,
+        total_transfers: 4,
+        total_messages: 100,
+    }
+}
+
+/// A synthetic trace with two epoch tracks carrying full LBI→VSA→VST
+/// rounds plus counters, exported/reparsed through the real NDJSON path.
+fn trace_text() -> String {
+    let mut trace = Trace::enabled("det");
+    for epoch in ["epoch3", "epoch5"] {
+        let mut child = Trace::enabled(epoch);
+        child.span_args("round/lbi", 0, 10, &[("peers", ArgValue::U64(64))]);
+        child.span_args("round/aggregate", 0, 10, &[]);
+        child.span_args("round/vsa", 10, 8, &[]);
+        child.span_args("round/transfer", 18, 5, &[]);
+        trace.absorb(child);
+    }
+    trace.count("des_gave_up", 0);
+    trace.count("kt_reattached", 3);
+    trace.to_ndjson()
+}
+
+const GATES: &str = r#"
+[[gate]]
+name = "drain"
+source = "report"
+kind = "sessionize"
+where = "heavy > 0"
+peak = "heavy"
+metric = "p99_len"
+op = "<="
+threshold = 2
+
+[[gate]]
+name = "rebalance"
+source = "report"
+kind = "funnel"
+steps = ["heavy > 0", "balanced and heavy == 0"]
+window = 5
+metric = "completion"
+op = ">="
+threshold = 1.0
+
+[[gate]]
+name = "no-triple-emergency"
+source = "report"
+kind = "sequence"
+conds = ["emergency"]
+pattern = "(?1)(?t<=1)(?1)(?t<=1)(?1)"
+op = "=="
+threshold = 0
+
+[[gate]]
+name = "rounds"
+source = "trace"
+kind = "funnel"
+group_by = "track"
+steps = ["name == 'round/lbi'", "name == 'round/vsa'", "name == 'round/transfer'"]
+window = 100
+metric = "completion"
+op = ">="
+threshold = 1.0
+
+[[gate]]
+name = "delivery"
+source = "trace"
+kind = "scalar"
+expr = "des_gave_up"
+op = "=="
+threshold = 0
+"#;
+
+#[test]
+fn gate_report_is_byte_identical_across_thread_counts() {
+    let mut run = Run::default();
+    run.load("r.json", &report().to_json_pretty()).unwrap();
+    run.load("t.ndjson", &trace_text()).unwrap();
+    let gates = parse_gate_file(GATES, "det.toml").unwrap();
+
+    let baseline = evaluate_gates(&gates, &run.artifacts(), 1);
+    assert!(
+        baseline.iter().all(|r| r.pass),
+        "fixture gates must pass:\n{}",
+        render_table(&baseline)
+    );
+    let table1 = render_table(&baseline);
+    let json1 = serde_json::to_string_pretty(&baseline).unwrap();
+    for threads in [2, 8] {
+        let results = evaluate_gates(&gates, &run.artifacts(), threads);
+        assert_eq!(render_table(&results), table1, "table at {threads} threads");
+        assert_eq!(
+            serde_json::to_string_pretty(&results).unwrap(),
+            json1,
+            "JSON report at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn summary_is_deterministic_and_names_episodes() {
+    let mut run = Run::default();
+    run.load("r.json", &report().to_json_pretty()).unwrap();
+    run.load("t.ndjson", &trace_text()).unwrap();
+    let a = run.summarize();
+    let b = run.summarize();
+    assert_eq!(a, b);
+    assert!(a.contains("heavy episodes: 2"), "{a}");
+    assert!(a.contains("epochs 1..=2"), "{a}");
+    assert!(a.contains("emergency epochs: 2"), "{a}");
+}
+
+#[test]
+fn tightened_threshold_turns_into_a_named_violation() {
+    let mut run = Run::default();
+    run.load("r.json", &report().to_json_pretty()).unwrap();
+    let text = GATES.replace("threshold = 2", "threshold = 1");
+    let gates = parse_gate_file(&text, "det.toml").unwrap();
+    let report_gates: Vec<_> = gates
+        .into_iter()
+        .filter(|g| matches!(g.source, proxbal_analyze::gates::Source::Report))
+        .collect();
+    let results = evaluate_gates(&report_gates, &run.artifacts(), 4);
+    let drain = results.iter().find(|r| r.name == "drain").unwrap();
+    assert!(!drain.pass);
+    let table = render_table(&results);
+    assert!(table.contains("drain") && table.contains("FAIL"), "{table}");
+}

@@ -10,6 +10,19 @@
 //! repro xl2                # 1,048,576 peers: sharded prepare + landmark distances
 //! repro engine             # continuous operation: churn + drift + loss
 //! repro all                # the full figure + claim grid
+//! repro analyze <files>    # behavioral queries over a run's artifacts
+//! ```
+//!
+//! `repro analyze` takes the artifacts a run wrote — an `EngineReport`
+//! JSON (`repro engine --json r.json`) and/or a trace event log
+//! (`--trace t.json` writes `t.ndjson`) — and either prints a behavioral
+//! summary, or with `--gates <dir|file>` evaluates declarative threshold
+//! gates (`gates/*.toml`, DESIGN.md §7) and exits nonzero on violations:
+//!
+//! ```text
+//! repro analyze report.json trace.ndjson            # behavioral summary
+//! repro analyze report.json trace.ndjson --gates gates/
+//! repro analyze ... --gates gates/ --out analyze-report.json
 //! ```
 //!
 //! Shared flags may follow any subcommand (and the legacy flag-only
@@ -116,6 +129,15 @@ struct Args {
     /// `--exact` forces exact distances in the xl2 phase (sensitivity runs
     /// comparing the landmark-approximate scheme against ground truth).
     exact: bool,
+    /// `repro analyze` — run behavioral queries/gates over run artifacts.
+    analyze: bool,
+    /// Artifact paths for `repro analyze` (`.ndjson` = trace event log,
+    /// anything else = `EngineReport` JSON).
+    inputs: Vec<String>,
+    /// `--gates <dir|file>`: evaluate gate files instead of summarizing.
+    gates: Option<String>,
+    /// `--out <path>`: write the machine-readable gate report JSON.
+    out: Option<String>,
 }
 
 const ALL_CLAIMS: [&str; 7] = [
@@ -180,13 +202,21 @@ fn apply_subcommand<'a>(cmd: &str, operands: &'a [String], args: &mut Args) -> &
             no_operands("engine");
             args.engine = true;
         }
+        "analyze" => {
+            if pos.is_empty() {
+                eprintln!("repro analyze needs at least one artifact path (report JSON and/or trace .ndjson)");
+                std::process::exit(2);
+            }
+            args.analyze = true;
+            args.inputs = pos.to_vec();
+        }
         "all" => {
             no_operands("all");
             args.figs = vec![4, 5, 6, 7, 8];
             args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
         }
         other => {
-            eprintln!("unknown subcommand {other} (expected figs|claims|faults|xl|xl2|engine|all)");
+            eprintln!("unknown subcommand {other} (expected figs|claims|faults|xl|xl2|engine|analyze|all)");
             std::process::exit(2);
         }
     }
@@ -208,6 +238,10 @@ fn parse_args() -> Args {
         epochs: None,
         peers: None,
         exact: false,
+        analyze: false,
+        inputs: Vec::new(),
+        gates: None,
+        out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let flags: &[String] = match argv.first() {
@@ -266,6 +300,8 @@ fn parse_args() -> Args {
                 );
             }
             "--exact" => args.exact = true,
+            "--gates" => args.gates = Some(it.next().expect("--gates needs a dir or file")),
+            "--out" => args.out = Some(it.next().expect("--out needs a path")),
             "--all" => {
                 args.figs = vec![4, 5, 6, 7, 8];
                 args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
@@ -279,6 +315,7 @@ fn parse_args() -> Args {
     if args.scale != Scale::Xl
         && args.scale != Scale::Xl2
         && !args.engine
+        && !args.analyze
         && args.faults.is_none()
         && args.figs.is_empty()
         && args.claims.is_empty()
@@ -800,8 +837,92 @@ fn finish_trace(args: &Args, trace: &Trace) {
     println!("wrote {path} (chrome://tracing) and {ndjson_path} (event log)");
 }
 
+/// `repro analyze`: loads the run artifacts named on the command line,
+/// then either prints the behavioral summary or — with `--gates` —
+/// evaluates every gate file and exits nonzero on any violation.
+fn run_analyze(args: &Args) {
+    use proxbal_analyze::{evaluate_gates, parse_gate_file, render_table, Run};
+    let mut run = Run::default();
+    for path in &args.inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = run.load(path, &text) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+    let Some(gate_path) = &args.gates else {
+        if args.out.is_some() {
+            eprintln!("--out only applies with --gates (the summary goes to stdout)");
+            std::process::exit(2);
+        }
+        print!("{}", run.summarize());
+        return;
+    };
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let meta = std::fs::metadata(gate_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {gate_path}: {e}");
+        std::process::exit(2);
+    });
+    if meta.is_dir() {
+        for entry in std::fs::read_dir(gate_path).expect("readable gate directory") {
+            let p = entry.expect("readable gate directory entry").path();
+            if p.extension().is_some_and(|e| e == "toml") {
+                files.push(p);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            eprintln!("{gate_path}: no *.toml gate files found");
+            std::process::exit(2);
+        }
+    } else {
+        files.push(gate_path.into());
+    }
+    let mut gates = Vec::new();
+    for file in &files {
+        let origin = file.display().to_string();
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("cannot read {origin}: {e}");
+            std::process::exit(2);
+        });
+        match parse_gate_file(&text, &origin) {
+            Ok(parsed) => gates.extend(parsed),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for gate in &gates {
+        if !seen.insert(gate.name.clone()) {
+            eprintln!("duplicate gate name {:?} across gate files", gate.name);
+            std::process::exit(2);
+        }
+    }
+    let results = evaluate_gates(&gates, &run.artifacts(), args.threads);
+    print!("{}", render_table(&results));
+    if let Some(out) = &args.out {
+        let json = serde_json::to_string_pretty(&results).expect("serialize gate results");
+        std::fs::write(out, json + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if results.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.analyze {
+        run_analyze(&args);
+        return;
+    }
     let mut trace = Trace::new(args.trace.is_some(), "repro");
     if args.engine {
         run_engine_cmd(&args, &mut trace);

@@ -245,15 +245,48 @@ impl EngineReport {
         }
         self.samples.iter().map(|s| s.gini).sum::<f64>() / self.samples.len() as f64
     }
+
+    /// Serializes the report to the stable pretty-printed JSON artifact the
+    /// analyze layer consumes. Field order is declaration order and every
+    /// value is virtual-time/seed-derived, so the bytes are identical for a
+    /// given `(config, seed)` at any thread count.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("EngineReport serializes infallibly")
+    }
+
+    /// Parses a report from JSON — either a bare [`EngineReport`] document
+    /// or the `repro engine --json` wrapper (`{"paper", "seed", "scale",
+    /// "results": {...}}`), whose `results` field is the report.
+    pub fn from_json_str(text: &str) -> Result<EngineReport, String> {
+        let doc: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        let report_value = doc.get("results").unwrap_or(&doc);
+        let rendered =
+            serde_json::to_string(report_value).map_err(|e| format!("re-render failed: {e:?}"))?;
+        serde_json::from_str(&rendered).map_err(|e| format!("not an EngineReport: {e:?}"))
+    }
 }
 
 fn to_core(e: ProtocolError) -> Error {
     match e {
         ProtocolError::UnattachedPeer(p) => Error::UnattachedPeer(p),
-        // The faulty drivers report partial coverage through their outcome,
-        // and the engine never constructs a loss model — these cannot
-        // reach here; map them conservatively anyway.
-        _ => Error::EmptyNetwork,
+        // The remaining variants can't arise from the engine's own drivers
+        // today, but map them faithfully so a protocol failure is never
+        // reported as an empty network.
+        ProtocolError::InvalidLossProbability(_) => Error::Protocol {
+            phase: "loss-model",
+            reached: 0,
+            expected: 0,
+        },
+        ProtocolError::Incomplete {
+            phase,
+            reached,
+            expected,
+        } => Error::Protocol {
+            phase,
+            reached,
+            expected,
+        },
     }
 }
 
@@ -533,4 +566,94 @@ pub fn run_engine_traced(
     }
 
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_core_preserves_protocol_failures() {
+        assert_eq!(
+            to_core(ProtocolError::UnattachedPeer(PeerId(7))),
+            Error::UnattachedPeer(PeerId(7))
+        );
+        assert_eq!(
+            to_core(ProtocolError::InvalidLossProbability(1.5)),
+            Error::Protocol {
+                phase: "loss-model",
+                reached: 0,
+                expected: 0,
+            }
+        );
+        let mapped = to_core(ProtocolError::Incomplete {
+            phase: "aggregation",
+            reached: 3,
+            expected: 9,
+        });
+        assert_eq!(
+            mapped,
+            Error::Protocol {
+                phase: "aggregation",
+                reached: 3,
+                expected: 9,
+            }
+        );
+        // The whole point of the variant: a protocol failure must not
+        // masquerade as an empty network.
+        assert_ne!(mapped, Error::EmptyNetwork);
+        assert!(mapped.to_string().contains("covered 3 of 9"));
+    }
+
+    fn tiny_report() -> EngineReport {
+        EngineReport {
+            config: EngineConfig::default(),
+            samples: vec![EpochSample {
+                epoch: 0,
+                alive_peers: 4,
+                gini: 0.25,
+                heavy: 1,
+                joins: 2,
+                crashes: 0,
+                stale_links: 3,
+                repair_reattached: 3,
+                repair_pruned: 0,
+                maintenance_rounds: 1,
+                balanced: true,
+                emergency: false,
+                balance_passes: 1,
+                moved: 1.5,
+                transfers: 2,
+                messages: 63,
+                des_messages: 0,
+                des_retries: 0,
+            }],
+            joins: 2,
+            crashes: 0,
+            stale_links: 3,
+            balances: 1,
+            emergencies: 0,
+            total_moved: 1.5,
+            total_transfers: 2,
+            total_messages: 63,
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrip_bare_and_wrapped() {
+        let report = tiny_report();
+        let bare = report.to_json_pretty();
+        let back = EngineReport::from_json_str(&bare).unwrap();
+        assert_eq!(back.to_json_pretty(), bare);
+
+        // The `repro engine --json` wrapper nests the report under
+        // `results`; the parser accepts both shapes.
+        let wrapped =
+            format!("{{\"paper\":\"x\",\"seed\":1,\"scale\":\"small\",\"results\":{bare}}}");
+        let back = EngineReport::from_json_str(&wrapped).unwrap();
+        assert_eq!(back.to_json_pretty(), bare);
+
+        assert!(EngineReport::from_json_str("{\"nope\":1}").is_err());
+        assert!(EngineReport::from_json_str("not json").is_err());
+    }
 }

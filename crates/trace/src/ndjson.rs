@@ -1,0 +1,576 @@
+//! Reader for the NDJSON event log written by [`Trace::to_ndjson`].
+//!
+//! The exporter renders a closed set of line shapes (`meta`, `span`,
+//! `instant`, `counter`, `histogram`), so this module carries its own small
+//! JSON parser instead of pulling a dependency into the otherwise zero-dep
+//! trace crate. Everything the exporter writes parses back losslessly, with
+//! one documented exception: JSON cannot distinguish the *type* of an
+//! integral number, so an `ArgValue::F64(2.0)` argument (exported as `2`)
+//! parses back as `ArgValue::U64(2)`, and an integral `f64` counter joins
+//! the integer counters. Numeric values are always preserved exactly —
+//! floats round-trip through the shortest-decimal form `Display` emits.
+//!
+//! The analyze layer consumes [`ParsedTrace`] as its columnar event source;
+//! `crates/trace/tests/ndjson_roundtrip.rs` pins the export → parse →
+//! identical-event-stream contract.
+
+use crate::{ArgValue, EventKind, Histogram, Trace, VirtualTime};
+
+/// One span or instant read back from an event log, with its track name
+/// denormalized onto the event (the log groups events by track already).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedEvent {
+    /// Track the event was recorded on (e.g. `repro/epoch7`).
+    pub track: String,
+    /// Event name (e.g. `round/lbi`, `kt/repair`).
+    pub name: String,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Virtual-time stamp.
+    pub ts: VirtualTime,
+    /// Span duration (always 0 for instants).
+    pub dur: VirtualTime,
+    /// Event arguments in recorded order, keys owned.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// One histogram row read back from an event log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedHistogram {
+    /// Histogram name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Total observation weight.
+    pub weight: f64,
+    /// Weighted mean value.
+    pub mean: f64,
+    /// `(bucket lower bound, weight)` pairs in ascending bound order.
+    pub buckets: Vec<(u64, f64)>,
+}
+
+/// A fully parsed NDJSON event log: the meta line's declared totals plus
+/// every event, counter and histogram in file order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedTrace {
+    /// Track count declared by the meta line.
+    pub declared_tracks: usize,
+    /// Event count declared by the meta line.
+    pub declared_events: usize,
+    /// Spans and instants in file order (grouped by track, tracks in
+    /// export order).
+    pub events: Vec<ParsedEvent>,
+    /// Integer counters in file (name) order.
+    pub counters: Vec<(String, u64)>,
+    /// Floating-point counters in file (name) order.
+    pub fcounters: Vec<(String, f64)>,
+    /// Histograms in file (name) order.
+    pub histograms: Vec<ParsedHistogram>,
+}
+
+impl ParsedTrace {
+    /// Parses an NDJSON event log (the exact format [`Trace::to_ndjson`]
+    /// writes). Fails with the 1-based line number of the first offending
+    /// line.
+    pub fn parse(text: &str) -> Result<ParsedTrace, NdjsonError> {
+        let mut out = ParsedTrace::default();
+        let mut saw_meta = false;
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = parse_json_line(line).map_err(|msg| NdjsonError { lineno, msg })?;
+            let obj = v.as_obj().ok_or_else(|| NdjsonError {
+                lineno,
+                msg: "expected a JSON object".into(),
+            })?;
+            let at = |msg: String| NdjsonError { lineno, msg };
+            let kind = obj
+                .get_str("type")
+                .ok_or_else(|| at("missing \"type\"".into()))?;
+            match kind {
+                "meta" => {
+                    if obj.get_str("format") != Some("proxbal-trace") {
+                        return Err(at("meta line is not a proxbal-trace log".into()));
+                    }
+                    out.declared_tracks = obj.get_u64("tracks").unwrap_or(0) as usize;
+                    out.declared_events = obj.get_u64("events").unwrap_or(0) as usize;
+                    saw_meta = true;
+                }
+                "span" | "instant" => {
+                    let args = match obj.get("args") {
+                        None => Vec::new(),
+                        Some(Json::Obj(entries)) => entries
+                            .iter()
+                            .map(|(k, v)| {
+                                json_to_arg(v)
+                                    .map(|a| (k.clone(), a))
+                                    .ok_or_else(|| at(format!("bad arg value for {k:?}")))
+                            })
+                            .collect::<Result<_, _>>()?,
+                        Some(_) => return Err(at("\"args\" is not an object".into())),
+                    };
+                    out.events.push(ParsedEvent {
+                        track: obj
+                            .get_str("track")
+                            .ok_or_else(|| at("event missing \"track\"".into()))?
+                            .to_owned(),
+                        name: obj
+                            .get_str("name")
+                            .ok_or_else(|| at("event missing \"name\"".into()))?
+                            .to_owned(),
+                        kind: if kind == "span" {
+                            EventKind::Span
+                        } else {
+                            EventKind::Instant
+                        },
+                        ts: obj
+                            .get_u64("ts")
+                            .ok_or_else(|| at("event missing \"ts\"".into()))?,
+                        dur: obj.get_u64("dur").unwrap_or(0),
+                        args,
+                    });
+                }
+                "counter" => {
+                    let name = obj
+                        .get_str("name")
+                        .ok_or_else(|| at("counter missing \"name\"".into()))?
+                        .to_owned();
+                    match obj.get("value") {
+                        Some(Json::U64(v)) => out.counters.push((name, *v)),
+                        Some(Json::I64(v)) => out.fcounters.push((name, *v as f64)),
+                        Some(Json::F64(v)) => out.fcounters.push((name, *v)),
+                        // The exporter renders non-finite f64 counters as null.
+                        Some(Json::Null) => out.fcounters.push((name, f64::NAN)),
+                        _ => return Err(at("counter missing numeric \"value\"".into())),
+                    }
+                }
+                "histogram" => {
+                    let buckets = match obj.get("buckets") {
+                        Some(Json::Arr(items)) => items
+                            .iter()
+                            .map(|pair| match pair {
+                                Json::Arr(kv) if kv.len() == 2 => {
+                                    match (kv[0].as_u64(), kv[1].as_f64()) {
+                                        (Some(lo), Some(w)) => Ok((lo, w)),
+                                        _ => Err(at("bad bucket pair".into())),
+                                    }
+                                }
+                                _ => Err(at("bad bucket pair".into())),
+                            })
+                            .collect::<Result<_, _>>()?,
+                        _ => return Err(at("histogram missing \"buckets\"".into())),
+                    };
+                    out.histograms.push(ParsedHistogram {
+                        name: obj
+                            .get_str("name")
+                            .ok_or_else(|| at("histogram missing \"name\"".into()))?
+                            .to_owned(),
+                        count: obj
+                            .get_u64("count")
+                            .ok_or_else(|| at("histogram missing \"count\"".into()))?,
+                        min: obj.get_u64("min").unwrap_or(0),
+                        max: obj.get_u64("max").unwrap_or(0),
+                        weight: obj.get_f64("weight").unwrap_or(0.0),
+                        mean: obj.get_f64("mean").unwrap_or(0.0),
+                        buckets,
+                    });
+                }
+                other => return Err(at(format!("unknown line type {other:?}"))),
+            }
+        }
+        if !saw_meta {
+            return Err(NdjsonError {
+                lineno: 0,
+                msg: "no meta line: not a proxbal-trace event log".into(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Parses the NDJSON rendering of `trace` — a convenience for
+    /// round-trip tests and in-process consumers.
+    pub fn of(trace: &Trace) -> Result<ParsedTrace, NdjsonError> {
+        ParsedTrace::parse(&trace.to_ndjson())
+    }
+
+    /// Value of an integer counter (0 when absent, matching
+    /// [`Trace::counter`]).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of a floating-point counter (0.0 when absent). Integral f64
+    /// counters land in [`ParsedTrace::counters`] instead — see the module
+    /// docs — so check both when the producer's type is unknown.
+    pub fn fcounter(&self, name: &str) -> f64 {
+        self.fcounters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// A counter by name regardless of which table it parsed into, as f64.
+    pub fn any_counter(&self, name: &str) -> f64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v as f64)
+            .unwrap_or_else(|| self.fcounter(name))
+    }
+
+    /// Looks up a histogram row by name.
+    pub fn histogram(&self, name: &str) -> Option<&ParsedHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Distinct track names in first-appearance (export) order.
+    pub fn track_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for ev in &self.events {
+            if names.last() != Some(&ev.track.as_str()) && !names.contains(&ev.track.as_str()) {
+                names.push(&ev.track);
+            }
+        }
+        names
+    }
+
+    /// Rebuilds a histogram from a parsed row's buckets (counts and bounds
+    /// survive the power-of-two bucketing; exact observed values do not).
+    pub fn rebuild_histogram(row: &ParsedHistogram) -> Histogram {
+        let mut h = Histogram::default();
+        for &(lo, w) in &row.buckets {
+            h.observe_weighted(lo, w);
+        }
+        h
+    }
+}
+
+/// Why an event log failed to parse.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdjsonError {
+    /// 1-based line number (0 when the whole file is at fault).
+    pub lineno: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.lineno == 0 {
+            write!(f, "ndjson: {}", self.msg)
+        } else {
+            write!(f, "ndjson line {}: {}", self.lineno, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for NdjsonError {}
+
+// ---- minimal JSON-line parser ---------------------------------------------
+
+/// JSON value restricted to what the exporter emits.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&ObjView> {
+        match self {
+            Json::Obj(_) => Some(ObjView::of(self)),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            // The exporter writes non-finite floats as null.
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+
+/// Field-lookup view over a `Json::Obj` (repr-transparent newtype so
+/// `as_obj` can hand out a reference).
+#[repr(transparent)]
+struct ObjView(Json);
+
+impl ObjView {
+    fn of(v: &Json) -> &ObjView {
+        // SAFETY: ObjView is #[repr(transparent)] over Json.
+        unsafe { &*(v as *const Json as *const ObjView) }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match &self.0 {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+
+    fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Json::as_f64)
+    }
+}
+
+fn json_to_arg(v: &Json) -> Option<ArgValue> {
+    match v {
+        Json::U64(n) => Some(ArgValue::U64(*n)),
+        Json::I64(n) => Some(ArgValue::I64(*n)),
+        Json::F64(x) => Some(ArgValue::F64(*x)),
+        Json::Bool(b) => Some(ArgValue::Bool(*b)),
+        Json::Str(s) => Some(ArgValue::Str(s.clone())),
+        Json::Null => Some(ArgValue::F64(f64::NAN)),
+        _ => None,
+    }
+}
+
+fn parse_json_line(line: &str) -> Result<Json, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b) if *b == b'-' || b.is_ascii_digit() => parse_number(bytes, pos),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|b| *b as char),
+            pos
+        )),
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b'"' || b == b'\\' {
+                break;
+            }
+            *pos += 1;
+        }
+        out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or("short \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            _ => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::U64(v));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::I64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_trace_input() {
+        assert!(ParsedTrace::parse("").is_err());
+        assert!(ParsedTrace::parse("{\"type\":\"span\"}").is_err());
+        let err = ParsedTrace::parse("not json at all").unwrap_err();
+        assert_eq!(err.lineno, 1);
+    }
+
+    #[test]
+    fn parses_meta_and_counter() {
+        let text = "{\"type\":\"meta\",\"format\":\"proxbal-trace\",\"version\":1,\
+                    \"tracks\":2,\"events\":3}\n\
+                    {\"type\":\"counter\",\"name\":\"m\",\"value\":7}\n\
+                    {\"type\":\"counter\",\"name\":\"f\",\"value\":2.5}\n";
+        let p = ParsedTrace::parse(text).unwrap();
+        assert_eq!(p.declared_tracks, 2);
+        assert_eq!(p.declared_events, 3);
+        assert_eq!(p.counter("m"), 7);
+        assert_eq!(p.fcounter("f"), 2.5);
+        assert_eq!(p.any_counter("m"), 7.0);
+        assert_eq!(p.counter("absent"), 0);
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let text = "{\"type\":\"meta\",\"format\":\"proxbal-trace\",\"version\":1,\
+                    \"tracks\":0,\"events\":0}\n{\"type\":\"bogus\"}\n";
+        let err = ParsedTrace::parse(text).unwrap_err();
+        assert_eq!(err.lineno, 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+}

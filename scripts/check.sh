@@ -2,6 +2,7 @@
 # Pre-PR gate: everything that must be green before a change ships.
 #
 #   scripts/check.sh [--xl-smoke] [--faults-smoke] [--engine-smoke] [--round-smoke]
+#                    [--analyze-smoke]
 #
 # Runs, in order:
 #   1. tier-1 verify (ROADMAP.md): release build + root test suite
@@ -32,6 +33,12 @@
 # trace files are byte-identical — the determinism contract of the
 # intra-round parallel sections (LBI generation, aggregation,
 # classification, shed/light extraction, transfer refinement).
+#
+# --analyze-smoke additionally runs the committed engine scenario once,
+# evaluates the committed behavioral gates (`gates/*.toml`) against its
+# report + trace at 1, 2 and 8 analyzer threads (all must pass, all
+# byte-identical), and then checks the negative path: an impossible gate
+# must exit nonzero with a violation table naming it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,12 +46,14 @@ XL_SMOKE=0
 FAULTS_SMOKE=0
 ENGINE_SMOKE=0
 ROUND_SMOKE=0
+ANALYZE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --xl-smoke) XL_SMOKE=1 ;;
     --faults-smoke) FAULTS_SMOKE=1 ;;
     --engine-smoke) ENGINE_SMOKE=1 ;;
     --round-smoke) ROUND_SMOKE=1 ;;
+    --analyze-smoke) ANALYZE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -135,9 +144,11 @@ if [[ "$ENGINE_SMOKE" == "1" ]]; then
                    && mv BENCH_repro.json bench_e1.json \
                    && timeout 600 "$REPRO" engine --scale small --epochs 12 --threads 8 --trace e8.json > e8.txt \
                    && mv BENCH_repro.json bench_e8.json)
-  # The per-epoch series is deterministic; only the wall-clock line (and
-  # the volatile wall/threads fields of the BENCH entry) may differ.
-  diff <(grep -v "wall" "$SMOKE_DIR/e1.txt") <(grep -v "wall" "$SMOKE_DIR/e8.txt") || {
+  # The per-epoch series is deterministic; only the wall-clock line, the
+  # wrote-filename line (trace paths differ between the compared runs) and
+  # the volatile wall/threads fields of the BENCH entry may differ.
+  diff <(grep -v -e "wall" -e "^wrote " "$SMOKE_DIR/e1.txt") \
+       <(grep -v -e "wall" -e "^wrote " "$SMOKE_DIR/e8.txt") || {
     echo "engine time series differs across thread counts" >&2; exit 1; }
   diff <(grep -v -E '"(total_wall_s|threads)"' "$SMOKE_DIR/bench_e1.json") \
        <(grep -v -E '"(total_wall_s|threads)"' "$SMOKE_DIR/bench_e8.json") || {
@@ -146,6 +157,34 @@ if [[ "$ENGINE_SMOKE" == "1" ]]; then
     echo "engine chrome trace differs across thread counts" >&2; exit 1; }
   cmp "$SMOKE_DIR/e1.ndjson" "$SMOKE_DIR/e8.ndjson" || {
     echo "engine trace event log differs across thread counts" >&2; exit 1; }
+fi
+
+if [[ "$ANALYZE_SMOKE" == "1" ]]; then
+  echo "==> analyze smoke: committed engine scenario vs gates/ (threads 1/2/8)"
+  GATES="$PWD/gates"
+  (cd "$SMOKE_DIR" && timeout 900 "$REPRO" engine --trace ae.json --json ae-report.json > /dev/null)
+  for t in 1 2 8; do
+    (cd "$SMOKE_DIR" && "$REPRO" analyze ae-report.json ae.ndjson \
+        --gates "$GATES" --out "gates_t$t.json" --threads "$t" > "analyze_t$t.txt") || {
+      echo "committed gates failed at $t analyzer thread(s)" >&2
+      cat "$SMOKE_DIR/analyze_t$t.txt" >&2
+      exit 1
+    }
+  done
+  for t in 2 8; do
+    cmp "$SMOKE_DIR/analyze_t1.txt" "$SMOKE_DIR/analyze_t$t.txt" || {
+      echo "analyze table differs between 1 and $t threads" >&2; exit 1; }
+    cmp "$SMOKE_DIR/gates_t1.json" "$SMOKE_DIR/gates_t$t.json" || {
+      echo "analyze gate report differs between 1 and $t threads" >&2; exit 1; }
+  done
+  # Negative path: a violated gate must fail loudly and name itself.
+  printf '[[gate]]\nname = "impossible"\nsource = "report"\nkind = "scalar"\nexpr = "max(heavy)"\nop = "<="\nthreshold = -1\n' \
+    > "$SMOKE_DIR/bad_gate.toml"
+  if (cd "$SMOKE_DIR" && "$REPRO" analyze ae-report.json --gates bad_gate.toml > bad.txt); then
+    echo "analyze smoke: impossible gate did not fail the run" >&2; exit 1
+  fi
+  grep -q "impossible" "$SMOKE_DIR/bad.txt" && grep -q "FAIL" "$SMOKE_DIR/bad.txt" || {
+    echo "analyze smoke: violation table does not name the broken gate" >&2; exit 1; }
 fi
 
 echo "==> all checks passed"
