@@ -49,6 +49,9 @@
 //! repro --faults 0.1       # fault-injection sweep at loss rates {0,1%,5%,10%}
 //! repro ... --trace t.json # chrome://tracing trace + t.ndjson event log
 //! repro engine --epochs 50 # epoch count of the continuous-operation run
+//! repro ... --profile out/ # flamegraphs + resource profile into out/
+//! repro ... --progress     # heartbeat lines (epoch k/N, RSS, allocs) on stderr
+//! repro ... --quiet        # suppress heartbeats even if --progress is set
 //! ```
 //!
 //! Every phase derives its state from the master seed alone, so the output
@@ -56,9 +59,18 @@
 //! records only virtual-time spans and deterministic counters, so the trace
 //! files obey the same contract — and without `--trace` the collector is
 //! disabled and stdout stays byte-identical to an untraced build.
+//!
+//! `--profile <dir>` (DESIGN.md §5c) enables the trace collector and the
+//! phase profiler and writes four artifacts: `flame.virt.folded` and
+//! `flame.virt.speedscope.json` weighted by virtual time (deterministic —
+//! byte-identical at any `--threads`), plus `flame.wall.folded` and
+//! `resources.txt` carrying wall/CPU/allocation numbers (volatile, never
+//! compared across runs). Heartbeats go to stderr only, so neither flag
+//! can perturb stdout.
 
 use proxbal_bench::headline;
 use proxbal_core::NodeClass;
+use proxbal_profile::{AllocSnapshot, CountingAlloc, NullSink, ProgressSink, StderrSink};
 use proxbal_sim::experiments::{
     ablation_sweep_traced, fig4_unit_load_traced, fig56_class_loads_traced,
     fig78_replicated_traced, repair_after_crash_traced, rounds_scaling_traced, scheme_comparison,
@@ -68,6 +80,11 @@ use proxbal_sim::{Scenario, TopologyKind};
 use proxbal_trace::{Trace, TraceSummary};
 use proxbal_workload::LoadModel;
 use std::time::Instant;
+
+/// Allocation accounting for every run: inert (one relaxed load per
+/// allocator call) until `enable_counting` flips it on in `main`.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Appends a rendered line to a phase's output buffer (phases run through
 /// the parallel engine, so they write to a buffer instead of stdout and the
@@ -138,6 +155,13 @@ struct Args {
     gates: Option<String>,
     /// `--out <path>`: write the machine-readable gate report JSON.
     out: Option<String>,
+    /// `--profile <dir>`: write flamegraph + resource-profile artifacts.
+    /// Enables the trace collector and the phase profiler.
+    profile: Option<String>,
+    /// `--progress`: heartbeat lines on stderr while phases run.
+    progress: bool,
+    /// `--quiet`: suppress heartbeats even when `--progress` is given.
+    quiet: bool,
 }
 
 const ALL_CLAIMS: [&str; 7] = [
@@ -242,6 +266,9 @@ fn parse_args() -> Args {
         inputs: Vec::new(),
         gates: None,
         out: None,
+        profile: None,
+        progress: false,
+        quiet: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let flags: &[String] = match argv.first() {
@@ -302,6 +329,9 @@ fn parse_args() -> Args {
             "--exact" => args.exact = true,
             "--gates" => args.gates = Some(it.next().expect("--gates needs a dir or file")),
             "--out" => args.out = Some(it.next().expect("--out needs a path")),
+            "--profile" => args.profile = Some(it.next().expect("--profile needs a directory")),
+            "--progress" => args.progress = true,
+            "--quiet" => args.quiet = true,
             "--all" => {
                 args.figs = vec![4, 5, 6, 7, 8];
                 args.claims = ALL_CLAIMS.iter().map(|s| s.to_string()).collect();
@@ -434,7 +464,7 @@ fn merge_bench_json(key: &str, entry: serde_json::Value) {
 /// The xl-scale phase: all four balancer phases at 65,536 peers over a
 /// ts50k underlay (twice: aware + ignorant — the fig-7-shaped proximity
 /// sweep), with wall time and peak RSS appended to BENCH_repro.json.
-fn run_xl(args: &Args, trace: &mut Trace) {
+fn run_xl(args: &Args, trace: &mut Trace, progress: &dyn ProgressSink) {
     for fig in &args.figs {
         assert!(
             *fig == 7,
@@ -450,7 +480,7 @@ fn run_xl(args: &Args, trace: &mut Trace) {
         args.seed
     );
     let total = Instant::now();
-    let out = proxbal_sim::experiments::xl_scale_traced(args.seed, args.threads, trace);
+    let out = proxbal_sim::experiments::xl_scale_run(args.seed, args.threads, trace, progress);
     let total_wall = total.elapsed().as_secs_f64();
     let peak_rss = proxbal_bench::peak_rss_bytes();
 
@@ -525,7 +555,7 @@ fn run_xl(args: &Args, trace: &mut Trace) {
 /// proximity-aware four-phase pass executed in place. Appends an `xl2`
 /// entry to BENCH_repro.json unless `--peers` rescaled the run (smoke runs
 /// must not clobber the committed full-scale entry).
-fn run_xl2(args: &Args, trace: &mut Trace) {
+fn run_xl2(args: &Args, trace: &mut Trace, progress: &dyn ProgressSink) {
     assert!(
         args.figs.is_empty() && args.claims.is_empty(),
         "repro xl2 runs its own phase (figures/claims not supported)"
@@ -542,7 +572,7 @@ fn run_xl2(args: &Args, trace: &mut Trace) {
         scenario.peers, args.seed
     );
     let total = Instant::now();
-    let out = proxbal_sim::experiments::xl2_scale_with(scenario, args.threads, trace);
+    let out = proxbal_sim::experiments::xl2_scale_run(scenario, args.threads, trace, progress);
     let total_wall = total.elapsed().as_secs_f64();
     let peak_rss = proxbal_bench::peak_rss_bytes();
 
@@ -591,6 +621,11 @@ fn run_xl2(args: &Args, trace: &mut Trace) {
     }
 
     if args.peers.is_none() && !args.exact {
+        // Allocation accounting is on from the top of `main`, so these
+        // cover the whole run. Schema-gated only: counts are deterministic
+        // per (workload, thread count) but not across thread counts, so
+        // bench_drift.sh lists them as volatile.
+        let alloc = AllocSnapshot::global();
         let entry = serde_json::json!({
             "seed": args.seed,
             "peers": out.peers,
@@ -609,6 +644,9 @@ fn run_xl2(args: &Args, trace: &mut Trace) {
             "vsa_wall_s": run.vsa_wall_s,
             "transfer_wall_s": run.transfer_wall_s,
             "peak_rss_bytes": peak_rss.unwrap_or(0),
+            "alloc_count": alloc.allocs,
+            "alloc_bytes": alloc.bytes,
+            "peak_alloc_bytes": proxbal_profile::alloc::peak_live_bytes(),
             "lbi_messages": run.lbi_messages,
             "vsa_record_hops": run.vsa_record_hops,
             "aware_frac2": run.frac2,
@@ -637,7 +675,7 @@ fn run_xl2(args: &Args, trace: &mut Trace) {
 /// rate. Every merged metric is a pure function of `(seed, rates)` — no
 /// wall-clocks — so the entry is byte-stable across machines and thread
 /// counts and can be diffed by the CI bench-drift gate.
-fn run_faults(args: &Args, rate: f64, trace: &mut Trace) {
+fn run_faults(args: &Args, rate: f64, trace: &mut Trace, progress: &dyn ProgressSink) {
     assert!(
         (0.0..1.0).contains(&rate),
         "--faults rate must be in [0, 1)"
@@ -647,7 +685,7 @@ fn run_faults(args: &Args, rate: f64, trace: &mut Trace) {
     rates.dedup();
     let s = scenario(args, TopologyKind::Ts5kLarge);
     let t = Instant::now();
-    let rows = proxbal_sim::experiments::fault_sweep_traced(&s, &rates, args.threads, trace);
+    let rows = proxbal_sim::experiments::fault_sweep_run(&s, &rates, args.threads, trace, progress);
     let wall = t.elapsed();
 
     println!(
@@ -700,7 +738,7 @@ fn run_faults(args: &Args, rate: f64, trace: &mut Trace) {
 /// BENCH_repro.json; every merged field except the wall-clock and thread
 /// count is a pure function of the seed, so the entry is byte-stable
 /// across machines and `--threads` settings.
-fn run_engine_cmd(args: &Args, trace: &mut Trace) {
+fn run_engine_cmd(args: &Args, trace: &mut Trace, progress: &dyn ProgressSink) {
     assert!(
         args.figs.is_empty() && args.claims.is_empty(),
         "repro engine runs its own phase (figures/claims not supported)"
@@ -738,8 +776,9 @@ fn run_engine_cmd(args: &Args, trace: &mut Trace) {
         scenario.peers, cfg.epochs, args.seed
     );
     let total = Instant::now();
-    let mut prepared = scenario.prepare();
-    let report = proxbal_sim::run_engine_traced(&mut prepared, &cfg, trace).expect("engine run");
+    let mut prepared = scenario.prepare_run(args.threads, progress);
+    let report =
+        proxbal_sim::run_engine_with(&mut prepared, &cfg, trace, progress).expect("engine run");
     let total_wall = total.elapsed().as_secs_f64();
 
     println!(
@@ -837,6 +876,57 @@ fn finish_trace(args: &Args, trace: &Trace) {
     println!("wrote {path} (chrome://tracing) and {ndjson_path} (event log)");
 }
 
+/// Writes the `--profile <dir>` artifacts (DESIGN.md §5c). Deterministic:
+/// `flame.virt.folded` + `flame.virt.speedscope.json` (virtual-time
+/// weights, pure functions of the trace — byte-identical at any
+/// `--threads`) and `trace_summary.txt`. Volatile: `flame.wall.folded` +
+/// `resources.txt` (wall/CPU/allocation numbers). A no-op without
+/// `--profile`.
+fn finish_profile(args: &Args, trace: &Trace) {
+    let Some(dir) = &args.profile else {
+        return;
+    };
+    std::fs::create_dir_all(dir).expect("create profile directory");
+    let write = |name: &str, data: String| {
+        let path = std::path::Path::new(dir).join(name);
+        std::fs::write(&path, data).expect("write profile artifact");
+        println!("wrote {}", path.display());
+    };
+    let folded = proxbal_bench::fold_trace(trace);
+    write("flame.virt.folded", folded.to_collapsed());
+    write(
+        "flame.virt.speedscope.json",
+        folded.to_speedscope("repro (virtual time)"),
+    );
+    write("trace_summary.txt", TraceSummary::of(trace).to_string());
+    let report = proxbal_profile::report();
+    write("flame.wall.folded", report.to_folded_wall());
+    let mut res = String::new();
+    {
+        use std::fmt::Write as _;
+        let alloc = AllocSnapshot::global();
+        let _ = writeln!(
+            res,
+            "allocations: {} calls, {} bytes",
+            alloc.allocs, alloc.bytes
+        );
+        let _ = writeln!(
+            res,
+            "peak counted live bytes: {}",
+            proxbal_profile::alloc::peak_live_bytes()
+        );
+        if let Some(b) = proxbal_profile::peak_rss_bytes() {
+            let _ = writeln!(res, "peak rss bytes: {b}");
+        }
+        if let Some(cpu) = proxbal_profile::cpu_time() {
+            let _ = writeln!(res, "cpu time: {:.2}s", cpu.as_secs_f64());
+        }
+        let _ = writeln!(res);
+        res.push_str(&report.to_text());
+    }
+    write("resources.txt", res);
+}
+
 /// `repro analyze`: loads the run artifacts named on the command line,
 /// then either prints the behavioral summary or — with `--gates` —
 /// evaluates every gate file and exits nonzero on any violation.
@@ -923,26 +1013,57 @@ fn main() {
         run_analyze(&args);
         return;
     }
-    let mut trace = Trace::new(args.trace.is_some(), "repro");
+    // Allocation accounting is on for every run (it only feeds stderr
+    // heartbeats, volatile profile artifacts and schema-gated BENCH
+    // fields, so stdout stays byte-identical); the phase profiler only
+    // with --profile.
+    proxbal_profile::enable_counting();
+    if args.profile.is_some() {
+        proxbal_profile::enable_profiler();
+    }
+    let stderr_sink;
+    let progress: &dyn ProgressSink = if args.progress && !args.quiet {
+        stderr_sink = StderrSink::default();
+        &stderr_sink
+    } else {
+        &NullSink
+    };
+    let mut trace = Trace::new(args.trace.is_some() || args.profile.is_some(), "repro");
     if args.engine {
-        run_engine_cmd(&args, &mut trace);
+        {
+            let _p = proxbal_profile::phase("engine");
+            run_engine_cmd(&args, &mut trace, progress);
+        }
         finish_trace(&args, &trace);
+        finish_profile(&args, &trace);
         return;
     }
     if args.scale == Scale::Xl {
-        run_xl(&args, &mut trace);
+        {
+            let _p = proxbal_profile::phase("xl");
+            run_xl(&args, &mut trace, progress);
+        }
         finish_trace(&args, &trace);
+        finish_profile(&args, &trace);
         return;
     }
     if args.scale == Scale::Xl2 {
-        run_xl2(&args, &mut trace);
+        {
+            let _p = proxbal_profile::phase("xl2");
+            run_xl2(&args, &mut trace, progress);
+        }
         finish_trace(&args, &trace);
+        finish_profile(&args, &trace);
         return;
     }
     if let Some(rate) = args.faults {
-        run_faults(&args, rate, &mut trace);
+        {
+            let _p = proxbal_profile::phase("faults");
+            run_faults(&args, rate, &mut trace, progress);
+        }
         if args.figs.is_empty() && args.claims.is_empty() {
             finish_trace(&args, &trace);
+            finish_profile(&args, &trace);
             return;
         }
     }
@@ -979,6 +1100,9 @@ fn main() {
         &mut trace,
         |_, phase, trace| {
             trace.relabel(&phase.key());
+            // Worker threads have an empty phase stack, so each grid phase
+            // profiles as its own root.
+            let _p = proxbal_profile::phase(&phase.key());
             let t = Instant::now();
             let (text, value) = run_phase(phase, &args, trace);
             (text, value, t.elapsed())
@@ -1048,6 +1172,7 @@ fn main() {
         println!("wrote {path}");
     }
     finish_trace(&args, &trace);
+    finish_profile(&args, &trace);
 }
 
 fn fig4(args: &Args, trace: &mut Trace) -> (String, serde_json::Value) {

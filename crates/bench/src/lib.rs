@@ -1,7 +1,9 @@
 //! Bench-support crate: Criterion benches live in `benches/`, the figure
 //! regenerator in `src/bin/repro.rs`. Shared helpers are re-exported here.
 
+use proxbal_profile::flame::{fold, Folded, SpanView};
 use proxbal_sim::metrics::DistanceHistogram;
+use proxbal_trace::{EventKind, Trace};
 
 /// Formats a histogram's headline numbers the way the paper quotes them
 /// ("about 67% of total moved load within 2 hops … 86% within 10 hops").
@@ -17,11 +19,24 @@ pub fn headline(h: &DistanceHistogram) -> String {
 /// Peak resident-set size of this process in bytes (Linux `VmHWM`), or
 /// `None` when `/proc/self/status` is unavailable or unparsable.
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|v| v.parse().ok())?;
-    Some(kb * 1024)
+    proxbal_profile::peak_rss_bytes()
+}
+
+/// Folds a trace's span hierarchy into flamegraph stacks weighted by
+/// **virtual time** — a pure function of the trace, hence byte-identical
+/// at any `--threads` setting. Track names (`fig/graph0`) become the top
+/// frames; the enclosing-span chain within each track extends the stack.
+pub fn fold_trace(trace: &Trace) -> Folded {
+    fold(trace.tracks().map(|(track, events)| {
+        let spans: Vec<SpanView> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .map(|e| SpanView {
+                name: &e.name,
+                ts: e.ts,
+                dur: e.dur,
+            })
+            .collect();
+        (track, spans)
+    }))
 }

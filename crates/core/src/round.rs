@@ -224,6 +224,7 @@ impl LoadBalancer {
         // Pass A (serial): every RNG draw and cache mutation, in original
         // peer order — redraw decisions are exactly the serial loop's.
         let wall = Instant::now();
+        let prof = proxbal_profile::phase("round/lbi");
         let mut decisions: Vec<(PeerId, Option<VsId>, bool)> = Vec::with_capacity(alive.len());
         for p in alive {
             use rand::seq::SliceRandom;
@@ -296,8 +297,10 @@ impl LoadBalancer {
         // contributions cost nothing).
         let lbi_messages = count_active_edges(net, tree, report_seeds.iter().copied());
         walls.lbi_wall_s = wall.elapsed().as_secs_f64();
+        drop(prof);
         let lbi_input_count = lbi_inputs.len();
         let wall = Instant::now();
+        let prof = proxbal_profile::phase("round/aggregate");
         let proxbal_ktree::AggregateOutcome {
             root_value,
             rounds: lbi_rounds,
@@ -306,6 +309,7 @@ impl LoadBalancer {
         } = tree.aggregate_with(lbi_inputs, threads);
         drop(per_node); // free the per-node LBI views before phase 2 allocates
         walls.aggregate_wall_s = wall.elapsed().as_secs_f64();
+        drop(prof);
         let system = *root_value.ok_or(Error::EmptyNetwork)?;
         trace.span_args(
             "phase/lbi",
@@ -353,6 +357,7 @@ impl LoadBalancer {
         // `KTree::disseminate` returns) would be pure waste here, so only
         // the round count is computed.
         let wall = Instant::now();
+        let prof = proxbal_profile::phase("round/vsa");
         let dissemination_rounds = tree.max_message_depth();
         let dissemination_messages = count_active_edges(net, tree, tree.iter_ids());
         let classification = Classification::compute_with(net, loads, &params, system, threads);
@@ -433,9 +438,11 @@ impl LoadBalancer {
         trace.count("vsa_notifications", 2 * vsa.assignments.len() as u64);
         clock += u64::from(vsa.rounds);
         walls.vsa_wall_s = wall.elapsed().as_secs_f64();
+        drop(prof);
 
         // Phase 4: VST (§3.5).
         let wall = Instant::now();
+        let prof = proxbal_profile::phase("round/transfer");
         let transfers = execute_transfers_traced_threaded(
             net,
             loads,
@@ -472,6 +479,7 @@ impl LoadBalancer {
         let after_cls = Classification::compute_with(net, loads, &params, system, threads);
         let after = class_counts(&after_cls);
         walls.transfer_wall_s = wall.elapsed().as_secs_f64();
+        drop(prof);
         trace.count(
             "heavy_after",
             after.get(&NodeClass::Heavy).copied().unwrap_or(0) as u64,

@@ -24,7 +24,7 @@ mod tree;
 
 pub use aggregate::{AggregateOutcome, Merge};
 pub use node_map::KtNodeMap;
-pub use tree::{KTree, KtChildren, KtNode, KtNodeId, RepairStats};
+pub use tree::{KTree, KtChildren, KtNode, KtNodeId, RepairAction, RepairStats};
 
 #[cfg(test)]
 mod tests;

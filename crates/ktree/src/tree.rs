@@ -110,6 +110,17 @@ pub struct RepairStats {
     pub rounds: usize,
 }
 
+/// What [`KTree::repair`] did to one orphaned subtree, identified by the
+/// KT slot of its root — the per-subtree identity that lets observers
+/// (traces, retention gates) follow a subtree across repairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairAction {
+    /// Arena slot of the orphan subtree's root.
+    pub slot: KtNodeId,
+    /// `true` if the subtree was re-attached, `false` if pruned.
+    pub reattached: bool,
+}
+
 /// The distributed K-nary tree, materialized as an arena.
 ///
 /// `K` is the tree degree (the paper evaluates K = 2 and K = 8). The root
@@ -580,6 +591,16 @@ impl KTree {
     /// accounting; panics (via [`Self::maintain_until_stable`]) if the tree
     /// does not stabilize within `limit` rounds.
     pub fn repair(&mut self, net: &ChordNetwork, limit: usize) -> RepairStats {
+        self.repair_with_actions(net, limit).0
+    }
+
+    /// [`Self::repair`] plus the per-orphan action log: one
+    /// [`RepairAction`] per orphan root, in deterministic slot order.
+    pub fn repair_with_actions(
+        &mut self,
+        net: &ChordNetwork,
+        limit: usize,
+    ) -> (RepairStats, Vec<RepairAction>) {
         // Phase 1: mark everything reachable from the root.
         let mut reachable = vec![false; self.slot_bound()];
         let mut queue = std::collections::VecDeque::new();
@@ -618,6 +639,7 @@ impl KTree {
             pruned: 0,
             rounds: 0,
         };
+        let mut actions = Vec::with_capacity(orphan_roots.len());
         for orphan in orphan_roots {
             let region = self.node(orphan).region;
             let slot = self.lookup_parent_slot(&region).filter(|&(p, i)| {
@@ -641,10 +663,18 @@ impl KTree {
                         }
                     }
                     stats.reattached += 1;
+                    actions.push(RepairAction {
+                        slot: orphan,
+                        reattached: true,
+                    });
                 }
                 None => {
                     stats.pruned += self.subtree_len(orphan);
                     self.prune(orphan);
+                    actions.push(RepairAction {
+                        slot: orphan,
+                        reattached: false,
+                    });
                 }
             }
         }
@@ -652,7 +682,7 @@ impl KTree {
         // Phase 4: ordinary periodic maintenance converges the rest
         // (replanting, missing coverage, leftover duplicates).
         stats.rounds = self.maintain_until_stable(net, limit);
-        stats
+        (stats, actions)
     }
 
     /// Like [`Self::repair`], but records a `kt/repair` span (one
@@ -665,7 +695,22 @@ impl KTree {
         ts: proxbal_trace::VirtualTime,
         trace: &mut proxbal_trace::Trace,
     ) -> RepairStats {
-        let stats = self.repair(net, limit);
+        self.repair_traced_with_actions(net, limit, ts, trace).0
+    }
+
+    /// [`Self::repair_traced`] plus the per-orphan action log. Each orphan
+    /// root additionally records a `kt/repair/orphan` instant carrying its
+    /// KT slot and outcome, so a trace consumer can follow an individual
+    /// subtree across the run (e.g. a retention gate checking that a
+    /// repaired subtree stays attached).
+    pub fn repair_traced_with_actions(
+        &mut self,
+        net: &ChordNetwork,
+        limit: usize,
+        ts: proxbal_trace::VirtualTime,
+        trace: &mut proxbal_trace::Trace,
+    ) -> (RepairStats, Vec<RepairAction>) {
+        let (stats, actions) = self.repair_with_actions(net, limit);
         trace.span_args(
             "kt/repair",
             ts,
@@ -675,9 +720,19 @@ impl KTree {
                 ("pruned", stats.pruned.into()),
             ],
         );
+        for a in &actions {
+            trace.instant_args(
+                "kt/repair/orphan",
+                ts,
+                &[
+                    ("slot", u64::from(a.slot.0).into()),
+                    ("reattached", a.reattached.into()),
+                ],
+            );
+        }
         trace.count("kt_reattached", stats.reattached as u64);
         trace.count("kt_pruned", stats.pruned as u64);
-        stats
+        (stats, actions)
     }
 
     /// Root descent to the (node, child-slot) whose region subdivision is

@@ -1,0 +1,152 @@
+//! Opt-in counting wrapper around the system allocator.
+//!
+//! Binaries that want allocation accounting install [`CountingAlloc`]:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: proxbal_profile::CountingAlloc = proxbal_profile::CountingAlloc;
+//! ```
+//!
+//! Until [`enable_counting`] is called the wrapper costs one relaxed atomic
+//! load per allocator call and records nothing, so linking it in perturbs
+//! no output. Once enabled it maintains two ledgers:
+//!
+//! * process-global totals (allocation count, bytes, live bytes and the
+//!   live-bytes peak) — what a run reports as its memory footprint;
+//! * per-thread allocation count/bytes — what the determinism tests use,
+//!   because a single-threaded workload's own allocations are exactly
+//!   reproducible even while unrelated threads (e.g. a parallel test
+//!   harness) allocate concurrently.
+//!
+//! Counts are deterministic for a fixed (workload, thread count); live and
+//! peak bytes depend on free timing across threads and are volatile-ish —
+//! they go only into volatile artifacts and schema-gated BENCH fields.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// Counting `#[global_allocator]` wrapper over [`System`].
+pub struct CountingAlloc;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+// Live bytes may dip below zero when memory allocated before counting was
+// enabled is freed afterwards; the peak only ever grows from additions, so
+// a signed ledger with a clamped read is exactly right.
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+thread_local! {
+    static T_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static T_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turn counting on for the rest of the process. Idempotent.
+pub fn enable_counting() {
+    ENABLED.store(true, Relaxed);
+}
+
+/// Whether [`enable_counting`] has been called.
+pub fn counting_enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Relaxed);
+    BYTES.fetch_add(size as u64, Relaxed);
+    let live = LIVE.fetch_add(size as i64, Relaxed) + size as i64;
+    PEAK.fetch_max(live, Relaxed);
+    // `try_with`: the allocator may be called while this thread's TLS is
+    // being torn down; dropping the count beats aborting the process.
+    let _ = T_ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = T_BYTES.try_with(|c| c.set(c.get().wrapping_add(size as u64)));
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size as i64, Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() && ENABLED.load(Relaxed) {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() && ENABLED.load(Relaxed) {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if ENABLED.load(Relaxed) {
+            on_dealloc(layout.size());
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && ENABLED.load(Relaxed) {
+            on_alloc(new_size);
+            on_dealloc(layout.size());
+        }
+        p
+    }
+}
+
+/// A point-in-time reading of an allocation ledger; subtract two to get a
+/// phase delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation calls (`alloc` + `alloc_zeroed` + `realloc`).
+    pub allocs: u64,
+    /// Bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Process-global totals since counting was enabled.
+    pub fn global() -> Self {
+        AllocSnapshot {
+            allocs: ALLOCS.load(Relaxed),
+            bytes: BYTES.load(Relaxed),
+        }
+    }
+
+    /// This thread's totals since counting was enabled.
+    pub fn current_thread() -> Self {
+        AllocSnapshot {
+            allocs: T_ALLOCS.try_with(Cell::get).unwrap_or(0),
+            bytes: T_BYTES.try_with(Cell::get).unwrap_or(0),
+        }
+    }
+
+    /// The delta from `earlier` to `self`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Currently live counted bytes (allocated minus freed since enable; may
+/// read 0 when frees of pre-enable memory outweigh counted allocations).
+pub fn live_bytes() -> u64 {
+    LIVE.load(Relaxed).max(0) as u64
+}
+
+/// High-water mark of [`live_bytes`] — the counted-allocation peak.
+pub fn peak_live_bytes() -> u64 {
+    PEAK.load(Relaxed).max(0) as u64
+}

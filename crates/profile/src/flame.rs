@@ -1,0 +1,343 @@
+//! Fold a span hierarchy into flamegraph artifacts: inferno
+//! collapsed-stack text and speedscope JSON.
+//!
+//! Input is a borrowed view — `(track name, ts-ordered spans)` — so any
+//! producer (in practice `proxbal-trace`'s `Trace::tracks()`) can feed it
+//! without this crate depending on the producer. Track names split on `/`
+//! into stack frames, so sibling tracks like `figure_7/graph0/aware` and
+//! `figure_7/graph1/aware` merge under a shared `figure_7` frame; the
+//! enclosing-span chain within a track extends the stack below that.
+//!
+//! Span nesting is reconstructed from intervals: spans arrive in recorded
+//! (start-time) order per track, and a span is a child of the deepest
+//! still-open span whose end lies after its start. Each span contributes
+//! its *self* weight (duration minus direct children's durations) to its
+//! stack. Weighted by virtual time the output is a pure function of the
+//! trace, hence byte-identical at any thread count; the wall-weighted
+//! variant lives on `ProfileReport` and is volatile.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Borrowed view of one span: name, start tick, duration in ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanView<'a> {
+    pub name: &'a str,
+    pub ts: u64,
+    pub dur: u64,
+}
+
+/// Aggregated, deterministically ordered folded stacks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Folded {
+    /// `stack -> total self weight`, stacks as `;`-joined frame paths.
+    /// BTreeMap iteration order doubles as the output line order.
+    stacks: BTreeMap<String, u64>,
+}
+
+fn frame(name: &str) -> String {
+    // `;` separates frames and the trailing space separates the weight in
+    // the collapsed format; keep frame names free of the former.
+    name.replace(';', ",")
+}
+
+struct OpenSpan {
+    name: String,
+    end: u64,
+    dur: u64,
+    child_dur: u64,
+}
+
+fn close_top(stacks: &mut BTreeMap<String, u64>, base: &[String], open: &mut Vec<OpenSpan>) {
+    let top = open.pop().expect("close_top on empty span stack");
+    let self_w = top.dur.saturating_sub(top.child_dur);
+    if self_w > 0 {
+        let mut path = base.to_vec();
+        path.extend(open.iter().map(|o| o.name.clone()));
+        path.push(top.name);
+        *stacks.entry(path.join(";")).or_insert(0) += self_w;
+    }
+}
+
+/// Fold `(track, spans)` pairs into aggregated stacks. Spans must be in
+/// start-time order within each track (the `proxbal-trace` contract).
+pub fn fold<'a>(tracks: impl IntoIterator<Item = (&'a str, Vec<SpanView<'a>>)>) -> Folded {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (track, spans) in tracks {
+        let base: Vec<String> = track
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(frame)
+            .collect();
+        let mut open: Vec<OpenSpan> = Vec::new();
+        for s in spans {
+            // A span starting at or after the top's end is a sibling (or
+            // uncle), not a child: close finished spans first.
+            while open.last().map(|o| s.ts >= o.end).unwrap_or(false) {
+                close_top(&mut stacks, &base, &mut open);
+            }
+            if let Some(parent) = open.last_mut() {
+                parent.child_dur += s.dur;
+            }
+            open.push(OpenSpan {
+                name: frame(s.name),
+                end: s.ts.saturating_add(s.dur),
+                dur: s.dur,
+                child_dur: 0,
+            });
+        }
+        while !open.is_empty() {
+            close_top(&mut stacks, &base, &mut open);
+        }
+    }
+    Folded { stacks }
+}
+
+impl Folded {
+    /// Total number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Whether no stack carried any self weight.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Sum of all self weights (== sum of root span durations).
+    pub fn total_weight(&self) -> u64 {
+        self.stacks.values().sum()
+    }
+
+    /// Inferno collapsed-stack text: one `frame;frame;frame weight` line
+    /// per stack, in lexicographic stack order.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (stack, w) in &self.stacks {
+            let _ = writeln!(out, "{stack} {w}");
+        }
+        out
+    }
+
+    /// Speedscope JSON (`"sampled"` profile: one sample per stack).
+    pub fn to_speedscope(&self, name: &str) -> String {
+        // Frames are interned in order of first appearance over the
+        // lexicographically ordered stacks — deterministic.
+        let mut frame_ids: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut frames: Vec<&str> = Vec::new();
+        let mut samples: Vec<Vec<usize>> = Vec::new();
+        for stack in self.stacks.keys() {
+            let mut sample = Vec::new();
+            for fr in stack.split(';') {
+                let id = *frame_ids.entry(fr).or_insert_with(|| {
+                    frames.push(fr);
+                    frames.len() - 1
+                });
+                sample.push(id);
+            }
+            samples.push(sample);
+        }
+        let mut out = String::new();
+        out.push_str("{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",");
+        out.push_str("\"shared\":{\"frames\":[");
+        for (i, fr) in frames.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_str(&mut out, fr);
+            out.push('}');
+        }
+        out.push_str("]},\"profiles\":[{\"type\":\"sampled\",\"name\":");
+        push_json_str(&mut out, name);
+        let _ = write!(
+            out,
+            ",\"unit\":\"none\",\"startValue\":0,\"endValue\":{},\"samples\":[",
+            self.total_weight()
+        );
+        for (i, sample) in samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, id) in sample.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{id}");
+            }
+            out.push(']');
+        }
+        out.push_str("],\"weights\":[");
+        for (i, w) in self.stacks.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{w}");
+        }
+        out.push_str("]}],\"name\":");
+        push_json_str(&mut out, name);
+        out.push_str(",\"exporter\":\"proxbal-profile\",\"activeProfileIndex\":0}\n");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Folded {
+        // Track "fig/graph0": root [0,100) with children [10,40) and
+        // [40,90); the second child has its own child [50,60).
+        let spans = vec![
+            SpanView {
+                name: "round",
+                ts: 0,
+                dur: 100,
+            },
+            SpanView {
+                name: "lbi",
+                ts: 10,
+                dur: 30,
+            },
+            SpanView {
+                name: "vsa",
+                ts: 40,
+                dur: 50,
+            },
+            SpanView {
+                name: "hop",
+                ts: 50,
+                dur: 10,
+            },
+        ];
+        fold([("fig/graph0", spans)])
+    }
+
+    #[test]
+    fn nesting_and_self_weights() {
+        let s = sample().to_collapsed();
+        assert_eq!(
+            s,
+            "fig;graph0;round 20\n\
+             fig;graph0;round;lbi 30\n\
+             fig;graph0;round;vsa 40\n\
+             fig;graph0;round;vsa;hop 10\n"
+        );
+    }
+
+    #[test]
+    fn sibling_at_exact_end_is_not_nested() {
+        let spans = vec![
+            SpanView {
+                name: "a",
+                ts: 0,
+                dur: 10,
+            },
+            SpanView {
+                name: "b",
+                ts: 10,
+                dur: 5,
+            },
+        ];
+        let s = fold([("t", spans)]).to_collapsed();
+        assert_eq!(s, "t;a 10\nt;b 5\n");
+    }
+
+    #[test]
+    fn tracks_merge_and_weights_aggregate() {
+        let f = fold([
+            (
+                "x/a",
+                vec![SpanView {
+                    name: "s",
+                    ts: 0,
+                    dur: 7,
+                }],
+            ),
+            (
+                "x/a",
+                vec![SpanView {
+                    name: "s",
+                    ts: 9,
+                    dur: 3,
+                }],
+            ),
+            (
+                "x/b",
+                vec![SpanView {
+                    name: "s",
+                    ts: 0,
+                    dur: 2,
+                }],
+            ),
+        ]);
+        assert_eq!(f.to_collapsed(), "x;a;s 10\nx;b;s 2\n");
+        assert_eq!(f.total_weight(), 12);
+    }
+
+    #[test]
+    fn zero_self_weight_spans_are_dropped() {
+        let spans = vec![
+            SpanView {
+                name: "outer",
+                ts: 0,
+                dur: 10,
+            },
+            SpanView {
+                name: "inner",
+                ts: 0,
+                dur: 10,
+            },
+        ];
+        let s = fold([("t", spans)]).to_collapsed();
+        assert_eq!(s, "t;outer;inner 10\n");
+    }
+
+    #[test]
+    fn speedscope_shape() {
+        let out = sample().to_speedscope("test");
+        assert!(
+            out.starts_with("{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\"")
+        );
+        assert!(out.contains("\"frames\":[{\"name\":\"fig\"},{\"name\":\"graph0\"},{\"name\":\"round\"},{\"name\":\"lbi\"},{\"name\":\"vsa\"},{\"name\":\"hop\"}]"));
+        assert!(out.contains("\"samples\":[[0,1,2],[0,1,2,3],[0,1,2,4],[0,1,2,4,5]]"));
+        assert!(out.contains("\"weights\":[20,30,40,10]"));
+        assert!(out.contains("\"endValue\":100"));
+        assert!(out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn fold_is_reproducible() {
+        assert_eq!(sample(), sample());
+        assert_eq!(sample().to_speedscope("x"), sample().to_speedscope("x"));
+    }
+
+    #[test]
+    fn frame_separator_is_sanitized() {
+        let spans = vec![SpanView {
+            name: "a;b",
+            ts: 0,
+            dur: 1,
+        }];
+        assert_eq!(fold([("t", spans)]).to_collapsed(), "t;a,b 1\n");
+    }
+}

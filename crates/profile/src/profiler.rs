@@ -1,0 +1,233 @@
+//! Process-global phase tree: wall/CPU clocks and allocation deltas,
+//! scoped by guards that nest like trace spans.
+//!
+//! ```ignore
+//! proxbal_profile::enable_profiler();
+//! {
+//!     let _outer = proxbal_profile::phase("xl2");
+//!     let _inner = proxbal_profile::phase("prepare");
+//!     // ... work ...
+//! } // guards record on drop
+//! let report = proxbal_profile::report();
+//! ```
+//!
+//! The tree is global (no handle to thread through every signature) and
+//! guards are free when the profiler is disabled, so instrumentation can
+//! live anywhere in the workspace without perturbing un-profiled runs.
+//! Nesting is per thread: a phase opened on a worker thread roots its own
+//! subtree there. Re-entering a (parent, name) pair merges into one node
+//! and bumps its call count, so per-item phases stay compact.
+//!
+//! Everything recorded here is volatile (wall, CPU, global alloc deltas
+//! shared across threads) — the report and its wall-weighted flamegraph
+//! must never be byte-compared across runs.
+
+use crate::alloc::AllocSnapshot;
+use crate::resource::cpu_time;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NODES: Mutex<Vec<Node>> = Mutex::new(Vec::new());
+
+struct Node {
+    name: String,
+    parent: Option<usize>,
+    calls: u64,
+    wall: Duration,
+    cpu: Duration,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turn the profiler on for the rest of the process. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Relaxed);
+}
+
+/// Whether [`enable`] has been called.
+pub fn profiler_enabled() -> bool {
+    ENABLED.load(Relaxed)
+}
+
+/// Open a profiling phase; it closes (and records) when the guard drops.
+pub fn phase(name: &str) -> PhaseGuard {
+    if !ENABLED.load(Relaxed) {
+        return PhaseGuard {
+            idx: None,
+            start_wall: None,
+            start_cpu: None,
+            start_alloc: AllocSnapshot::default(),
+        };
+    }
+    let parent = STACK.with(|s| s.borrow().last().copied());
+    let idx = {
+        let mut nodes = NODES.lock().unwrap();
+        match nodes
+            .iter()
+            .position(|n| n.parent == parent && n.name == name)
+        {
+            Some(i) => i,
+            None => {
+                nodes.push(Node {
+                    name: name.to_string(),
+                    parent,
+                    calls: 0,
+                    wall: Duration::ZERO,
+                    cpu: Duration::ZERO,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                });
+                nodes.len() - 1
+            }
+        }
+    };
+    STACK.with(|s| s.borrow_mut().push(idx));
+    PhaseGuard {
+        idx: Some(idx),
+        start_wall: Some(Instant::now()),
+        start_cpu: cpu_time(),
+        start_alloc: AllocSnapshot::global(),
+    }
+}
+
+/// Open guard for one phase; records wall/CPU/alloc deltas on drop.
+pub struct PhaseGuard {
+    idx: Option<usize>,
+    start_wall: Option<Instant>,
+    start_cpu: Option<Duration>,
+    start_alloc: AllocSnapshot,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        let wall = self.start_wall.map(|t| t.elapsed()).unwrap_or_default();
+        let cpu = match (self.start_cpu, cpu_time()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => Duration::ZERO,
+        };
+        let alloc = AllocSnapshot::global().since(self.start_alloc);
+        {
+            let mut nodes = NODES.lock().unwrap();
+            let n = &mut nodes[idx];
+            n.calls += 1;
+            n.wall += wall;
+            n.cpu += cpu;
+            n.allocs = n.allocs.wrapping_add(alloc.allocs);
+            n.alloc_bytes = n.alloc_bytes.wrapping_add(alloc.bytes);
+        }
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop in LIFO order; tolerate skips.
+            if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
+                stack.truncate(pos);
+            }
+        });
+    }
+}
+
+/// One phase in a [`ProfileReport`], preorder with its tree depth.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    pub depth: usize,
+    pub name: String,
+    pub calls: u64,
+    pub wall: Duration,
+    pub cpu: Duration,
+    pub allocs: u64,
+    pub alloc_bytes: u64,
+}
+
+/// Snapshot of the phase tree (preorder; children in creation order).
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    pub rows: Vec<PhaseRow>,
+}
+
+/// Snapshot the phase tree recorded so far.
+pub fn report() -> ProfileReport {
+    let nodes = NODES.lock().unwrap();
+    let mut rows = Vec::new();
+    fn walk(nodes: &[Node], parent: Option<usize>, depth: usize, rows: &mut Vec<PhaseRow>) {
+        for (i, n) in nodes.iter().enumerate() {
+            if n.parent == parent {
+                rows.push(PhaseRow {
+                    depth,
+                    name: n.name.clone(),
+                    calls: n.calls,
+                    wall: n.wall,
+                    cpu: n.cpu,
+                    allocs: n.allocs,
+                    alloc_bytes: n.alloc_bytes,
+                });
+                walk(nodes, Some(i), depth + 1, rows);
+            }
+        }
+    }
+    walk(&nodes, None, 0, &mut rows);
+    ProfileReport { rows }
+}
+
+impl ProfileReport {
+    /// Human-readable phase table (volatile: walls, CPU, alloc deltas).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>6} {:>10} {:>10} {:>12} {:>12}",
+            "phase", "calls", "wall", "cpu", "allocs", "alloc bytes"
+        );
+        for r in &self.rows {
+            let name = format!("{}{}", "  ".repeat(r.depth), r.name);
+            let _ = writeln!(
+                out,
+                "{:<40} {:>6} {:>9.3}s {:>9.3}s {:>12} {:>12}",
+                name,
+                r.calls,
+                r.wall.as_secs_f64(),
+                r.cpu.as_secs_f64(),
+                r.allocs,
+                r.alloc_bytes
+            );
+        }
+        out
+    }
+
+    /// Collapsed-stack lines weighted by *wall-clock* self time in
+    /// microseconds — the explicitly volatile flamegraph variant.
+    pub fn to_folded_wall(&self) -> String {
+        // Pass 1: sum each row's direct children's wall time.
+        let mut child_wall = vec![Duration::ZERO; self.rows.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            stack.truncate(r.depth);
+            if let Some(&p) = stack.last() {
+                child_wall[p] += r.wall;
+            }
+            stack.push(i);
+        }
+        // Pass 2: emit one line per row with positive self time.
+        let mut out = String::new();
+        let mut path: Vec<String> = Vec::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            path.truncate(r.depth);
+            path.push(r.name.replace(';', ":"));
+            let self_us = r.wall.saturating_sub(child_wall[i]).as_micros();
+            if self_us > 0 {
+                out.push_str(&path.join(";"));
+                out.push(' ');
+                out.push_str(&self_us.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}

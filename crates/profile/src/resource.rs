@@ -1,0 +1,60 @@
+//! Process resource probes: CPU time and resident-set size.
+//!
+//! All probes are Linux `/proc` readers and return `None` elsewhere (or
+//! when the files are unreadable); callers treat every value here as
+//! volatile — these numbers never feed a deterministic artifact.
+
+use std::time::Duration;
+
+/// CPU time (user + system) consumed by this process so far.
+#[cfg(target_os = "linux")]
+pub fn cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; everything after the closing
+    // paren is whitespace-delimited: state is field 3, utime/stime are
+    // fields 14/15, i.e. indices 11/12 after the paren.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let mut it = rest.split_whitespace();
+    let utime: u64 = it.nth(11)?.parse().ok()?;
+    let stime: u64 = it.next()?.parse().ok()?;
+    // /proc's clock-tick unit is fixed at USER_HZ = 100 on Linux.
+    Some(Duration::from_millis((utime + stime) * 10))
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn cpu_time() -> Option<Duration> {
+    None
+}
+
+#[cfg(target_os = "linux")]
+fn status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`).
+#[cfg(target_os = "linux")]
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_kb("VmHWM:")
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn peak_rss_bytes() -> Option<u64> {
+    None
+}
+
+/// Current resident-set size of this process in bytes (Linux `VmRSS`).
+#[cfg(target_os = "linux")]
+pub fn current_rss_bytes() -> Option<u64> {
+    status_kb("VmRSS:")
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn current_rss_bytes() -> Option<u64> {
+    None
+}

@@ -1,0 +1,54 @@
+//! Allocator-counter determinism: with the counting allocator installed
+//! and enabled, a fixed single-threaded workload performs exactly the
+//! same number of allocations (and bytes) every time, as observed through
+//! the per-thread ledger — even while the test harness runs other tests
+//! (and allocates) on sibling threads.
+
+use proxbal_profile::{AllocSnapshot, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A deterministic allocation-heavy workload: growing vectors, a BTreeMap
+/// and string formatting — the shapes the simulator actually exercises.
+fn workload() -> u64 {
+    let mut acc = 0u64;
+    let mut map = std::collections::BTreeMap::new();
+    for i in 0..500u64 {
+        let v: Vec<u64> = (0..(i % 17)).collect();
+        acc = acc.wrapping_add(v.iter().sum::<u64>());
+        map.insert(format!("key{i}"), v);
+    }
+    acc.wrapping_add(map.len() as u64)
+}
+
+fn measured_workload() -> (AllocSnapshot, u64) {
+    let before = AllocSnapshot::current_thread();
+    let out = workload();
+    (AllocSnapshot::current_thread().since(before), out)
+}
+
+#[test]
+fn per_thread_alloc_counts_are_deterministic() {
+    proxbal_profile::enable_counting();
+    let (d1, o1) = measured_workload();
+    let (d2, o2) = measured_workload();
+    let (d3, o3) = measured_workload();
+    assert_eq!(o1, o2);
+    assert_eq!(o2, o3);
+    assert!(d1.allocs > 0, "workload must allocate");
+    assert!(d1.bytes > 0, "workload must allocate bytes");
+    assert_eq!(d1, d2, "alloc counts must repeat exactly");
+    assert_eq!(d2, d3, "alloc counts must repeat exactly");
+}
+
+#[test]
+fn global_ledger_moves_and_peak_tracks_live() {
+    proxbal_profile::enable_counting();
+    let before = AllocSnapshot::global();
+    let big = vec![0u8; 1 << 20];
+    let after = AllocSnapshot::global();
+    assert!(after.since(before).bytes >= (1 << 20));
+    assert!(proxbal_profile::alloc::peak_live_bytes() >= (1 << 20));
+    drop(big);
+}

@@ -1,0 +1,54 @@
+//! Phase-tree profiler behavior: disabled guards are free, enabled guards
+//! nest, repeated phases merge, and the wall-weighted fold has the right
+//! stack shapes. Lives in its own integration binary because enabling the
+//! profiler is process-global.
+
+use proxbal_profile::{phase, profiler_enabled, report};
+
+#[test]
+fn guards_nest_and_merge() {
+    // Before enabling: guards are inert and record nothing.
+    assert!(!profiler_enabled());
+    {
+        let _g = phase("ignored");
+    }
+    assert!(report().rows.is_empty());
+
+    proxbal_profile::enable_profiler();
+    for _ in 0..3 {
+        let _outer = phase("outer");
+        let _inner = phase("inner");
+        std::hint::black_box(vec![1u8; 4096]);
+    }
+    {
+        let _other = phase("other");
+    }
+
+    let rep = report();
+    let names: Vec<(usize, &str, u64)> = rep
+        .rows
+        .iter()
+        .map(|r| (r.depth, r.name.as_str(), r.calls))
+        .collect();
+    assert_eq!(
+        names,
+        vec![(0, "outer", 3), (1, "inner", 3), (0, "other", 1)],
+        "repeat phases merge; children nest under the open parent"
+    );
+    assert!(
+        rep.rows[0].wall >= rep.rows[1].wall,
+        "parent wall covers child wall"
+    );
+
+    // The volatile wall-weighted fold uses `;`-joined phase paths.
+    let folded = rep.to_folded_wall();
+    for line in folded.lines() {
+        assert!(
+            line.starts_with("outer") || line.starts_with("other"),
+            "unexpected stack root in {line:?}"
+        );
+    }
+    let text = rep.to_text();
+    assert!(text.contains("outer"));
+    assert!(text.contains("  inner"), "child row is indented");
+}

@@ -38,6 +38,7 @@ use proxbal_core::{
     total_moved_load, DirtySet, Error, LoadBalancer, LoadState, RoundCache, Underlay,
 };
 use proxbal_ktree::{KTree, KtNodeId, RepairStats};
+use proxbal_profile::{NullSink, ProgressSink};
 use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -307,6 +308,19 @@ pub fn run_engine_traced(
     cfg: &EngineConfig,
     trace: &mut Trace,
 ) -> Result<EngineReport, Error> {
+    run_engine_with(prepared, cfg, trace, &NullSink)
+}
+
+/// Like [`run_engine_traced`], additionally emitting one heartbeat line per
+/// epoch (epoch k/N, heavy count, alive peers) through `progress`.
+/// Heartbeats go to the sink (stderr in practice), never stdout, so they
+/// cannot perturb the deterministic time series or trace.
+pub fn run_engine_with(
+    prepared: &mut Prepared,
+    cfg: &EngineConfig,
+    trace: &mut Trace,
+    progress: &dyn ProgressSink,
+) -> Result<EngineReport, Error> {
     cfg.validate()?;
     let scenario = prepared.scenario.clone();
     let derived = |label: u64| prepared.derived_rng(label);
@@ -351,6 +365,13 @@ pub fn run_engine_traced(
     let mut cache = RoundCache::new();
     let mut dirty: BTreeSet<PeerId> = BTreeSet::new();
 
+    // Retention accounting for the `kt_reorphaned` trace counter: slots of
+    // subtrees a repair re-attached, cleared whenever new faults (crashes,
+    // stale links) arrive — those legitimately orphan subtrees again. A
+    // slot re-orphaned *without* intervening faults means a repair did not
+    // stick; the committed retention gate requires that never happens.
+    let mut retained: BTreeSet<KtNodeId> = BTreeSet::new();
+
     let mut report = EngineReport {
         config: *cfg,
         samples: Vec::with_capacity(cfg.epochs),
@@ -390,8 +411,21 @@ pub fn run_engine_traced(
             pruned: 0,
             rounds: 0,
         };
+        if activity.crashes > 0 || activity.stale_links > 0 {
+            retained.clear();
+        }
         if (epoch + 1) % cfg.maintenance_interval == 0 {
-            repair = tree.repair_traced(&prepared.net, 256, clock, &mut tr);
+            let (stats, actions) =
+                tree.repair_traced_with_actions(&prepared.net, 256, clock, &mut tr);
+            repair = stats;
+            let reorphaned = actions
+                .iter()
+                .filter(|a| retained.contains(&a.slot))
+                .count();
+            if reorphaned > 0 {
+                tr.count("kt_reorphaned", reorphaned as u64);
+            }
+            retained.extend(actions.iter().filter(|a| a.reattached).map(|a| a.slot));
         }
 
         // 3. Emergency check against ground truth — the engine's stand-in
@@ -561,6 +595,12 @@ pub fn run_engine_traced(
         report.total_moved += moved;
         report.total_transfers += transfers;
         report.total_messages += messages;
+
+        progress.event(&format!(
+            "engine: epoch {}/{} heavy={heavy} alive={alive_peers}",
+            epoch + 1,
+            cfg.epochs
+        ));
 
         trace.absorb(tr);
     }

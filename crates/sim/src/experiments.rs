@@ -7,6 +7,7 @@ use proxbal_core::{
     BalanceReport, BalancerConfig, ClassifyParams, LoadBalancer, NodeClass, ProximityMode,
 };
 use proxbal_ktree::KTree;
+use proxbal_profile::{NullSink, ProgressSink};
 use proxbal_trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -847,10 +848,27 @@ pub fn xl_scale(seed: u64) -> XlScaleOutput {
 /// inside each balancing round (purely a performance knob — the output is
 /// byte-identical at any count).
 pub fn xl_scale_traced(seed: u64, threads: usize, trace: &mut Trace) -> XlScaleOutput {
+    xl_scale_run(seed, threads, trace, &NullSink)
+}
+
+/// [`xl_scale_traced`] with heartbeat lines on `progress` after the
+/// preparation and after each mode's run. Heartbeats go to the sink
+/// (stderr for the CLI), never to stdout, so enabling them cannot perturb
+/// the deterministic report output.
+pub fn xl_scale_run(
+    seed: u64,
+    threads: usize,
+    trace: &mut Trace,
+    progress: &dyn ProgressSink,
+) -> XlScaleOutput {
     let scenario = Scenario::builder().xl().seed(seed).build();
     let t0 = std::time::Instant::now();
-    let prepared = scenario.prepare_threads(threads);
+    let prepared = scenario.prepare_run(threads, progress);
     let prepare_wall_s = t0.elapsed().as_secs_f64();
+    progress.always(&format!(
+        "xl: prepared {} peers in {prepare_wall_s:.1}s",
+        prepared.net.alive_peers().len()
+    ));
     let underlay = prepared.underlay().expect("xl runs over a topology");
 
     let run = |mode: ProximityMode, label: u64, name: &str, trace: &mut Trace| -> XlRunSummary {
@@ -912,7 +930,15 @@ pub fn xl_scale_traced(seed: u64, threads: usize, trace: &mut Trace) -> XlScaleO
         "aware",
         trace,
     );
+    progress.always(&format!(
+        "xl: aware run done in {:.1}s (heavy {} -> {})",
+        aware.wall_s, aware.heavy_before, aware.heavy_after
+    ));
     let ignorant = run(ProximityMode::Ignorant, 79, "ignorant", trace);
+    progress.always(&format!(
+        "xl: ignorant run done in {:.1}s (heavy {} -> {})",
+        ignorant.wall_s, ignorant.heavy_before, ignorant.heavy_after
+    ));
 
     XlScaleOutput {
         peers: prepared.net.alive_peers().len(),
@@ -990,9 +1016,27 @@ pub fn xl2_scale_traced(seed: u64, trace: &mut Trace) -> Xl2ScaleOutput {
 /// deterministically and merge in index order, so the result is
 /// independent of `threads`.
 pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> Xl2ScaleOutput {
+    xl2_scale_run(scenario, threads, trace, &NullSink)
+}
+
+/// [`xl2_scale_with`] with heartbeat lines on `progress` after sharded
+/// preparation, after the sharded tree build, and after the balancing run.
+/// Heartbeats go to the sink (stderr for the CLI), never to stdout, so the
+/// deterministic report output is unaffected.
+pub fn xl2_scale_run(
+    scenario: Scenario,
+    threads: usize,
+    trace: &mut Trace,
+    progress: &dyn ProgressSink,
+) -> Xl2ScaleOutput {
     let t0 = std::time::Instant::now();
-    let mut prepared = scenario.prepare_threads(threads);
+    let mut prepared = scenario.prepare_run(threads, progress);
     let prepare_wall_s = t0.elapsed().as_secs_f64();
+    progress.always(&format!(
+        "xl2: prepared {} peers ({} virtual servers) in {prepare_wall_s:.1}s",
+        prepared.net.alive_peers().len(),
+        prepared.net.ring().len()
+    ));
 
     let t1 = std::time::Instant::now();
     let mut tree = crate::shard::build_tree_sharded(
@@ -1002,6 +1046,10 @@ pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> 
         threads,
     );
     let tree_wall_s = t1.elapsed().as_secs_f64();
+    progress.always(&format!(
+        "xl2: KT tree built ({} nodes) in {tree_wall_s:.1}s",
+        tree.len()
+    ));
 
     // Field-level borrows: the underlay reads oracle/landmark state while
     // the balancer mutates the (disjoint) overlay and load state in place.
@@ -1065,6 +1113,10 @@ pub fn xl2_scale_with(scenario: Scenario, threads: usize, trace: &mut Trace) -> 
         transfer_wall_s: walls.transfer_wall_s,
         histogram,
     };
+    progress.always(&format!(
+        "xl2: aware run done in {:.1}s (heavy {} -> {}, {} transfers)",
+        aware.wall_s, aware.heavy_before, aware.heavy_after, aware.transfers
+    ));
 
     Xl2ScaleOutput {
         peers: prepared.net.alive_peers().len(),
@@ -1154,6 +1206,20 @@ pub fn fault_sweep_traced(
     rates: &[f64],
     threads: usize,
     trace: &mut Trace,
+) -> Vec<FaultSweepRow> {
+    fault_sweep_run(scenario, rates, threads, trace, &NullSink)
+}
+
+/// [`fault_sweep_traced`] with a heartbeat line on `progress` as each
+/// rate cell completes. Cells run on worker threads, so the sink's `Sync`
+/// bound is what makes the shared reference sound; heartbeats go to the
+/// sink (stderr for the CLI), never to stdout.
+pub fn fault_sweep_run(
+    scenario: &Scenario,
+    rates: &[f64],
+    threads: usize,
+    trace: &mut Trace,
+    progress: &dyn ProgressSink,
 ) -> Vec<FaultSweepRow> {
     use crate::des::RetryPolicy;
     use crate::faults::{simulate_aggregation_faulty_traced, simulate_dissemination_faulty_traced};
@@ -1341,6 +1407,12 @@ pub fn fault_sweep_traced(
                 ("heavy_after", (row.heavy_after as u64).into()),
             ],
         );
+        progress.event(&format!(
+            "faults: rate {rate:.2} done (agg {:.0}%, heavy {} -> {})",
+            row.aggregation_completion * 100.0,
+            row.heavy_before,
+            row.heavy_after
+        ));
         row
     })
 }

@@ -146,14 +146,30 @@ impl Scenario {
     /// Thread count never changes the result — it only bounds parallelism —
     /// so this exists for benchmarks and determinism tests that pin it.
     pub fn prepare_threads(&self, threads: usize) -> Prepared {
+        self.prepare_run(threads, &proxbal_profile::NullSink)
+    }
+
+    /// Like [`Scenario::prepare_threads`] with per-phase heartbeat lines
+    /// on `progress` (topology, join, attach/landmarks, loads). Heartbeats
+    /// go to the sink (stderr for the CLI), never to stdout, and never
+    /// change the prepared result.
+    pub fn prepare_run(
+        &self,
+        threads: usize,
+        progress: &dyn proxbal_profile::ProgressSink,
+    ) -> Prepared {
         if self.shards > 0 {
-            crate::shard::prepare_sharded(self, threads)
+            crate::shard::prepare_sharded_run(self, threads, progress)
         } else {
-            self.prepare_serial(threads)
+            self.prepare_serial(threads, progress)
         }
     }
 
-    fn prepare_serial(&self, threads: usize) -> Prepared {
+    fn prepare_serial(
+        &self,
+        threads: usize,
+        progress: &dyn proxbal_profile::ProgressSink,
+    ) -> Prepared {
         let oracle_capacity = self.oracle_capacity;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -176,10 +192,19 @@ impl Scenario {
             )),
             TopologyKind::None => None,
         };
+        if let Some(ref topo) = topo {
+            progress.event(&format!(
+                "prepare: topology generated ({} nodes)",
+                topo.graph.node_count()
+            ));
+        }
 
         let mut net = ChordNetwork::new();
-        for _ in 0..self.peers {
+        for i in 0..self.peers {
             net.join_peer(self.vs_per_peer, &mut rng);
+            if (i + 1).is_multiple_of(65_536) {
+                progress.event(&format!("prepare: joined {}/{} peers", i + 1, self.peers));
+            }
         }
 
         // Attach peers to distinct random stub nodes (peers are end hosts);
@@ -207,12 +232,17 @@ impl Scenario {
                     latency_oracle.pin(l);
                 }
             }
+            progress.event(&format!(
+                "prepare: peers attached, {} landmark rows precomputed",
+                landmarks.len()
+            ));
             (Some((oracle, latency_oracle)), landmarks)
         } else {
             (None, Vec::new())
         };
 
         let loads = LoadState::generate(&net, &self.capacity, &self.load, &mut rng);
+        progress.event("prepare: load state generated");
 
         let (oracle, latency_oracle) = match oracle {
             Some((a, b)) => (Some(a), Some(b)),

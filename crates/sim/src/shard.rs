@@ -50,6 +50,17 @@ fn shard_rng(seed: u64, s: usize) -> StdRng {
 /// [`Scenario::prepare`](crate::Scenario::prepare) whenever
 /// `scenario.shards > 0`.
 pub fn prepare_sharded(scenario: &Scenario, threads: usize) -> Prepared {
+    prepare_sharded_run(scenario, threads, &proxbal_profile::NullSink)
+}
+
+/// [`prepare_sharded`] with per-phase heartbeat lines on `progress`
+/// (topology, position batches, join replay, attach/landmarks, loads,
+/// landmark vectors). Heartbeats never change the prepared result.
+pub fn prepare_sharded_run(
+    scenario: &Scenario,
+    threads: usize,
+    progress: &dyn proxbal_profile::ProgressSink,
+) -> Prepared {
     let shards = scenario.shards.max(1);
     let mut rng = StdRng::seed_from_u64(scenario.seed);
 
@@ -72,6 +83,12 @@ pub fn prepare_sharded(scenario: &Scenario, threads: usize) -> Prepared {
         )),
         TopologyKind::None => None,
     };
+    if let Some(ref topo) = topo {
+        progress.event(&format!(
+            "prepare: topology generated ({} nodes)",
+            topo.graph.node_count()
+        ));
+    }
 
     // Per-shard position batches: shard `s` owns the contiguous peer range
     // [s·chunk, min((s+1)·chunk, peers)) and draws every position of every
@@ -93,13 +110,22 @@ pub fn prepare_sharded(scenario: &Scenario, threads: usize) -> Prepared {
         out
     });
 
+    progress.event(&format!(
+        "prepare: {shards} position batches drawn for {peers} peers"
+    ));
+
     // Serial replay in peer order: the ring insert order (and therefore
     // every VsId/PeerId) is fixed by the batches alone. Collisions resample
     // from the master RNG — serial, hence deterministic.
     let mut net = ChordNetwork::new();
+    let mut joined = 0usize;
     for batch in &batches {
         for positions in batch.chunks(vs_per_peer.max(1)) {
             net.join_peer_at(positions, &mut rng);
+            joined += 1;
+            if joined.is_multiple_of(262_144) {
+                progress.event(&format!("prepare: joined {joined}/{peers} peers"));
+            }
         }
     }
     drop(batches);
@@ -122,12 +148,17 @@ pub fn prepare_sharded(scenario: &Scenario, threads: usize) -> Prepared {
                 latency_oracle.pin(l);
             }
         }
+        progress.event(&format!(
+            "prepare: peers attached, {} landmark rows precomputed",
+            landmarks.len()
+        ));
         (Some((oracle, latency_oracle)), landmarks)
     } else {
         (None, Vec::new())
     };
 
     let loads = LoadState::generate(&net, &scenario.capacity, &scenario.load, &mut rng);
+    progress.event("prepare: load state generated");
 
     let (oracle, latency_oracle) = match oracle {
         Some((a, b)) => (Some(a), Some(b)),
@@ -135,7 +166,9 @@ pub fn prepare_sharded(scenario: &Scenario, threads: usize) -> Prepared {
     };
     let hop_landmarks = match (scenario.distance_mode, oracle.as_ref()) {
         (DistanceMode::Approximate, Some(oracle)) if !landmarks.is_empty() => {
-            Some(build_landmarks_sharded(oracle, &landmarks, shards, threads))
+            let lm = build_landmarks_sharded(oracle, &landmarks, shards, threads);
+            progress.event("prepare: hop-metric landmark vectors built");
+            Some(lm)
         }
         _ => None,
     };

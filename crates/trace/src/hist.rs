@@ -108,6 +108,31 @@ impl Histogram {
         }
     }
 
+    /// Weighted quantile estimate: the lower bound of the first bucket at
+    /// which cumulative weight reaches `q * weight()`, clamped into
+    /// `[min, max]`. `q` is clamped to `[0, 1]`; 0 on an empty histogram.
+    ///
+    /// Bucket resolution means the estimate is exact for values that are
+    /// powers of two and otherwise a lower bound of the true quantile's
+    /// bucket — deterministic, which is what the summary table needs.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.weight <= 0.0 {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.weight;
+        let mut cum = 0.0;
+        for (i, w) in self.buckets.iter().enumerate() {
+            if *w == 0.0 {
+                continue;
+            }
+            cum += w;
+            if cum >= target {
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(lower bound, weight)` in ascending value order.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         self.buckets
@@ -170,6 +195,29 @@ mod tests {
         a.merge(&empty);
         assert_eq!(a.count(), 1);
         assert_eq!(a.max(), 5);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_bucket_weight() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Buckets are power-of-two: p50 of 1..=100 lands in [32,64) → 32,
+        // p90/p99 land in [64,128) → 64 (clamped to max 100 if beyond).
+        assert_eq!(h.quantile(0.5), 32);
+        assert_eq!(h.quantile(0.9), 64);
+        assert_eq!(h.quantile(0.99), 64);
+        assert_eq!(h.quantile(1.0), 64);
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to the observed min");
+        // Weighted: nearly all weight on one value pins every quantile.
+        let mut w = Histogram::default();
+        w.observe_weighted(3, 0.01);
+        w.observe_weighted(40, 99.0);
+        assert_eq!(w.quantile(0.5), 32);
+        assert_eq!(w.quantile(0.99), 32);
+        // Empty histogram is safe.
+        assert_eq!(Histogram::default().quantile(0.5), 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! End-of-run summary table: per-span-name virtual-time totals plus counter
-//! and histogram roll-ups, aggregated across every track of a [`Trace`].
+//! End-of-run summary table: per-span-name virtual-time totals, per-track
+//! self/total roll-ups, counter and histogram roll-ups (with p50/p90/p99),
+//! aggregated across every track of a [`Trace`].
 
 use crate::{EventKind, Histogram, Trace};
 use std::collections::BTreeMap;
@@ -12,6 +13,17 @@ pub struct SpanTotal {
     pub spans: u64,
     /// Sum of span durations, in virtual-time units.
     pub virtual_time: u64,
+}
+
+/// Virtual-time roll-up of one track.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackTotal {
+    pub name: String,
+    /// Top-level span time recorded on this track itself.
+    pub self_time: u64,
+    /// `self_time` plus the totals of descendant tracks (tracks whose
+    /// `/`-separated name extends this one).
+    pub total_time: u64,
 }
 
 /// One counter row (integer counters render without a decimal point).
@@ -27,6 +39,9 @@ pub struct HistogramRow {
     pub name: String,
     pub count: u64,
     pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
     pub max: u64,
 }
 
@@ -34,21 +49,75 @@ pub struct HistogramRow {
 #[derive(Clone, Debug, Default)]
 pub struct TraceSummary {
     pub spans: Vec<SpanTotal>,
+    /// Per-track roll-ups in `Trace::tracks()` order.
+    pub track_totals: Vec<TrackTotal>,
     pub counters: Vec<CounterTotal>,
     pub histograms: Vec<HistogramRow>,
     pub tracks: usize,
     pub events: usize,
 }
 
+/// Tracks rendered in the Display table before eliding the long tail.
+const DISPLAY_TRACKS: usize = 12;
+
+/// Sum of top-level span durations: a span is top-level when it starts at
+/// or after the end of the previous top-level span (events are recorded in
+/// start order, so nested spans fall inside the running frontier).
+fn top_level_time(events: &[crate::Event]) -> u64 {
+    let mut total = 0u64;
+    let mut frontier = 0u64;
+    let mut first = true;
+    for ev in events {
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        if first || ev.ts >= frontier {
+            total += ev.dur;
+            frontier = ev.ts.saturating_add(ev.dur);
+            first = false;
+        }
+    }
+    total
+}
+
 impl TraceSummary {
     pub fn of(trace: &Trace) -> Self {
         let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
-        for (_, events) in trace.tracks() {
+        let mut track_totals: Vec<TrackTotal> = Vec::new();
+        for (track, events) in trace.tracks() {
             for ev in events {
                 if ev.kind == EventKind::Span {
                     let slot = by_name.entry(&ev.name).or_insert((0, 0));
                     slot.0 += 1;
                     slot.1 += ev.dur;
+                }
+            }
+            let self_time = top_level_time(events);
+            track_totals.push(TrackTotal {
+                name: track.to_owned(),
+                self_time,
+                total_time: self_time,
+            });
+        }
+        // Roll child-track totals into their nearest existing ancestor
+        // (`a/b/c` rolls into `a/b` if present, else `a`). Processing in
+        // descending segment depth propagates bottom-up in one pass.
+        let index: BTreeMap<String, usize> = track_totals
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), i))
+            .collect();
+        let mut order: Vec<usize> = (0..track_totals.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(track_totals[i].name.matches('/').count()));
+        for i in order {
+            let name = track_totals[i].name.clone();
+            let mut prefix = name.as_str();
+            while let Some(cut) = prefix.rfind('/') {
+                prefix = &name[..cut];
+                if let Some(&p) = index.get(prefix) {
+                    let t = track_totals[i].total_time;
+                    track_totals[p].total_time += t;
+                    break;
                 }
             }
         }
@@ -75,11 +144,15 @@ impl TraceSummary {
                 name: n.to_owned(),
                 count: h.count(),
                 mean: h.mean(),
+                p50: h.quantile(0.5),
+                p90: h.quantile(0.9),
+                p99: h.quantile(0.99),
                 max: h.max(),
             })
             .collect();
         TraceSummary {
             spans,
+            track_totals,
             counters,
             histograms,
             tracks: trace.tracks().count(),
@@ -110,6 +183,28 @@ impl fmt::Display for TraceSummary {
                 writeln!(f, "{:<28} {:>8} {:>14}", s.name, s.spans, s.virtual_time)?;
             }
         }
+        let busy: Vec<&TrackTotal> = {
+            let mut v: Vec<&TrackTotal> = self
+                .track_totals
+                .iter()
+                .filter(|t| t.total_time > 0)
+                .collect();
+            v.sort_by(|a, b| {
+                b.total_time
+                    .cmp(&a.total_time)
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+            v
+        };
+        if !busy.is_empty() {
+            writeln!(f, "{:<28} {:>12} {:>12}", "track", "self", "total")?;
+            for t in busy.iter().take(DISPLAY_TRACKS) {
+                writeln!(f, "{:<28} {:>12} {:>12}", t.name, t.self_time, t.total_time)?;
+            }
+            if busy.len() > DISPLAY_TRACKS {
+                writeln!(f, "… (+{} more tracks)", busy.len() - DISPLAY_TRACKS)?;
+            }
+        }
         if !self.counters.is_empty() {
             writeln!(f, "{:<28} {:>23}", "counter", "total")?;
             for c in &self.counters {
@@ -122,14 +217,14 @@ impl fmt::Display for TraceSummary {
         if !self.histograms.is_empty() {
             writeln!(
                 f,
-                "{:<28} {:>8} {:>12} {:>10}",
-                "histogram", "count", "mean", "max"
+                "{:<28} {:>8} {:>12} {:>8} {:>8} {:>8} {:>10}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "max"
             )?;
             for h in &self.histograms {
                 writeln!(
                     f,
-                    "{:<28} {:>8} {:>12.2} {:>10}",
-                    h.name, h.count, h.mean, h.max
+                    "{:<28} {:>8} {:>12.2} {:>8} {:>8} {:>8} {:>10}",
+                    h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
                 )?;
             }
         }
@@ -167,9 +262,66 @@ mod tests {
     }
 
     #[test]
+    fn track_rollups_use_top_level_time_and_name_hierarchy() {
+        // "g" has a root span [0,100) with a nested child [10,40): only
+        // the top-level 100 counts as g's self time. Child tracks "g/a"
+        // and "g/b" roll their totals into g.
+        let mut a = Trace::enabled("a");
+        a.span("work", 0, 30);
+        let mut b = Trace::enabled("b");
+        b.span("work", 0, 20);
+        b.span("late", 25, 5);
+        let mut g = Trace::enabled("g");
+        g.span("root", 0, 100);
+        g.span("nested", 10, 30);
+        g.absorb(a);
+        g.absorb(b);
+        let s = TraceSummary::of(&g);
+        let by_name: BTreeMap<&str, &TrackTotal> = s
+            .track_totals
+            .iter()
+            .map(|t| (t.name.as_str(), t))
+            .collect();
+        assert_eq!(by_name["g/a"].self_time, 30);
+        assert_eq!(by_name["g/a"].total_time, 30);
+        assert_eq!(by_name["g/b"].self_time, 25);
+        assert_eq!(by_name["g"].self_time, 100);
+        assert_eq!(by_name["g"].total_time, 155);
+    }
+
+    #[test]
     fn empty_trace_summary_renders() {
         let s = TraceSummary::of(&Trace::disabled());
         assert_eq!(s.events, 0);
         assert!(s.to_string().contains("0 events"));
+    }
+
+    #[test]
+    fn display_snapshot() {
+        let mut child = Trace::enabled("graph0");
+        child.span("round/lbi", 0, 64);
+        child.span("round/vsa", 64, 36);
+        let mut root = Trace::enabled("fig");
+        root.span("prepare", 0, 10);
+        root.count("messages", 1234);
+        for v in [1u64, 2, 3, 50, 70, 100] {
+            root.record("hops", v);
+        }
+        root.absorb(child);
+        let expected = "\
+── trace summary: 3 events on 2 tracks ──
+span                            count   virtual time
+prepare                             1             10
+round/lbi                           1             64
+round/vsa                           1             36
+track                                self        total
+fig                                    10          110
+fig/graph0                            100          100
+counter                                        total
+messages                                        1234
+histogram                       count         mean      p50      p90      p99        max
+hops                                6        37.67        2       64       64        100
+";
+        assert_eq!(TraceSummary::of(&root).to_string(), expected);
     }
 }

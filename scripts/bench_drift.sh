@@ -30,7 +30,7 @@ trap 'rm -rf "$WORK"' EXIT
   && timeout 900 "$REPRO" engine --scale small > /dev/null)
 
 # Strip fields that legitimately vary run-to-run or machine-to-machine.
-VOLATILE='"(wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s|tree_wall_s|lbi_wall_s|aggregate_wall_s|vsa_wall_s|transfer_wall_s)"'
+VOLATILE='"(wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s|tree_wall_s|lbi_wall_s|aggregate_wall_s|vsa_wall_s|transfer_wall_s|alloc_count|alloc_bytes|peak_alloc_bytes)"'
 filter() {
   python3 -c '
 import json, re, sys
@@ -43,7 +43,7 @@ def scrub(v):
     return v
 doc = scrub(json.load(open(sys.argv[1])))
 json.dump(doc, sys.stdout, indent=2, sort_keys=True)
-' "$1" 'wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s|tree_wall_s|lbi_wall_s|aggregate_wall_s|vsa_wall_s|transfer_wall_s'
+' "$1" 'wall_s|total_wall_s|graphs_per_s|threads|peak_rss_bytes|prepare_wall_s|aware_wall_s|ignorant_wall_s|tree_wall_s|lbi_wall_s|aggregate_wall_s|vsa_wall_s|transfer_wall_s|alloc_count|alloc_bytes|peak_alloc_bytes'
 }
 
 # Compare only the entries the scratch run regenerated (small + faults):
@@ -70,7 +70,8 @@ if entry is None:
     sys.exit("BENCH_repro.json: missing the xl2 (million-peer) entry")
 required = ("seed", "peers", "underlay_nodes", "virtual_servers",
             "oracle_capacity", "shards", "refine_sources", "lbi_messages",
-            "vsa_record_hops", "aware_frac2", "aware_frac10", "heavy_after")
+            "vsa_record_hops", "aware_frac2", "aware_frac10", "heavy_after",
+            "alloc_count", "alloc_bytes", "peak_alloc_bytes")
 missing = [k for k in required if k not in entry]
 if missing:
     sys.exit(f"BENCH_repro.json: xl2 entry lacks deterministic fields: {missing}")

@@ -2,7 +2,7 @@
 # Pre-PR gate: everything that must be green before a change ships.
 #
 #   scripts/check.sh [--xl-smoke] [--faults-smoke] [--engine-smoke] [--round-smoke]
-#                    [--analyze-smoke]
+#                    [--analyze-smoke] [--profile-smoke]
 #
 # Runs, in order:
 #   1. tier-1 verify (ROADMAP.md): release build + root test suite
@@ -39,6 +39,13 @@
 # report + trace at 1, 2 and 8 analyzer threads (all must pass, all
 # byte-identical), and then checks the negative path: an impossible gate
 # must exit nonzero with a violation table naming it.
+#
+# --profile-smoke additionally runs a profiled reduced-peers xl2
+# (`repro xl2 --peers 16384 --profile`) at 1 and 8 threads and fails
+# unless the virtual-time flamegraph artifacts (collapsed stacks +
+# speedscope JSON) are byte-identical across thread counts and the
+# volatile artifacts exist — the determinism contract of the profiling
+# layer (DESIGN.md §5c).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +54,7 @@ FAULTS_SMOKE=0
 ENGINE_SMOKE=0
 ROUND_SMOKE=0
 ANALYZE_SMOKE=0
+PROFILE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --xl-smoke) XL_SMOKE=1 ;;
@@ -54,6 +62,7 @@ for arg in "$@"; do
     --engine-smoke) ENGINE_SMOKE=1 ;;
     --round-smoke) ROUND_SMOKE=1 ;;
     --analyze-smoke) ANALYZE_SMOKE=1 ;;
+    --profile-smoke) PROFILE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -157,6 +166,30 @@ if [[ "$ENGINE_SMOKE" == "1" ]]; then
     echo "engine chrome trace differs across thread counts" >&2; exit 1; }
   cmp "$SMOKE_DIR/e1.ndjson" "$SMOKE_DIR/e8.ndjson" || {
     echo "engine trace event log differs across thread counts" >&2; exit 1; }
+fi
+
+if [[ "$PROFILE_SMOKE" == "1" ]]; then
+  echo "==> profile smoke: repro xl2 --peers 16384 --profile (threads 1 vs 8)"
+  (cd "$SMOKE_DIR" && timeout 900 "$REPRO" xl2 --peers 16384 --threads 1 --profile p1 > prof_t1.txt \
+                   && timeout 900 "$REPRO" xl2 --peers 16384 --threads 8 --profile p8 --progress > prof_t8.txt)
+  # Virtual-time flamegraphs are pure functions of the trace: byte-identical.
+  cmp "$SMOKE_DIR/p1/flame.virt.folded" "$SMOKE_DIR/p8/flame.virt.folded" || {
+    echo "virtual-time folded stacks differ across thread counts" >&2; exit 1; }
+  cmp "$SMOKE_DIR/p1/flame.virt.speedscope.json" "$SMOKE_DIR/p8/flame.virt.speedscope.json" || {
+    echo "virtual-time speedscope profile differs across thread counts" >&2; exit 1; }
+  cmp "$SMOKE_DIR/p1/trace_summary.txt" "$SMOKE_DIR/p8/trace_summary.txt" || {
+    echo "trace summary differs across thread counts" >&2; exit 1; }
+  # Volatile artifacts exist and carry the profiled phases.
+  for f in flame.wall.folded resources.txt; do
+    [[ -s "$SMOKE_DIR/p1/$f" ]] || { echo "profile smoke: $f missing or empty" >&2; exit 1; }
+  done
+  grep -q "^xl2" "$SMOKE_DIR/p1/resources.txt" || {
+    echo "profile smoke: xl2 phase missing from resources.txt" >&2; exit 1; }
+  grep -q "round/lbi" "$SMOKE_DIR/p1/flame.virt.folded" || {
+    echo "profile smoke: round spans missing from the flamegraph" >&2; exit 1; }
+  # Stdout stays deterministic modulo walls and wrote-filename lines.
+  diff <(scrub_xl2 "$SMOKE_DIR/prof_t1.txt") <(scrub_xl2 "$SMOKE_DIR/prof_t8.txt") || {
+    echo "profiled xl2 output differs across thread counts" >&2; exit 1; }
 fi
 
 if [[ "$ANALYZE_SMOKE" == "1" ]]; then
